@@ -1,0 +1,94 @@
+// Command sbft-bench regenerates the paper's evaluation (§IX): Figures 2
+// and 3 (the key-value sweep over protocols × clients × failures × batch),
+// the smart-contract benchmarks on continent- and world-scale WANs, the
+// single-node baseline, the ingredient ablation, the view-change recovery
+// measurement and the seamless fast↔slow switching demonstration.
+//
+// Usage:
+//
+//	sbft-bench -exp fig2                 # scaled Figure 2/3 sweep
+//	sbft-bench -exp fig2 -full           # paper-scale f=64 (very slow)
+//	sbft-bench -exp contract-continent   # §IX contract benchmark
+//	sbft-bench -exp contract-world
+//	sbft-bench -exp single-node
+//	sbft-bench -exp ablation
+//	sbft-bench -exp viewchange
+//	sbft-bench -exp switch
+//	sbft-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sbft/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment: fig2|contract-continent|contract-world|single-node|ablation|viewchange|switch|all")
+		full = flag.Bool("full", false, "paper-scale parameters (f=64; hours of CPU)")
+		f    = flag.Int("f", 0, "override fault threshold f")
+		ops  = flag.Int("ops", 0, "override operations per client")
+		seed = flag.Int64("seed", 1, "simulation seed")
+		txs  = flag.Int("txs", 25_000, "transactions for the single-node baseline")
+	)
+	flag.Parse()
+
+	grid := bench.DefaultGrid()
+	if *full {
+		grid = bench.PaperGrid()
+	}
+	if *f > 0 {
+		grid.F = *f
+	}
+	if *ops > 0 {
+		grid.OpsPerClient = *ops
+	}
+	grid.Seed = *seed
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "sbft-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig2", func() error {
+		_, err := bench.RunFig2(grid)
+		return err
+	})
+	run("contract-continent", func() error {
+		cfg := bench.DefaultContract(false)
+		cfg.F = grid.F
+		cfg.Seed = grid.Seed
+		_, err := bench.RunContract(cfg)
+		return err
+	})
+	run("contract-world", func() error {
+		cfg := bench.DefaultContract(true)
+		cfg.F = grid.F
+		cfg.Seed = grid.Seed
+		_, err := bench.RunContract(cfg)
+		return err
+	})
+	run("single-node", func() error {
+		dir, err := os.MkdirTemp("", "sbft-single-node")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		_, err = bench.RunSingleNode(*txs, grid.Seed, dir, os.Stdout)
+		return err
+	})
+	run("ablation", func() error {
+		_, err := bench.RunAblation(grid)
+		return err
+	})
+	run("viewchange", func() error { return bench.RunViewChange(grid) })
+	run("switch", func() error { return bench.RunSeamlessSwitch(grid, os.Stdout) })
+}

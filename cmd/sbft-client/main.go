@@ -1,0 +1,131 @@
+// Command sbft-client drives a TCP SBFT deployment with key-value
+// operations and reports latency/throughput. See cmd/sbft-node for a
+// complete local deployment walkthrough.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sbft/internal/apps"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+	"sbft/internal/transport"
+)
+
+func loadPeers(path string) (map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	peers := make(map[int]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed peers line %q", line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad id in %q: %w", line, err)
+		}
+		peers[id] = fields[1]
+	}
+	return peers, sc.Err()
+}
+
+func main() {
+	var (
+		peerFile = flag.String("peers", "peers.txt", "peers file")
+		f        = flag.Int("f", 1, "fault threshold f")
+		c        = flag.Int("c", 0, "redundant servers c")
+		seed     = flag.String("seed", "sbft-demo", "shared key seed (must match nodes)")
+		n        = flag.Int("n", 100, "operations to send")
+		listen   = flag.String("listen", "127.0.0.1:0", "client listen address")
+	)
+	flag.Parse()
+
+	peers, err := loadPeers(*peerFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig(*f, *c)
+	suite, _, err := core.InsecureSuite(cfg, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+		os.Exit(1)
+	}
+
+	id := core.ClientBase
+	shell, err := transport.NewShell(id, *listen, peers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+		os.Exit(1)
+	}
+	defer shell.Close()
+
+	client, err := core.NewClient(id, cfg, suite, shell, apps.VerifyKV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+		os.Exit(1)
+	}
+	client.RequestTimeout = 4 * time.Second
+
+	done := make(chan struct{})
+	var latencies []time.Duration
+	var fastAcks int
+	count := 0
+	client.SetOnResult(func(res core.Result) {
+		latencies = append(latencies, res.Latency)
+		if res.FastAck {
+			fastAcks++
+		}
+		count++
+		if count >= *n {
+			close(done)
+			return
+		}
+		op := kvstore.Put(fmt.Sprintf("bench/%d", count), []byte("value"))
+		if err := client.Submit(op); err != nil {
+			fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+			close(done)
+		}
+	})
+	shell.Start(client)
+
+	start := time.Now()
+	shell.Do(func() {
+		if err := client.Submit(kvstore.Put("bench/0", []byte("value"))); err != nil {
+			fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+		}
+	})
+	<-done
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	fmt.Printf("completed %d ops in %v: %.1f op/s\n", count, elapsed.Round(time.Millisecond),
+		float64(count)/elapsed.Seconds())
+	if count > 0 {
+		fmt.Printf("latency: mean=%v p50=%v p95=%v  single-message acks: %d/%d\n",
+			(sum / time.Duration(count)).Round(time.Microsecond),
+			latencies[count/2].Round(time.Microsecond),
+			latencies[count*95/100].Round(time.Microsecond),
+			fastAcks, count)
+	}
+}

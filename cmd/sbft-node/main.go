@@ -1,0 +1,130 @@
+// Command sbft-node runs one SBFT replica over TCP. A deployment is
+// described by a peers file with one "id host:port" line per replica;
+// all replicas share a deterministic key seed (stand-in for the PKI/dealer
+// setup of §III — production deployments deal threshold RSA keys with
+// threshrsa.Dealer and distribute them out of band).
+//
+// Example 4-replica local deployment (f=1, c=0):
+//
+//	cat > peers.txt <<EOF
+//	1 127.0.0.1:7001
+//	2 127.0.0.1:7002
+//	3 127.0.0.1:7003
+//	4 127.0.0.1:7004
+//	EOF
+//	sbft-node -id 1 -peers peers.txt -f 1 &
+//	sbft-node -id 2 -peers peers.txt -f 1 &
+//	sbft-node -id 3 -peers peers.txt -f 1 &
+//	sbft-node -id 4 -peers peers.txt -f 1 &
+//	sbft-client -peers peers.txt -f 1 -n 100
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"sbft/internal/apps"
+	"sbft/internal/core"
+	"sbft/internal/storage"
+	"sbft/internal/transport"
+)
+
+func loadPeers(path string) (map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	peers := make(map[int]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed peers line %q", line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad id in %q: %w", line, err)
+		}
+		peers[id] = fields[1]
+	}
+	return peers, sc.Err()
+}
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "replica id (1..n)")
+		peerFile = flag.String("peers", "peers.txt", "peers file: one 'id host:port' per line")
+		f        = flag.Int("f", 1, "fault threshold f")
+		c        = flag.Int("c", 0, "redundant servers c")
+		seed     = flag.String("seed", "sbft-demo", "shared key seed (demo PKI)")
+		dataDir  = flag.String("data", "", "block store directory (empty = no persistence)")
+	)
+	flag.Parse()
+
+	peers, err := loadPeers(*peerFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-node: loading peers: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig(*f, *c)
+	if *id < 1 || *id > cfg.N() {
+		fmt.Fprintf(os.Stderr, "sbft-node: id %d out of range [1,%d]\n", *id, cfg.N())
+		os.Exit(1)
+	}
+	addr, ok := peers[*id]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sbft-node: id %d not in peers file\n", *id)
+		os.Exit(1)
+	}
+
+	suite, keys, err := core.InsecureSuite(cfg, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-node: dealing keys: %v\n", err)
+		os.Exit(1)
+	}
+
+	shell, err := transport.NewShell(*id, addr, peers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-node: %v\n", err)
+		os.Exit(1)
+	}
+	defer shell.Close()
+
+	var store core.BlockStore
+	if *dataDir != "" {
+		led, err := storage.Open(*dataDir, storage.Options{Sync: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbft-node: opening block store: %v\n", err)
+			os.Exit(1)
+		}
+		defer led.Close()
+		store = led
+	}
+
+	rep, err := core.NewReplica(*id, cfg, suite, keys[*id-1], apps.NewKVApp(), shell, store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbft-node: %v\n", err)
+		os.Exit(1)
+	}
+	shell.Start(rep)
+	fmt.Printf("sbft-node: replica %d/%d (f=%d c=%d) listening on %s\n", *id, cfg.N(), *f, *c, shell.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	var le, ls uint64
+	var view uint64
+	shell.Do(func() { le, ls, view = rep.LastExecuted(), rep.LastStable(), rep.View() })
+	fmt.Printf("sbft-node: shutting down (view=%d executed=%d stable=%d)\n", view, le, ls)
+}

@@ -1,0 +1,57 @@
+// Geo-replication example: the paper's world-scale deployment (§IX) in
+// miniature. Replicas spread over 15 world regions (20–150ms one-way
+// latency); the run demonstrates ingredient 4 — with c redundant servers
+// the fast path survives c stragglers, and with more than c it degrades
+// per-slot to the linear-PBFT path without a view change.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sbft"
+)
+
+func run(stragglers int) {
+	netCfg := sbft.WorldProfile(11)
+	cl, err := sbft.NewCluster(sbft.ClusterOptions{
+		Protocol: sbft.ProtoSBFT,
+		F:        2,
+		C:        1, // n = 3f + 2c + 1 = 9
+		App:      sbft.AppKV,
+		Clients:  6,
+		NetCfg:   &netCfg,
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatalf("building cluster: %v", err)
+	}
+	slowed := cl.SetStragglers(stragglers, 400*time.Millisecond)
+
+	res := cl.RunClosedLoop(15, func(client, i int) []byte {
+		return sbft.Put(fmt.Sprintf("geo/%d/%d", client, i), []byte("v"))
+	}, 5*time.Minute)
+
+	m := cl.Metrics()
+	total := m.FastCommits + m.SlowCommits
+	fastPct := 0.0
+	if total > 0 {
+		fastPct = 100 * float64(m.FastCommits) / float64(total)
+	}
+	fmt.Printf("stragglers=%d %v\n", stragglers, slowed)
+	fmt.Printf("  completed %d ops, %.1f ops/s, mean latency %v\n",
+		res.Completed, res.Throughput, res.MeanLatency.Round(time.Millisecond))
+	fmt.Printf("  fast-path commits: %.0f%%  view changes: %d\n", fastPct, m.ViewChanges)
+}
+
+func main() {
+	fmt.Println("SBFT on a world-scale WAN (15 regions, f=2, c=1, n=9)")
+	fmt.Println()
+	fmt.Println("c=1 tolerates one straggler on the fast path; two stragglers")
+	fmt.Println("push commits to the linear-PBFT path — seamlessly, no view change:")
+	fmt.Println()
+	for _, k := range []int{0, 1, 2} {
+		run(k)
+	}
+}

@@ -1,0 +1,58 @@
+// KV bench example: compare the paper's five protocol variants (§IX
+// evaluation ladder) head-to-head on the key-value micro-benchmark at one
+// load point, printing a compact comparison table. For the full Figure 2/3
+// sweep use cmd/sbft-bench.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sbft"
+	"sbft/internal/cluster"
+)
+
+func main() {
+	variants := []struct {
+		name  string
+		proto cluster.Protocol
+		c     int
+	}{
+		{"PBFT (baseline)", sbft.ProtoPBFT, 0},
+		{"Linear-PBFT (ingredient 1)", sbft.ProtoLinearPBFT, 0},
+		{"+ fast path (ingredient 2)", sbft.ProtoLinearFast, 0},
+		{"SBFT c=0 (ingredient 3)", sbft.ProtoSBFT, 0},
+		{"SBFT c=2 (ingredient 4)", sbft.ProtoSBFT, 2},
+	}
+
+	fmt.Println("Key-value micro-benchmark, f=4, 64 clients, batch=16")
+	fmt.Printf("%-30s %12s %12s %10s\n", "variant", "tput (op/s)", "mean lat", "fast acks")
+	for _, v := range variants {
+		cl, err := sbft.NewCluster(sbft.ClusterOptions{
+			Protocol: v.proto,
+			F:        4,
+			C:        v.c,
+			App:      sbft.AppKV,
+			Clients:  64,
+			Batch:    16,
+			Seed:     3,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", v.name, err)
+		}
+		res := cl.RunClosedLoop(15, func(client, i int) []byte {
+			return sbft.Put(fmt.Sprintf("k/%d/%d", client, i), []byte("v"))
+		}, 5*time.Minute)
+		fmt.Printf("%-30s %12.1f %12v %9.0f%%\n",
+			v.name, res.Throughput, res.MeanLatency.Round(time.Millisecond),
+			100*float64(res.FastAcks)/float64(max(res.Completed, 1)))
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

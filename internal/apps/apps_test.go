@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"sbft/internal/core"
+	"sbft/internal/evm"
+	"sbft/internal/kvstore"
+)
+
+func TestKVAppImplementsApplication(t *testing.T) {
+	var _ core.Application = NewKVApp()
+	var _ core.Application = NewEVMApp()
+}
+
+func TestKVAppProofRoundTrip(t *testing.T) {
+	app := NewKVApp()
+	ops := [][]byte{kvstore.Put("alpha", []byte("1")), kvstore.Get("alpha")}
+	results := app.ExecuteBlock(1, ops)
+	digest := app.Digest()
+
+	for l := range ops {
+		proof, err := app.ProveOperation(1, l)
+		if err != nil {
+			t.Fatalf("ProveOperation(%d): %v", l, err)
+		}
+		if err := VerifyKV(digest, ops[l], results[l], 1, l, proof); err != nil {
+			t.Fatalf("VerifyKV(%d): %v", l, err)
+		}
+		if err := VerifyKV(digest, ops[l], []byte("forged"), 1, l, proof); err == nil {
+			t.Fatal("forged result verified")
+		}
+	}
+	if err := VerifyKV(digest, ops[0], results[0], 1, 0, []byte("not gob")); err == nil {
+		t.Fatal("garbage proof verified")
+	}
+}
+
+func TestKVAppSnapshotRestore(t *testing.T) {
+	a := NewKVApp()
+	a.ExecuteBlock(1, [][]byte{kvstore.Put("k", []byte("v"))})
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewKVApp()
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Digest(), b.Digest()) {
+		t.Fatal("restored digest differs")
+	}
+	next := [][]byte{kvstore.Put("k2", []byte("v2"))}
+	a.ExecuteBlock(2, next)
+	b.ExecuteBlock(2, next)
+	if !bytes.Equal(a.Digest(), b.Digest()) {
+		t.Fatal("diverged after restore")
+	}
+}
+
+func TestEVMAppProofRoundTrip(t *testing.T) {
+	app := NewEVMApp()
+	app.Ledger.Mint(evm.AddressFromBytes([]byte{0xD0}), 1_000_000)
+	tx := evm.Tx{
+		Kind: evm.TxCreate, From: evm.AddressFromBytes([]byte{0xD0}),
+		GasLimit: 1_000_000, Data: evm.TokenDeploy(),
+	}.Encode()
+	results := app.ExecuteBlock(1, [][]byte{tx})
+	digest := app.Digest()
+
+	proof, err := app.ProveOperation(1, 0)
+	if err != nil {
+		t.Fatalf("ProveOperation: %v", err)
+	}
+	if err := VerifyEVM(digest, tx, results[0], 1, 0, proof); err != nil {
+		t.Fatalf("VerifyEVM: %v", err)
+	}
+	if err := VerifyEVM(digest, tx, []byte("forged"), 1, 0, proof); err == nil {
+		t.Fatal("forged receipt verified")
+	}
+	rcpt, err := evm.DecodeReceipt(results[0])
+	if err != nil || !rcpt.OK {
+		t.Fatalf("deploy receipt: %+v, %v", rcpt, err)
+	}
+}
+
+func TestEVMAppGarbageCollect(t *testing.T) {
+	app := NewEVMApp()
+	for seq := uint64(1); seq <= 4; seq++ {
+		app.ExecuteBlock(seq, [][]byte{{0x01}})
+	}
+	app.GarbageCollect(3)
+	if _, err := app.ProveOperation(1, 0); err == nil {
+		t.Fatal("GC'd block still provable")
+	}
+	if _, err := app.ProveOperation(3, 0); err != nil {
+		t.Fatalf("retained block not provable: %v", err)
+	}
+}

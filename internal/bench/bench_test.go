@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"sbft/internal/apps"
+	"sbft/internal/cluster"
+	"sbft/internal/evm"
+	"sbft/internal/kvstore"
+)
+
+func TestKVGenDeterministic(t *testing.T) {
+	g1, g2 := KVGen(7), KVGen(7)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 5; i++ {
+			if !bytes.Equal(g1(c, i), g2(c, i)) {
+				t.Fatalf("KVGen nondeterministic at (%d,%d)", c, i)
+			}
+		}
+	}
+	if bytes.Equal(KVGen(7)(0, 0), KVGen(8)(0, 0)) {
+		t.Fatal("different seeds produced the same op")
+	}
+	op, err := kvstore.DecodeOp(g1(0, 0))
+	if err != nil || op.Kind != kvstore.OpPut {
+		t.Fatalf("generated op = %+v, %v", op, err)
+	}
+}
+
+func TestKVBundleGen(t *testing.T) {
+	g := KVBundleGen(1, 64)
+	enc := g(0, 0)
+	if got := kvstore.BundleSize(enc); got != 64 {
+		t.Fatalf("bundle size = %d, want 64", got)
+	}
+	// size 1 degenerates to a plain op.
+	if got := kvstore.BundleSize(KVBundleGen(1, 1)(0, 0)); got != 1 {
+		t.Fatalf("size-1 bundle = %d ops", got)
+	}
+	// Bundles execute.
+	s := kvstore.New()
+	res := s.ExecuteBlock(1, [][]byte{enc})
+	if string(res[0]) != "OK:64" {
+		t.Fatalf("bundle execution = %q", res[0])
+	}
+}
+
+func TestContractWorkloadGenesisAndMix(t *testing.T) {
+	wl := NewContractWorkload(3, 8)
+	app := apps.NewEVMApp()
+	wl.Genesis()(app)
+	if len(app.Ledger.Code(wl.Token)) == 0 {
+		t.Fatal("token contract not deployed at genesis")
+	}
+	if len(app.Ledger.Code(wl.Churn)) == 0 {
+		t.Fatal("churn contract not deployed at genesis")
+	}
+
+	// All generated transactions must decode and execute to receipts.
+	gen := wl.Gen()
+	kinds := map[evm.TxKind]int{}
+	const sample = 3000
+	for i := 0; i < sample; i++ {
+		raw := gen(i%8, i)
+		tx, err := evm.DecodeTx(raw)
+		if err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+		kinds[tx.Kind]++
+	}
+	if kinds[evm.TxCall] == 0 || kinds[evm.TxCreate] == 0 {
+		t.Fatalf("mix lacks a kind: %v", kinds)
+	}
+	if kinds[evm.TxCreate] > sample/20 {
+		t.Fatalf("creations = %d of %d; should be ~1%%", kinds[evm.TxCreate], sample)
+	}
+
+	// Genesis is identical across replicas (digests must match).
+	app2 := apps.NewEVMApp()
+	wl.Genesis()(app2)
+	if !bytes.Equal(app.Digest(), app2.Digest()) {
+		t.Fatal("genesis not deterministic across replicas")
+	}
+}
+
+func TestVariantsLadder(t *testing.T) {
+	vs := Variants(64)
+	if len(vs) != 5 {
+		t.Fatalf("variants = %d, want 5", len(vs))
+	}
+	if vs[0].Protocol != cluster.ProtoPBFT || vs[4].C != 8 {
+		t.Fatalf("ladder malformed: %+v", vs)
+	}
+	if Variants(4)[4].C != 1 {
+		t.Fatal("c should floor at 1 for small f")
+	}
+}
+
+func TestFailuresOf(t *testing.T) {
+	if failuresOf(64, 0) != 0 || failuresOf(64, 8) != 8 || failuresOf(64, 1) != 64 {
+		t.Fatal("failure fraction mapping wrong")
+	}
+	if failuresOf(4, 8) != 1 {
+		t.Fatal("fraction should floor at 1 failure")
+	}
+}
+
+func TestRunPointSmoke(t *testing.T) {
+	g := DefaultGrid()
+	g.F = 1
+	g.OpsPerClient = 3
+	g.Horizon = 2 * time.Minute
+	g.Out = io.Discard
+	p, err := RunPoint(g, Variants(1)[3], 2, 0, 4)
+	if err != nil {
+		t.Fatalf("RunPoint: %v", err)
+	}
+	if p.Completed != 6 {
+		t.Fatalf("completed %d of 6", p.Completed)
+	}
+	if p.Throughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}
+
+func TestRunSingleNodeSmoke(t *testing.T) {
+	tps, err := RunSingleNode(200, 1, t.TempDir(), io.Discard)
+	if err != nil {
+		t.Fatalf("RunSingleNode: %v", err)
+	}
+	if tps <= 0 {
+		t.Fatal("no throughput")
+	}
+}

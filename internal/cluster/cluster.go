@@ -1,0 +1,484 @@
+// Package cluster wires SBFT and PBFT replicas, clients and applications
+// into the discrete-event simulator, reproducing the paper's deployments
+// (§IX): a full protocol stack per replica over a modeled WAN, with crash
+// and straggler injection and closed-loop measurement clients.
+//
+// The five protocol variants of the evaluation map to:
+//
+//	PBFT            → internal/pbft (quadratic baseline)
+//	Linear-PBFT     → SBFT engine, fast path off, exec collectors off, c=0
+//	Linear+Fast     → SBFT engine, fast path on, exec collectors off, c=0
+//	SBFT (c=0)      → all ingredients, c=0
+//	SBFT (c=8)      → all ingredients, c=8
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sbft/internal/apps"
+	"sbft/internal/core"
+	"sbft/internal/pbft"
+	"sbft/internal/sim"
+)
+
+// Protocol selects the replication engine variant.
+type Protocol int
+
+// The paper's five protocol configurations (§IX).
+const (
+	ProtoPBFT Protocol = iota
+	ProtoLinearPBFT
+	ProtoLinearFast
+	ProtoSBFT
+)
+
+// String names the protocol like the paper's figures.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoPBFT:
+		return "PBFT"
+	case ProtoLinearPBFT:
+		return "Linear-PBFT"
+	case ProtoLinearFast:
+		return "Linear-PBFT+Fast"
+	case ProtoSBFT:
+		return "SBFT"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// AppKind selects the replicated application.
+type AppKind int
+
+// Applications used in the evaluation: the key-value micro-benchmark and
+// the EVM smart-contract ledger.
+const (
+	AppKV AppKind = iota
+	AppEVM
+)
+
+// Options configures a simulated deployment.
+type Options struct {
+	Protocol Protocol
+	F        int
+	C        int // SBFT redundant servers; ignored for other protocols
+	App      AppKind
+	// Clients is the number of closed-loop clients.
+	Clients int
+	// NetCfg is the WAN model; defaults to ContinentProfile(Seed).
+	NetCfg *sim.Config
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Batch overrides the block batch size (0 keeps the default 64).
+	Batch int
+	// ClientTimeout is the client's §V-A retry timeout (0 = default 4s).
+	ClientTimeout time.Duration
+	// Costs overrides the per-message CPU model (nil = DefaultCosts).
+	Costs *CostModel
+	// FreeCPU disables the CPU model entirely (unit tests that need
+	// exact latencies).
+	FreeCPU bool
+	// Tune mutates the SBFT config after defaults are applied.
+	Tune func(*core.Config)
+	// TunePBFT mutates the PBFT config after defaults are applied.
+	TunePBFT func(*pbft.Config)
+	// GenesisEVM, when App == AppEVM, runs against every replica's ledger
+	// before the protocol starts (e.g. minting balances, deploying the
+	// token contract deterministically).
+	GenesisEVM func(app *apps.EVMApp)
+	// Byzantine replaces replicas by id with adversarial nodes (tests).
+	// The factory receives the replica's env and the honest replica it
+	// displaces, which it may wrap or ignore.
+	Byzantine map[int]func(env core.Env, honest *core.Replica) Node
+}
+
+// Node is a protocol event machine attachable to the simulator.
+type Node interface {
+	Deliver(from int, msg any)
+}
+
+// Cluster is a fully wired simulated deployment.
+type Cluster struct {
+	Opts    Options
+	Sched   *sim.Scheduler
+	Net     *sim.Network
+	N       int
+	Suite   core.CryptoSuite
+	Cfg     core.Config // valid unless Protocol == ProtoPBFT
+	PBFTCfg pbft.Config // valid when Protocol == ProtoPBFT
+
+	Replicas     []*core.Replica // nil entries when PBFT
+	PBFTReplicas []*pbft.Replica // nil entries when SBFT variants
+	Apps         []core.Application
+	Clients      []*core.Client
+}
+
+// env adapts one node id to core.Env over the simulator.
+type env struct {
+	id    int
+	net   *sim.Network
+	sched *sim.Scheduler
+}
+
+var _ core.Env = (*env)(nil)
+
+func (e *env) Send(to int, msg core.Message) {
+	e.net.Send(sim.NodeID(e.id), sim.NodeID(to), msg, msg.WireSize())
+}
+
+func (e *env) Now() time.Duration { return e.sched.Now() }
+
+func (e *env) After(d time.Duration, fn func()) func() {
+	return e.sched.Schedule(d, fn)
+}
+
+// handler adapts Node to sim.Handler.
+type handler struct{ n Node }
+
+func (h handler) Deliver(from sim.NodeID, msg any) { h.n.Deliver(int(from), msg) }
+
+// New builds a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.F < 1 {
+		return nil, fmt.Errorf("cluster: F must be ≥ 1")
+	}
+	if opts.Clients < 0 {
+		return nil, fmt.Errorf("cluster: negative client count")
+	}
+	cl := &Cluster{Opts: opts}
+	cl.Sched = sim.NewScheduler(opts.Seed)
+
+	netCfg := sim.ContinentProfile(opts.Seed)
+	if opts.NetCfg != nil {
+		netCfg = *opts.NetCfg
+	}
+
+	switch opts.Protocol {
+	case ProtoPBFT:
+		cl.PBFTCfg = pbft.DefaultConfig(opts.F)
+		if opts.Batch > 0 {
+			cl.PBFTCfg.Batch = opts.Batch
+		}
+		if opts.TunePBFT != nil {
+			opts.TunePBFT(&cl.PBFTCfg)
+		}
+		cl.N = cl.PBFTCfg.N()
+	default:
+		c := 0
+		if opts.Protocol == ProtoSBFT {
+			c = opts.C
+		}
+		cfg := core.DefaultConfig(opts.F, c)
+		switch opts.Protocol {
+		case ProtoLinearPBFT:
+			cfg.FastPath = false
+			cfg.ExecCollectors = false
+		case ProtoLinearFast:
+			cfg.FastPath = true
+			cfg.ExecCollectors = false
+		}
+		if opts.Batch > 0 {
+			cfg.Batch = opts.Batch
+		}
+		if opts.Tune != nil {
+			opts.Tune(&cfg)
+		}
+		cl.Cfg = cfg
+		cl.N = cfg.N()
+	}
+
+	// Install the per-message CPU model now that n is known.
+	if !opts.FreeCPU {
+		cm := DefaultCosts()
+		if opts.Costs != nil {
+			cm = *opts.Costs
+		}
+		cm.n = cl.N
+		cm.collectors = opts.C + 2
+		netCfg.SendCost = cm.SendCost
+		netCfg.RecvCost = cm.RecvCost
+	}
+	var err error
+	cl.Net, err = sim.NewNetwork(cl.Sched, netCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// The simulation uses the insecure threshold scheme; crypto CPU cost
+	// is modeled via the network cost model above (see DESIGN.md).
+	if opts.Protocol != ProtoPBFT {
+		suite, keys, err := core.InsecureSuite(cl.Cfg, fmt.Sprintf("cluster-%d", opts.Seed))
+		if err != nil {
+			return nil, err
+		}
+		cl.Suite = suite
+		cl.Replicas = make([]*core.Replica, cl.N+1) // 1-based
+		cl.Apps = make([]core.Application, cl.N+1)
+		for id := 1; id <= cl.N; id++ {
+			app, err := cl.newApp()
+			if err != nil {
+				return nil, err
+			}
+			cl.Apps[id] = app
+			e := &env{id: id, net: cl.Net, sched: cl.Sched}
+			rep, err := core.NewReplica(id, cl.Cfg, suite, keys[id-1], app, e, nil)
+			if err != nil {
+				return nil, err
+			}
+			cl.Replicas[id] = rep
+			var node Node = rep
+			if mk, ok := opts.Byzantine[id]; ok {
+				node = mk(e, rep)
+				cl.Replicas[id] = nil // excluded from honest-state checks
+			}
+			if err := cl.Net.Register(sim.NodeID(id), (id-1)%netCfg.Regions, handler{node}); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// PBFT clients still verify nothing beyond f+1 matching replies,
+		// but the shared core.Client needs a suite; deal a minimal one.
+		cfgForSuite := core.DefaultConfig(opts.F, 0)
+		suite, _, err := core.InsecureSuite(cfgForSuite, fmt.Sprintf("cluster-%d", opts.Seed))
+		if err != nil {
+			return nil, err
+		}
+		cl.Suite = suite
+		cl.PBFTReplicas = make([]*pbft.Replica, cl.N+1)
+		cl.Apps = make([]core.Application, cl.N+1)
+		for id := 1; id <= cl.N; id++ {
+			app, err := cl.newApp()
+			if err != nil {
+				return nil, err
+			}
+			cl.Apps[id] = app
+			e := &env{id: id, net: cl.Net, sched: cl.Sched}
+			rep, err := pbft.NewReplica(id, cl.PBFTCfg, app, e)
+			if err != nil {
+				return nil, err
+			}
+			cl.PBFTReplicas[id] = rep
+			if err := cl.Net.Register(sim.NodeID(id), (id-1)%netCfg.Regions, handler{rep}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Clients.
+	verifier := core.ProofVerifier(apps.VerifyKV)
+	if opts.App == AppEVM {
+		verifier = apps.VerifyEVM
+	}
+	clientCfg := cl.Cfg
+	if opts.Protocol == ProtoPBFT {
+		// Give clients a view of the PBFT quorum sizes through an
+		// equivalent core.Config (F matches; QuorumExec = f+1 is what the
+		// reply path uses; Primary round-robin matches).
+		clientCfg = core.DefaultConfig(opts.F, 0)
+	}
+	timeout := opts.ClientTimeout
+	if timeout == 0 {
+		timeout = 4 * time.Second
+	}
+	for i := 0; i < opts.Clients; i++ {
+		id := core.ClientBase + i
+		e := &env{id: id, net: cl.Net, sched: cl.Sched}
+		c, err := core.NewClient(id, clientCfg, cl.Suite, e, verifier)
+		if err != nil {
+			return nil, err
+		}
+		c.RequestTimeout = timeout
+		cl.Clients = append(cl.Clients, c)
+		if err := cl.Net.Register(sim.NodeID(id), i%netCfg.Regions, handler{c}); err != nil {
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+func (cl *Cluster) newApp() (core.Application, error) {
+	switch cl.Opts.App {
+	case AppKV:
+		return apps.NewKVApp(), nil
+	case AppEVM:
+		a := apps.NewEVMApp()
+		if cl.Opts.GenesisEVM != nil {
+			cl.Opts.GenesisEVM(a)
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown app kind %d", cl.Opts.App)
+	}
+}
+
+// CrashReplicas crashes k replicas, skipping the view-0 primary (the
+// paper's failure experiments measure throughput under crashed backups).
+func (cl *Cluster) CrashReplicas(k int) []int {
+	var crashed []int
+	for id := cl.N; id >= 2 && len(crashed) < k; id-- {
+		cl.Net.Crash(sim.NodeID(id))
+		crashed = append(crashed, id)
+	}
+	return crashed
+}
+
+// SetStragglers makes k non-primary replicas slow by extra.
+func (cl *Cluster) SetStragglers(k int, extra time.Duration) []int {
+	var slowed []int
+	for id := cl.N; id >= 2 && len(slowed) < k; id-- {
+		cl.Net.SetStraggler(sim.NodeID(id), extra)
+		slowed = append(slowed, id)
+	}
+	return slowed
+}
+
+// Metrics aggregates replica metrics across the cluster.
+func (cl *Cluster) Metrics() core.Metrics {
+	var m core.Metrics
+	for _, r := range cl.Replicas {
+		if r == nil {
+			continue
+		}
+		rm := r.Metrics
+		m.FastCommits += rm.FastCommits
+		m.SlowCommits += rm.SlowCommits
+		m.Executions += rm.Executions
+		m.ViewChanges += rm.ViewChanges
+		m.Checkpoints += rm.Checkpoints
+		m.StateFetches += rm.StateFetches
+		m.NullBlocks += rm.NullBlocks
+	}
+	return m
+}
+
+// PBFTMetrics aggregates the baseline engine's metrics.
+func (cl *Cluster) PBFTMetrics() pbft.Metrics {
+	var m pbft.Metrics
+	for _, r := range cl.PBFTReplicas {
+		if r == nil {
+			continue
+		}
+		m.Commits += r.Metrics.Commits
+		m.Executions += r.Metrics.Executions
+		m.ViewChanges += r.Metrics.ViewChanges
+		m.Checkpoints += r.Metrics.Checkpoints
+	}
+	return m
+}
+
+// WorkloadResult summarizes a closed-loop run.
+type WorkloadResult struct {
+	Completed   uint64
+	Duration    time.Duration
+	Throughput  float64 // operations per second of virtual time
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	FastAcks    uint64
+	Retries     uint64
+	MsgsSent    uint64
+	BytesSent   uint64
+	Events      uint64
+}
+
+// OpGen produces the i-th operation of a client.
+type OpGen func(client, i int) []byte
+
+// RunClosedLoop drives every client through opsPerClient sequential
+// operations (the paper's measurement loop: each client sends 1000
+// requests, §IX) and runs the simulation until all complete or the horizon
+// passes.
+func (cl *Cluster) RunClosedLoop(opsPerClient int, gen OpGen, horizon time.Duration) WorkloadResult {
+	var (
+		latencies   []time.Duration
+		completions []time.Duration
+		completed   uint64
+		fastAcks    uint64
+		retries     uint64
+	)
+	remaining := len(cl.Clients) * opsPerClient
+	start := cl.Sched.Now()
+	lastDone := start
+
+	for ci, c := range cl.Clients {
+		ci, c := ci, c
+		count := 0
+		c.SetOnResult(func(res core.Result) {
+			completed++
+			remaining--
+			lastDone = cl.Sched.Now()
+			completions = append(completions, lastDone)
+			latencies = append(latencies, res.Latency)
+			if res.FastAck {
+				fastAcks++
+			}
+			if res.Retried {
+				retries++
+			}
+			count++
+			if count < opsPerClient {
+				if err := c.Submit(gen(ci, count)); err != nil {
+					remaining -= opsPerClient - count
+				}
+			}
+		})
+		// Stagger initial submissions slightly for realism.
+		cl.Sched.Schedule(time.Duration(ci)*50*time.Microsecond, func() {
+			if err := c.Submit(gen(ci, 0)); err != nil {
+				remaining -= opsPerClient
+			}
+		})
+	}
+
+	deadline := start + horizon
+	for remaining > 0 && cl.Sched.Now() < deadline {
+		if cl.Sched.Run(deadline, 50_000) == 0 {
+			break
+		}
+	}
+	// Throughput is measured to the last completion, not to whatever
+	// background activity (timers, checkpoints) ran afterwards.
+	dur := lastDone - start
+	res := WorkloadResult{
+		Completed: completed,
+		Duration:  dur,
+		FastAcks:  fastAcks,
+		Retries:   retries,
+		MsgsSent:  cl.Net.MsgsSent,
+		BytesSent: cl.Net.BytesSent,
+		Events:    cl.Sched.Events(),
+	}
+	if dur > 0 {
+		res.Throughput = float64(completed) / dur.Seconds()
+	}
+	// Steady-state throughput over the 10th–90th percentile completion
+	// window: robust against warmup and a retried straggler stretching
+	// the tail (the paper measures steady-state rates).
+	if len(completions) >= 20 {
+		sort.Slice(completions, func(i, j int) bool { return completions[i] < completions[j] })
+		lo, hi := completions[len(completions)/10], completions[len(completions)*9/10]
+		if hi > lo {
+			res.Throughput = 0.8 * float64(len(completions)) / (hi - lo).Seconds()
+		}
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / time.Duration(len(latencies))
+		res.P50Latency = latencies[len(latencies)/2]
+		res.P95Latency = latencies[int(math.Ceil(float64(len(latencies))*0.95))-1]
+	}
+	return res
+}
+
+// Run advances the simulation until the horizon or quiescence.
+func (cl *Cluster) Run(horizon time.Duration) {
+	cl.Sched.Run(cl.Sched.Now()+horizon, 0)
+}

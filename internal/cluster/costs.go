@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"time"
+
+	"sbft/internal/core"
+	"sbft/internal/pbft"
+)
+
+// CostModel is the per-message CPU schedule fed to the simulator. The
+// paper's throughput differences come from where CPU is spent: quadratic
+// message handling and per-client signed replies in PBFT versus collector
+// aggregation and single combined signatures in SBFT (§I, §IX). Values
+// model 2018-era crypto on the paper's 32-vCPU machines: one signature or
+// share verification ≈ 120µs effective (BLS with batch verification), one
+// signature ≈ 100µs, one threshold combination ≈ 500µs.
+type CostModel struct {
+	Base    time.Duration // per-message handling floor
+	Send    time.Duration // per-message serialization at the sender
+	Sign    time.Duration // producing a signature or share
+	Verify  time.Duration // verifying a signature or share
+	Combine time.Duration // combining threshold shares into one signature
+	PerOp   time.Duration // per-operation work in a block (request auth)
+
+	// Fan-outs used to amortize one-time crypto over a multi-destination
+	// send: a broadcast signs/combines once and then sends n copies.
+	// Set by cluster.New.
+	n          int
+	collectors int
+}
+
+// DefaultCosts returns the schedule used by the benchmarks.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Base:    3 * time.Microsecond,
+		Send:    2 * time.Microsecond,
+		Sign:    100 * time.Microsecond,
+		Verify:  120 * time.Microsecond,
+		Combine: 500 * time.Microsecond,
+		PerOp:   20 * time.Microsecond,
+	}
+}
+
+// ScaledCrypto multiplies the signature costs by k, leaving the transport
+// floor untouched. Benchmarks run at a scaled-down n; multiplying crypto
+// cost by (paper n / scaled n) moves the CPU saturation point to the same
+// load, preserving the shape of the paper's throughput curves at a
+// tractable simulation size (see DESIGN.md and EXPERIMENTS.md).
+func (cm CostModel) ScaledCrypto(k int) CostModel {
+	cm.Sign *= time.Duration(k)
+	cm.Verify *= time.Duration(k)
+	cm.Combine *= time.Duration(k)
+	return cm
+}
+
+// RecvCost implements sim.Config.RecvCost for both engines' messages.
+func (cm CostModel) RecvCost(msg any, size int) time.Duration {
+	d := cm.Base
+	switch m := msg.(type) {
+	// --- SBFT engine ---
+	case core.RequestMsg:
+		d += cm.Verify // signed client request (§IX)
+	case core.PrePrepareMsg:
+		d += cm.Verify + time.Duration(len(m.Reqs))*cm.PerOp
+	case core.SignShareMsg:
+		// BLS share batch verification (§III): "multiple signature shares
+		// ... validated at nearly the same cost of validating only one" —
+		// modeled as a 1/8 effective per-share cost.
+		d += 2 * cm.Verify / 8
+	case core.FullCommitProofMsg:
+		d += cm.Verify
+	case core.PrepareMsg:
+		d += cm.Verify
+	case core.CommitMsg:
+		d += cm.Verify / 8 // batch-verified τ shares at the collector
+	case core.FullCommitProofSlowMsg:
+		d += 2 * cm.Verify
+	case core.SignStateMsg:
+		d += cm.Verify / 8 // batch-verified π shares at the E-collector
+	case core.FullExecuteProofMsg:
+		d += cm.Verify
+	case core.ExecuteAckMsg:
+		d += cm.Verify + cm.PerOp // π signature + Merkle proof at the client
+	case core.ReplyMsg:
+		d += cm.Verify // signed reply at the client
+	case core.CheckpointShareMsg:
+		d += cm.Verify / 8
+	case core.CheckpointCertMsg:
+		d += cm.Verify
+	case core.ViewChangeMsg:
+		d += cm.Verify + time.Duration(len(m.Slots))*cm.Verify
+	case core.NewViewMsg:
+		d += time.Duration(1+len(m.ViewChanges)) * cm.Verify
+	case core.StateSnapshotMsg:
+		d += cm.Verify + time.Duration(size/4096)*cm.PerOp
+
+	// --- PBFT baseline (all messages carry a signature, §IX) ---
+	case pbft.PrePrepareMsg:
+		d += cm.Verify + time.Duration(len(m.Reqs))*cm.PerOp
+	case pbft.PrepareMsg:
+		d += cm.Verify
+	case pbft.CommitMsg:
+		d += cm.Verify
+	case pbft.CheckpointMsg:
+		d += cm.Verify
+	case pbft.ViewChangeMsg:
+		d += cm.Verify + time.Duration(len(m.Prepared))*cm.Verify
+	case pbft.NewViewMsg:
+		d += time.Duration(1+len(m.ViewChanges)) * cm.Verify
+	}
+	return d
+}
+
+// amortized spreads a one-time cost over a k-destination send.
+func amortized(cost time.Duration, k int) time.Duration {
+	if k < 1 {
+		k = 1
+	}
+	return cost / time.Duration(k)
+}
+
+// SendCost implements sim.Config.SendCost. One-time signing/combination is
+// amortized over the message's fan-out (sign once, send k copies);
+// per-destination work (distinct reply signatures, Merkle proofs) is
+// charged in full on every send.
+func (cm CostModel) SendCost(msg any, size int) time.Duration {
+	d := cm.Send
+	n, coll := cm.n, cm.collectors
+	switch msg.(type) {
+	// --- SBFT engine ---
+	case core.SignShareMsg:
+		d += amortized(2*cm.Sign, coll) // σ_i(h), τ_i(h), sent to c+2 collectors
+	case core.CommitMsg:
+		d += amortized(cm.Sign, coll) // τ_i(τ(h))
+	case core.SignStateMsg:
+		d += amortized(cm.Sign, coll) // π_i(d) to the E-collectors
+	case core.CheckpointShareMsg:
+		d += amortized(cm.Sign, n)
+	case core.FullCommitProofMsg, core.PrepareMsg, core.FullCommitProofSlowMsg,
+		core.FullExecuteProofMsg, core.CheckpointCertMsg:
+		d += amortized(cm.Combine, n) // combine once, broadcast n
+	case core.ExecuteAckMsg:
+		d += cm.PerOp // per-client Merkle proof; π(d) was already combined
+	case core.ReplyMsg:
+		d += cm.Sign // per-client signed reply (ingredient 3's bottleneck)
+	case core.ViewChangeMsg:
+		d += amortized(cm.Sign, n)
+
+	// --- PBFT baseline: each broadcast signed once, sent n-wide ---
+	case pbft.PrePrepareMsg, pbft.PrepareMsg, pbft.CommitMsg,
+		pbft.CheckpointMsg, pbft.ViewChangeMsg:
+		d += amortized(cm.Sign, n)
+	}
+	_ = size
+	return d
+}

@@ -1,0 +1,19 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPBFTSurvivesCrashedBackups(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoPBFT, F: 1,
+		Clients: 2, Seed: 60,
+	})
+	cl.CrashReplicas(1) // quorum 3 of the 3 remaining
+	res := cl.RunClosedLoop(10, kvGen, 5*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 with one crashed backup (retries=%d)", res.Completed, res.Retries)
+	}
+	digestsAgree(t, cl)
+}

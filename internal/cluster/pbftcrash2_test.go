@@ -1,0 +1,25 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPBFTCrashedBackupsAtScale is the regression test for the view-entry
+// race: with f crashed backups the prepare quorum needs every alive
+// replica, so prepares broadcast by replicas that entered a view ahead of
+// their peers must be buffered, not dropped, or re-proposals livelock.
+func TestPBFTCrashedBackupsAtScale(t *testing.T) {
+	costs := DefaultCosts().ScaledCrypto(4)
+	cl := newKV(t, Options{
+		Protocol: ProtoPBFT, F: 4,
+		Clients: 8, Seed: 61, Costs: &costs,
+		ClientTimeout: 60 * time.Second,
+	})
+	cl.CrashReplicas(4)
+	res := cl.RunClosedLoop(5, kvGen, 5*time.Minute)
+	if res.Completed != 40 {
+		t.Fatalf("completed %d of 40 with f crashed backups", res.Completed)
+	}
+	digestsAgree(t, cl)
+}

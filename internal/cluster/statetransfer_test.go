@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sbft/internal/core"
+	"sbft/internal/sim"
+)
+
+func TestRecoveredReplicaCatchesUpViaStateTransfer(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 30,
+		Tune: func(c *core.Config) {
+			c.Win = 8
+			c.Batch = 1
+			c.CheckpointInterval = 4
+			c.ViewChangeTimeout = 2 * time.Second
+		},
+	})
+	// Take replica 4 down early; the rest (exactly a slow quorum of 3)
+	// keep committing. With c=0 the fast quorum needs all 4, so the run
+	// proceeds on the slow path.
+	cl.Net.Crash(4)
+	res := cl.RunClosedLoop(30, kvGen, 5*time.Minute)
+	if res.Completed != 60 {
+		t.Fatalf("completed %d of 60 with one crashed replica", res.Completed)
+	}
+
+	frontier := cl.Replicas[1].LastExecuted()
+	if frontier < 30 {
+		t.Fatalf("frontier only %d; want deep history for the catch-up", frontier)
+	}
+
+	// Recover replica 4 and drive more traffic so it observes the gap.
+	cl.Net.Recover(4)
+	more := cl.RunClosedLoop(20, kvGen, 5*time.Minute)
+	if more.Completed != 40 {
+		t.Fatalf("completed %d of 40 after recovery", more.Completed)
+	}
+	// Let retransmissions and fetches settle.
+	cl.Run(time.Minute)
+
+	r4 := cl.Replicas[4]
+	if r4.LastExecuted() == 0 {
+		t.Fatal("recovered replica never executed anything (state transfer failed)")
+	}
+	m := cl.Metrics()
+	if m.StateFetches == 0 {
+		t.Error("no state fetches recorded despite a deep gap")
+	}
+	// The recovered replica must be consistent with the others at its
+	// frontier: compare digests by re-deriving from another replica's
+	// history is not possible here, so check it reached at least the
+	// stable point and agrees where frontiers match.
+	if r4.LastExecuted() < r4.LastStable() {
+		t.Errorf("recovered replica executed %d below its stable point %d", r4.LastExecuted(), r4.LastStable())
+	}
+	for id := 1; id <= cl.N; id++ {
+		if cl.Replicas[id].LastExecuted() == r4.LastExecuted() && id != 4 {
+			if !bytes.Equal(cl.Apps[id].Digest(), cl.Apps[4].Digest()) {
+				t.Fatalf("recovered replica digest differs from replica %d at same frontier", id)
+			}
+		}
+	}
+	digestsAgree(t, cl)
+}
+
+func TestLaggardCatchesUpDuringViewChange(t *testing.T) {
+	// A replica partitioned through a view change must still converge
+	// afterwards via the new-view stable point and state transfer.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 2, C: 0, // n = 7
+		Clients: 3, Seed: 31,
+		Tune: func(c *core.Config) {
+			c.Win = 16
+			c.Batch = 1
+			c.CheckpointInterval = 8
+			c.ViewChangeTimeout = 500 * time.Millisecond
+		},
+		ClientTimeout: time.Second,
+	})
+	cl.Net.Crash(7)
+	cl.Sched.Schedule(2*time.Second, func() { cl.Net.Crash(1) }) // primary dies too (f=2)
+	res := cl.RunClosedLoop(20, kvGen, 10*time.Minute)
+	if res.Completed != 60 {
+		t.Fatalf("completed %d of 60", res.Completed)
+	}
+	cl.Net.Recover(7)
+	more := cl.RunClosedLoop(10, kvGen, 10*time.Minute)
+	if more.Completed != 30 {
+		t.Fatalf("completed %d of 30 after recovery", more.Completed)
+	}
+	cl.Run(time.Minute)
+	if cl.Replicas[7].LastExecuted() == 0 {
+		t.Fatal("partitioned replica never caught up")
+	}
+	digestsAgree(t, cl)
+}
+
+func TestDropRateResilience(t *testing.T) {
+	netCfg := sim.UniformProfile(5 * time.Millisecond)
+	netCfg.DropRate = 0.02
+	netCfg.Seed = 32
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 32, NetCfg: &netCfg,
+		Tune: func(c *core.Config) {
+			c.ViewChangeTimeout = time.Second
+		},
+		ClientTimeout: 500 * time.Millisecond,
+	})
+	res := cl.RunClosedLoop(20, kvGen, 10*time.Minute)
+	if res.Completed != 40 {
+		t.Fatalf("completed %d of 40 with 2%% message loss (retries=%d)", res.Completed, res.Retries)
+	}
+	digestsAgree(t, cl)
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// ProofVerifier checks an application proof carried by an execute-ack:
+// verify(d, o, val, s, l, P) from §IV. internal/apps provides
+// implementations for the key-value store and the EVM ledger.
+type ProofVerifier func(digest []byte, op, val []byte, seq uint64, l int, proof []byte) error
+
+// Result is a completed client operation.
+type Result struct {
+	Op        []byte
+	Val       []byte
+	Seq       uint64
+	Timestamp uint64
+	Latency   time.Duration
+	// FastAck reports whether the single-message execute-ack path
+	// confirmed the operation (vs. f+1 direct replies).
+	FastAck bool
+	// Retried reports whether the client had to fall back to
+	// broadcasting the request (§V-A timeout path).
+	Retried bool
+}
+
+// Client is a sans-io SBFT client (§V-A): it sends each operation to the
+// primary, accepts a single execute-ack by verifying the π threshold
+// signature plus the Merkle proof, and on timeout rebroadcasts the request
+// asking for PBFT-style f+1 acknowledgement.
+type Client struct {
+	id     int
+	cfg    Config
+	suite  CryptoSuite
+	env    Env
+	verify ProofVerifier
+
+	// RequestTimeout is how long to wait before the §V-A retry. The zero
+	// value disables retries (useful in deterministic tests).
+	RequestTimeout time.Duration
+
+	ts       uint64
+	view     uint64 // best guess of the current view
+	cur      *pendingOp
+	onResult func(Result)
+
+	// Stats.
+	Completed uint64
+	Retries   uint64
+}
+
+type pendingOp struct {
+	op       []byte
+	ts       uint64
+	started  time.Duration
+	direct   bool
+	retried  bool
+	replies  map[int]string // replica → reply fingerprint (f+1 matching)
+	vals     map[string][]byte
+	seqs     map[string]uint64
+	cancelTo func()
+}
+
+// NewClient builds a client. id must be ≥ ClientBase. verify may be nil
+// when the application provides no proofs (then only the π signature over
+// the digest is checked).
+func NewClient(id int, cfg Config, suite CryptoSuite, env Env, verify ProofVerifier) (*Client, error) {
+	if !IsClient(id) {
+		return nil, fmt.Errorf("core: client id %d below ClientBase", id)
+	}
+	return &Client{id: id, cfg: cfg, suite: suite, env: env, verify: verify}, nil
+}
+
+// ID reports the client id.
+func (c *Client) ID() int { return c.id }
+
+// SetOnResult installs the completion callback. It must be set before
+// Submit.
+func (c *Client) SetOnResult(fn func(Result)) { c.onResult = fn }
+
+// Busy reports whether an operation is outstanding.
+func (c *Client) Busy() bool { return c.cur != nil }
+
+// Submit sends one operation. Clients are sequential (one outstanding
+// operation), matching the paper's measurement clients (§IX).
+func (c *Client) Submit(op []byte) error {
+	if c.cur != nil {
+		return fmt.Errorf("core: client %d already has an outstanding request", c.id)
+	}
+	c.ts++
+	p := &pendingOp{
+		op:      op,
+		ts:      c.ts,
+		started: c.env.Now(),
+		replies: make(map[int]string),
+		vals:    make(map[string][]byte),
+		seqs:    make(map[string]uint64),
+	}
+	c.cur = p
+	req := RequestMsg{Req: Request{Client: c.id, Timestamp: p.ts, Op: op}}
+	c.env.Send(c.cfg.Primary(c.view), req)
+	c.armRetry(p)
+	return nil
+}
+
+func (c *Client) armRetry(p *pendingOp) {
+	if c.RequestTimeout <= 0 {
+		return
+	}
+	p.cancelTo = c.env.After(c.RequestTimeout, func() {
+		if c.cur != p {
+			return
+		}
+		// §V-A: resend to all replicas and request the f+1 path.
+		p.direct = true
+		p.retried = true
+		c.Retries++
+		req := RequestMsg{Req: Request{Client: c.id, Timestamp: p.ts, Op: p.op, Direct: true}}
+		for i := 1; i <= c.cfg.N(); i++ {
+			c.env.Send(i, req)
+		}
+		c.armRetry(p)
+	})
+}
+
+// Deliver feeds a message from the network.
+func (c *Client) Deliver(from int, msg any) {
+	switch m := msg.(type) {
+	case ExecuteAckMsg:
+		c.onExecuteAck(from, m)
+	case ReplyMsg:
+		c.onReply(from, m)
+	}
+}
+
+func (c *Client) onExecuteAck(_ int, m ExecuteAckMsg) {
+	p := c.cur
+	if p == nil || m.Client != c.id || m.Timestamp != p.ts {
+		return
+	}
+	// Single-message acceptance (§V-A): check π(d) then the proof.
+	if c.suite.Pi.Verify(stateSigDigest(m.Seq, m.Digest), m.Pi) != nil {
+		return
+	}
+	if c.verify != nil {
+		if err := c.verify(m.Digest, p.op, m.Val, m.Seq, m.L, m.Proof); err != nil {
+			return
+		}
+	}
+	c.complete(p, m.Val, m.Seq, true)
+}
+
+func (c *Client) onReply(from int, m ReplyMsg) {
+	p := c.cur
+	if p == nil || m.Client != c.id || m.Timestamp != p.ts {
+		return
+	}
+	if from < 1 || from > c.cfg.N() {
+		return
+	}
+	fp := fmt.Sprintf("%d/%x", m.Seq, m.Val)
+	p.replies[from] = fp
+	p.vals[fp] = m.Val
+	p.seqs[fp] = m.Seq
+	count := 0
+	for _, f := range p.replies {
+		if f == fp {
+			count++
+		}
+	}
+	if count >= c.cfg.QuorumExec() { // f+1 matching replies
+		c.complete(p, p.vals[fp], p.seqs[fp], false)
+	}
+}
+
+func (c *Client) complete(p *pendingOp, val []byte, seq uint64, fast bool) {
+	if p.cancelTo != nil {
+		p.cancelTo()
+	}
+	c.cur = nil
+	c.Completed++
+	if c.onResult != nil {
+		c.onResult(Result{
+			Op:        p.op,
+			Val:       append([]byte(nil), val...),
+			Seq:       seq,
+			Timestamp: p.ts,
+			Latency:   c.env.Now() - p.started,
+			FastAck:   fast,
+			Retried:   p.retried,
+		})
+	}
+}
+
+// equalBytes is used by tests.
+func equalBytes(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+type threshShare = threshsig.Share
+
+// ErrInvalidProof is a sentinel for verifier-rejection tests.
+var ErrInvalidProof = errors.New("test: invalid proof")
+
+// fakeEnv drives sans-io nodes deterministically.
+type fakeEnv struct {
+	now    time.Duration
+	sent   []fakeSent
+	timers []*fakeTimer
+}
+
+type fakeSent struct {
+	to  int
+	msg Message
+}
+
+type fakeTimer struct {
+	at        time.Duration
+	fn        func()
+	cancelled bool
+}
+
+func (e *fakeEnv) Send(to int, msg Message) { e.sent = append(e.sent, fakeSent{to, msg}) }
+func (e *fakeEnv) Now() time.Duration       { return e.now }
+func (e *fakeEnv) After(d time.Duration, fn func()) func() {
+	t := &fakeTimer{at: e.now + d, fn: fn}
+	e.timers = append(e.timers, t)
+	return func() { t.cancelled = true }
+}
+
+func (e *fakeEnv) advance(d time.Duration) {
+	e.now += d
+	for _, t := range e.timers {
+		if !t.cancelled && t.fn != nil && t.at <= e.now {
+			fn := t.fn
+			t.fn = nil
+			fn()
+		}
+	}
+}
+
+func newTestClient(t *testing.T) (*Client, *fakeEnv, CryptoSuite, []ReplicaKeys) {
+	t.Helper()
+	cfg := DefaultConfig(1, 0)
+	suite, keys, err := InsecureSuite(cfg, "client-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &fakeEnv{}
+	c, err := NewClient(ClientBase, cfg, suite, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, env, suite, keys
+}
+
+func TestNewClientValidation(t *testing.T) {
+	cfg := DefaultConfig(1, 0)
+	suite, _, _ := InsecureSuite(cfg, "x")
+	if _, err := NewClient(5, cfg, suite, &fakeEnv{}, nil); err == nil {
+		t.Fatal("replica-range id accepted as client")
+	}
+}
+
+func TestClientSubmitSendsToPrimary(t *testing.T) {
+	c, env, _, _ := newTestClient(t)
+	if c.Busy() {
+		t.Fatal("fresh client busy")
+	}
+	if err := c.Submit([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Busy() {
+		t.Fatal("client not busy after submit")
+	}
+	if err := c.Submit([]byte("op2")); err == nil {
+		t.Fatal("second concurrent submit accepted")
+	}
+	if len(env.sent) != 1 || env.sent[0].to != 1 {
+		t.Fatalf("request not sent to the view-0 primary: %+v", env.sent)
+	}
+	req := env.sent[0].msg.(RequestMsg)
+	if req.Req.Timestamp != 1 || string(req.Req.Op) != "op" || req.Req.Direct {
+		t.Fatalf("bad request %+v", req)
+	}
+}
+
+// buildExecAck assembles a valid execute-ack for op with the suite's π
+// scheme.
+func buildExecAck(t *testing.T, suite CryptoSuite, keys []ReplicaKeys, client int, ts uint64, val []byte) ExecuteAckMsg {
+	t.Helper()
+	digest := []byte("state-digest")
+	sd := stateSigDigest(7, digest)
+	sh1, err := keys[0].Pi.Sign(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := keys[1].Pi.Sign(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := suite.Pi.Combine(sd, []threshsigShare{sh1, sh2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ExecuteAckMsg{
+		Seq: 7, L: 0, Val: val,
+		Client: client, Timestamp: ts,
+		Digest: digest, Pi: pi,
+	}
+}
+
+func TestClientAcceptsSingleExecuteAck(t *testing.T) {
+	c, env, suite, keys := newTestClient(t)
+	var got *Result
+	c.SetOnResult(func(r Result) { got = &r })
+	if err := c.Submit([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	env.advance(30 * time.Millisecond)
+	c.Deliver(2, buildExecAck(t, suite, keys, c.ID(), 1, []byte("result")))
+	if got == nil {
+		t.Fatal("no result after valid execute-ack")
+	}
+	if string(got.Val) != "result" || !got.FastAck || got.Seq != 7 {
+		t.Fatalf("result = %+v", got)
+	}
+	if got.Latency != 30*time.Millisecond {
+		t.Fatalf("latency = %v", got.Latency)
+	}
+	if c.Busy() {
+		t.Fatal("client still busy after completion")
+	}
+}
+
+func TestClientRejectsForgedAck(t *testing.T) {
+	c, env, suite, keys := newTestClient(t)
+	var got *Result
+	c.SetOnResult(func(r Result) { got = &r })
+	c.Submit([]byte("op"))
+	_ = env
+
+	t.Run("bad signature", func(t *testing.T) {
+		m := buildExecAck(t, suite, keys, c.ID(), 1, []byte("v"))
+		m.Pi.Data = []byte("forged")
+		c.Deliver(2, m)
+		if got != nil {
+			t.Fatal("forged π accepted")
+		}
+	})
+	t.Run("wrong timestamp", func(t *testing.T) {
+		m := buildExecAck(t, suite, keys, c.ID(), 99, []byte("v"))
+		c.Deliver(2, m)
+		if got != nil {
+			t.Fatal("mismatched timestamp accepted")
+		}
+	})
+	t.Run("wrong client", func(t *testing.T) {
+		m := buildExecAck(t, suite, keys, c.ID()+1, 1, []byte("v"))
+		c.Deliver(2, m)
+		if got != nil {
+			t.Fatal("another client's ack accepted")
+		}
+	})
+}
+
+func TestClientVerifierRejection(t *testing.T) {
+	cfg := DefaultConfig(1, 0)
+	suite, keys, _ := InsecureSuite(cfg, "client-test")
+	env := &fakeEnv{}
+	rejectAll := func([]byte, []byte, []byte, uint64, int, []byte) error {
+		return ErrInvalidProof
+	}
+	c, err := NewClient(ClientBase, cfg, suite, env, rejectAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Result
+	c.SetOnResult(func(r Result) { got = &r })
+	c.Submit([]byte("op"))
+	c.Deliver(2, buildExecAck(t, suite, keys, c.ID(), 1, []byte("v")))
+	if got != nil {
+		t.Fatal("ack accepted despite proof verifier rejection")
+	}
+}
+
+func TestClientFPlusOneReplyPath(t *testing.T) {
+	c, _, _, _ := newTestClient(t)
+	var got *Result
+	c.SetOnResult(func(r Result) { got = &r })
+	c.Submit([]byte("op"))
+
+	reply := func(from int, val string) {
+		c.Deliver(from, ReplyMsg{
+			Seq: 3, L: 0, Replica: from,
+			Client: c.ID(), Timestamp: 1, Val: []byte(val),
+		})
+	}
+	reply(1, "A")
+	if got != nil {
+		t.Fatal("single reply accepted (need f+1 = 2)")
+	}
+	reply(2, "B") // mismatched value: no quorum yet
+	if got != nil {
+		t.Fatal("mismatched replies accepted")
+	}
+	reply(3, "A") // second matching reply → f+1
+	if got == nil {
+		t.Fatal("f+1 matching replies not accepted")
+	}
+	if string(got.Val) != "A" || got.FastAck {
+		t.Fatalf("result = %+v", got)
+	}
+}
+
+func TestClientDuplicateReplySameReplica(t *testing.T) {
+	c, _, _, _ := newTestClient(t)
+	var got *Result
+	c.SetOnResult(func(r Result) { got = &r })
+	c.Submit([]byte("op"))
+	for i := 0; i < 3; i++ {
+		c.Deliver(2, ReplyMsg{Seq: 3, Replica: 2, Client: c.ID(), Timestamp: 1, Val: []byte("A")})
+	}
+	if got != nil {
+		t.Fatal("duplicate replies from one replica counted toward f+1")
+	}
+}
+
+func TestClientRetryBroadcastsDirect(t *testing.T) {
+	c, env, _, _ := newTestClient(t)
+	c.RequestTimeout = 100 * time.Millisecond
+	c.SetOnResult(func(Result) {})
+	c.Submit([]byte("op"))
+	env.advance(150 * time.Millisecond)
+
+	// After the timeout the client rebroadcasts with Direct=true (§V-A).
+	direct := 0
+	for _, m := range env.sent[1:] {
+		if r, ok := m.msg.(RequestMsg); ok && r.Req.Direct {
+			direct++
+		}
+	}
+	if direct != c.cfg.N() {
+		t.Fatalf("retry broadcast reached %d replicas, want %d", direct, c.cfg.N())
+	}
+	if c.Retries != 1 {
+		t.Fatalf("Retries = %d", c.Retries)
+	}
+}
+
+func TestClientIgnoresRepliesFromNonReplicas(t *testing.T) {
+	c, _, _, _ := newTestClient(t)
+	var got *Result
+	c.SetOnResult(func(r Result) { got = &r })
+	c.Submit([]byte("op"))
+	// Sender ids outside 1..n must not count.
+	c.Deliver(99, ReplyMsg{Seq: 1, Replica: 99, Client: c.ID(), Timestamp: 1, Val: []byte("A")})
+	c.Deliver(100, ReplyMsg{Seq: 1, Replica: 100, Client: c.ID(), Timestamp: 1, Val: []byte("A")})
+	if got != nil {
+		t.Fatal("replies from non-replica ids accepted")
+	}
+}
+
+// threshsigShare aliases the share type for test brevity.
+type threshsigShare = threshShare
+
+// threshSig aliases the signature type for replica tests.
+type threshSig = threshsig.Signature

@@ -1,0 +1,381 @@
+// Package core implements the SBFT replication protocol (§V–VII of the
+// paper): the fast path (pre-prepare → sign-share → full-commit-proof), the
+// linear-PBFT fallback path (prepare → commit → full-commit-proof-slow),
+// the execution/acknowledgement phase with E-collectors and single-message
+// client acks, checkpointing and garbage collection, state transfer, and
+// the dual-mode view change.
+//
+// Replicas are sans-io event machines: they receive messages and timer
+// callbacks through an Env interface and emit messages through it, so the
+// same code runs under the deterministic discrete-event simulator
+// (internal/sim) and real transports (internal/transport).
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// Digest is a SHA-256 block or state digest.
+type Digest [32]byte
+
+// BlockHash computes h = H(s ‖ v ‖ r), the digest replicas threshold-sign
+// (§V-C). Binding the view into the hash is what the view-change safety
+// argument (§VI) relies on.
+func BlockHash(seq uint64, view uint64, reqs []Request) Digest {
+	h := sha256.New()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seq)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], view)
+	h.Write(b[:])
+	for _, r := range reqs {
+		binary.BigEndian.PutUint64(b[:], uint64(r.Client))
+		h.Write(b[:])
+		binary.BigEndian.PutUint64(b[:], r.Timestamp)
+		h.Write(b[:])
+		binary.BigEndian.PutUint64(b[:], uint64(len(r.Op)))
+		h.Write(b[:])
+		h.Write(r.Op)
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Request is a client operation (§V-A): ⟨"request", o, t, k⟩.
+type Request struct {
+	Client    int
+	Timestamp uint64
+	Op        []byte
+	// Direct requests ask for the PBFT-style f+1 direct-reply path (§V-A
+	// retry fallback) instead of the single execute-ack.
+	Direct bool
+}
+
+// Message is implemented by all protocol messages. WireSize estimates the
+// serialized size in bytes for the simulator's bandwidth model.
+type Message interface {
+	WireSize() int
+}
+
+const (
+	msgHeader = 24 // type + seq + view framing estimate
+	sigSize   = 33 // BLS signature size the paper reports (§III)
+	shareSize = 33
+	hashSize  = 32
+)
+
+func reqsSize(reqs []Request) int {
+	n := 0
+	for _, r := range reqs {
+		n += 24 + len(r.Op)
+	}
+	return n
+}
+
+// RequestMsg carries a client request to the primary (or, on retry, to all
+// replicas).
+type RequestMsg struct {
+	Req Request
+}
+
+// WireSize implements Message.
+func (m RequestMsg) WireSize() int { return msgHeader + 24 + len(m.Req.Op) }
+
+// PrePrepareMsg is ⟨"pre-prepare", s, v, r⟩ from the primary (§V-C).
+type PrePrepareMsg struct {
+	Seq  uint64
+	View uint64
+	Reqs []Request
+}
+
+// WireSize implements Message.
+func (m PrePrepareMsg) WireSize() int { return msgHeader + reqsSize(m.Reqs) }
+
+// SignShareMsg is ⟨"sign-share", s, v, σ_i(h), τ_i(h)⟩ sent by replicas to
+// the C-collectors. Per §V-E it carries both the fast-path σ share and the
+// slow-path τ share.
+type SignShareMsg struct {
+	Seq      uint64
+	View     uint64
+	Replica  int
+	SigmaSig threshsig.Share
+	TauSig   threshsig.Share
+}
+
+// WireSize implements Message.
+func (m SignShareMsg) WireSize() int { return msgHeader + 2*shareSize }
+
+// FullCommitProofMsg is ⟨"full-commit-proof", s, v, σ(h)⟩ from a
+// C-collector: the fast-path commit certificate (§V-C).
+type FullCommitProofMsg struct {
+	Seq   uint64
+	View  uint64
+	Sigma threshsig.Signature
+}
+
+// WireSize implements Message.
+func (m FullCommitProofMsg) WireSize() int { return msgHeader + sigSize }
+
+// PrepareMsg is ⟨"prepare", s, v, τ(h)⟩: the linear-PBFT intermediate
+// certificate broadcast when the fast path times out (§V-E).
+type PrepareMsg struct {
+	Seq  uint64
+	View uint64
+	Tau  threshsig.Signature
+}
+
+// WireSize implements Message.
+func (m PrepareMsg) WireSize() int { return msgHeader + sigSize }
+
+// CommitMsg is ⟨"commit", s, v, τ_i(τ(h))⟩ from a replica to the
+// collectors in the slow path (§V-E).
+type CommitMsg struct {
+	Seq     uint64
+	View    uint64
+	Replica int
+	TauTau  threshsig.Share
+}
+
+// WireSize implements Message.
+func (m CommitMsg) WireSize() int { return msgHeader + shareSize }
+
+// FullCommitProofSlowMsg is ⟨"full-commit-proof-slow", s, v, τ(τ(h))⟩: the
+// slow-path commit certificate (§V-E). Tau is the inner prepare
+// certificate so receivers that missed the PrepareMsg can still verify.
+type FullCommitProofSlowMsg struct {
+	Seq    uint64
+	View   uint64
+	Tau    threshsig.Signature
+	TauTau threshsig.Signature
+}
+
+// WireSize implements Message.
+func (m FullCommitProofSlowMsg) WireSize() int { return msgHeader + 2*sigSize }
+
+// SignStateMsg is ⟨"sign-state", s, π_i(d)⟩ from a replica to the
+// E-collectors after executing through s (§V-D).
+type SignStateMsg struct {
+	Seq     uint64
+	Replica int
+	Digest  []byte
+	PiSig   threshsig.Share
+}
+
+// WireSize implements Message.
+func (m SignStateMsg) WireSize() int { return msgHeader + hashSize + shareSize }
+
+// FullExecuteProofMsg is ⟨"full-execute-proof", s, π(d)⟩ from an
+// E-collector to all replicas (§V-D).
+type FullExecuteProofMsg struct {
+	Seq    uint64
+	Digest []byte
+	Pi     threshsig.Signature
+}
+
+// WireSize implements Message.
+func (m FullExecuteProofMsg) WireSize() int { return msgHeader + hashSize + sigSize }
+
+// ExecuteAckMsg is the single-message client acknowledgement
+// ⟨"execute-ack", s, l, val, o, π(d), proof⟩ (§V-A, §V-D).
+type ExecuteAckMsg struct {
+	Seq       uint64
+	L         int
+	Val       []byte
+	Client    int
+	Timestamp uint64
+	Digest    []byte
+	Pi        threshsig.Signature
+	Proof     []byte // application-encoded proof(o, l, s, D, val)
+}
+
+// WireSize implements Message.
+func (m ExecuteAckMsg) WireSize() int {
+	return msgHeader + len(m.Val) + hashSize + sigSize + len(m.Proof)
+}
+
+// ReplyMsg is the PBFT-style direct reply used when execution collectors
+// are disabled or a client requested the f+1 fallback path.
+type ReplyMsg struct {
+	Seq       uint64
+	L         int
+	Replica   int
+	Client    int
+	Timestamp uint64
+	Val       []byte
+}
+
+// WireSize implements Message.
+func (m ReplyMsg) WireSize() int { return msgHeader + len(m.Val) + sigSize }
+
+// CheckpointShareMsg carries a replica's π share over the state digest at
+// a checkpoint sequence (every win/2 executions, §V-F), sent to the
+// E-collectors of that sequence.
+type CheckpointShareMsg struct {
+	Seq     uint64
+	Replica int
+	Digest  []byte
+	PiSig   threshsig.Share
+}
+
+// WireSize implements Message.
+func (m CheckpointShareMsg) WireSize() int { return msgHeader + hashSize + shareSize }
+
+// CheckpointCertMsg is the combined stable-checkpoint certificate
+// broadcast by an E-collector.
+type CheckpointCertMsg struct {
+	Seq    uint64
+	Digest []byte
+	Pi     threshsig.Signature
+}
+
+// WireSize implements Message.
+func (m CheckpointCertMsg) WireSize() int { return msgHeader + hashSize + sigSize }
+
+// FetchCommitMsg asks a peer to retransmit the decision for a sequence
+// number (the re-transmit layer assumed by the system model, §II: a
+// replica with an execution gap repairs it without a view change).
+type FetchCommitMsg struct {
+	Replica int
+	Seq     uint64
+}
+
+// WireSize implements Message.
+func (m FetchCommitMsg) WireSize() int { return msgHeader }
+
+// CommitInfoMsg retransmits a committed decision block with its commit
+// certificate (fast σ(h) or slow τ(τ(h))), self-contained so the receiver
+// can commit without having accepted the pre-prepare.
+type CommitInfoMsg struct {
+	Seq     uint64
+	View    uint64 // view whose hash the certificate covers
+	Reqs    []Request
+	HasFast bool
+	Sigma   threshsig.Signature
+	Tau     threshsig.Signature
+	TauTau  threshsig.Signature
+}
+
+// WireSize implements Message.
+func (m CommitInfoMsg) WireSize() int { return msgHeader + reqsSize(m.Reqs) + 3*sigSize }
+
+// FetchStateMsg asks a peer for a checkpoint snapshot at or above Seq
+// (state transfer, §VIII).
+type FetchStateMsg struct {
+	Replica int
+	Seq     uint64
+}
+
+// WireSize implements Message.
+func (m FetchStateMsg) WireSize() int { return msgHeader }
+
+// StateSnapshotMsg returns a snapshot with its stable-checkpoint
+// certificate.
+type StateSnapshotMsg struct {
+	Seq      uint64
+	Digest   []byte
+	Pi       threshsig.Signature
+	Snapshot []byte
+}
+
+// WireSize implements Message.
+func (m StateSnapshotMsg) WireSize() int {
+	return msgHeader + hashSize + sigSize + len(m.Snapshot)
+}
+
+// SlotInfo is one sequence slot of a view-change message (§V-G): the pair
+// x_j = (lm_j, fm_j). Each component carries the request block its
+// certificate or share refers to, because the slow- and fast-path evidence
+// of one replica may concern different blocks from different views; the
+// new primary needs the block to re-propose it (§V-G1 describes the
+// hash-chaining optimization that avoids shipping blocks).
+type SlotInfo struct {
+	Seq uint64
+
+	// Slow-path component lm_j: a full commit certificate τ(τ(h)) with
+	// its inner certificate, or else the highest accepted prepare.
+	HasCommitProofSlow bool
+	TauTau             threshsig.Signature
+	Tau                threshsig.Signature
+	SlowView           uint64
+	SlowReqs           []Request
+
+	HasPrepare  bool
+	PrepareTau  threshsig.Signature
+	PrepareView uint64
+	PrepareReqs []Request
+
+	// Fast-path component fm_j: a fast commit certificate σ(h), or else
+	// this replica's own σ share over its highest accepted pre-prepare.
+	HasCommitProof bool
+	Sigma          threshsig.Signature
+	FastView       uint64
+	FastReqs       []Request
+
+	HasPrePrepare  bool
+	SigmaShare     threshsig.Share
+	PrePrepareView uint64
+	PrePrepareReqs []Request
+}
+
+// ViewChangeMsg is ⟨"view-change", v, ls, x_ls..x_ls+win⟩ (§V-G).
+type ViewChangeMsg struct {
+	NewView    uint64
+	Replica    int
+	LastStable uint64
+	// StableDigest and StablePi prove LastStable is a valid checkpoint
+	// (π(d_ls)); zero-valued for LastStable == 0 (genesis).
+	StableDigest []byte
+	StablePi     threshsig.Signature
+	Slots        []SlotInfo
+}
+
+// WireSize implements Message.
+func (m ViewChangeMsg) WireSize() int {
+	n := msgHeader + hashSize + sigSize
+	for _, s := range m.Slots {
+		n += 16 + 4*sigSize + shareSize +
+			reqsSize(s.SlowReqs) + reqsSize(s.PrepareReqs) +
+			reqsSize(s.FastReqs) + reqsSize(s.PrePrepareReqs)
+	}
+	return n
+}
+
+// NewViewMsg carries the set of 2f+2c+1 view-change messages the new
+// primary based its decisions on; replicas repeat the same deterministic
+// computation (§VII "forwards both the decision and the signed messages").
+type NewViewMsg struct {
+	View        uint64
+	ViewChanges []ViewChangeMsg
+}
+
+// WireSize implements Message.
+func (m NewViewMsg) WireSize() int {
+	n := msgHeader
+	for _, vc := range m.ViewChanges {
+		n += vc.WireSize()
+	}
+	return n
+}
+
+// tauTauDigest is the digest signed by the outer τ threshold in the slow
+// path: the bytes of the inner certificate τ(h).
+func tauTauDigest(inner threshsig.Signature) []byte {
+	h := sha256.Sum256(append([]byte("sbft:tautau:"), inner.Data...))
+	return h[:]
+}
+
+// stateSigDigest domain-separates π signatures over state digests at a
+// sequence number.
+func stateSigDigest(seq uint64, digest []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("sbft:state"))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seq)
+	h.Write(b[:])
+	h.Write(digest)
+	return h.Sum(nil)
+}

@@ -1,0 +1,1412 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// ClientBase is the first node id used for clients; replicas are 1..n.
+const ClientBase = 1_000_000
+
+// IsClient reports whether a node id belongs to a client.
+func IsClient(id int) bool { return id >= ClientBase }
+
+// slot holds all per-sequence-number protocol state of one replica.
+type slot struct {
+	seq uint64
+
+	// Highest accepted pre-prepare (fm source for view changes).
+	hasPrePrepare  bool
+	prePrepareView uint64
+	reqs           []Request
+	hash           Digest
+
+	// Highest accepted prepare certificate (lm source).
+	hasPrepare  bool
+	prepareView uint64
+	prepareTau  threshsig.Signature
+	prepareReqs []Request
+	prepareHash Digest
+
+	// Commit certificates.
+	commitProof     *FullCommitProofMsg
+	commitProofView uint64
+	commitSlow      *FullCommitProofSlowMsg
+	commitSlowView  uint64
+
+	committed     bool
+	committedReqs []Request
+	executed      bool
+
+	sentSignShare   bool
+	sentCommitShare bool
+
+	// C-collector state (when this replica collects for this slot).
+	sigmaShares  map[int]threshsig.Share
+	tauShares    map[int]threshsig.Share
+	tautauShares map[int]threshsig.Share
+	// tauQuorumAt records when the τ quorum was first reached; the gap to
+	// the σ quorum feeds the adaptive fast-path timer (§V-E: "an adaptive
+	// protocol based on past network profiling to control this timer").
+	tauQuorumAt   time.Duration
+	tauQuorumSeen bool
+	// pendingShares buffers sign-shares that arrived before this
+	// collector's own pre-prepare (they cannot be verified yet); replayed
+	// by acceptPrePrepare. Without this, WAN reordering starves the fast
+	// path of its 3f+c+1 quorum.
+	pendingShares []SignShareMsg
+	// pendingProofs buffers commit certificates that raced ahead of the
+	// pre-prepare.
+	pendingFast   *FullCommitProofMsg
+	pendingSlow   *FullCommitProofSlowMsg
+	collectorView uint64
+	sentFastProof bool
+	sentPrepare   bool
+	sentSlowProof bool
+	fastTimer     func() // cancel
+	staggerTimer  func() // cancel
+
+	// E-collector state.
+	piShares     map[int]threshsig.Share
+	execDigest   []byte
+	execPi       threshsig.Signature
+	sentExecCert bool
+	execAcked    bool
+	execCertSeen bool
+}
+
+func (s *slot) resetCollector(view uint64) {
+	s.sigmaShares = make(map[int]threshsig.Share)
+	s.tauShares = make(map[int]threshsig.Share)
+	s.tautauShares = make(map[int]threshsig.Share)
+	s.collectorView = view
+	s.sentFastProof = false
+	s.sentPrepare = false
+	s.sentSlowProof = false
+	if s.fastTimer != nil {
+		s.fastTimer()
+		s.fastTimer = nil
+	}
+	if s.staggerTimer != nil {
+		s.staggerTimer()
+		s.staggerTimer = nil
+	}
+}
+
+// watchEntry records the highest pending timestamp of a client and when
+// it was first seen.
+type watchEntry struct {
+	ts    uint64
+	since time.Duration
+}
+
+// replyCacheEntry remembers where a client's last request executed.
+type replyCacheEntry struct {
+	timestamp uint64
+	seq       uint64
+	l         int
+	val       []byte
+}
+
+// Metrics counts observable protocol events for experiments.
+type Metrics struct {
+	FastCommits  uint64
+	SlowCommits  uint64
+	Executions   uint64
+	ViewChanges  uint64
+	Checkpoints  uint64
+	StateFetches uint64
+	NullBlocks   uint64
+	GapRepairs   uint64
+}
+
+// BlockStore persists committed decision blocks (the paper persists
+// transactions to disk via RocksDB; internal/storage provides the
+// substitute). Nil disables persistence.
+type BlockStore interface {
+	Append(seq uint64, payload []byte) error
+}
+
+// Replica is one SBFT replica: a deterministic event machine driven by
+// Deliver and timer callbacks. It is not safe for concurrent use; the
+// runtime (simulator or transport shell) must serialize calls.
+type Replica struct {
+	id    int
+	cfg   Config
+	suite CryptoSuite
+	keys  ReplicaKeys
+	app   Application
+	env   Env
+	store BlockStore
+
+	view         uint64
+	inViewChange bool
+	// lastStable is the highest π-proven stable checkpoint (ls in §V-F);
+	// windowBase additionally reflects the fast-path rule that advances
+	// the window without a checkpoint quorum (ls := max(ls, s − win/4)).
+	lastStable   uint64
+	windowBase   uint64
+	lastExecuted uint64 // le
+	stableDigest []byte
+	stablePi     threshsig.Signature
+	slots        map[uint64]*slot
+	snapshotSeq  uint64
+	snapshotData []byte
+	snapshotDig  []byte
+	snapshotPi   threshsig.Signature
+
+	// Primary state.
+	pending    []Request
+	seen       map[int]uint64 // client → highest pending/proposed timestamp
+	nextSeq    uint64
+	batchTimer func()
+
+	// Client bookkeeping.
+	replyCache map[int]replyCacheEntry
+	directReq  map[uint64]map[int]bool // seq → set of request indexes wanting direct replies
+	// watch tracks client requests this replica knows about but has not
+	// yet executed; non-empty watch arms the liveness timer (§VII).
+	watch map[int]watchEntry
+
+	// Checkpoint shares collected (as E-collector for checkpoint seqs).
+	ckptShares map[uint64]map[int]threshsig.Share
+	ckptDigest map[uint64][]byte
+
+	// View change state.
+	vcMsgs        map[uint64]map[int]*ViewChangeMsg // target view → sender → msg
+	vcSent        map[uint64]bool
+	vcBackoff     uint64
+	progressTimer func()
+	vcTimer       func()
+	fetching      bool
+	gapTimer      func()
+	gapAttempt    int
+
+	// fastSpread is an EWMA of the observed τ-quorum → σ-quorum share
+	// arrival gap, driving the adaptive fast-path timer (§V-E).
+	fastSpread     time.Duration
+	fastSpreadSeen bool
+
+	Metrics Metrics
+
+	// trace, when set, receives debug lines (tests).
+	trace func(format string, args ...any)
+}
+
+// NewReplica constructs a replica. app must be at genesis (nothing
+// executed); id is 1-based.
+func NewReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app Application, env Env, store BlockStore) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 1 || id > cfg.N() {
+		return nil, fmt.Errorf("core: replica id %d out of range [1,%d]", id, cfg.N())
+	}
+	r := &Replica{
+		id:         id,
+		cfg:        cfg,
+		suite:      suite,
+		keys:       keys,
+		app:        app,
+		env:        env,
+		store:      store,
+		slots:      make(map[uint64]*slot),
+		seen:       make(map[int]uint64),
+		nextSeq:    1,
+		replyCache: make(map[int]replyCacheEntry),
+		directReq:  make(map[uint64]map[int]bool),
+		watch:      make(map[int]watchEntry),
+		ckptShares: make(map[uint64]map[int]threshsig.Share),
+		ckptDigest: make(map[uint64][]byte),
+		vcMsgs:     make(map[uint64]map[int]*ViewChangeMsg),
+		vcSent:     make(map[uint64]bool),
+	}
+	return r, nil
+}
+
+// ID reports the replica id.
+func (r *Replica) ID() int { return r.id }
+
+// View reports the current view.
+func (r *Replica) View() uint64 { return r.view }
+
+// LastExecuted reports le.
+func (r *Replica) LastExecuted() uint64 { return r.lastExecuted }
+
+// LastStable reports ls.
+func (r *Replica) LastStable() uint64 { return r.lastStable }
+
+// InViewChange reports whether the replica is between views.
+func (r *Replica) InViewChange() bool { return r.inViewChange }
+
+// SetTrace installs a debug trace sink.
+func (r *Replica) SetTrace(fn func(string, ...any)) { r.trace = fn }
+
+func (r *Replica) tracef(format string, args ...any) {
+	if r.trace != nil {
+		r.trace("[r%d v%d] "+format, append([]any{r.id, r.view}, args...)...)
+	}
+}
+
+func (r *Replica) isPrimary() bool { return r.cfg.Primary(r.view) == r.id }
+
+func (r *Replica) getSlot(seq uint64) *slot {
+	s, ok := r.slots[seq]
+	if !ok {
+		s = &slot{seq: seq}
+		s.resetCollector(r.view)
+		r.slots[seq] = s
+	}
+	return s
+}
+
+// broadcast sends msg to every replica except self.
+func (r *Replica) broadcast(msg Message) {
+	for i := 1; i <= r.cfg.N(); i++ {
+		if i != r.id {
+			r.env.Send(i, msg)
+		}
+	}
+}
+
+// Deliver dispatches an incoming message. It is the single entry point of
+// the event machine.
+func (r *Replica) Deliver(from int, msg any) {
+	switch m := msg.(type) {
+	case RequestMsg:
+		r.onRequest(from, m)
+	case PrePrepareMsg:
+		r.onPrePrepare(from, m)
+	case SignShareMsg:
+		r.onSignShare(from, m)
+	case FullCommitProofMsg:
+		r.onFullCommitProof(from, m)
+	case PrepareMsg:
+		r.onPrepare(from, m)
+	case CommitMsg:
+		r.onCommit(from, m)
+	case FullCommitProofSlowMsg:
+		r.onFullCommitProofSlow(from, m)
+	case SignStateMsg:
+		r.onSignState(from, m)
+	case FullExecuteProofMsg:
+		r.onFullExecuteProof(from, m)
+	case CheckpointShareMsg:
+		r.onCheckpointShare(from, m)
+	case CheckpointCertMsg:
+		r.onCheckpointCert(from, m)
+	case FetchCommitMsg:
+		r.onFetchCommit(from, m)
+	case CommitInfoMsg:
+		r.onCommitInfo(from, m)
+	case FetchStateMsg:
+		r.onFetchState(from, m)
+	case StateSnapshotMsg:
+		r.onStateSnapshot(from, m)
+	case ViewChangeMsg:
+		r.onViewChange(from, m)
+	case NewViewMsg:
+		r.onNewView(from, m)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Request handling and proposing (primary).
+
+func (r *Replica) onRequest(from int, m RequestMsg) {
+	req := m.Req
+	// Reply from cache for already-executed requests (retries).
+	if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+		if ent.timestamp == req.Timestamp {
+			r.env.Send(req.Client, ReplyMsg{
+				Seq: ent.seq, L: ent.l, Replica: r.id,
+				Client: req.Client, Timestamp: ent.timestamp, Val: ent.val,
+			})
+		}
+		return
+	}
+	if w, ok := r.watch[req.Client]; !ok || w.ts < req.Timestamp {
+		r.watch[req.Client] = watchEntry{ts: req.Timestamp, since: r.env.Now()}
+	}
+	if !r.isPrimary() {
+		// Forward to the primary and watch for progress (§V-A retry path:
+		// a request reaching a backup arms the liveness timer, §VII).
+		if IsClient(from) {
+			r.env.Send(r.cfg.Primary(r.view), m)
+		}
+		r.notePending(req) // retained so a future primary can propose it
+		r.armProgressTimer()
+		return
+	}
+	r.notePending(req)
+	r.armProgressTimer()
+	r.proposeIfReady(false)
+}
+
+// notePending enqueues a request if it is new.
+func (r *Replica) notePending(req Request) {
+	if ts, ok := r.seen[req.Client]; ok && ts >= req.Timestamp {
+		return
+	}
+	r.seen[req.Client] = req.Timestamp
+	r.pending = append(r.pending, req)
+	r.armBatchTimer()
+}
+
+// armBatchTimer ensures a pending-but-unproposed request cannot starve:
+// whenever the primary holds pending requests, a batch timer is running.
+func (r *Replica) armBatchTimer() {
+	if !r.isPrimary() || len(r.pending) == 0 || r.batchTimer != nil || r.cfg.BatchTimeout <= 0 {
+		return
+	}
+	r.batchTimer = r.env.After(r.cfg.BatchTimeout, func() {
+		r.batchTimer = nil
+		r.proposeIfReady(true)
+	})
+}
+
+// activeWindow is the number of blocks committed in parallel by the
+// primary: ⌊(n−1)/(c+1)⌋, capped by win/2 (§VIII).
+func (r *Replica) activeWindow() uint64 {
+	aw := uint64((r.cfg.N() - 1) / (r.cfg.C + 1))
+	if aw < 1 {
+		aw = 1
+	}
+	if aw > r.cfg.Win/2 {
+		aw = r.cfg.Win / 2
+	}
+	return aw
+}
+
+// adaptiveBatch implements the paper's heuristic: pending divided by half
+// the allowed concurrency, clamped to [1, Batch] (§V-C, §VIII).
+func (r *Replica) adaptiveBatch() int {
+	half := int(r.activeWindow() / 2)
+	if half < 1 {
+		half = 1
+	}
+	b := len(r.pending) / half
+	if b < 1 {
+		b = 1
+	}
+	if b > r.cfg.Batch {
+		b = r.cfg.Batch
+	}
+	return b
+}
+
+// outstanding counts proposed-but-uncommitted sequence numbers.
+func (r *Replica) outstanding() uint64 {
+	var n uint64
+	for seq := r.windowBase + 1; seq < r.nextSeq; seq++ {
+		if s, ok := r.slots[seq]; !ok || !s.committed {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Replica) proposeIfReady(timerFired bool) {
+	if !r.isPrimary() || r.inViewChange {
+		return
+	}
+	// Whatever stops the proposal loop, leftover pending requests must
+	// have a running batch timer to pick them up.
+	defer r.armBatchTimer()
+	for {
+		if len(r.pending) == 0 {
+			return
+		}
+		if !timerFired && len(r.pending) < r.adaptiveBatch() {
+			return
+		}
+		if r.outstanding() >= r.activeWindow() {
+			return
+		}
+		if r.nextSeq > r.windowBase+r.cfg.Win {
+			return
+		}
+		batch := r.cfg.Batch
+		if len(r.pending) < batch {
+			batch = len(r.pending)
+		}
+		reqs := make([]Request, batch)
+		copy(reqs, r.pending[:batch])
+		r.pending = r.pending[batch:]
+		seq := r.nextSeq
+		r.nextSeq++
+		pp := PrePrepareMsg{Seq: seq, View: r.view, Reqs: reqs}
+		r.tracef("propose seq=%d batch=%d", seq, len(reqs))
+		r.broadcast(pp)
+		r.acceptPrePrepare(r.id, pp)
+		timerFired = false // only force one under-sized batch per timer
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fast path: pre-prepare → sign-share → full-commit-proof.
+
+func (r *Replica) onPrePrepare(from int, m PrePrepareMsg) {
+	if m.View != r.view || r.inViewChange {
+		return
+	}
+	if from != r.cfg.Primary(r.view) {
+		return
+	}
+	if m.Seq <= r.windowBase || m.Seq > r.windowBase+r.cfg.Win {
+		if m.Seq > r.windowBase+r.cfg.Win && m.Seq > r.lastExecuted+r.cfg.Win {
+			// Too far behind to catch up through the pipeline (§VIII
+			// state transfer trigger).
+			r.maybeFetchState(r.lastExecuted + 1)
+		}
+		return
+	}
+	s := r.getSlot(m.Seq)
+	if s.hasPrePrepare && s.prePrepareView == m.View {
+		if s.hash != BlockHash(m.Seq, m.View, m.Reqs) {
+			// Publicly verifiable equivocation by the primary (§V-G
+			// trigger): start a view change immediately.
+			r.tracef("equivocation detected at seq=%d", m.Seq)
+			r.startViewChange(r.view + 1)
+		}
+		return
+	}
+	r.acceptPrePrepare(from, m)
+}
+
+func (r *Replica) acceptPrePrepare(_ int, m PrePrepareMsg) {
+	s := r.getSlot(m.Seq)
+	s.hasPrePrepare = true
+	s.prePrepareView = m.View
+	s.reqs = m.Reqs
+	s.hash = BlockHash(m.Seq, m.View, m.Reqs)
+	for i, req := range m.Reqs {
+		if req.Direct {
+			if r.directReq[m.Seq] == nil {
+				r.directReq[m.Seq] = make(map[int]bool)
+			}
+			r.directReq[m.Seq][i] = true
+		}
+		if ts := r.seen[req.Client]; ts < req.Timestamp {
+			r.seen[req.Client] = req.Timestamp
+		}
+	}
+	if s.committed {
+		return
+	}
+	r.armProgressTimer()
+	r.sendSignShare(s)
+	// Replay anything that raced ahead of this pre-prepare.
+	if len(s.pendingShares) > 0 {
+		buffered := s.pendingShares
+		s.pendingShares = nil
+		for _, sh := range buffered {
+			r.onSignShare(sh.Replica, sh)
+		}
+	}
+	if s.pendingFast != nil {
+		pf := *s.pendingFast
+		s.pendingFast = nil
+		r.onFullCommitProof(r.id, pf)
+	}
+	if s.pendingSlow != nil {
+		ps := *s.pendingSlow
+		s.pendingSlow = nil
+		r.onFullCommitProofSlow(r.id, ps)
+	}
+}
+
+func (r *Replica) sendSignShare(s *slot) {
+	if s.sentSignShare {
+		return
+	}
+	s.sentSignShare = true
+	tauShare, err := r.keys.Tau.Sign(s.hash[:])
+	if err != nil {
+		r.tracef("tau sign failed: %v", err)
+		return
+	}
+	msg := SignShareMsg{Seq: s.seq, View: s.prePrepareView, Replica: r.id, TauSig: tauShare}
+	// §V-F fast-path gate: only join the fast path near the execution
+	// frontier so fast commits can advance ls without a checkpoint quorum.
+	if r.cfg.FastPath && s.seq <= r.lastExecuted+r.cfg.fastGateWindow() {
+		sigmaShare, err := r.keys.Sigma.Sign(s.hash[:])
+		if err != nil {
+			r.tracef("sigma sign failed: %v", err)
+			return
+		}
+		msg.SigmaSig = sigmaShare
+	}
+	r.tracef("sign-share seq=%d sigma=%v", s.seq, len(msg.SigmaSig.Data) > 0)
+	targets := r.cfg.CCollectors(s.seq, s.prePrepareView)
+	sent := map[int]bool{}
+	for _, c := range targets {
+		if sent[c] {
+			continue
+		}
+		sent[c] = true
+		if c == r.id {
+			r.onSignShare(r.id, msg)
+		} else {
+			r.env.Send(c, msg)
+		}
+	}
+}
+
+// collectorIndex reports this replica's position in the C-collector list
+// for (seq, view), or -1.
+func (r *Replica) collectorIndex(seq, view uint64) int {
+	for i, c := range r.cfg.CCollectors(seq, view) {
+		if c == r.id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *Replica) onSignShare(from int, m SignShareMsg) {
+	if m.View != r.view || r.inViewChange {
+		return
+	}
+	idx := r.collectorIndex(m.Seq, m.View)
+	if idx < 0 {
+		return
+	}
+	s := r.getSlot(m.Seq)
+	if s.collectorView != m.View {
+		s.resetCollector(m.View)
+	}
+	if s.sentFastProof && s.sentSlowProof {
+		return
+	}
+	if _, dup := s.tauShares[m.Replica]; dup {
+		return
+	}
+	// Shares arriving before our pre-prepare cannot be verified yet:
+	// buffer and replay (bounded by one share per replica).
+	if !s.hasPrePrepare || s.prePrepareView != m.View {
+		if len(s.pendingShares) < r.cfg.N() {
+			s.pendingShares = append(s.pendingShares, m)
+		}
+		return
+	}
+	// Robustness: verify shares before counting them (§III).
+	if r.suite.Tau.VerifyShare(s.hash[:], m.TauSig) != nil {
+		return
+	}
+	s.tauShares[m.Replica] = m.TauSig
+	if len(m.SigmaSig.Data) > 0 {
+		if r.suite.Sigma.VerifyShare(s.hash[:], m.SigmaSig) == nil {
+			s.sigmaShares[m.Replica] = m.SigmaSig
+		}
+	}
+	r.collectorTryProgress(s, m.View, idx)
+}
+
+// observeFastSpread feeds the adaptive fast-path timer: collectors learn
+// how long the σ quorum trails the τ quorum on their slots and extend the
+// fallback timer to cover it (§V-E network profiling).
+func (r *Replica) observeFastSpread(spread time.Duration) {
+	if !r.fastSpreadSeen {
+		r.fastSpread = spread
+		r.fastSpreadSeen = true
+		return
+	}
+	// EWMA with α = 1/4.
+	r.fastSpread += (spread - r.fastSpread) / 4
+}
+
+// fastTimerDuration is the adaptive wait before abandoning the fast path:
+// at least the configured floor, stretched to cover the recently observed
+// share-arrival spread, and capped so crashed replicas cannot inflate
+// latency unboundedly.
+func (r *Replica) fastTimerDuration() time.Duration {
+	d := r.cfg.FastPathTimeout
+	if r.fastSpreadSeen {
+		if adaptive := r.fastSpread * 2; adaptive > d {
+			d = adaptive
+		}
+	}
+	if limit := 6 * r.cfg.FastPathTimeout; d > limit {
+		d = limit
+	}
+	return d
+}
+
+func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
+	r.tracef("collector seq=%d idx=%d sigma=%d tau=%d fastSent=%v prepSent=%v",
+		s.seq, idx, len(s.sigmaShares), len(s.tauShares), s.sentFastProof, s.sentPrepare)
+	if !s.tauQuorumSeen && len(s.tauShares) >= r.cfg.QuorumSlow() {
+		s.tauQuorumSeen = true
+		s.tauQuorumAt = r.env.Now()
+	}
+	if s.tauQuorumSeen && len(s.sigmaShares) >= r.cfg.QuorumFast() {
+		r.observeFastSpread(r.env.Now() - s.tauQuorumAt)
+	}
+	// Fast path: combine σ(h) once 3f+c+1 shares arrive.
+	if r.cfg.FastPath && !s.sentFastProof && len(s.sigmaShares) >= r.cfg.QuorumFast() {
+		shares := sharesList(s.sigmaShares)
+		sig, err := r.suite.Sigma.Combine(s.hash[:], shares)
+		if err == nil {
+			s.sentFastProof = true
+			if s.fastTimer != nil {
+				s.fastTimer()
+				s.fastTimer = nil
+			}
+			r.sendStaggered(s, idx, func() {
+				msg := FullCommitProofMsg{Seq: s.seq, View: view, Sigma: sig}
+				r.broadcast(msg)
+				r.onFullCommitProof(r.id, msg)
+			})
+			return
+		}
+	}
+	// Slow-path trigger: τ quorum but no σ quorum → wait for the fast
+	// timer (skipped when the fast path is disabled), then send prepare,
+	// staggered so redundant collectors only act if earlier ones stall
+	// (§V-E; the primary activates last).
+	if !s.sentPrepare && len(s.tauShares) >= r.cfg.QuorumSlow() {
+		fire := func() {
+			// A prepare already seen from another collector makes ours
+			// redundant (hasPrepare); committed slots need nothing.
+			if s.sentPrepare || s.sentFastProof || s.committed || s.hasPrepare {
+				return
+			}
+			shares := sharesList(s.tauShares)
+			sig, err := r.suite.Tau.Combine(s.hash[:], shares)
+			if err != nil {
+				return
+			}
+			s.sentPrepare = true
+			msg := PrepareMsg{Seq: s.seq, View: view, Tau: sig}
+			r.broadcast(msg)
+			r.onPrepare(r.id, msg)
+		}
+		delay := time.Duration(idx) * r.cfg.CollectorStagger
+		if r.cfg.FastPath {
+			delay += r.fastTimerDuration()
+		}
+		if s.fastTimer == nil && !s.sentFastProof {
+			if delay == 0 {
+				fire()
+				return
+			}
+			s.fastTimer = r.env.After(delay, func() {
+				s.fastTimer = nil
+				fire()
+			})
+		}
+	}
+}
+
+// sendStaggered runs send immediately for the first collector and after
+// idx*CollectorStagger for redundant collectors, cancelling if the slot
+// commits meanwhile (§V: staggered collectors monitor in idle).
+func (r *Replica) sendStaggered(s *slot, idx int, send func()) {
+	if idx <= 0 || r.cfg.CollectorStagger <= 0 {
+		send()
+		return
+	}
+	delay := time.Duration(idx) * r.cfg.CollectorStagger
+	s.staggerTimer = r.env.After(delay, func() {
+		s.staggerTimer = nil
+		if !s.committed {
+			send()
+		}
+	})
+}
+
+func sharesList(m map[int]threshsig.Share) []threshsig.Share {
+	out := make([]threshsig.Share, 0, len(m))
+	for _, sh := range m {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signer < out[j].Signer })
+	return out
+}
+
+func (r *Replica) onFullCommitProof(_ int, m FullCommitProofMsg) {
+	s := r.getSlot(m.Seq)
+	if s.committed {
+		return
+	}
+	if !s.hasPrePrepare || s.prePrepareView != m.View {
+		if m.Seq > r.windowBase && m.Seq <= r.windowBase+r.cfg.Win {
+			s.pendingFast = &m
+		}
+		return
+	}
+	if r.suite.Sigma.Verify(s.hash[:], m.Sigma) != nil {
+		return
+	}
+	s.commitProof = &m
+	s.commitProofView = m.View
+	r.Metrics.FastCommits++
+	// §V-F: a fast commit advances the window without a checkpoint quorum.
+	if m.Seq > r.cfg.fastGateWindow() {
+		if nls := m.Seq - r.cfg.fastGateWindow(); nls > r.windowBase {
+			r.windowBase = nls
+		}
+	}
+	r.commit(s, s.reqs)
+}
+
+// ---------------------------------------------------------------------------
+// Linear-PBFT slow path: prepare → commit → full-commit-proof-slow.
+
+func (r *Replica) onPrepare(_ int, m PrepareMsg) {
+	if m.View != r.view || r.inViewChange {
+		return
+	}
+	s := r.getSlot(m.Seq)
+	if !s.hasPrePrepare || s.prePrepareView != m.View {
+		return
+	}
+	if s.hasPrepare && s.prepareView >= m.View {
+		// Already have an equal-or-higher prepare; still allowed to send
+		// the commit share once.
+	} else {
+		if r.suite.Tau.Verify(s.hash[:], m.Tau) != nil {
+			return
+		}
+		s.hasPrepare = true
+		s.prepareView = m.View
+		s.prepareTau = m.Tau
+		s.prepareReqs = s.reqs
+		s.prepareHash = s.hash
+	}
+	if s.committed || s.sentCommitShare {
+		return
+	}
+	s.sentCommitShare = true
+	share, err := r.keys.Tau.Sign(tauTauDigest(s.prepareTau))
+	if err != nil {
+		return
+	}
+	msg := CommitMsg{Seq: m.Seq, View: m.View, Replica: r.id, TauTau: share}
+	sent := map[int]bool{}
+	for _, c := range r.cfg.CCollectors(m.Seq, m.View) {
+		if sent[c] {
+			continue
+		}
+		sent[c] = true
+		if c == r.id {
+			r.onCommit(r.id, msg)
+		} else {
+			r.env.Send(c, msg)
+		}
+	}
+}
+
+func (r *Replica) onCommit(_ int, m CommitMsg) {
+	if m.View != r.view || r.inViewChange {
+		return
+	}
+	idx := r.collectorIndex(m.Seq, m.View)
+	if idx < 0 {
+		return
+	}
+	s := r.getSlot(m.Seq)
+	if s.collectorView != m.View || s.sentSlowProof || !s.hasPrepare {
+		if !s.hasPrepare {
+			return
+		}
+		if s.collectorView != m.View {
+			return
+		}
+		if s.sentSlowProof {
+			return
+		}
+	}
+	if _, dup := s.tautauShares[m.Replica]; dup {
+		return
+	}
+	if r.suite.Tau.VerifyShare(tauTauDigest(s.prepareTau), m.TauTau) != nil {
+		return
+	}
+	s.tautauShares[m.Replica] = m.TauTau
+	if len(s.tautauShares) >= r.cfg.QuorumSlow() && !s.sentSlowProof {
+		s.sentSlowProof = true
+		fire := func() {
+			if s.committed || s.commitSlow != nil {
+				return // another collector's proof already landed
+			}
+			sig, err := r.suite.Tau.Combine(tauTauDigest(s.prepareTau), sharesList(s.tautauShares))
+			if err != nil {
+				return
+			}
+			msg := FullCommitProofSlowMsg{Seq: m.Seq, View: m.View, Tau: s.prepareTau, TauTau: sig}
+			r.broadcast(msg)
+			r.onFullCommitProofSlow(r.id, msg)
+		}
+		idx := r.collectorIndex(m.Seq, m.View)
+		if idx <= 0 || r.cfg.CollectorStagger <= 0 {
+			fire()
+			return
+		}
+		r.env.After(time.Duration(idx)*r.cfg.CollectorStagger, fire)
+	}
+}
+
+func (r *Replica) onFullCommitProofSlow(_ int, m FullCommitProofSlowMsg) {
+	s := r.getSlot(m.Seq)
+	if s.committed {
+		return
+	}
+	if !s.hasPrePrepare || s.prePrepareView != m.View {
+		if m.Seq > r.windowBase && m.Seq <= r.windowBase+r.cfg.Win {
+			s.pendingSlow = &m
+		}
+		return
+	}
+	// Verify the chain: τ(h) over our block hash, then τ(τ(h)).
+	if r.suite.Tau.Verify(s.hash[:], m.Tau) != nil {
+		return
+	}
+	if r.suite.Tau.Verify(tauTauDigest(m.Tau), m.TauTau) != nil {
+		return
+	}
+	s.commitSlow = &m
+	s.commitSlowView = m.View
+	if !s.hasPrepare || s.prepareView < m.View {
+		s.hasPrepare = true
+		s.prepareView = m.View
+		s.prepareTau = m.Tau
+		s.prepareReqs = s.reqs
+		s.prepareHash = s.hash
+	}
+	r.Metrics.SlowCommits++
+	r.commit(s, s.reqs)
+}
+
+// ---------------------------------------------------------------------------
+// Commit, execution and acknowledgement.
+
+func (r *Replica) commit(s *slot, reqs []Request) {
+	if s.committed {
+		return
+	}
+	s.committed = true
+	s.committedReqs = reqs
+	if s.fastTimer != nil {
+		s.fastTimer()
+		s.fastTimer = nil
+	}
+	if s.staggerTimer != nil {
+		s.staggerTimer()
+		s.staggerTimer = nil
+	}
+	r.tracef("commit seq=%d (%d reqs)", s.seq, len(reqs))
+	r.executeReady()
+	r.armProgressTimer()
+	r.checkGap()
+}
+
+// checkGap detects an execution gap — a committed block above an
+// uncommitted one — and arms the repair timer (§II re-transmit layer).
+func (r *Replica) checkGap() {
+	if r.gapTimer != nil || r.cfg.GapRepairTimeout <= 0 {
+		return
+	}
+	if !r.hasGap() {
+		return
+	}
+	r.gapTimer = r.env.After(r.cfg.GapRepairTimeout, func() {
+		r.gapTimer = nil
+		if !r.hasGap() {
+			r.gapAttempt = 0
+			return
+		}
+		missing := r.lastExecuted + 1
+		// Rotate through peers across attempts.
+		peer := (int(missing)+r.gapAttempt)%r.cfg.N() + 1
+		if peer == r.id {
+			peer = peer%r.cfg.N() + 1
+		}
+		r.gapAttempt++
+		r.tracef("gap repair: fetching decision %d from %d", missing, peer)
+		r.env.Send(peer, FetchCommitMsg{Replica: r.id, Seq: missing})
+		r.checkGap()
+	})
+}
+
+// hasGap reports whether execution is stalled behind a committed block.
+func (r *Replica) hasGap() bool {
+	next := r.lastExecuted + 1
+	if s, ok := r.slots[next]; ok && s.committed {
+		return false // executeReady will handle it
+	}
+	for seq, s := range r.slots {
+		if seq > next && s.committed {
+			return true
+		}
+	}
+	return r.lastStable > r.lastExecuted
+}
+
+func (r *Replica) onFetchCommit(_ int, m FetchCommitMsg) {
+	s, ok := r.slots[m.Seq]
+	if !ok || !s.committed {
+		// Possibly garbage-collected: offer the snapshot instead.
+		if r.snapshotData != nil && r.snapshotSeq >= m.Seq {
+			r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica, Seq: m.Seq})
+		}
+		return
+	}
+	info := CommitInfoMsg{Seq: m.Seq, Reqs: s.committedReqs}
+	switch {
+	case s.commitProof != nil:
+		info.HasFast = true
+		info.View = s.commitProofView
+		info.Sigma = s.commitProof.Sigma
+	case s.commitSlow != nil:
+		info.View = s.commitSlowView
+		info.Tau = s.commitSlow.Tau
+		info.TauTau = s.commitSlow.TauTau
+	default:
+		// Committed through a new-view decision without a retained
+		// certificate; the requester will try another peer.
+		return
+	}
+	r.env.Send(m.Replica, info)
+}
+
+func (r *Replica) onCommitInfo(_ int, m CommitInfoMsg) {
+	if m.Seq <= r.lastExecuted {
+		return
+	}
+	s := r.getSlot(m.Seq)
+	if s.committed {
+		return
+	}
+	h := BlockHash(m.Seq, m.View, m.Reqs)
+	if m.HasFast {
+		if r.suite.Sigma.Verify(h[:], m.Sigma) != nil {
+			return
+		}
+		s.commitProof = &FullCommitProofMsg{Seq: m.Seq, View: m.View, Sigma: m.Sigma}
+		s.commitProofView = m.View
+	} else {
+		if r.suite.Tau.Verify(h[:], m.Tau) != nil {
+			return
+		}
+		if r.suite.Tau.Verify(tauTauDigest(m.Tau), m.TauTau) != nil {
+			return
+		}
+		s.commitSlow = &FullCommitProofSlowMsg{Seq: m.Seq, View: m.View, Tau: m.Tau, TauTau: m.TauTau}
+		s.commitSlowView = m.View
+	}
+	if !s.hasPrePrepare {
+		s.hasPrePrepare = true
+		s.prePrepareView = m.View
+	}
+	s.reqs = m.Reqs
+	s.hash = h
+	r.Metrics.GapRepairs++
+	r.commit(s, m.Reqs)
+}
+
+// executeReady executes committed blocks in sequence order (§V-D execute
+// trigger).
+func (r *Replica) executeReady() {
+	advanced := false
+	defer func() {
+		if advanced {
+			r.resetProgressTimer()
+			r.checkGap()
+		}
+	}()
+	for {
+		next := r.lastExecuted + 1
+		s, ok := r.slots[next]
+		if !ok || !s.committed || s.executed {
+			return
+		}
+		advanced = true
+		ops := make([][]byte, len(s.committedReqs))
+		for i, req := range s.committedReqs {
+			ops[i] = req.Op
+		}
+		results := r.app.ExecuteBlock(next, ops)
+		s.executed = true
+		r.lastExecuted = next
+		r.Metrics.Executions++
+		if len(s.committedReqs) == 0 {
+			r.Metrics.NullBlocks++
+		}
+		if r.store != nil {
+			if err := r.store.Append(next, encodeBlockPayload(s.committedReqs, results)); err != nil {
+				r.tracef("block store append failed: %v", err)
+			}
+		}
+		digest := r.app.Digest()
+
+		// Cache replies and serve direct-path replies.
+		for i, req := range s.committedReqs {
+			r.replyCache[req.Client] = replyCacheEntry{
+				timestamp: req.Timestamp, seq: next, l: i, val: results[i],
+			}
+			if w, ok := r.watch[req.Client]; ok && w.ts <= req.Timestamp {
+				delete(r.watch, req.Client)
+			}
+			if !r.cfg.ExecCollectors || req.Direct {
+				r.env.Send(req.Client, ReplyMsg{
+					Seq: next, L: i, Replica: r.id,
+					Client: req.Client, Timestamp: req.Timestamp, Val: results[i],
+				})
+			}
+		}
+		// Drop executed requests retained for future primaries.
+		if len(r.pending) > 0 {
+			kept := r.pending[:0]
+			for _, req := range r.pending {
+				if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+					continue
+				}
+				kept = append(kept, req)
+			}
+			r.pending = kept
+		}
+
+		// Sign-state phase (§V-D) — only useful when exec collectors are
+		// enabled.
+		if r.cfg.ExecCollectors {
+			share, err := r.keys.Pi.Sign(stateSigDigest(next, digest))
+			if err == nil {
+				msg := SignStateMsg{Seq: next, Replica: r.id, Digest: digest, PiSig: share}
+				for _, c := range r.cfg.ECollectors(next, 0) {
+					if c == r.id {
+						r.onSignState(r.id, msg)
+					} else {
+						r.env.Send(c, msg)
+					}
+				}
+			}
+			// If this replica is an E-collector that combined the π
+			// certificate before executing locally, release the acks now.
+			r.sendExecuteAcks(next)
+			// Fallback: if every E-collector of this sequence is crashed,
+			// serve clients directly after a timeout so the single
+			// correct-collector liveness assumption degrades gracefully.
+			if r.cfg.ExecFallbackTimeout > 0 && len(s.committedReqs) > 0 {
+				seq := next
+				r.env.After(r.cfg.ExecFallbackTimeout, func() {
+					r.execFallback(seq)
+				})
+			}
+		}
+
+		// Periodic checkpoint (§V-F).
+		if next%r.cfg.checkpointEvery() == 0 {
+			r.initiateCheckpoint(next, digest)
+		}
+	}
+}
+
+func encodeBlockPayload(reqs []Request, results [][]byte) []byte {
+	var buf bytes.Buffer
+	for i, req := range reqs {
+		fmt.Fprintf(&buf, "%d/%d:%d:%d;", req.Client, req.Timestamp, len(req.Op), len(results[i]))
+	}
+	return buf.Bytes()
+}
+
+func (r *Replica) isECollector(seq uint64) bool {
+	for _, c := range r.cfg.ECollectors(seq, 0) {
+		if c == r.id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Replica) onSignState(_ int, m SignStateMsg) {
+	if !r.isECollector(m.Seq) {
+		return
+	}
+	s := r.getSlot(m.Seq)
+	if s.sentExecCert {
+		return
+	}
+	if s.piShares == nil {
+		s.piShares = make(map[int]threshsig.Share)
+	}
+	if _, dup := s.piShares[m.Replica]; dup {
+		return
+	}
+	if r.suite.Pi.VerifyShare(stateSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
+		return
+	}
+	if s.execDigest == nil {
+		s.execDigest = m.Digest
+	} else if !bytes.Equal(s.execDigest, m.Digest) {
+		// Conflicting digests cannot both gather f+1 shares; keep first.
+		return
+	}
+	s.piShares[m.Replica] = m.PiSig
+	if len(s.piShares) < r.cfg.QuorumExec() {
+		return
+	}
+	s.sentExecCert = true
+	fire := func() {
+		if s.execCertSeen {
+			return // another E-collector already certified this sequence
+		}
+		pi, err := r.suite.Pi.Combine(stateSigDigest(m.Seq, s.execDigest), sharesList(s.piShares))
+		if err != nil {
+			return
+		}
+		s.execPi = pi
+		r.broadcast(FullExecuteProofMsg{Seq: m.Seq, Digest: s.execDigest, Pi: pi})
+		r.sendExecuteAcks(m.Seq)
+	}
+	// Stagger redundant E-collectors like C-collectors (§V).
+	idx := -1
+	for i, c := range r.cfg.ECollectors(m.Seq, 0) {
+		if c == r.id {
+			idx = i
+			break
+		}
+	}
+	if idx <= 0 || r.cfg.CollectorStagger <= 0 {
+		fire()
+		return
+	}
+	r.env.After(time.Duration(idx)*r.cfg.CollectorStagger, fire)
+}
+
+// sendExecuteAcks sends each client of block seq its single execute-ack
+// with a Merkle proof (§V-D). It requires both the combined π certificate
+// and local execution of seq; whichever happens last triggers the acks
+// (executeReady re-invokes it after executing).
+func (r *Replica) sendExecuteAcks(seq uint64) {
+	s, ok := r.slots[seq]
+	if !ok || s.execAcked || len(s.execPi.Data) == 0 || r.lastExecuted < seq {
+		return
+	}
+	s.execAcked = true
+	digest, pi := s.execDigest, s.execPi
+	for i, req := range s.committedReqs {
+		if req.Direct {
+			continue // direct requests already got PBFT-style replies
+		}
+		proof, err := r.app.ProveOperation(seq, i)
+		if err != nil {
+			r.tracef("prove op %d/%d: %v", seq, i, err)
+			continue
+		}
+		ent, ok := r.replyCache[req.Client]
+		if !ok || ent.seq != seq {
+			continue
+		}
+		r.env.Send(req.Client, ExecuteAckMsg{
+			Seq: seq, L: i, Val: ent.val,
+			Client: req.Client, Timestamp: req.Timestamp,
+			Digest: digest, Pi: pi, Proof: proof,
+		})
+	}
+}
+
+// execFallback sends direct replies to the clients of block seq when no
+// full-execute-proof arrived in time (crashed E-collectors).
+func (r *Replica) execFallback(seq uint64) {
+	s, ok := r.slots[seq]
+	if !ok || !s.executed || s.execCertSeen {
+		return
+	}
+	for i, req := range s.committedReqs {
+		ent, ok := r.replyCache[req.Client]
+		if !ok || ent.seq != seq || ent.timestamp != req.Timestamp {
+			continue
+		}
+		r.env.Send(req.Client, ReplyMsg{
+			Seq: seq, L: i, Replica: r.id,
+			Client: req.Client, Timestamp: req.Timestamp, Val: ent.val,
+		})
+	}
+}
+
+func (r *Replica) onFullExecuteProof(_ int, m FullExecuteProofMsg) {
+	if r.suite.Pi.Verify(stateSigDigest(m.Seq, m.Digest), m.Pi) != nil {
+		return
+	}
+	if s, ok := r.slots[m.Seq]; ok {
+		s.execCertSeen = true
+	}
+	// The certificate makes the state durable (§V-D); replicas retain it
+	// for state transfer by folding into checkpoint handling.
+	if m.Seq > r.lastStable && m.Seq%r.cfg.checkpointEvery() == 0 && r.lastExecuted >= m.Seq {
+		r.recordStable(m.Seq, m.Digest, m.Pi)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints, garbage collection, state transfer.
+
+// initiateCheckpoint broadcasts this replica's π share over the state
+// digest at a checkpoint sequence. Shares go to all replicas so everyone
+// can assemble the stable certificate locally even when collectors are
+// crashed; at one checkpoint per win/2 blocks the quadratic cost is
+// amortized away (§V-F).
+func (r *Replica) initiateCheckpoint(seq uint64, digest []byte) {
+	share, err := r.keys.Pi.Sign(stateSigDigest(seq, digest))
+	if err != nil {
+		return
+	}
+	msg := CheckpointShareMsg{Seq: seq, Replica: r.id, Digest: digest, PiSig: share}
+	r.broadcast(msg)
+	r.onCheckpointShare(r.id, msg)
+}
+
+func (r *Replica) onCheckpointShare(_ int, m CheckpointShareMsg) {
+	if m.Seq <= r.lastStable {
+		return
+	}
+	if r.suite.Pi.VerifyShare(stateSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
+		return
+	}
+	if d, ok := r.ckptDigest[m.Seq]; ok && !bytes.Equal(d, m.Digest) {
+		return
+	}
+	r.ckptDigest[m.Seq] = m.Digest
+	if r.ckptShares[m.Seq] == nil {
+		r.ckptShares[m.Seq] = make(map[int]threshsig.Share)
+	}
+	if _, dup := r.ckptShares[m.Seq][m.Replica]; dup {
+		return
+	}
+	r.ckptShares[m.Seq][m.Replica] = m.PiSig
+	if len(r.ckptShares[m.Seq]) < r.cfg.QuorumExec() {
+		return
+	}
+	pi, err := r.suite.Pi.Combine(stateSigDigest(m.Seq, m.Digest), sharesList(r.ckptShares[m.Seq]))
+	if err != nil {
+		return
+	}
+	r.recordStable(m.Seq, m.Digest, pi)
+}
+
+func (r *Replica) onCheckpointCert(_ int, m CheckpointCertMsg) {
+	if m.Seq <= r.lastStable {
+		return
+	}
+	if r.suite.Pi.Verify(stateSigDigest(m.Seq, m.Digest), m.Pi) != nil {
+		return
+	}
+	r.recordStable(m.Seq, m.Digest, m.Pi)
+	if r.lastExecuted < m.Seq {
+		// We are behind a stable checkpoint: fetch state if the gap is
+		// not recoverable through the normal pipeline.
+		r.maybeFetchState(m.Seq)
+	}
+}
+
+func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature) {
+	if seq <= r.lastStable && r.stableDigest != nil {
+		return
+	}
+	r.Metrics.Checkpoints++
+	r.lastStable = seq
+	if seq > r.windowBase {
+		r.windowBase = seq
+	}
+	r.stableDigest = digest
+	r.stablePi = pi
+	if r.lastExecuted >= seq {
+		if snap, err := r.app.Snapshot(); err == nil {
+			r.snapshotSeq = seq
+			r.snapshotData = snap
+			r.snapshotDig = digest
+			r.snapshotPi = pi
+		}
+		r.app.GarbageCollect(seq)
+	}
+	// Drop slot state below the stable point — but never ahead of local
+	// execution, or committed-but-unexecuted blocks would be lost.
+	gcTo := seq
+	if r.lastExecuted < gcTo {
+		gcTo = r.lastExecuted
+	}
+	for s := range r.slots {
+		if s <= gcTo {
+			delete(r.slots, s)
+		}
+	}
+	for s := range r.ckptShares {
+		if s <= seq {
+			delete(r.ckptShares, s)
+			delete(r.ckptDigest, s)
+		}
+	}
+	for s := range r.directReq {
+		if s <= gcTo {
+			delete(r.directReq, s)
+		}
+	}
+	if r.lastExecuted < seq {
+		// The network proved a stable state we have not reached: catch up
+		// via state transfer (§VIII).
+		r.maybeFetchState(seq)
+	}
+}
+
+func (r *Replica) maybeFetchState(target uint64) {
+	if r.fetching || r.lastExecuted >= target {
+		return
+	}
+	r.fetching = true
+	r.Metrics.StateFetches++
+	// Ask a deterministic-but-spread peer.
+	peer := int(target%uint64(r.cfg.N())) + 1
+	if peer == r.id {
+		peer = peer%r.cfg.N() + 1
+	}
+	r.env.Send(peer, FetchStateMsg{Replica: r.id, Seq: target})
+	// Retry with another peer if nothing arrives.
+	r.env.After(4*r.cfg.ViewChangeTimeout/3, func() {
+		if r.fetching {
+			r.fetching = false
+			r.maybeFetchState(target)
+		}
+	})
+}
+
+func (r *Replica) onFetchState(_ int, m FetchStateMsg) {
+	if r.snapshotData == nil || r.snapshotSeq < m.Seq {
+		return
+	}
+	r.env.Send(m.Replica, StateSnapshotMsg{
+		Seq:      r.snapshotSeq,
+		Digest:   r.snapshotDig,
+		Pi:       r.snapshotPi,
+		Snapshot: r.snapshotData,
+	})
+}
+
+func (r *Replica) onStateSnapshot(_ int, m StateSnapshotMsg) {
+	if m.Seq <= r.lastExecuted {
+		r.fetching = false
+		return
+	}
+	if r.suite.Pi.Verify(stateSigDigest(m.Seq, m.Digest), m.Pi) != nil {
+		return
+	}
+	if err := r.app.Restore(m.Snapshot); err != nil {
+		r.tracef("restore failed: %v", err)
+		return
+	}
+	if !bytes.Equal(r.app.Digest(), m.Digest) {
+		r.tracef("restored digest mismatch; rejecting snapshot")
+		// State is now inconsistent with the certificate — refuse and try
+		// another peer on the retry timer.
+		return
+	}
+	r.fetching = false
+	r.lastExecuted = m.Seq
+	r.recordStable(m.Seq, m.Digest, m.Pi)
+	r.executeReady()
+}

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// This file implements SBFT's dual-mode view change (§V-G): the protocol
+// that preserves safety when the fast path and the linear-PBFT path run
+// concurrently, and liveness through exponential back-off and the f+1 join
+// rule (§VII).
+
+// maxBackoffShift caps the exponential view-change back-off.
+const maxBackoffShift = 6
+
+func (r *Replica) vcTimeout() time.Duration {
+	shift := r.vcBackoff
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	return r.cfg.ViewChangeTimeout << shift
+}
+
+// hasOutstandingWork reports whether the replica is waiting on progress:
+// watched client requests or accepted-but-uncommitted blocks.
+func (r *Replica) hasOutstandingWork() bool {
+	if len(r.watch) > 0 {
+		return true
+	}
+	for _, s := range r.slots {
+		if s.hasPrePrepare && !s.committed {
+			return true
+		}
+	}
+	return false
+}
+
+// armProgressTimer arms the liveness timer if it is not already running:
+// if no execution progress happens before it fires, the replica starts a
+// view change (§VII). It deliberately does NOT reset a pending timer —
+// duplicate client retries must not postpone the timeout.
+func (r *Replica) armProgressTimer() {
+	if r.progressTimer != nil || r.inViewChange || !r.hasOutstandingWork() {
+		return
+	}
+	r.progressTimer = r.env.After(r.vcTimeout(), func() {
+		r.progressTimer = nil
+		if !r.inViewChange && r.hasOutstandingWork() {
+			r.tracef("progress timeout → view change")
+			r.startViewChange(r.view + 1)
+		}
+	})
+}
+
+// resetProgressTimer restarts the liveness timer after real progress
+// (execution frontier advanced or a new view installed).
+func (r *Replica) resetProgressTimer() {
+	if r.progressTimer != nil {
+		r.progressTimer()
+		r.progressTimer = nil
+	}
+	r.armProgressTimer()
+}
+
+// startViewChange moves the replica to the view-change state targeting
+// `target` and broadcasts its view-change message.
+func (r *Replica) startViewChange(target uint64) {
+	if target <= r.view && r.inViewChange {
+		return
+	}
+	if target <= r.view {
+		target = r.view + 1
+	}
+	r.inViewChange = true
+	r.view = target
+	r.Metrics.ViewChanges++
+	if r.progressTimer != nil {
+		r.progressTimer()
+		r.progressTimer = nil
+	}
+	if r.batchTimer != nil {
+		r.batchTimer()
+		r.batchTimer = nil
+	}
+	if !r.vcSent[target] {
+		r.vcSent[target] = true
+		vc := r.buildViewChange(target)
+		r.broadcast(vc)
+		r.onViewChange(r.id, vc)
+	}
+	// If the new primary fails to install the view, escalate.
+	if r.vcTimer != nil {
+		r.vcTimer()
+	}
+	r.vcBackoff++
+	r.vcTimer = r.env.After(r.vcTimeout(), func() {
+		r.vcTimer = nil
+		if r.inViewChange {
+			r.startViewChange(r.view + 1)
+		}
+	})
+}
+
+// buildViewChange assembles ⟨"view-change", v, ls, x_ls..x_ls+win⟩ from
+// local slot state (§V-G view-change phase).
+func (r *Replica) buildViewChange(target uint64) ViewChangeMsg {
+	vc := ViewChangeMsg{
+		NewView:      target,
+		Replica:      r.id,
+		LastStable:   r.lastStable,
+		StableDigest: r.stableDigest,
+		StablePi:     r.stablePi,
+	}
+	seqs := make([]uint64, 0, len(r.slots))
+	for seq := range r.slots {
+		if seq > r.lastStable && seq <= r.lastStable+r.cfg.Win {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		s := r.slots[seq]
+		si := SlotInfo{Seq: seq}
+		used := false
+
+		// lm_j: slow-path evidence.
+		if s.commitSlow != nil {
+			si.HasCommitProofSlow = true
+			si.TauTau = s.commitSlow.TauTau
+			si.Tau = s.commitSlow.Tau
+			si.SlowView = s.commitSlowView
+			si.SlowReqs = s.committedReqs
+			used = true
+		} else if s.hasPrepare {
+			si.HasPrepare = true
+			si.PrepareTau = s.prepareTau
+			si.PrepareView = s.prepareView
+			si.PrepareReqs = s.prepareReqs
+			used = true
+		}
+
+		// fm_j: fast-path evidence.
+		if s.commitProof != nil {
+			si.HasCommitProof = true
+			si.Sigma = s.commitProof.Sigma
+			si.FastView = s.commitProofView
+			si.FastReqs = s.committedReqs
+			used = true
+		} else if s.hasPrePrepare {
+			hash := BlockHash(seq, s.prePrepareView, s.reqs)
+			if share, err := r.keys.Sigma.Sign(hash[:]); err == nil {
+				si.HasPrePrepare = true
+				si.SigmaShare = share
+				si.PrePrepareView = s.prePrepareView
+				si.PrePrepareReqs = s.reqs
+				used = true
+			}
+		}
+		if used {
+			vc.Slots = append(vc.Slots, si)
+		}
+	}
+	return vc
+}
+
+// validateViewChange checks the stable-checkpoint proof of a view-change
+// message. Slot components are validated individually during safe-value
+// computation so a Byzantine replica cannot poison the whole message.
+func (r *Replica) validateViewChange(vc *ViewChangeMsg) bool {
+	if vc.LastStable == 0 {
+		return true
+	}
+	return r.suite.Pi.Verify(stateSigDigest(vc.LastStable, vc.StableDigest), vc.StablePi) == nil
+}
+
+func (r *Replica) onViewChange(from int, m ViewChangeMsg) {
+	if from != m.Replica {
+		return // authenticated channels bind sender identity (§V-B)
+	}
+	if m.NewView <= r.view && !(m.NewView == r.view && r.inViewChange) {
+		return
+	}
+	if !r.validateViewChange(&m) {
+		return
+	}
+	if r.vcMsgs[m.NewView] == nil {
+		r.vcMsgs[m.NewView] = make(map[int]*ViewChangeMsg)
+	}
+	if _, dup := r.vcMsgs[m.NewView][m.Replica]; dup {
+		return
+	}
+	r.vcMsgs[m.NewView][m.Replica] = &m
+
+	// f+1 join rule (§VII): if f+1 distinct replicas demand views above
+	// ours, join the smallest such view.
+	if !r.inViewChange || m.NewView > r.view {
+		distinct := make(map[int]bool)
+		minAbove := uint64(0)
+		for tv, senders := range r.vcMsgs {
+			if tv <= r.view {
+				continue
+			}
+			for id := range senders {
+				distinct[id] = true
+			}
+			if minAbove == 0 || tv < minAbove {
+				minAbove = tv
+			}
+		}
+		if len(distinct) > r.cfg.F && minAbove > r.view {
+			r.tracef("joining view change to %d (f+1 rule)", minAbove)
+			r.startViewChange(minAbove)
+		}
+	}
+
+	// New-primary phase: gather 2f+2c+1 view-change messages (§V-G).
+	r.tryInstallView(m.NewView)
+}
+
+func (r *Replica) tryInstallView(target uint64) {
+	if r.cfg.Primary(target) != r.id {
+		return
+	}
+	if target < r.view || (target == r.view && !r.inViewChange) {
+		return
+	}
+	msgs := r.vcMsgs[target]
+	if len(msgs) < r.cfg.QuorumViewChange() {
+		return
+	}
+	ids := make([]int, 0, len(msgs))
+	for id := range msgs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ids = ids[:r.cfg.QuorumViewChange()]
+	nv := NewViewMsg{View: target}
+	for _, id := range ids {
+		nv.ViewChanges = append(nv.ViewChanges, *msgs[id])
+	}
+	r.tracef("installing view %d with %d view-change messages", target, len(nv.ViewChanges))
+	r.broadcast(nv)
+	r.onNewView(r.id, nv)
+}
+
+// slotDecision is the outcome of the safe-value computation for one slot.
+type slotDecision struct {
+	seq uint64
+	// decided: a commit certificate was present; commit reqs directly.
+	decided bool
+	// reqs is the value to adopt (nil-length = null block) when !decided.
+	reqs []Request
+}
+
+// computeSafeValues runs the §V-G new-view computation over a validated
+// set of view-change messages, returning per-slot decisions for
+// (ls, maxUsed]. All replicas run it identically, so they agree without
+// trusting the new primary (§VII).
+func computeSafeValues(cfg Config, suite CryptoSuite, newView uint64, vcs []ViewChangeMsg) (ls uint64, decisions []slotDecision) {
+	// ls := highest correctly-proven stable sequence number.
+	for _, vc := range vcs {
+		if vc.LastStable > ls {
+			ls = vc.LastStable
+		}
+	}
+	maxUsed := ls
+	for _, vc := range vcs {
+		for _, si := range vc.Slots {
+			if si.Seq > maxUsed {
+				maxUsed = si.Seq
+			}
+		}
+	}
+	for j := ls + 1; j <= maxUsed; j++ {
+		decisions = append(decisions, computeSlotDecision(cfg, suite, j, vcs))
+	}
+	return ls, decisions
+}
+
+// computeSlotDecision implements the per-slot safe-value rules of §V-G.
+func computeSlotDecision(cfg Config, suite CryptoSuite, j uint64, vcs []ViewChangeMsg) slotDecision {
+	dec := slotDecision{seq: j}
+
+	type fastShare struct {
+		view uint64
+		key  string
+		reqs []Request
+	}
+	var fastShares []fastShare
+
+	// v* and req*: the highest valid prepare certificate (slow path).
+	vStar := int64(-1)
+	var reqStar []Request
+
+	for _, vc := range vcs {
+		for _, si := range vc.Slots {
+			if si.Seq != j {
+				continue
+			}
+			// Decided certificates short-circuit.
+			if si.HasCommitProofSlow {
+				h := BlockHash(j, si.SlowView, si.SlowReqs)
+				if suite.Tau.Verify(h[:], si.Tau) == nil &&
+					suite.Tau.Verify(tauTauDigest(si.Tau), si.TauTau) == nil {
+					dec.decided = true
+					dec.reqs = si.SlowReqs
+					return dec
+				}
+			}
+			if si.HasCommitProof {
+				h := BlockHash(j, si.FastView, si.FastReqs)
+				if suite.Sigma.Verify(h[:], si.Sigma) == nil {
+					dec.decided = true
+					dec.reqs = si.FastReqs
+					return dec
+				}
+			}
+			if si.HasPrepare {
+				h := BlockHash(j, si.PrepareView, si.PrepareReqs)
+				if suite.Tau.Verify(h[:], si.PrepareTau) == nil {
+					if int64(si.PrepareView) > vStar {
+						vStar = int64(si.PrepareView)
+						reqStar = si.PrepareReqs
+					}
+				}
+			}
+			if si.HasPrePrepare {
+				h := BlockHash(j, si.PrePrepareView, si.PrePrepareReqs)
+				if si.SigmaShare.Signer == vc.Replica &&
+					suite.Sigma.VerifyShare(h[:], si.SigmaShare) == nil {
+					key := reqsKey(si.PrePrepareReqs)
+					fastShares = append(fastShares, fastShare{
+						view: si.PrePrepareView,
+						key:  key,
+						reqs: si.PrePrepareReqs,
+					})
+				}
+			}
+		}
+	}
+
+	// v̂ and req̂: the highest view for which a unique value is "fast":
+	// f+c+1 shares each with view ≥ v̂ (§V-G rule 2).
+	need := cfg.F + cfg.C + 1
+	byKey := make(map[string][]fastShare)
+	for _, fs := range fastShares {
+		byKey[fs.key] = append(byKey[fs.key], fs)
+	}
+	vHat := int64(-1)
+	var reqHat []Request
+	unique := true
+	for _, group := range byKey {
+		if len(group) < need {
+			continue
+		}
+		views := make([]uint64, len(group))
+		for i, fs := range group {
+			views[i] = fs.view
+		}
+		sort.Slice(views, func(a, b int) bool { return views[a] > views[b] })
+		vMax := int64(views[need-1]) // best v with f+c+1 shares of view ≥ v
+		switch {
+		case vMax > vHat:
+			vHat = vMax
+			reqHat = group[0].reqs
+			unique = true
+		case vMax == vHat && reqsKey(reqHat) != group[0].key:
+			unique = false
+		}
+	}
+	if !unique {
+		vHat = -1
+	}
+
+	// Final selection (§V-G rule 3): prefer the slow-path proof on ties.
+	switch {
+	case vStar >= vHat && vStar > -1:
+		dec.reqs = reqStar
+	case vHat > vStar:
+		dec.reqs = reqHat
+	default:
+		dec.reqs = nil // null block
+	}
+	return dec
+}
+
+// reqsKey is a view-independent identity for a request block.
+func reqsKey(reqs []Request) string {
+	h := BlockHash(0, 0, reqs)
+	return string(h[:])
+}
+
+func (r *Replica) onNewView(from int, m NewViewMsg) {
+	if from != r.cfg.Primary(m.View) {
+		return
+	}
+	if m.View < r.view || (m.View == r.view && !r.inViewChange) {
+		return
+	}
+	// Validate the certificate set: quorum size, distinct senders, right
+	// target view, valid stable proofs.
+	if len(m.ViewChanges) < r.cfg.QuorumViewChange() {
+		return
+	}
+	senders := make(map[int]bool)
+	for i := range m.ViewChanges {
+		vc := &m.ViewChanges[i]
+		if vc.NewView != m.View || senders[vc.Replica] || !r.validateViewChange(vc) {
+			return
+		}
+		senders[vc.Replica] = true
+	}
+
+	ls, decisions := computeSafeValues(r.cfg, r.suite, m.View, m.ViewChanges)
+	r.tracef("new view %d: ls=%d, %d slots", m.View, ls, len(decisions))
+
+	// Enter the view.
+	r.view = m.View
+	r.inViewChange = false
+	r.vcBackoff = 0
+	if r.vcTimer != nil {
+		r.vcTimer()
+		r.vcTimer = nil
+	}
+	for tv := range r.vcMsgs {
+		if tv <= m.View {
+			delete(r.vcMsgs, tv)
+		}
+	}
+	for tv := range r.vcSent {
+		if tv <= m.View {
+			delete(r.vcSent, tv)
+		}
+	}
+
+	// Advance the stable point if the quorum proved a higher one.
+	if ls > r.lastStable {
+		var dig []byte
+		var pi threshsig.Signature
+		for i := range m.ViewChanges {
+			if m.ViewChanges[i].LastStable == ls {
+				dig = m.ViewChanges[i].StableDigest
+				pi = m.ViewChanges[i].StablePi
+				break
+			}
+		}
+		r.recordStable(ls, dig, pi)
+	}
+
+	// Reset volatile per-slot state for the new view, keeping evidence
+	// needed by future view changes (prepare certificates persist).
+	for _, s := range r.slots {
+		if s.committed {
+			continue
+		}
+		s.sentSignShare = false
+		s.sentCommitShare = false
+		s.hasPrePrepare = false
+		s.resetCollector(m.View)
+	}
+
+	// Apply decisions.
+	maxSeq := r.lastStable
+	for _, dec := range decisions {
+		if dec.seq > maxSeq {
+			maxSeq = dec.seq
+		}
+		s := r.getSlot(dec.seq)
+		if dec.decided {
+			if !s.committed {
+				if dec.reqs == nil {
+					dec.reqs = []Request{}
+				}
+				s.reqs = dec.reqs
+				s.hash = BlockHash(dec.seq, m.View, dec.reqs)
+				r.commit(s, dec.reqs)
+			}
+			continue
+		}
+		reqs := dec.reqs
+		if reqs == nil {
+			reqs = []Request{}
+		}
+		r.acceptPrePrepare(r.cfg.Primary(m.View), PrePrepareMsg{Seq: dec.seq, View: m.View, Reqs: reqs})
+	}
+
+	if r.isPrimary() {
+		r.nextSeq = maxSeq + 1
+		r.proposeIfReady(true)
+	}
+	if r.lastExecuted < r.lastStable {
+		r.maybeFetchState(r.lastStable)
+	}
+	r.resetProgressTimer()
+}

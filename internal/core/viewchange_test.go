@@ -1,0 +1,326 @@
+package core
+
+import (
+	"testing"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// Unit tests for the §V-G safe-value computation, built on real threshold
+// certificates from the insecure suite. cfg: f=1, c=0, n=4 — fast quorum
+// 4, slow quorum 3, f+c+1 = 2.
+
+type vcFixture struct {
+	cfg   Config
+	suite CryptoSuite
+	keys  []ReplicaKeys
+}
+
+func newVCFixture(t *testing.T) *vcFixture {
+	t.Helper()
+	cfg := DefaultConfig(1, 0)
+	suite, keys, err := InsecureSuite(cfg, "vc-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &vcFixture{cfg: cfg, suite: suite, keys: keys}
+}
+
+func (f *vcFixture) reqs(tag string) []Request {
+	return []Request{{Client: ClientBase, Timestamp: 1, Op: []byte(tag)}}
+}
+
+func (f *vcFixture) prepareCert(t *testing.T, seq, view uint64, reqs []Request) threshsig.Signature {
+	t.Helper()
+	h := BlockHash(seq, view, reqs)
+	var shares []threshsig.Share
+	for i := 0; i < f.cfg.QuorumSlow(); i++ {
+		sh, err := f.keys[i].Tau.Sign(h[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	sig, err := f.suite.Tau.Combine(h[:], shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func (f *vcFixture) slowCert(t *testing.T, inner threshsig.Signature) threshsig.Signature {
+	t.Helper()
+	d := tauTauDigest(inner)
+	var shares []threshsig.Share
+	for i := 0; i < f.cfg.QuorumSlow(); i++ {
+		sh, err := f.keys[i].Tau.Sign(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	sig, err := f.suite.Tau.Combine(d, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func (f *vcFixture) fastCert(t *testing.T, seq, view uint64, reqs []Request) threshsig.Signature {
+	t.Helper()
+	h := BlockHash(seq, view, reqs)
+	var shares []threshsig.Share
+	for i := 0; i < f.cfg.QuorumFast(); i++ {
+		sh, err := f.keys[i].Sigma.Sign(h[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	sig, err := f.suite.Sigma.Combine(h[:], shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func (f *vcFixture) sigmaShare(t *testing.T, replica int, seq, view uint64, reqs []Request) threshsig.Share {
+	t.Helper()
+	h := BlockHash(seq, view, reqs)
+	sh, err := f.keys[replica-1].Sigma.Sign(h[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// vcMsg builds a bare view-change message from replica id with slots.
+func vcMsg(id int, slots ...SlotInfo) ViewChangeMsg {
+	return ViewChangeMsg{NewView: 1, Replica: id, Slots: slots}
+}
+
+func decide(f *vcFixture, vcs ...ViewChangeMsg) []slotDecision {
+	_, decisions := computeSafeValues(f.cfg, f.suite, 1, vcs)
+	return decisions
+}
+
+func TestSafeValueNoEvidence(t *testing.T) {
+	f := newVCFixture(t)
+	decisions := decide(f, vcMsg(1), vcMsg(2), vcMsg(3))
+	if len(decisions) != 0 {
+		t.Fatalf("decisions for empty slots: %d", len(decisions))
+	}
+}
+
+func TestSafeValueDecidedSlow(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("A")
+	inner := f.prepareCert(t, 1, 0, reqs)
+	outer := f.slowCert(t, inner)
+	d := decide(f, vcMsg(1, SlotInfo{
+		Seq: 1, HasCommitProofSlow: true, Tau: inner, TauTau: outer,
+		SlowView: 0, SlowReqs: reqs,
+	}), vcMsg(2), vcMsg(3))
+	if len(d) != 1 || !d[0].decided || string(d[0].reqs[0].Op) != "A" {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestSafeValueDecidedFast(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("B")
+	sig := f.fastCert(t, 3, 2, reqs)
+	d := decide(f, vcMsg(1, SlotInfo{
+		Seq: 3, HasCommitProof: true, Sigma: sig, FastView: 2, FastReqs: reqs,
+	}), vcMsg(2), vcMsg(3))
+	if len(d) != 3 {
+		t.Fatalf("want decisions for slots 1..3, got %d", len(d))
+	}
+	if !d[2].decided || string(d[2].reqs[0].Op) != "B" {
+		t.Fatalf("slot 3 = %+v", d[2])
+	}
+	// Slots 1 and 2 have no evidence → null blocks.
+	if d[0].decided || len(d[0].reqs) != 0 {
+		t.Fatalf("slot 1 should be null, got %+v", d[0])
+	}
+}
+
+func TestSafeValueAdoptsPrepare(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("C")
+	tau := f.prepareCert(t, 1, 0, reqs)
+	d := decide(f, vcMsg(1, SlotInfo{
+		Seq: 1, HasPrepare: true, PrepareTau: tau, PrepareView: 0, PrepareReqs: reqs,
+	}), vcMsg(2), vcMsg(3))
+	if len(d) != 1 || d[0].decided {
+		t.Fatalf("decision = %+v", d)
+	}
+	if string(d[0].reqs[0].Op) != "C" {
+		t.Fatalf("adopted %q, want C", d[0].reqs[0].Op)
+	}
+}
+
+func TestSafeValueAdoptsFastValue(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("D")
+	// f+c+1 = 2 σ shares over the same block → fast value.
+	d := decide(f,
+		vcMsg(1, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 1, 1, 0, reqs), PrePrepareView: 0, PrePrepareReqs: reqs}),
+		vcMsg(2, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 2, 1, 0, reqs), PrePrepareView: 0, PrePrepareReqs: reqs}),
+		vcMsg(3),
+	)
+	if len(d) != 1 || d[0].decided {
+		t.Fatalf("decision = %+v", d)
+	}
+	if len(d[0].reqs) == 0 || string(d[0].reqs[0].Op) != "D" {
+		t.Fatalf("adopted %+v, want D", d[0].reqs)
+	}
+}
+
+func TestSafeValueSingleShareIsNotFast(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("E")
+	d := decide(f,
+		vcMsg(1, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 1, 1, 0, reqs), PrePrepareView: 0, PrePrepareReqs: reqs}),
+		vcMsg(2), vcMsg(3),
+	)
+	if len(d) != 1 || len(d[0].reqs) != 0 {
+		t.Fatalf("one share adopted a fast value: %+v", d)
+	}
+}
+
+func TestSafeValuePrefersSlowOnTie(t *testing.T) {
+	f := newVCFixture(t)
+	// Prepare for A at view 1; two σ shares for B also at view 1. The
+	// paper's rule: v* ≥ v̂ ⇒ the slow-path value wins (§V-G, §VI proof
+	// "prefers the slow path proof over the fast path proof").
+	reqsA, reqsB := f.reqs("A"), f.reqs("B")
+	tau := f.prepareCert(t, 1, 1, reqsA)
+	d := decide(f,
+		vcMsg(1, SlotInfo{Seq: 1,
+			HasPrepare: true, PrepareTau: tau, PrepareView: 1, PrepareReqs: reqsA,
+			HasPrePrepare: true, SigmaShare: f.sigmaShare(t, 1, 1, 1, reqsB),
+			PrePrepareView: 1, PrePrepareReqs: reqsB}),
+		vcMsg(2, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 2, 1, 1, reqsB), PrePrepareView: 1, PrePrepareReqs: reqsB}),
+		vcMsg(3),
+	)
+	if string(d[0].reqs[0].Op) != "A" {
+		t.Fatalf("tie broken toward fast value %q; slow must win", d[0].reqs[0].Op)
+	}
+}
+
+func TestSafeValueFastBeatsLowerPrepare(t *testing.T) {
+	f := newVCFixture(t)
+	reqsA, reqsB := f.reqs("A"), f.reqs("B")
+	// Prepare for A at view 0; fast value B at view 2 ⇒ B wins (v̂ > v*).
+	tau := f.prepareCert(t, 1, 0, reqsA)
+	d := decide(f,
+		vcMsg(1, SlotInfo{Seq: 1,
+			HasPrepare: true, PrepareTau: tau, PrepareView: 0, PrepareReqs: reqsA,
+			HasPrePrepare: true, SigmaShare: f.sigmaShare(t, 1, 1, 2, reqsB),
+			PrePrepareView: 2, PrePrepareReqs: reqsB}),
+		vcMsg(2, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 2, 1, 2, reqsB), PrePrepareView: 2, PrePrepareReqs: reqsB}),
+		vcMsg(3),
+	)
+	if string(d[0].reqs[0].Op) != "B" {
+		t.Fatalf("adopted %q, want the higher-view fast value B", d[0].reqs[0].Op)
+	}
+}
+
+func TestSafeValueAmbiguousFastIsDropped(t *testing.T) {
+	f := newVCFixture(t)
+	reqsA, reqsB := f.reqs("A"), f.reqs("B")
+	// Two distinct values each with f+c+1 shares at the same view: not a
+	// unique fast value ⇒ v̂ = −1 ⇒ null (no prepare present).
+	d := decide(f,
+		vcMsg(1, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 1, 1, 1, reqsA), PrePrepareView: 1, PrePrepareReqs: reqsA}),
+		vcMsg(2, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 2, 1, 1, reqsA), PrePrepareView: 1, PrePrepareReqs: reqsA}),
+		vcMsg(3, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 3, 1, 1, reqsB), PrePrepareView: 1, PrePrepareReqs: reqsB}),
+		vcMsg(4, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: f.sigmaShare(t, 4, 1, 1, reqsB), PrePrepareView: 1, PrePrepareReqs: reqsB}),
+	)
+	if len(d[0].reqs) != 0 {
+		t.Fatalf("ambiguous fast value adopted: %+v", d[0].reqs)
+	}
+}
+
+func TestSafeValueIgnoresForgedCertificates(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("EVIL")
+	good := f.reqs("GOOD")
+	tau := f.prepareCert(t, 1, 0, good)
+	forged := threshsig.Signature{Data: []byte("not a real signature")}
+	d := decide(f,
+		// Byzantine replica claims a slow commit and a fast commit with
+		// forged certificates.
+		vcMsg(1, SlotInfo{Seq: 1,
+			HasCommitProofSlow: true, Tau: forged, TauTau: forged, SlowView: 5, SlowReqs: reqs,
+			HasCommitProof: true, Sigma: forged, FastView: 5, FastReqs: reqs}),
+		vcMsg(2, SlotInfo{Seq: 1, HasPrepare: true, PrepareTau: tau, PrepareView: 0, PrepareReqs: good}),
+		vcMsg(3),
+	)
+	if d[0].decided {
+		t.Fatal("forged certificate decided a slot")
+	}
+	if string(d[0].reqs[0].Op) != "GOOD" {
+		t.Fatalf("adopted %q, want GOOD", d[0].reqs[0].Op)
+	}
+}
+
+func TestSafeValueIgnoresSpoofedShareOwner(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("S")
+	// Replica 2 replays replica 1's σ share; the share's signer id does
+	// not match the sender, so it must not count toward f+c+1.
+	share1 := f.sigmaShare(t, 1, 1, 0, reqs)
+	d := decide(f,
+		vcMsg(1, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: share1, PrePrepareView: 0, PrePrepareReqs: reqs}),
+		vcMsg(2, SlotInfo{Seq: 1, HasPrePrepare: true,
+			SigmaShare: share1, PrePrepareView: 0, PrePrepareReqs: reqs}),
+		vcMsg(3),
+	)
+	if len(d[0].reqs) != 0 {
+		t.Fatalf("spoofed share counted toward a fast value: %+v", d[0].reqs)
+	}
+}
+
+func TestSafeValueHigherPrepareWins(t *testing.T) {
+	f := newVCFixture(t)
+	reqsA, reqsB := f.reqs("A"), f.reqs("B")
+	tauLow := f.prepareCert(t, 1, 0, reqsA)
+	tauHigh := f.prepareCert(t, 1, 3, reqsB)
+	d := decide(f,
+		vcMsg(1, SlotInfo{Seq: 1, HasPrepare: true, PrepareTau: tauLow, PrepareView: 0, PrepareReqs: reqsA}),
+		vcMsg(2, SlotInfo{Seq: 1, HasPrepare: true, PrepareTau: tauHigh, PrepareView: 3, PrepareReqs: reqsB}),
+		vcMsg(3),
+	)
+	if string(d[0].reqs[0].Op) != "B" {
+		t.Fatalf("adopted %q, want highest-view prepare B", d[0].reqs[0].Op)
+	}
+}
+
+func TestSafeValueStableBoundsSlots(t *testing.T) {
+	f := newVCFixture(t)
+	reqs := f.reqs("X")
+	tau := f.prepareCert(t, 2, 0, reqs)
+	vc1 := vcMsg(1, SlotInfo{Seq: 2, HasPrepare: true, PrepareTau: tau, PrepareView: 0, PrepareReqs: reqs})
+	vc1.LastStable = 2 // slot 2 is below the stable point
+	vc2 := vcMsg(2)
+	vc3 := vcMsg(3)
+	ls, d := computeSafeValues(f.cfg, f.suite, 1, []ViewChangeMsg{vc1, vc2, vc3})
+	if ls != 2 {
+		t.Fatalf("ls = %d, want 2", ls)
+	}
+	if len(d) != 0 {
+		t.Fatalf("decisions below stable point: %+v", d)
+	}
+}

@@ -1,0 +1,224 @@
+// Package threshbls implements threshold BLS signatures over the
+// from-scratch BN254 pairing — the scheme the SBFT paper deploys (§III,
+// [22][23]): 33-byte-class signatures in G1, public keys in G2, share
+// combination by Lagrange interpolation in the exponent with no extra
+// rounds, and robustness via per-share pairing verification against
+// per-signer public keys.
+//
+// A trusted dealer Shamir-shares the secret key over the scalar field
+// (matching SBFT's permissioned PKI setup). Signature shares are
+// σ_i = s_i·H(m) ∈ G1; any k of them interpolate to σ = s·H(m), verified
+// by e(H(m), PK) == e(σ, g₂).
+//
+// The group signature mode the paper mentions (n-of-n, §VIII) falls out
+// of the same algebra: Aggregate simply adds shares.
+package threshbls
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sbft/internal/crypto/bn254"
+	"sbft/internal/crypto/threshsig"
+)
+
+// Dealer generates threshold BLS instances.
+type Dealer struct {
+	// Rand is the entropy source (nil = crypto/rand.Reader).
+	Rand io.Reader
+}
+
+var _ threshsig.Dealer = Dealer{}
+
+// Scheme is the public side of a (k, n) threshold BLS instance.
+type Scheme struct {
+	k, n   int
+	pk     bn254.G2Point   // group public key s·g₂
+	shares []bn254.G2Point // shares[i-1] = s_i·g₂, per-signer keys
+}
+
+// Signer holds one Shamir share of the secret key.
+type Signer struct {
+	id int
+	si *big.Int
+}
+
+// Deal implements threshsig.Dealer.
+func (d Dealer) Deal(k, n int) (threshsig.Scheme, []threshsig.Signer, error) {
+	if k < 1 || n < 1 || k > n {
+		return nil, nil, fmt.Errorf("threshbls: invalid threshold k=%d n=%d", k, n)
+	}
+	rng := d.Rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+	// Shamir polynomial over the scalar field.
+	coeffs := make([]*big.Int, k)
+	for i := range coeffs {
+		c, err := rand.Int(rng, bn254.R)
+		if err != nil {
+			return nil, nil, fmt.Errorf("threshbls: sampling coefficient: %w", err)
+		}
+		coeffs[i] = c
+	}
+	g2 := bn254.G2Generator()
+	sch := &Scheme{
+		k:      k,
+		n:      n,
+		pk:     g2.ScalarMul(coeffs[0]),
+		shares: make([]bn254.G2Point, n),
+	}
+	signers := make([]threshsig.Signer, n)
+	for i := 1; i <= n; i++ {
+		si := evalPoly(coeffs, big.NewInt(int64(i)))
+		sch.shares[i-1] = g2.ScalarMul(si)
+		signers[i-1] = &Signer{id: i, si: si}
+	}
+	return sch, signers, nil
+}
+
+func evalPoly(coeffs []*big.Int, x *big.Int) *big.Int {
+	res := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		res.Mul(res, x)
+		res.Add(res, coeffs[i])
+		res.Mod(res, bn254.R)
+	}
+	return res
+}
+
+// ID implements threshsig.Signer.
+func (s *Signer) ID() int { return s.id }
+
+// Sign implements threshsig.Signer: σ_i = s_i · H(m).
+func (s *Signer) Sign(digest []byte) (threshsig.Share, error) {
+	h := bn254.HashToG1(digest)
+	sig := h.ScalarMul(s.si)
+	return threshsig.Share{Signer: s.id, Data: sig.Marshal()}, nil
+}
+
+var _ threshsig.Scheme = (*Scheme)(nil)
+
+// Threshold implements threshsig.Scheme.
+func (s *Scheme) Threshold() int { return s.k }
+
+// N implements threshsig.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// PublicKey returns the group public key.
+func (s *Scheme) PublicKey() bn254.G2Point { return s.pk }
+
+// VerifyShare implements threshsig.Scheme: e(H(m), pk_i) == e(σ_i, g₂),
+// checked as e(H(m), pk_i)·e(−σ_i, g₂) == 1.
+func (s *Scheme) VerifyShare(digest []byte, share threshsig.Share) error {
+	if share.Signer < 1 || share.Signer > s.n {
+		return fmt.Errorf("%w: signer %d, n=%d", threshsig.ErrBadSignerID, share.Signer, s.n)
+	}
+	sig, ok := bn254.UnmarshalG1(share.Data)
+	if !ok {
+		return fmt.Errorf("%w: not a G1 point", threshsig.ErrInvalidShare)
+	}
+	h := bn254.HashToG1(digest)
+	if !bn254.PairingCheck(
+		[]bn254.G1Point{h, sig.Neg()},
+		[]bn254.G2Point{s.shares[share.Signer-1], bn254.G2Generator()},
+	) {
+		return fmt.Errorf("%w: signer %d", threshsig.ErrInvalidShare, share.Signer)
+	}
+	return nil
+}
+
+// lagrangeAtZero computes λ_i(0) = Π_{j≠i} j/(j−i) over the scalar field.
+func lagrangeAtZero(set []int, i int) *big.Int {
+	num := big.NewInt(1)
+	den := big.NewInt(1)
+	for _, j := range set {
+		if j == i {
+			continue
+		}
+		num.Mul(num, big.NewInt(int64(j)))
+		num.Mod(num, bn254.R)
+		den.Mul(den, big.NewInt(int64(j-i)))
+		den.Mod(den, bn254.R)
+	}
+	den.ModInverse(den, bn254.R)
+	num.Mul(num, den)
+	return num.Mod(num, bn254.R)
+}
+
+// Combine implements threshsig.Scheme: interpolate k shares in the
+// exponent, σ = Σ λ_i(0)·σ_i. Shares are verified first (robustness,
+// §III), so the combined signature always verifies.
+func (s *Scheme) Combine(digest []byte, shares []threshsig.Share) (threshsig.Signature, error) {
+	sorted, err := threshsig.CheckShares(s.k, s.n, shares)
+	if err != nil {
+		return threshsig.Signature{}, err
+	}
+	sorted = sorted[:s.k]
+	ids := make([]int, s.k)
+	points := make([]bn254.G1Point, s.k)
+	for i, sh := range sorted {
+		if err := s.VerifyShare(digest, sh); err != nil {
+			return threshsig.Signature{}, err
+		}
+		p, ok := bn254.UnmarshalG1(sh.Data)
+		if !ok {
+			return threshsig.Signature{}, fmt.Errorf("%w: not a G1 point", threshsig.ErrInvalidShare)
+		}
+		ids[i] = sh.Signer
+		points[i] = p
+	}
+	acc := bn254.G1Infinity()
+	for i := range points {
+		acc = acc.Add(points[i].ScalarMul(lagrangeAtZero(ids, ids[i])))
+	}
+	return threshsig.Signature{Data: acc.Marshal()}, nil
+}
+
+// Verify implements threshsig.Scheme: e(H(m), PK) == e(σ, g₂).
+func (s *Scheme) Verify(digest []byte, sig threshsig.Signature) error {
+	p, ok := bn254.UnmarshalG1(sig.Data)
+	if !ok {
+		return threshsig.ErrInvalidSignature
+	}
+	h := bn254.HashToG1(digest)
+	if !bn254.PairingCheck(
+		[]bn254.G1Point{h, p.Neg()},
+		[]bn254.G2Point{s.pk, bn254.G2Generator()},
+	) {
+		return threshsig.ErrInvalidSignature
+	}
+	return nil
+}
+
+// Aggregate adds n-of-n shares without interpolation: the paper's faster
+// group-signature mode used on the fast path when no failure is detected
+// (§VIII). It requires shares from all n signers.
+func (s *Scheme) Aggregate(digest []byte, shares []threshsig.Share) (threshsig.Signature, error) {
+	if len(shares) != s.n {
+		return threshsig.Signature{}, fmt.Errorf("threshbls: group mode needs all %d shares, have %d", s.n, len(shares))
+	}
+	// n-of-n aggregation is interpolation over the full set; reuse
+	// Combine when k == n, else interpolate over all n.
+	sorted, err := threshsig.CheckShares(s.n, s.n, shares)
+	if err != nil {
+		return threshsig.Signature{}, err
+	}
+	ids := make([]int, s.n)
+	points := make([]bn254.G1Point, s.n)
+	for i, sh := range sorted {
+		if err := s.VerifyShare(digest, sh); err != nil {
+			return threshsig.Signature{}, err
+		}
+		p, _ := bn254.UnmarshalG1(sh.Data)
+		ids[i] = sh.Signer
+		points[i] = p
+	}
+	acc := bn254.G1Infinity()
+	for i := range points {
+		acc = acc.Add(points[i].ScalarMul(lagrangeAtZero(ids, ids[i])))
+	}
+	return threshsig.Signature{Data: acc.Marshal()}, nil
+}

@@ -1,0 +1,174 @@
+package threshbls
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"sync"
+	"testing"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// Pairing operations cost ~1s each with auditable big.Int arithmetic, so
+// the suite shares one small (2, 3) instance and every test is skipped
+// under -short.
+
+var (
+	dealOnce sync.Once
+	scheme   threshsig.Scheme
+	signers  []threshsig.Signer
+)
+
+func instance(t *testing.T) (threshsig.Scheme, []threshsig.Signer) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("threshold BLS tests are expensive (real pairings)")
+	}
+	dealOnce.Do(func() {
+		s, sg, err := Dealer{}.Deal(2, 3)
+		if err != nil {
+			t.Fatalf("Deal: %v", err)
+		}
+		scheme, signers = s, sg
+	})
+	if scheme == nil {
+		t.Fatal("shared deal failed earlier")
+	}
+	return scheme, signers
+}
+
+func digestOf(s string) []byte {
+	d := sha256.Sum256([]byte(s))
+	return d[:]
+}
+
+func TestDealValidation(t *testing.T) {
+	if _, _, err := (Dealer{}).Deal(4, 3); err == nil {
+		t.Fatal("Deal(4,3) accepted")
+	}
+	if _, _, err := (Dealer{}).Deal(0, 3); err == nil {
+		t.Fatal("Deal(0,3) accepted")
+	}
+}
+
+func TestSignVerifyCombine(t *testing.T) {
+	sch, sgs := instance(t)
+	d := digestOf("bls threshold")
+	sh1, err := sgs[0].Sign(d)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	sh2, err := sgs[1].Sign(d)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := sch.VerifyShare(d, sh1); err != nil {
+		t.Fatalf("VerifyShare: %v", err)
+	}
+	sig, err := sch.Combine(d, []threshsig.Share{sh1, sh2})
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if err := sch.Verify(d, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// 33-byte-class signatures: one G1 point (64B uncompressed here; the
+	// paper's 33B figure is the compressed form).
+	if len(sig.Data) != 64 {
+		t.Fatalf("signature size = %d", len(sig.Data))
+	}
+}
+
+func TestCombineSubsetsAgree(t *testing.T) {
+	sch, sgs := instance(t)
+	d := digestOf("unique")
+	var shares []threshsig.Share
+	for _, sg := range sgs {
+		sh, _ := sg.Sign(d)
+		shares = append(shares, sh)
+	}
+	sig12, err := sch.Combine(d, shares[:2])
+	if err != nil {
+		t.Fatalf("Combine{1,2}: %v", err)
+	}
+	sig23, err := sch.Combine(d, shares[1:])
+	if err != nil {
+		t.Fatalf("Combine{2,3}: %v", err)
+	}
+	if !bytes.Equal(sig12.Data, sig23.Data) {
+		t.Fatal("different subsets produced different signatures; BLS threshold signatures are unique")
+	}
+}
+
+func TestRobustnessRejectsBadShare(t *testing.T) {
+	sch, sgs := instance(t)
+	d := digestOf("robust")
+	sh, _ := sgs[0].Sign(d)
+
+	bad := threshsig.Share{Signer: 1, Data: append([]byte{}, sh.Data...)}
+	bad.Data[5] ^= 0xff
+	if err := sch.VerifyShare(d, bad); !errors.Is(err, threshsig.ErrInvalidShare) {
+		t.Fatalf("corrupt share: err=%v", err)
+	}
+	// Replay under a different signer id must fail (binds to pk_i).
+	replay := threshsig.Share{Signer: 2, Data: sh.Data}
+	if err := sch.VerifyShare(d, replay); !errors.Is(err, threshsig.ErrInvalidShare) {
+		t.Fatalf("replayed share: err=%v", err)
+	}
+	if err := sch.VerifyShare(digestOf("other"), sh); !errors.Is(err, threshsig.ErrInvalidShare) {
+		t.Fatalf("wrong-digest share: err=%v", err)
+	}
+	if err := sch.VerifyShare(d, threshsig.Share{Signer: 9, Data: sh.Data}); !errors.Is(err, threshsig.ErrBadSignerID) {
+		t.Fatalf("out-of-range signer: err=%v", err)
+	}
+}
+
+func TestVerifyRejectsForgery(t *testing.T) {
+	sch, sgs := instance(t)
+	d := digestOf("forge")
+	sh1, _ := sgs[0].Sign(d)
+	sh2, _ := sgs[1].Sign(d)
+	sig, err := sch.Combine(d, []threshsig.Share{sh1, sh2})
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if err := sch.Verify(digestOf("different"), sig); !errors.Is(err, threshsig.ErrInvalidSignature) {
+		t.Fatalf("wrong digest: err=%v", err)
+	}
+	bad := threshsig.Signature{Data: append([]byte{}, sig.Data...)}
+	bad.Data[0] ^= 1
+	if err := sch.Verify(d, bad); !errors.Is(err, threshsig.ErrInvalidSignature) {
+		t.Fatalf("tampered signature: err=%v", err)
+	}
+}
+
+func TestNotEnoughShares(t *testing.T) {
+	sch, sgs := instance(t)
+	d := digestOf("short")
+	sh1, _ := sgs[0].Sign(d)
+	if _, err := sch.Combine(d, []threshsig.Share{sh1}); !errors.Is(err, threshsig.ErrNotEnoughShares) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestAggregateGroupMode(t *testing.T) {
+	sch, sgs := instance(t)
+	blsScheme := sch.(*Scheme)
+	d := digestOf("group mode")
+	var shares []threshsig.Share
+	for _, sg := range sgs {
+		sh, _ := sg.Sign(d)
+		shares = append(shares, sh)
+	}
+	sig, err := blsScheme.Aggregate(d, shares)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if err := sch.Verify(d, sig); err != nil {
+		t.Fatalf("Verify aggregated: %v", err)
+	}
+	if _, err := blsScheme.Aggregate(d, shares[:2]); err == nil {
+		t.Fatal("group mode accepted missing shares")
+	}
+}

@@ -1,0 +1,171 @@
+package evm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// Asm is a tiny assembler for building EVM bytecode in tests, examples and
+// workload generators. It supports labels with back-patching so control
+// flow reads naturally:
+//
+//	a := NewAsm()
+//	a.Push(0).Push(1).Op(EQ).JumpI("done")
+//	a.Push(0).Push(0).Op(REVERT)
+//	a.Label("done").Op(STOP)
+//	code := a.Build()
+type Asm struct {
+	buf     []byte
+	labels  map[string]int
+	patches []patch
+	err     error
+}
+
+type patch struct {
+	at    int // offset of the 2-byte push operand
+	label string
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// Op appends raw opcodes.
+func (a *Asm) Op(ops ...Opcode) *Asm {
+	for _, op := range ops {
+		a.buf = append(a.buf, byte(op))
+	}
+	return a
+}
+
+// Push appends the shortest PUSH for v.
+func (a *Asm) Push(v uint64) *Asm {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	i := 0
+	for i < 7 && tmp[i] == 0 {
+		i++
+	}
+	b := tmp[i:]
+	a.buf = append(a.buf, byte(PUSH1)+byte(len(b)-1))
+	a.buf = append(a.buf, b...)
+	return a
+}
+
+// PushBig appends a PUSH of a big integer (up to 32 bytes).
+func (a *Asm) PushBig(v *big.Int) *Asm {
+	b := v.Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	}
+	if len(b) > 32 {
+		a.err = fmt.Errorf("evm: push value exceeds 32 bytes")
+		return a
+	}
+	a.buf = append(a.buf, byte(PUSH1)+byte(len(b)-1))
+	a.buf = append(a.buf, b...)
+	return a
+}
+
+// PushBytes appends a PUSH of up to 32 raw bytes.
+func (a *Asm) PushBytes(b []byte) *Asm {
+	if len(b) == 0 || len(b) > 32 {
+		a.err = fmt.Errorf("evm: PushBytes length %d", len(b))
+		return a
+	}
+	a.buf = append(a.buf, byte(PUSH1)+byte(len(b)-1))
+	a.buf = append(a.buf, b...)
+	return a
+}
+
+// Label defines a jump destination at the current position.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.err = fmt.Errorf("evm: duplicate label %q", name)
+		return a
+	}
+	a.labels[name] = len(a.buf)
+	a.buf = append(a.buf, byte(JUMPDEST))
+	return a
+}
+
+// pushLabel emits PUSH2 with a placeholder to be patched.
+func (a *Asm) pushLabel(name string) {
+	a.buf = append(a.buf, byte(PUSH2))
+	a.patches = append(a.patches, patch{at: len(a.buf), label: name})
+	a.buf = append(a.buf, 0, 0)
+}
+
+// Jump emits an unconditional jump to a label.
+func (a *Asm) Jump(name string) *Asm {
+	a.pushLabel(name)
+	a.buf = append(a.buf, byte(JUMP))
+	return a
+}
+
+// JumpI emits a conditional jump to a label (consumes the condition already
+// on the stack: stack layout cond → PUSH dest → JUMPI pops dest then cond).
+func (a *Asm) JumpI(name string) *Asm {
+	a.pushLabel(name)
+	a.buf = append(a.buf, byte(JUMPI))
+	return a
+}
+
+// Raw appends arbitrary bytes (e.g. embedded data).
+func (a *Asm) Raw(b []byte) *Asm {
+	a.buf = append(a.buf, b...)
+	return a
+}
+
+// Build resolves labels and returns the bytecode.
+func (a *Asm) Build() ([]byte, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	out := append([]byte(nil), a.buf...)
+	for _, p := range a.patches {
+		pos, ok := a.labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("evm: undefined label %q", p.label)
+		}
+		if pos > 0xffff {
+			return nil, fmt.Errorf("evm: label %q offset %d exceeds PUSH2", p.label, pos)
+		}
+		binary.BigEndian.PutUint16(out[p.at:], uint16(pos))
+	}
+	return out, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed contracts.
+func (a *Asm) MustBuild() []byte {
+	code, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// DeployWrapper wraps runtime code in init code that returns it, the
+// standard constructor pattern: CODECOPY the runtime tail and RETURN it.
+func DeployWrapper(runtime []byte) []byte {
+	a := NewAsm()
+	// PUSH len, PUSH offset(placeholder resolved after we know header len),
+	// PUSH 0, CODECOPY, PUSH len, PUSH 0, RETURN
+	// Header layout is fixed: we compute its size by building twice.
+	build := func(hdrLen int) []byte {
+		b := NewAsm()
+		b.Push(uint64(len(runtime))).Push(uint64(hdrLen)).Push(0).Op(CODECOPY)
+		b.Push(uint64(len(runtime))).Push(0).Op(RETURN)
+		code := b.MustBuild()
+		return code
+	}
+	hdr := build(0)
+	hdr = build(len(hdr))
+	// Size may change if the offset crossed a PUSH width boundary; iterate
+	// once more to fix point.
+	hdr = build(len(hdr))
+	a.Raw(hdr).Raw(runtime)
+	return a.MustBuild()
+}

@@ -1,0 +1,143 @@
+package evm
+
+import "math/big"
+
+// This file holds hand-assembled contracts used by tests, examples and the
+// smart-contract workload generator (the substitute for the paper's 500k
+// real Ethereum transactions, see DESIGN.md).
+
+// Token method selectors (first calldata word).
+const (
+	TokenMint     = 1
+	TokenTransfer = 2
+	TokenBalance  = 3
+)
+
+// TokenRuntime assembles the runtime bytecode of a minimal fungible-token
+// contract. Storage layout: balance of address A is stored at key A.
+// Calldata layout: word0 = method, word1 = address, word2 = amount.
+//
+//	method 1 (mint):     bal[to] += amount, returns 1
+//	method 2 (transfer): moves amount from CALLER to to, reverts if
+//	                     insufficient, returns 1
+//	method 3 (balance):  returns bal[addr]
+func TokenRuntime() []byte {
+	a := NewAsm()
+	// Dispatch on method word.
+	a.Push(0).Op(CALLDATALOAD) // [m]
+	a.Op(DUP1).Push(TokenMint).Op(EQ).JumpI("mint")
+	a.Op(DUP1).Push(TokenTransfer).Op(EQ).JumpI("transfer")
+	a.Op(DUP1).Push(TokenBalance).Op(EQ).JumpI("balance")
+	a.Push(0).Push(0).Op(REVERT)
+
+	// mint(to, amount)
+	a.Label("mint").Op(POP)
+	a.Push(32).Op(CALLDATALOAD)  // [to]
+	a.Op(DUP1).Op(SLOAD)         // [to, bal]
+	a.Push(64).Op(CALLDATALOAD)  // [to, bal, amt]
+	a.Op(ADD)                    // [to, bal+amt]
+	a.Op(SWAP1)                  // [bal+amt, to]
+	a.Op(SSTORE)                 // []
+	a.Push(1).Push(0).Op(MSTORE) // mem[0:32] = 1
+	a.Push(32).Push(0).Op(RETURN)
+
+	// transfer(to, amount) from CALLER
+	a.Label("transfer").Op(POP)
+	a.Op(CALLER)                // [from]
+	a.Op(DUP1).Op(SLOAD)        // [from, balF]
+	a.Push(64).Op(CALLDATALOAD) // [from, balF, amt]
+	a.Op(DUP1)                  // [from, balF, amt, amt]
+	a.Op(DUP3)                  // [from, balF, amt, amt, balF]
+	a.Op(LT)                    // [from, balF, amt, balF<amt]
+	a.JumpI("insufficient")     // [from, balF, amt]
+	a.Op(SWAP1)                 // [from, amt, balF]
+	a.Op(SUB)                   // [from, balF-amt]
+	a.Op(SWAP1)                 // [balF-amt, from]
+	a.Op(SSTORE)                // []
+	a.Push(32).Op(CALLDATALOAD) // [to]
+	a.Op(DUP1).Op(SLOAD)        // [to, balT]
+	a.Push(64).Op(CALLDATALOAD) // [to, balT, amt]
+	a.Op(ADD).Op(SWAP1)         // [balT+amt, to]
+	a.Op(SSTORE)                // []
+	// Emit a transfer log: LOG1 with topic = to address.
+	a.Push(32).Op(CALLDATALOAD) // [to]
+	a.Push(0).Push(0)           // [to, size=0... order: see LOG]
+	a.Op(LOG1)
+	a.Push(1).Push(0).Op(MSTORE)
+	a.Push(32).Push(0).Op(RETURN)
+
+	a.Label("insufficient")
+	a.Push(0).Push(0).Op(REVERT)
+
+	// balance(addr)
+	a.Label("balance").Op(POP)
+	a.Push(32).Op(CALLDATALOAD).Op(SLOAD) // [bal]
+	a.Push(0).Op(MSTORE)
+	a.Push(32).Push(0).Op(RETURN)
+
+	return a.MustBuild()
+}
+
+// TokenDeploy returns init code that installs TokenRuntime.
+func TokenDeploy() []byte { return DeployWrapper(TokenRuntime()) }
+
+// TokenCalldata builds calldata for a token method invocation.
+func TokenCalldata(method uint64, addr Address, amount uint64) []byte {
+	buf := make([]byte, 96)
+	m := WordFromUint64(method)
+	copy(buf[0:32], m[:])
+	copy(buf[32+12:64], addr[:]) // address right-aligned in word1
+	am := WordFromUint64(amount)
+	copy(buf[64:96], am[:])
+	return buf
+}
+
+// ChurnRuntime assembles a storage-churn contract: calldata word0 = n, and
+// the contract writes storage slots 0..n-1, modeling state-heavy contract
+// workloads.
+func ChurnRuntime() []byte {
+	a := NewAsm()
+	a.Push(0).Op(CALLDATALOAD) // [n]
+	a.Push(0)                  // [n, i]
+	a.Label("loop")
+	a.Op(DUP2).Op(DUP2) // [n, i, n, i]
+	a.Op(LT)            // [n, i, i<n]
+	a.Op(ISZERO).JumpI("end")
+	a.Op(DUP1).Op(DUP1) // [n, i, i, i]
+	a.Op(SSTORE)        // [n, i]
+	a.Push(1).Op(ADD)   // [n, i+1]
+	a.Jump("loop")
+	a.Label("end")
+	a.Op(STOP)
+	return a.MustBuild()
+}
+
+// ChurnDeploy returns init code installing ChurnRuntime.
+func ChurnDeploy() []byte { return DeployWrapper(ChurnRuntime()) }
+
+// ChurnCalldata builds calldata asking for n storage writes.
+func ChurnCalldata(n uint64) []byte {
+	w := WordFromUint64(n)
+	return w[:]
+}
+
+// AdderRuntime assembles a pure-compute contract that sums word0 and word1
+// of calldata and returns the result; used by VM unit tests.
+func AdderRuntime() []byte {
+	a := NewAsm()
+	a.Push(0).Op(CALLDATALOAD)
+	a.Push(32).Op(CALLDATALOAD)
+	a.Op(ADD)
+	a.Push(0).Op(MSTORE)
+	a.Push(32).Push(0).Op(RETURN)
+	return a.MustBuild()
+}
+
+// AdderCalldata builds calldata for AdderRuntime.
+func AdderCalldata(x, y *big.Int) []byte {
+	buf := make([]byte, 64)
+	wx, wy := WordFromBig(x), WordFromBig(y)
+	copy(buf[:32], wx[:])
+	copy(buf[32:], wy[:])
+	return buf
+}

@@ -1,0 +1,388 @@
+package evm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sbft/internal/merkle"
+)
+
+// TxKind distinguishes the two Ethereum transaction types the paper models
+// (§IV): contract creation and contract execution.
+type TxKind uint8
+
+// Transaction kinds.
+const (
+	TxCreate TxKind = iota + 1
+	TxCall
+)
+
+// Tx is one ledger transaction.
+type Tx struct {
+	Kind     TxKind
+	From     Address
+	To       Address // ignored for TxCreate
+	Value    uint64
+	GasLimit uint64
+	Data     []byte // init code (create) or calldata (call)
+}
+
+// Errors returned by the ledger layer.
+var (
+	ErrBadTx        = errors.New("evm: malformed transaction")
+	ErrUnknownBlock = errors.New("evm: block not retained")
+	ErrBadProof     = errors.New("evm: invalid execution proof")
+)
+
+// Encode serializes the transaction.
+func (tx Tx) Encode() []byte {
+	buf := make([]byte, 0, 1+20+20+8+8+4+len(tx.Data))
+	buf = append(buf, byte(tx.Kind))
+	buf = append(buf, tx.From[:]...)
+	buf = append(buf, tx.To[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Value)
+	buf = binary.BigEndian.AppendUint64(buf, tx.GasLimit)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(tx.Data)))
+	buf = append(buf, tx.Data...)
+	return buf
+}
+
+// DecodeTx parses an encoded transaction.
+func DecodeTx(data []byte) (Tx, error) {
+	const hdr = 1 + 20 + 20 + 8 + 8 + 4
+	if len(data) < hdr {
+		return Tx{}, fmt.Errorf("%w: %d bytes", ErrBadTx, len(data))
+	}
+	var tx Tx
+	tx.Kind = TxKind(data[0])
+	if tx.Kind != TxCreate && tx.Kind != TxCall {
+		return Tx{}, fmt.Errorf("%w: kind %d", ErrBadTx, tx.Kind)
+	}
+	copy(tx.From[:], data[1:21])
+	copy(tx.To[:], data[21:41])
+	tx.Value = binary.BigEndian.Uint64(data[41:49])
+	tx.GasLimit = binary.BigEndian.Uint64(data[49:57])
+	dlen := binary.BigEndian.Uint32(data[57:61])
+	if uint32(len(data)-hdr) != dlen {
+		return Tx{}, fmt.Errorf("%w: data length %d, have %d", ErrBadTx, dlen, len(data)-hdr)
+	}
+	tx.Data = append([]byte(nil), data[hdr:]...)
+	return tx, nil
+}
+
+// Receipt is the result of executing one transaction.
+type Receipt struct {
+	OK       bool
+	Reverted bool
+	GasUsed  uint64
+	Ret      []byte
+	Created  Address // set for successful creations
+	Err      string  // deterministic error class, empty on success
+}
+
+// Encode serializes the receipt (the per-operation "val" in the paper's
+// execute-ack).
+func (r Receipt) Encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		// Receipt is a plain struct; gob cannot fail on it.
+		panic(fmt.Sprintf("evm: encoding receipt: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// DecodeReceipt parses an encoded receipt.
+func DecodeReceipt(data []byte) (Receipt, error) {
+	var r Receipt
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return Receipt{}, fmt.Errorf("evm: decoding receipt: %w", err)
+	}
+	return r, nil
+}
+
+// Ledger is the replica-side smart-contract application: it executes
+// blocks of transactions through the VM over an authenticated state and
+// produces digests and per-transaction proofs exactly like the key-value
+// store, so it plugs into the same replication engine (§IV layering).
+type Ledger struct {
+	stateMap *merkle.Map
+	state    *MapState
+	lastSeq  uint64
+	digest   []byte
+	executed map[uint64]*execRecord
+}
+
+type execRecord struct {
+	tree    *merkle.Tree
+	kvRoot  merkle.Digest
+	ops     [][]byte
+	results [][]byte
+}
+
+// NewLedger returns an empty contract ledger.
+func NewLedger() *Ledger {
+	m := merkle.NewMap()
+	l := &Ledger{
+		stateMap: m,
+		state:    NewMapState(m),
+		executed: make(map[uint64]*execRecord),
+	}
+	l.digest = stateDigest(0, m.Digest(), merkle.NewTree(nil).Root())
+	return l
+}
+
+func stateDigest(seq uint64, kvRoot, execRoot merkle.Digest) []byte {
+	h := sha256.New()
+	h.Write([]byte("sbft:evm-state"))
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], seq)
+	h.Write(sb[:])
+	h.Write(kvRoot[:])
+	h.Write(execRoot[:])
+	return h.Sum(nil)
+}
+
+func execLeaf(l int, op, val []byte) []byte {
+	buf := make([]byte, 0, 8+len(op)+len(val))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(l))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(op)))
+	buf = append(buf, op...)
+	buf = append(buf, val...)
+	return buf
+}
+
+// Mint credits an account balance outside consensus, for genesis setup in
+// tests, examples and workload generation. All replicas must apply the
+// same genesis before sequence 1.
+func (l *Ledger) Mint(a Address, amount uint64) {
+	l.state.SetBalance(a, new(big.Int).Add(l.state.GetBalance(a), new(big.Int).SetUint64(amount)))
+	l.state.DiscardJournal()
+	l.refreshGenesisDigest()
+}
+
+// GenesisCreate deploys a contract outside consensus (genesis block). All
+// replicas must apply identical genesis operations before sequence 1.
+func (l *Ledger) GenesisCreate(from Address, initCode []byte, gas uint64) (Address, error) {
+	vm := NewVM(l.state, Context{GasLimit: gas})
+	addr, res, err := vm.Create(from, nil, initCode, gas)
+	l.state.DiscardJournal()
+	l.refreshGenesisDigest()
+	if err != nil {
+		return Address{}, fmt.Errorf("evm: genesis create: %w", err)
+	}
+	if res.Reverted {
+		return Address{}, fmt.Errorf("evm: genesis create reverted")
+	}
+	return addr, nil
+}
+
+// refreshGenesisDigest recomputes the pre-block-1 digest after genesis
+// mutations so replicas with identical genesis share digests from the
+// start.
+func (l *Ledger) refreshGenesisDigest() {
+	if l.lastSeq == 0 {
+		l.digest = stateDigest(0, l.stateMap.Digest(), merkle.NewTree(nil).Root())
+	}
+}
+
+// Balance reads an account balance.
+func (l *Ledger) Balance(a Address) *big.Int { return l.state.GetBalance(a) }
+
+// Storage reads a contract storage word.
+func (l *Ledger) Storage(a Address, k Word) Word { return l.state.GetStorage(a, k) }
+
+// Code reads installed contract code.
+func (l *Ledger) Code(a Address) []byte { return l.state.GetCode(a) }
+
+// applyTx executes one transaction, returning its receipt. Failed
+// transactions roll back their state effects but still consume a slot in
+// the block (deterministically), as in Ethereum.
+func (l *Ledger) applyTx(seq uint64, raw []byte) Receipt {
+	tx, err := DecodeTx(raw)
+	if err != nil {
+		return Receipt{Err: "malformed"}
+	}
+	vm := NewVM(l.state, Context{BlockNum: seq, GasLimit: tx.GasLimit})
+	value := new(big.Int).SetUint64(tx.Value)
+	switch tx.Kind {
+	case TxCreate:
+		addr, res, err := vm.Create(tx.From, value, tx.Data, tx.GasLimit)
+		if err != nil {
+			return Receipt{GasUsed: res.GasUsed, Err: errClass(err)}
+		}
+		if res.Reverted {
+			return Receipt{GasUsed: res.GasUsed, Reverted: true, Ret: res.Ret}
+		}
+		return Receipt{OK: true, GasUsed: res.GasUsed, Created: addr, Ret: res.Ret}
+	case TxCall:
+		res, err := vm.Call(tx.From, tx.To, value, tx.Data, tx.GasLimit)
+		if err != nil {
+			return Receipt{GasUsed: res.GasUsed, Err: errClass(err)}
+		}
+		if res.Reverted {
+			return Receipt{GasUsed: res.GasUsed, Reverted: true, Ret: res.Ret}
+		}
+		return Receipt{OK: true, GasUsed: res.GasUsed, Ret: res.Ret}
+	default:
+		return Receipt{Err: "malformed"}
+	}
+}
+
+// errClass maps VM errors to deterministic receipt strings (error text must
+// be identical across replicas; we never embed addresses or values).
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, ErrOutOfGas):
+		return "out-of-gas"
+	case errors.Is(err, ErrInsufficient):
+		return "insufficient-balance"
+	case errors.Is(err, ErrBadJump):
+		return "bad-jump"
+	case errors.Is(err, ErrInvalidOpcode):
+		return "invalid-opcode"
+	case errors.Is(err, ErrStackUnderflow), errors.Is(err, ErrStackOverflow):
+		return "stack-fault"
+	case errors.Is(err, ErrCallDepth):
+		return "call-depth"
+	case errors.Is(err, ErrMemoryLimit):
+		return "memory-limit"
+	case errors.Is(err, ErrCodeSize):
+		return "code-size"
+	default:
+		return "vm-error"
+	}
+}
+
+// ExecuteBlock applies a block of encoded transactions in order and
+// returns encoded receipts, one per transaction.
+func (l *Ledger) ExecuteBlock(seq uint64, ops [][]byte) [][]byte {
+	results := make([][]byte, len(ops))
+	for i, raw := range ops {
+		rcpt := l.applyTx(seq, raw)
+		l.state.DiscardJournal()
+		results[i] = rcpt.Encode()
+	}
+	kvRoot := l.stateMap.Digest()
+	leaves := make([][]byte, len(ops))
+	for i := range ops {
+		leaves[i] = execLeaf(i, ops[i], results[i])
+	}
+	tree := merkle.NewTree(leaves)
+	l.executed[seq] = &execRecord{tree: tree, kvRoot: kvRoot, ops: ops, results: results}
+	l.lastSeq = seq
+	l.digest = stateDigest(seq, kvRoot, tree.Root())
+	return results
+}
+
+// Digest returns the state digest after the last executed block.
+func (l *Ledger) Digest() []byte { return append([]byte(nil), l.digest...) }
+
+// LastExecuted reports the last executed sequence number.
+func (l *Ledger) LastExecuted() uint64 { return l.lastSeq }
+
+// Proof mirrors kvstore.Proof for contract transactions.
+type Proof struct {
+	Seq    uint64
+	L      int
+	Op     []byte
+	Val    []byte
+	KVRoot merkle.Digest
+	Path   merkle.Proof
+}
+
+// ProveOperation builds the proof for transaction l of block seq.
+func (l *Ledger) ProveOperation(seq uint64, idx int) (Proof, error) {
+	rec, ok := l.executed[seq]
+	if !ok {
+		return Proof{}, fmt.Errorf("%w: seq %d", ErrUnknownBlock, seq)
+	}
+	if idx < 0 || idx >= len(rec.ops) {
+		return Proof{}, fmt.Errorf("evm: tx index %d out of range [0,%d)", idx, len(rec.ops))
+	}
+	path, err := rec.tree.Prove(idx)
+	if err != nil {
+		return Proof{}, err
+	}
+	return Proof{
+		Seq: seq, L: idx,
+		Op:     rec.ops[idx],
+		Val:    rec.results[idx],
+		KVRoot: rec.kvRoot,
+		Path:   path,
+	}, nil
+}
+
+// Verify is the client-side proof check against an f+1-signed digest.
+func Verify(digest []byte, op, val []byte, seq uint64, idx int, p Proof) error {
+	if p.Seq != seq || p.L != idx || p.Path.Index != idx {
+		return fmt.Errorf("%w: binding mismatch", ErrBadProof)
+	}
+	if !bytes.Equal(p.Op, op) || !bytes.Equal(p.Val, val) {
+		return fmt.Errorf("%w: op/result mismatch", ErrBadProof)
+	}
+	root := merkle.LeafHash(execLeaf(idx, op, val))
+	for _, st := range p.Path.Steps {
+		if st.Right {
+			root = merkle.InteriorHash(root, st.Hash)
+		} else {
+			root = merkle.InteriorHash(st.Hash, root)
+		}
+	}
+	if !bytes.Equal(stateDigest(seq, p.KVRoot, root), digest) {
+		return fmt.Errorf("%w: digest mismatch", ErrBadProof)
+	}
+	return nil
+}
+
+// GarbageCollect drops execution records below keepFrom.
+func (l *Ledger) GarbageCollect(keepFrom uint64) {
+	for seq := range l.executed {
+		if seq < keepFrom {
+			delete(l.executed, seq)
+		}
+	}
+}
+
+type snapshotState struct {
+	LastSeq uint64
+	Digest  []byte
+	Entries map[string][]byte
+}
+
+// Snapshot serializes the ledger state for state transfer.
+func (l *Ledger) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	snap := snapshotState{LastSeq: l.lastSeq, Digest: l.digest, Entries: l.stateMap.Snapshot()}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("evm: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the ledger state from a snapshot.
+func (l *Ledger) Restore(data []byte) error {
+	var snap snapshotState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("evm: decoding snapshot: %w", err)
+	}
+	l.stateMap.Restore(snap.Entries)
+	l.state = NewMapState(l.stateMap)
+	l.lastSeq = snap.LastSeq
+	l.digest = snap.Digest
+	l.executed = make(map[uint64]*execRecord)
+	return nil
+}
+
+// Results returns retained receipts for an executed block.
+func (l *Ledger) Results(seq uint64) ([][]byte, bool) {
+	rec, ok := l.executed[seq]
+	if !ok {
+		return nil, false
+	}
+	return rec.results, true
+}

@@ -1,0 +1,965 @@
+package evm
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Execution limits and the simplified gas schedule.
+const (
+	StackLimit    = 1024
+	MaxCallDepth  = 64
+	MaxCodeSize   = 1 << 16
+	MaxMemory     = 1 << 22 // 4 MiB per frame
+	gasBase       = 1
+	gasArith      = 3
+	gasExpPerByte = 10
+	gasHashWord   = 6
+	gasSLoad      = 50
+	gasSStore     = 200
+	gasMemWord    = 1
+	gasCall       = 300
+	gasCreate     = 800
+	gasLogBase    = 100
+)
+
+// VM errors. ErrRevert carries the revert payload via ExecResult instead.
+var (
+	ErrOutOfGas       = errors.New("evm: out of gas")
+	ErrStackUnderflow = errors.New("evm: stack underflow")
+	ErrStackOverflow  = errors.New("evm: stack overflow")
+	ErrBadJump        = errors.New("evm: jump to invalid destination")
+	ErrInvalidOpcode  = errors.New("evm: invalid opcode")
+	ErrCallDepth      = errors.New("evm: call depth exceeded")
+	ErrMemoryLimit    = errors.New("evm: memory limit exceeded")
+	ErrCodeSize       = errors.New("evm: code size limit exceeded")
+	ErrInsufficient   = errors.New("evm: insufficient balance")
+)
+
+// Log is an emitted event.
+type Log struct {
+	Address Address
+	Topics  []Word
+	Data    []byte
+}
+
+// Context carries per-transaction environment values.
+type Context struct {
+	BlockNum  uint64
+	Timestamp uint64
+	GasLimit  uint64
+}
+
+// ExecResult is the outcome of running a frame.
+type ExecResult struct {
+	Ret      []byte
+	GasUsed  uint64
+	Reverted bool
+	Logs     []Log
+}
+
+// VM executes EVM bytecode frames against a State.
+type VM struct {
+	state State
+	ctx   Context
+	depth int
+	logs  []Log
+}
+
+// NewVM builds a VM over state with the given context.
+func NewVM(state State, ctx Context) *VM {
+	return &VM{state: state, ctx: ctx}
+}
+
+type frame struct {
+	code   []byte
+	caller Address
+	self   Address
+	value  *big.Int
+	input  []byte
+	gas    uint64
+	stack  []*big.Int
+	mem    []byte
+	pc     int
+	jumpOK map[int]bool
+	vm     *VM
+}
+
+func validJumpDests(code []byte) map[int]bool {
+	dests := make(map[int]bool)
+	for i := 0; i < len(code); i++ {
+		op := Opcode(code[i])
+		if op == JUMPDEST {
+			dests[i] = true
+		}
+		if op >= PUSH1 && op <= PUSH32 {
+			i += int(op-PUSH1) + 1
+		}
+	}
+	return dests
+}
+
+// Call runs the code at 'to' with the given input, transferring value from
+// caller. It is the entry point for contract-execution transactions.
+func (vm *VM) Call(caller, to Address, value *big.Int, input []byte, gas uint64) (ExecResult, error) {
+	if vm.depth >= MaxCallDepth {
+		return ExecResult{}, ErrCallDepth
+	}
+	snap := vm.state.Snapshot()
+	logMark := len(vm.logs)
+	if err := vm.transfer(caller, to, value); err != nil {
+		return ExecResult{}, err
+	}
+	code := vm.state.GetCode(to)
+	if len(code) == 0 {
+		// Plain value transfer.
+		return ExecResult{GasUsed: gasBase, Logs: nil}, nil
+	}
+	res, err := vm.run(caller, to, value, input, code, gas)
+	if err != nil || res.Reverted {
+		vm.state.RevertTo(snap)
+		vm.logs = vm.logs[:logMark]
+	}
+	res.Logs = append([]Log(nil), vm.logs[logMark:]...)
+	return res, err
+}
+
+// Create deploys a contract: runs initCode and installs its return value
+// as the contract body. It is the entry point for creation transactions.
+func (vm *VM) Create(caller Address, value *big.Int, initCode []byte, gas uint64) (Address, ExecResult, error) {
+	if vm.depth >= MaxCallDepth {
+		return Address{}, ExecResult{}, ErrCallDepth
+	}
+	nonce := vm.state.GetNonce(caller)
+	addr := ContractAddress(caller, nonce)
+	vm.state.SetNonce(caller, nonce+1)
+
+	snap := vm.state.Snapshot()
+	logMark := len(vm.logs)
+	if err := vm.transfer(caller, addr, value); err != nil {
+		return Address{}, ExecResult{}, err
+	}
+	res, err := vm.run(caller, addr, value, nil, initCode, gas)
+	if err == nil && !res.Reverted {
+		if len(res.Ret) > MaxCodeSize {
+			err = ErrCodeSize
+		} else {
+			vm.state.SetCode(addr, res.Ret)
+		}
+	}
+	if err != nil || res.Reverted {
+		vm.state.RevertTo(snap)
+		vm.logs = vm.logs[:logMark]
+		return Address{}, res, err
+	}
+	res.Logs = append([]Log(nil), vm.logs[logMark:]...)
+	return addr, res, nil
+}
+
+func (vm *VM) transfer(from, to Address, value *big.Int) error {
+	if value == nil || value.Sign() == 0 {
+		return nil
+	}
+	fb := vm.state.GetBalance(from)
+	if fb.Cmp(value) < 0 {
+		return fmt.Errorf("%w: have %v, need %v", ErrInsufficient, fb, value)
+	}
+	vm.state.SetBalance(from, new(big.Int).Sub(fb, value))
+	vm.state.SetBalance(to, new(big.Int).Add(vm.state.GetBalance(to), value))
+	return nil
+}
+
+// run executes one frame to completion.
+func (vm *VM) run(caller, self Address, value *big.Int, input, code []byte, gas uint64) (ExecResult, error) {
+	vm.depth++
+	defer func() { vm.depth-- }()
+	if value == nil {
+		value = new(big.Int)
+	}
+	f := &frame{
+		code:   code,
+		caller: caller,
+		self:   self,
+		value:  value,
+		input:  input,
+		gas:    gas,
+		jumpOK: validJumpDests(code),
+		vm:     vm,
+	}
+	ret, reverted, err := f.loop()
+	used := gas - f.gas
+	if err != nil {
+		return ExecResult{GasUsed: used}, err
+	}
+	return ExecResult{Ret: ret, GasUsed: used, Reverted: reverted}, nil
+}
+
+func (f *frame) use(g uint64) error {
+	if f.gas < g {
+		f.gas = 0
+		return ErrOutOfGas
+	}
+	f.gas -= g
+	return nil
+}
+
+func (f *frame) push(v *big.Int) error {
+	if len(f.stack) >= StackLimit {
+		return ErrStackOverflow
+	}
+	f.stack = append(f.stack, v)
+	return nil
+}
+
+func (f *frame) pop() (*big.Int, error) {
+	if len(f.stack) == 0 {
+		return nil, ErrStackUnderflow
+	}
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v, nil
+}
+
+func (f *frame) popN(n int) ([]*big.Int, error) {
+	if len(f.stack) < n {
+		return nil, ErrStackUnderflow
+	}
+	out := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		out[i] = f.stack[len(f.stack)-1-i]
+	}
+	f.stack = f.stack[:len(f.stack)-n]
+	return out, nil
+}
+
+// memExpand grows memory to cover [off, off+size) and charges gas.
+func (f *frame) memExpand(off, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	end := off + size
+	if end < off || end > MaxMemory {
+		return ErrMemoryLimit
+	}
+	if uint64(len(f.mem)) >= end {
+		return nil
+	}
+	// Round to 32-byte words.
+	newLen := (end + 31) / 32 * 32
+	words := (newLen - uint64(len(f.mem))) / 32
+	if err := f.use(words * gasMemWord); err != nil {
+		return err
+	}
+	grown := make([]byte, newLen)
+	copy(grown, f.mem)
+	f.mem = grown
+	return nil
+}
+
+func u64(v *big.Int) (uint64, bool) {
+	if !v.IsUint64() {
+		return 0, false
+	}
+	return v.Uint64(), true
+}
+
+// loop interprets the frame's code. It returns the return payload and
+// whether the frame reverted.
+func (f *frame) loop() (ret []byte, reverted bool, err error) {
+	for f.pc < len(f.code) {
+		op := Opcode(f.code[f.pc])
+		switch {
+		case op >= PUSH1 && op <= PUSH32:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			n := int(op-PUSH1) + 1
+			end := f.pc + 1 + n
+			if end > len(f.code) {
+				end = len(f.code)
+			}
+			v := new(big.Int).SetBytes(f.code[f.pc+1 : end])
+			if err := f.push(v); err != nil {
+				return nil, false, err
+			}
+			f.pc += n + 1
+			continue
+		case op >= DUP1 && op <= DUP16:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			n := int(op-DUP1) + 1
+			if len(f.stack) < n {
+				return nil, false, ErrStackUnderflow
+			}
+			if err := f.push(new(big.Int).Set(f.stack[len(f.stack)-n])); err != nil {
+				return nil, false, err
+			}
+			f.pc++
+			continue
+		case op >= SWAP1 && op <= SWAP16:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			n := int(op-SWAP1) + 1
+			if len(f.stack) < n+1 {
+				return nil, false, ErrStackUnderflow
+			}
+			top := len(f.stack) - 1
+			f.stack[top], f.stack[top-n] = f.stack[top-n], f.stack[top]
+			f.pc++
+			continue
+		case op >= LOG0 && op <= LOG4:
+			if err := f.opLog(int(op - LOG0)); err != nil {
+				return nil, false, err
+			}
+			f.pc++
+			continue
+		}
+
+		switch op {
+		case STOP:
+			return nil, false, nil
+		case ADD, MUL, SUB, DIV, SDIV, MOD, SMOD, AND, OR, XOR, LT, GT, SLT, SGT, EQ, BYTE, SHL, SHR:
+			if err := f.binop(op); err != nil {
+				return nil, false, err
+			}
+		case ADDMOD, MULMOD:
+			if err := f.ternop(op); err != nil {
+				return nil, false, err
+			}
+		case EXP:
+			if err := f.opExp(); err != nil {
+				return nil, false, err
+			}
+		case SIGNEXTEND:
+			if err := f.opSignExtend(); err != nil {
+				return nil, false, err
+			}
+		case ISZERO, NOT:
+			if err := f.unop(op); err != nil {
+				return nil, false, err
+			}
+		case SHA3:
+			if err := f.opSha3(); err != nil {
+				return nil, false, err
+			}
+		case ADDRESS:
+			if err := f.pushBytes(f.self[:]); err != nil {
+				return nil, false, err
+			}
+		case CALLER:
+			if err := f.pushBytes(f.caller[:]); err != nil {
+				return nil, false, err
+			}
+		case CALLVALUE:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(new(big.Int).Set(f.value)); err != nil {
+				return nil, false, err
+			}
+		case BALANCE:
+			if err := f.opBalance(); err != nil {
+				return nil, false, err
+			}
+		case CALLDATALOAD:
+			if err := f.opCallDataLoad(); err != nil {
+				return nil, false, err
+			}
+		case CALLDATASIZE:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(big.NewInt(int64(len(f.input)))); err != nil {
+				return nil, false, err
+			}
+		case CALLDATACOPY:
+			if err := f.opCallDataCopy(); err != nil {
+				return nil, false, err
+			}
+		case CODESIZE:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(big.NewInt(int64(len(f.code)))); err != nil {
+				return nil, false, err
+			}
+		case CODECOPY:
+			if err := f.opCodeCopy(); err != nil {
+				return nil, false, err
+			}
+		case BLOCKNUM:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(new(big.Int).SetUint64(f.vm.ctx.BlockNum)); err != nil {
+				return nil, false, err
+			}
+		case TIMESTAMP:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(new(big.Int).SetUint64(f.vm.ctx.Timestamp)); err != nil {
+				return nil, false, err
+			}
+		case POP:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if _, err := f.pop(); err != nil {
+				return nil, false, err
+			}
+		case MLOAD:
+			if err := f.opMLoad(); err != nil {
+				return nil, false, err
+			}
+		case MSTORE:
+			if err := f.opMStore(); err != nil {
+				return nil, false, err
+			}
+		case MSTORE8:
+			if err := f.opMStore8(); err != nil {
+				return nil, false, err
+			}
+		case SLOAD:
+			if err := f.opSLoad(); err != nil {
+				return nil, false, err
+			}
+		case SSTORE:
+			if err := f.opSStore(); err != nil {
+				return nil, false, err
+			}
+		case JUMP:
+			dst, err := f.pop()
+			if err != nil {
+				return nil, false, err
+			}
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			d, ok := u64(dst)
+			if !ok || !f.jumpOK[int(d)] {
+				return nil, false, fmt.Errorf("%w: %v", ErrBadJump, dst)
+			}
+			f.pc = int(d)
+			continue
+		case JUMPI:
+			args, err := f.popN(2)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if args[1].Sign() != 0 {
+				d, ok := u64(args[0])
+				if !ok || !f.jumpOK[int(d)] {
+					return nil, false, fmt.Errorf("%w: %v", ErrBadJump, args[0])
+				}
+				f.pc = int(d)
+				continue
+			}
+		case PC:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(big.NewInt(int64(f.pc))); err != nil {
+				return nil, false, err
+			}
+		case MSIZE:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(big.NewInt(int64(len(f.mem)))); err != nil {
+				return nil, false, err
+			}
+		case GAS:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+			if err := f.push(new(big.Int).SetUint64(f.gas)); err != nil {
+				return nil, false, err
+			}
+		case JUMPDEST:
+			if err := f.use(gasBase); err != nil {
+				return nil, false, err
+			}
+		case CREATE:
+			if err := f.opCreate(); err != nil {
+				return nil, false, err
+			}
+		case CALL:
+			if err := f.opCall(); err != nil {
+				return nil, false, err
+			}
+		case RETURN:
+			data, err := f.returnData()
+			return data, false, err
+		case REVERT:
+			data, err := f.returnData()
+			return data, true, err
+		default:
+			return nil, false, fmt.Errorf("%w: 0x%02x at pc %d", ErrInvalidOpcode, byte(op), f.pc)
+		}
+		f.pc++
+	}
+	return nil, false, nil
+}
+
+func (f *frame) pushBytes(b []byte) error {
+	if err := f.use(gasBase); err != nil {
+		return err
+	}
+	return f.push(new(big.Int).SetBytes(b))
+}
+
+func (f *frame) returnData() ([]byte, error) {
+	args, err := f.popN(2)
+	if err != nil {
+		return nil, err
+	}
+	off, ok1 := u64(args[0])
+	size, ok2 := u64(args[1])
+	if !ok1 || !ok2 {
+		return nil, ErrMemoryLimit
+	}
+	if err := f.memExpand(off, size); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), f.mem[off:off+size]...), nil
+}
+
+func mod256(v *big.Int) *big.Int { return v.And(v, u256Mask) }
+
+// toSigned interprets v as a two's-complement 256-bit value.
+func toSigned(v *big.Int) *big.Int {
+	if v.Bit(255) == 1 {
+		return new(big.Int).Sub(v, new(big.Int).Lsh(big.NewInt(1), 256))
+	}
+	return new(big.Int).Set(v)
+}
+
+func (f *frame) binop(op Opcode) error {
+	if err := f.use(gasArith); err != nil {
+		return err
+	}
+	args, err := f.popN(2)
+	if err != nil {
+		return err
+	}
+	a, b := args[0], args[1]
+	r := new(big.Int)
+	switch op {
+	case ADD:
+		r.Add(a, b)
+	case MUL:
+		r.Mul(a, b)
+	case SUB:
+		r.Sub(a, b)
+	case DIV:
+		if b.Sign() != 0 {
+			r.Div(a, b)
+		}
+	case SDIV:
+		sa, sb := toSigned(a), toSigned(b)
+		if sb.Sign() != 0 {
+			r.Quo(sa, sb)
+		}
+	case MOD:
+		if b.Sign() != 0 {
+			r.Mod(a, b)
+		}
+	case SMOD:
+		sa, sb := toSigned(a), toSigned(b)
+		if sb.Sign() != 0 {
+			r.Rem(sa, sb)
+		}
+	case AND:
+		r.And(a, b)
+	case OR:
+		r.Or(a, b)
+	case XOR:
+		r.Xor(a, b)
+	case LT:
+		if a.Cmp(b) < 0 {
+			r.SetInt64(1)
+		}
+	case GT:
+		if a.Cmp(b) > 0 {
+			r.SetInt64(1)
+		}
+	case SLT:
+		if toSigned(a).Cmp(toSigned(b)) < 0 {
+			r.SetInt64(1)
+		}
+	case SGT:
+		if toSigned(a).Cmp(toSigned(b)) > 0 {
+			r.SetInt64(1)
+		}
+	case EQ:
+		if a.Cmp(b) == 0 {
+			r.SetInt64(1)
+		}
+	case BYTE:
+		if i, ok := u64(a); ok && i < 32 {
+			w := WordFromBig(b)
+			r.SetInt64(int64(w[i]))
+		}
+	case SHL:
+		if s, ok := u64(a); ok && s < 256 {
+			r.Lsh(b, uint(s))
+		}
+	case SHR:
+		if s, ok := u64(a); ok && s < 256 {
+			r.Rsh(b, uint(s))
+		}
+	}
+	return f.push(mod256(r))
+}
+
+func (f *frame) ternop(op Opcode) error {
+	if err := f.use(gasArith * 2); err != nil {
+		return err
+	}
+	args, err := f.popN(3)
+	if err != nil {
+		return err
+	}
+	a, b, n := args[0], args[1], args[2]
+	r := new(big.Int)
+	if n.Sign() != 0 {
+		switch op {
+		case ADDMOD:
+			r.Add(a, b)
+		case MULMOD:
+			r.Mul(a, b)
+		}
+		r.Mod(r, n)
+	}
+	return f.push(mod256(r))
+}
+
+func (f *frame) opExp() error {
+	args, err := f.popN(2)
+	if err != nil {
+		return err
+	}
+	base, exp := args[0], args[1]
+	cost := uint64(gasArith) + uint64(len(exp.Bytes()))*gasExpPerByte
+	if err := f.use(cost); err != nil {
+		return err
+	}
+	mod := new(big.Int).Lsh(big.NewInt(1), 256)
+	return f.push(new(big.Int).Exp(base, exp, mod))
+}
+
+func (f *frame) opSignExtend() error {
+	if err := f.use(gasArith); err != nil {
+		return err
+	}
+	args, err := f.popN(2)
+	if err != nil {
+		return err
+	}
+	k, v := args[0], args[1]
+	if i, ok := u64(k); ok && i < 31 {
+		bit := uint(i*8 + 7)
+		mask := new(big.Int).Lsh(big.NewInt(1), bit+1)
+		mask.Sub(mask, big.NewInt(1))
+		if v.Bit(int(bit)) == 1 {
+			r := new(big.Int).Or(v, new(big.Int).Xor(u256Mask, mask))
+			return f.push(mod256(r))
+		}
+		return f.push(new(big.Int).And(v, mask))
+	}
+	return f.push(v)
+}
+
+func (f *frame) opSha3() error {
+	args, err := f.popN(2)
+	if err != nil {
+		return err
+	}
+	off, ok1 := u64(args[0])
+	size, ok2 := u64(args[1])
+	if !ok1 || !ok2 {
+		return ErrMemoryLimit
+	}
+	if err := f.use(uint64(gasArith) + (size+31)/32*gasHashWord); err != nil {
+		return err
+	}
+	if err := f.memExpand(off, size); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(f.mem[off : off+size])
+	return f.push(new(big.Int).SetBytes(sum[:]))
+}
+
+func (f *frame) unop(op Opcode) error {
+	if err := f.use(gasArith); err != nil {
+		return err
+	}
+	a, err := f.pop()
+	if err != nil {
+		return err
+	}
+	r := new(big.Int)
+	switch op {
+	case ISZERO:
+		if a.Sign() == 0 {
+			r.SetInt64(1)
+		}
+	case NOT:
+		r.Xor(a, u256Mask)
+	}
+	return f.push(mod256(r))
+}
+
+func (f *frame) opBalance() error {
+	if err := f.use(gasSLoad); err != nil {
+		return err
+	}
+	a, err := f.pop()
+	if err != nil {
+		return err
+	}
+	addr := AddressFromBytes(WordFromBig(a).bytesRef())
+	return f.push(f.vm.state.GetBalance(addr))
+}
+
+func (w Word) bytesRef() []byte { return w[:] }
+
+func (f *frame) opCallDataLoad() error {
+	if err := f.use(gasArith); err != nil {
+		return err
+	}
+	offB, err := f.pop()
+	if err != nil {
+		return err
+	}
+	var w Word
+	if off, ok := u64(offB); ok {
+		for i := 0; i < 32; i++ {
+			pos := off + uint64(i)
+			if pos < uint64(len(f.input)) {
+				w[i] = f.input[pos]
+			}
+		}
+	}
+	return f.push(w.Big())
+}
+
+func (f *frame) opCallDataCopy() error { return f.copyOp(f.input) }
+func (f *frame) opCodeCopy() error     { return f.copyOp(f.code) }
+
+func (f *frame) copyOp(src []byte) error {
+	args, err := f.popN(3)
+	if err != nil {
+		return err
+	}
+	memOff, ok1 := u64(args[0])
+	srcOff, ok2 := u64(args[1])
+	size, ok3 := u64(args[2])
+	if !ok1 || !ok2 || !ok3 {
+		return ErrMemoryLimit
+	}
+	if err := f.use(uint64(gasArith) + (size+31)/32*gasMemWord); err != nil {
+		return err
+	}
+	if err := f.memExpand(memOff, size); err != nil {
+		return err
+	}
+	for i := uint64(0); i < size; i++ {
+		var b byte
+		if srcOff+i < uint64(len(src)) {
+			b = src[srcOff+i]
+		}
+		f.mem[memOff+i] = b
+	}
+	return nil
+}
+
+func (f *frame) opMLoad() error {
+	if err := f.use(gasArith); err != nil {
+		return err
+	}
+	offB, err := f.pop()
+	if err != nil {
+		return err
+	}
+	off, ok := u64(offB)
+	if !ok {
+		return ErrMemoryLimit
+	}
+	if err := f.memExpand(off, 32); err != nil {
+		return err
+	}
+	return f.push(new(big.Int).SetBytes(f.mem[off : off+32]))
+}
+
+func (f *frame) opMStore() error {
+	if err := f.use(gasArith); err != nil {
+		return err
+	}
+	args, err := f.popN(2)
+	if err != nil {
+		return err
+	}
+	off, ok := u64(args[0])
+	if !ok {
+		return ErrMemoryLimit
+	}
+	if err := f.memExpand(off, 32); err != nil {
+		return err
+	}
+	w := WordFromBig(args[1])
+	copy(f.mem[off:off+32], w[:])
+	return nil
+}
+
+func (f *frame) opMStore8() error {
+	if err := f.use(gasArith); err != nil {
+		return err
+	}
+	args, err := f.popN(2)
+	if err != nil {
+		return err
+	}
+	off, ok := u64(args[0])
+	if !ok {
+		return ErrMemoryLimit
+	}
+	if err := f.memExpand(off, 1); err != nil {
+		return err
+	}
+	f.mem[off] = byte(args[1].Uint64() & 0xff)
+	return nil
+}
+
+func (f *frame) opSLoad() error {
+	if err := f.use(gasSLoad); err != nil {
+		return err
+	}
+	k, err := f.pop()
+	if err != nil {
+		return err
+	}
+	v := f.vm.state.GetStorage(f.self, WordFromBig(k))
+	return f.push(v.Big())
+}
+
+func (f *frame) opSStore() error {
+	if err := f.use(gasSStore); err != nil {
+		return err
+	}
+	args, err := f.popN(2)
+	if err != nil {
+		return err
+	}
+	f.vm.state.SetStorage(f.self, WordFromBig(args[0]), WordFromBig(args[1]))
+	return nil
+}
+
+func (f *frame) opLog(topics int) error {
+	args, err := f.popN(2 + topics)
+	if err != nil {
+		return err
+	}
+	off, ok1 := u64(args[0])
+	size, ok2 := u64(args[1])
+	if !ok1 || !ok2 {
+		return ErrMemoryLimit
+	}
+	if err := f.use(uint64(gasLogBase) + (size+31)/32*gasMemWord); err != nil {
+		return err
+	}
+	if err := f.memExpand(off, size); err != nil {
+		return err
+	}
+	log := Log{Address: f.self, Data: append([]byte(nil), f.mem[off:off+size]...)}
+	for i := 0; i < topics; i++ {
+		log.Topics = append(log.Topics, WordFromBig(args[2+i]))
+	}
+	f.vm.logs = append(f.vm.logs, log)
+	return nil
+}
+
+func (f *frame) opCreate() error {
+	if err := f.use(gasCreate); err != nil {
+		return err
+	}
+	args, err := f.popN(3)
+	if err != nil {
+		return err
+	}
+	value := args[0]
+	off, ok1 := u64(args[1])
+	size, ok2 := u64(args[2])
+	if !ok1 || !ok2 {
+		return ErrMemoryLimit
+	}
+	if err := f.memExpand(off, size); err != nil {
+		return err
+	}
+	initCode := append([]byte(nil), f.mem[off:off+size]...)
+	gasForChild := f.gas - f.gas/64
+	addr, res, err := f.vm.Create(f.self, value, initCode, gasForChild)
+	f.gas -= min64(res.GasUsed, gasForChild)
+	if err != nil || res.Reverted {
+		return f.push(new(big.Int))
+	}
+	return f.push(new(big.Int).SetBytes(addr[:]))
+}
+
+func (f *frame) opCall() error {
+	if err := f.use(gasCall); err != nil {
+		return err
+	}
+	// gas, to, value, inOff, inSize, outOff, outSize
+	args, err := f.popN(7)
+	if err != nil {
+		return err
+	}
+	gasReq, _ := u64(args[0])
+	to := AddressFromBytes(WordFromBig(args[1]).bytesRef())
+	value := args[2]
+	inOff, ok1 := u64(args[3])
+	inSize, ok2 := u64(args[4])
+	outOff, ok3 := u64(args[5])
+	outSize, ok4 := u64(args[6])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return ErrMemoryLimit
+	}
+	if err := f.memExpand(inOff, inSize); err != nil {
+		return err
+	}
+	if err := f.memExpand(outOff, outSize); err != nil {
+		return err
+	}
+	avail := f.gas - f.gas/64
+	if gasReq == 0 || gasReq > avail {
+		gasReq = avail
+	}
+	input := append([]byte(nil), f.mem[inOff:inOff+inSize]...)
+	res, err := f.vm.Call(f.self, to, value, input, gasReq)
+	f.gas -= min64(res.GasUsed, gasReq)
+	ok := err == nil && !res.Reverted
+	if ok && outSize > 0 {
+		copy(f.mem[outOff:outOff+outSize], res.Ret)
+	}
+	r := new(big.Int)
+	if ok {
+		r.SetInt64(1)
+	}
+	return f.push(r)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,408 @@
+// Package kvstore implements SBFT's authenticated key-value store (§IV):
+// a deterministic replicated service whose state digest commits to both the
+// key-value contents and the per-block execution results, so that a client
+// can accept an execute-ack from a single replica by checking one Merkle
+// proof against an f+1 threshold-signed digest.
+//
+// The service interface follows the paper:
+//
+//	d  = digest(D)                    → Store.Digest
+//	P  = proof(o, l, s, D, val)       → Store.ProveOperation
+//	verify(d, o, val, s, l, P)        → Verify (package function, client side)
+//
+// Operations are Put, Get and Delete encoded with a compact length-prefixed
+// binary codec. Executing a block yields one result value per operation and
+// advances the state digest; digests are deterministic across replicas.
+package kvstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"sbft/internal/merkle"
+)
+
+// OpKind enumerates the operation types.
+type OpKind uint8
+
+// Operation kinds. Values are part of the wire format.
+const (
+	OpPut OpKind = iota + 1
+	OpGet
+	OpDelete
+	// OpBundle packs several operations into one client request: the
+	// paper's batching mode, where "each request contains 64 operations"
+	// (§IX). The bundle executes atomically in order and yields a single
+	// summary result, so the client still gets one acknowledgement.
+	OpBundle
+)
+
+// Errors returned by decoding and proving.
+var (
+	ErrBadOp        = errors.New("kvstore: malformed operation")
+	ErrUnknownBlock = errors.New("kvstore: block not retained (garbage collected or not executed)")
+	ErrBadProof     = errors.New("kvstore: invalid execution proof")
+)
+
+// Op is a decoded key-value operation.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte
+}
+
+// Encode serializes the operation.
+func (o Op) Encode() []byte {
+	buf := make([]byte, 0, 1+4+len(o.Key)+4+len(o.Value))
+	buf = append(buf, byte(o.Kind))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(o.Key)))
+	buf = append(buf, o.Key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(o.Value)))
+	buf = append(buf, o.Value...)
+	return buf
+}
+
+// DecodeOp parses an encoded operation.
+func DecodeOp(data []byte) (Op, error) {
+	if len(data) < 9 {
+		return Op{}, fmt.Errorf("%w: %d bytes", ErrBadOp, len(data))
+	}
+	kind := OpKind(data[0])
+	if kind < OpPut || kind > OpBundle {
+		return Op{}, fmt.Errorf("%w: kind %d", ErrBadOp, kind)
+	}
+	data = data[1:]
+	klen := binary.BigEndian.Uint32(data[:4])
+	data = data[4:]
+	if uint32(len(data)) < klen+4 {
+		return Op{}, fmt.Errorf("%w: truncated key", ErrBadOp)
+	}
+	key := string(data[:klen])
+	data = data[klen:]
+	vlen := binary.BigEndian.Uint32(data[:4])
+	data = data[4:]
+	if uint32(len(data)) != vlen {
+		return Op{}, fmt.Errorf("%w: value length %d, have %d", ErrBadOp, vlen, len(data))
+	}
+	return Op{Kind: kind, Key: key, Value: append([]byte(nil), data...)}, nil
+}
+
+// Put returns an encoded put operation.
+func Put(key string, value []byte) []byte { return Op{Kind: OpPut, Key: key, Value: value}.Encode() }
+
+// Get returns an encoded get operation.
+func Get(key string) []byte { return Op{Kind: OpGet, Key: key}.Encode() }
+
+// Delete returns an encoded delete operation.
+func Delete(key string) []byte { return Op{Kind: OpDelete, Key: key}.Encode() }
+
+// Bundle packs encoded operations into a single bundle operation. Nested
+// bundles are rejected at execution time (deterministically) to bound
+// recursion.
+func Bundle(ops ...[]byte) []byte {
+	var payload []byte
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(ops)))
+	for _, op := range ops {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(op)))
+		payload = append(payload, op...)
+	}
+	return Op{Kind: OpBundle, Value: payload}.Encode()
+}
+
+// BundleOps splits a bundle payload into its encoded sub-operations.
+func BundleOps(payload []byte) ([][]byte, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: short bundle", ErrBadOp)
+	}
+	count := binary.BigEndian.Uint32(payload[:4])
+	payload = payload[4:]
+	ops := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: truncated bundle", ErrBadOp)
+		}
+		l := binary.BigEndian.Uint32(payload[:4])
+		payload = payload[4:]
+		if uint32(len(payload)) < l {
+			return nil, fmt.Errorf("%w: truncated bundle op", ErrBadOp)
+		}
+		ops = append(ops, payload[:l])
+		payload = payload[l:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: trailing bundle bytes", ErrBadOp)
+	}
+	return ops, nil
+}
+
+// BundleSize reports how many operations an encoded op contains: 1 for
+// plain operations, the sub-operation count for bundles. Used by the
+// measurement harness to count operations, not requests (§IX batching).
+func BundleSize(encoded []byte) int {
+	op, err := DecodeOp(encoded)
+	if err != nil || op.Kind != OpBundle {
+		return 1
+	}
+	ops, err := BundleOps(op.Value)
+	if err != nil {
+		return 1
+	}
+	return len(ops)
+}
+
+// execRecord retains the execution tree of one block for proof generation.
+type execRecord struct {
+	tree    *merkle.Tree
+	kvRoot  merkle.Digest
+	ops     [][]byte
+	results [][]byte
+}
+
+// Store is the replica-side authenticated key-value store. It is not safe
+// for concurrent use; the replica event loop owns it.
+type Store struct {
+	state    *merkle.Map
+	lastSeq  uint64
+	digest   []byte
+	executed map[uint64]*execRecord
+}
+
+// New returns an empty store at sequence 0.
+func New() *Store {
+	s := &Store{
+		state:    merkle.NewMap(),
+		executed: make(map[uint64]*execRecord),
+	}
+	s.digest = stateDigest(0, s.state.Digest(), merkle.NewTree(nil).Root())
+	return s
+}
+
+// stateDigest commits to the sequence number, the KV map root and the
+// execution tree root of the block that produced this state (paper §IV:
+// d = digest(D_s)).
+func stateDigest(seq uint64, kvRoot, execRoot merkle.Digest) []byte {
+	h := sha256.New()
+	h.Write([]byte("sbft:kv-state"))
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], seq)
+	h.Write(sb[:])
+	h.Write(kvRoot[:])
+	h.Write(execRoot[:])
+	return h.Sum(nil)
+}
+
+func execLeaf(l int, op, val []byte) []byte {
+	buf := make([]byte, 0, 8+len(op)+len(val)+8)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(l))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(op)))
+	buf = append(buf, op...)
+	buf = append(buf, val...)
+	return buf
+}
+
+// apply executes a single decoded operation against the map.
+func (s *Store) apply(op Op) []byte {
+	switch op.Kind {
+	case OpPut:
+		s.state.Set(op.Key, op.Value)
+		return []byte("OK")
+	case OpGet:
+		v, ok := s.state.Get(op.Key)
+		if !ok {
+			return nil
+		}
+		return v
+	case OpDelete:
+		s.state.Delete(op.Key)
+		return []byte("OK")
+	case OpBundle:
+		subs, err := BundleOps(op.Value)
+		if err != nil {
+			return []byte("ERR:bad-bundle")
+		}
+		applied := 0
+		for _, raw := range subs {
+			sub, err := DecodeOp(raw)
+			if err != nil || sub.Kind == OpBundle {
+				continue // skip malformed/nested deterministically
+			}
+			s.apply(sub)
+			applied++
+		}
+		return []byte(fmt.Sprintf("OK:%d", applied))
+	default:
+		return []byte("ERR")
+	}
+}
+
+// ExecuteBlock applies the operations of block seq in order and returns one
+// result per operation. Blocks must execute in sequence order; this is the
+// paper's "execute trigger" precondition (§V-D). Malformed operations
+// execute as errors (deterministically) rather than aborting the block.
+func (s *Store) ExecuteBlock(seq uint64, ops [][]byte) [][]byte {
+	results := make([][]byte, len(ops))
+	for i, raw := range ops {
+		op, err := DecodeOp(raw)
+		if err != nil {
+			results[i] = []byte("ERR:malformed")
+			continue
+		}
+		results[i] = s.apply(op)
+	}
+	kvRoot := s.state.Digest()
+	leaves := make([][]byte, len(ops))
+	for i := range ops {
+		leaves[i] = execLeaf(i, ops[i], results[i])
+	}
+	tree := merkle.NewTree(leaves)
+	s.executed[seq] = &execRecord{tree: tree, kvRoot: kvRoot, ops: ops, results: results}
+	s.lastSeq = seq
+	s.digest = stateDigest(seq, kvRoot, tree.Root())
+	return results
+}
+
+// Digest returns digest(D) after the last executed block.
+func (s *Store) Digest() []byte { return append([]byte(nil), s.digest...) }
+
+// LastExecuted reports the sequence number of the last executed block.
+func (s *Store) LastExecuted() uint64 { return s.lastSeq }
+
+// Proof is the paper's P = proof(o, l, s, D, val): it authenticates that
+// operation Op was executed at position L of block Seq, produced Val, and
+// that the resulting state digest is reconstructible from KVRoot and the
+// execution-tree path.
+type Proof struct {
+	Seq    uint64
+	L      int
+	Op     []byte
+	Val    []byte
+	KVRoot merkle.Digest
+	Path   merkle.Proof
+}
+
+// ProveOperation builds the proof for operation l of block seq.
+func (s *Store) ProveOperation(seq uint64, l int) (Proof, error) {
+	rec, ok := s.executed[seq]
+	if !ok {
+		return Proof{}, fmt.Errorf("%w: seq %d", ErrUnknownBlock, seq)
+	}
+	if l < 0 || l >= len(rec.ops) {
+		return Proof{}, fmt.Errorf("kvstore: operation index %d out of range [0,%d)", l, len(rec.ops))
+	}
+	path, err := rec.tree.Prove(l)
+	if err != nil {
+		return Proof{}, err
+	}
+	return Proof{
+		Seq:    seq,
+		L:      l,
+		Op:     rec.ops[l],
+		Val:    rec.results[l],
+		KVRoot: rec.kvRoot,
+		Path:   path,
+	}, nil
+}
+
+// Results returns the retained results of an executed block.
+func (s *Store) Results(seq uint64) ([][]byte, bool) {
+	rec, ok := s.executed[seq]
+	if !ok {
+		return nil, false
+	}
+	return rec.results, true
+}
+
+// Verify is the client-side verify(d, o, val, s, l, P) from §IV: it checks
+// that P proves operation o executed at position l in block s with result
+// val, and that the digest reconstructed from P equals d. d is trusted by
+// the caller (it carries the π threshold signature).
+func Verify(digest []byte, op, val []byte, seq uint64, l int, p Proof) error {
+	if p.Seq != seq || p.L != l {
+		return fmt.Errorf("%w: proof binds (seq=%d,l=%d), want (%d,%d)", ErrBadProof, p.Seq, p.L, seq, l)
+	}
+	if !bytes.Equal(p.Op, op) || !bytes.Equal(p.Val, val) {
+		return fmt.Errorf("%w: proof operation/result mismatch", ErrBadProof)
+	}
+	leaf := merkle.LeafHash(execLeaf(l, op, val))
+	// Recompute the exec root from the path, then the state digest.
+	root := leaf
+	for _, st := range p.Path.Steps {
+		if st.Right {
+			root = merkle.InteriorHash(root, st.Hash)
+		} else {
+			root = merkle.InteriorHash(st.Hash, root)
+		}
+	}
+	if !bytes.Equal(stateDigest(seq, p.KVRoot, root), digest) {
+		return fmt.Errorf("%w: digest mismatch", ErrBadProof)
+	}
+	// Path index must match l to prevent position spoofing.
+	if p.Path.Index != l {
+		return fmt.Errorf("%w: path index %d, want %d", ErrBadProof, p.Path.Index, l)
+	}
+	return nil
+}
+
+// GarbageCollect drops retained execution records with seq < keepFrom,
+// mirroring the checkpoint-driven GC of §V-F.
+func (s *Store) GarbageCollect(keepFrom uint64) {
+	for seq := range s.executed {
+		if seq < keepFrom {
+			delete(s.executed, seq)
+		}
+	}
+}
+
+// snapshotState is the gob-encoded checkpoint payload.
+type snapshotState struct {
+	LastSeq uint64
+	Digest  []byte
+	Entries map[string][]byte
+}
+
+// Snapshot serializes the full store state for state transfer (§VIII).
+// Execution records are not part of the snapshot; a restored replica can
+// prove only blocks it executes after restoration, which matches PBFT-style
+// state transfer semantics.
+func (s *Store) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	snap := snapshotState{
+		LastSeq: s.lastSeq,
+		Digest:  s.digest,
+		Entries: s.state.Snapshot(),
+	}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("kvstore: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the store contents from a snapshot.
+func (s *Store) Restore(data []byte) error {
+	var snap snapshotState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("kvstore: decoding snapshot: %w", err)
+	}
+	s.state.Restore(snap.Entries)
+	s.lastSeq = snap.LastSeq
+	s.digest = snap.Digest
+	s.executed = make(map[uint64]*execRecord)
+	return nil
+}
+
+// Value reads a key directly (local queries; not authenticated).
+func (s *Store) Value(key string) ([]byte, bool) { return s.state.Get(key) }
+
+// ProveKey returns a Merkle proof of a key's current value together with
+// the current KV root, for read-only queries (§IV get-proofs).
+func (s *Store) ProveKey(key string) (merkle.KeyProof, merkle.Digest, error) {
+	kp, err := s.state.ProveKey(key)
+	if err != nil {
+		return merkle.KeyProof{}, merkle.Digest{}, err
+	}
+	return kp, s.state.Digest(), nil
+}

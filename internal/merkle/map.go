@@ -1,0 +1,319 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Map is an authenticated key-value map with incrementally-maintained
+// digests: internally a treap (tree + heap) whose node priorities derive
+// from the key hash, giving every replica the identical canonical shape
+// regardless of insertion order. Node hashes commit to (key, value, left
+// subtree, right subtree), so Digest is the root hash and mutations cost
+// O(log n) re-hashing — the property that keeps per-block state digests
+// cheap for SBFT's execution phase (§IV, §V-D).
+type Map struct {
+	root  *mapNode
+	count int
+}
+
+type mapNode struct {
+	key   string
+	val   []byte
+	prio  uint64
+	left  *mapNode
+	right *mapNode
+	hash  Digest
+}
+
+// NewMap returns an empty authenticated map.
+func NewMap() *Map { return &Map{} }
+
+var emptyRoot = LeafHash([]byte("merkle:empty"))
+
+// nodePrio derives the deterministic treap priority of a key.
+func nodePrio(key string) uint64 {
+	h := sha256.Sum256(append([]byte("merkle:prio:"), key...))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// kvDigest hashes a node's own (key, value) payload.
+func kvDigest(key string, val []byte) Digest {
+	h := sha256.New()
+	h.Write([]byte{0x02})
+	var lb [8]byte
+	binary.BigEndian.PutUint64(lb[:], uint64(len(key)))
+	h.Write(lb[:])
+	h.Write([]byte(key))
+	h.Write(val)
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+func childHash(n *mapNode) Digest {
+	if n == nil {
+		return emptyRoot
+	}
+	return n.hash
+}
+
+// nodeHash combines a node's payload digest with its children.
+func nodeHash(kv, left, right Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte{0x03})
+	h.Write(kv[:])
+	h.Write(left[:])
+	h.Write(right[:])
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+func (n *mapNode) rehash() {
+	n.hash = nodeHash(kvDigest(n.key, n.val), childHash(n.left), childHash(n.right))
+}
+
+// rotateRight lifts n.left; rotateLeft lifts n.right.
+func rotateRight(n *mapNode) *mapNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.rehash()
+	l.rehash()
+	return l
+}
+
+func rotateLeft(n *mapNode) *mapNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.rehash()
+	r.rehash()
+	return r
+}
+
+func insert(n *mapNode, key string, val []byte, created *bool) *mapNode {
+	if n == nil {
+		*created = true
+		nn := &mapNode{key: key, val: val, prio: nodePrio(key)}
+		nn.rehash()
+		return nn
+	}
+	switch {
+	case key == n.key:
+		n.val = val
+		n.rehash()
+	case key < n.key:
+		n.left = insert(n.left, key, val, created)
+		if n.left.prio > n.prio {
+			return rotateRight(n)
+		}
+		n.rehash()
+	default:
+		n.right = insert(n.right, key, val, created)
+		if n.right.prio > n.prio {
+			return rotateLeft(n)
+		}
+		n.rehash()
+	}
+	return n
+}
+
+func remove(n *mapNode, key string, removed *bool) *mapNode {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case key < n.key:
+		n.left = remove(n.left, key, removed)
+		n.rehash()
+	case key > n.key:
+		n.right = remove(n.right, key, removed)
+		n.rehash()
+	default:
+		*removed = true
+		// Rotate the node down until it is a leaf, then drop it.
+		switch {
+		case n.left == nil && n.right == nil:
+			return nil
+		case n.left == nil:
+			return remove(rotateLeft(n), key, removed)
+		case n.right == nil:
+			return remove(rotateRight(n), key, removed)
+		case n.left.prio > n.right.prio:
+			return remove(rotateRight(n), key, removed)
+		default:
+			return remove(rotateLeft(n), key, removed)
+		}
+	}
+	return n
+}
+
+// Set stores value under key.
+func (m *Map) Set(key string, value []byte) {
+	v := append([]byte(nil), value...)
+	var created bool
+	m.root = insert(m.root, key, v, &created)
+	if created {
+		m.count++
+	}
+}
+
+// Delete removes key if present.
+func (m *Map) Delete(key string) {
+	var removed bool
+	m.root = remove(m.root, key, &removed)
+	if removed {
+		m.count--
+	}
+}
+
+// Get returns a copy of the value and whether it exists.
+func (m *Map) Get(key string) ([]byte, bool) {
+	n := m.root
+	for n != nil {
+		switch {
+		case key == n.key:
+			return append([]byte(nil), n.val...), true
+		case key < n.key:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return nil, false
+}
+
+// Len reports the number of live keys.
+func (m *Map) Len() int { return m.count }
+
+// Digest returns the authenticated root over the current contents.
+func (m *Map) Digest() Digest {
+	if m.root == nil {
+		return emptyRoot
+	}
+	return m.root.hash
+}
+
+// Keys returns the sorted key list.
+func (m *Map) Keys() []string {
+	out := make([]string, 0, m.count)
+	var walk func(n *mapNode)
+	walk = func(n *mapNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.key)
+		walk(n.right)
+	}
+	walk(m.root)
+	return out
+}
+
+// Snapshot returns a deep copy of the map contents.
+func (m *Map) Snapshot() map[string][]byte {
+	out := make(map[string][]byte, m.count)
+	var walk func(n *mapNode)
+	walk = func(n *mapNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out[n.key] = append([]byte(nil), n.val...)
+		walk(n.right)
+	}
+	walk(m.root)
+	return out
+}
+
+// Restore replaces the contents from a snapshot.
+func (m *Map) Restore(snap map[string][]byte) {
+	m.root = nil
+	m.count = 0
+	// Insert in sorted order for reproducible construction cost; the
+	// treap shape is canonical regardless.
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.Set(k, snap[k])
+	}
+}
+
+// KeyProofStep is one ancestor on the path from a proven node to the root.
+type KeyProofStep struct {
+	// KV is the ancestor's own payload digest.
+	KV Digest
+	// Other is the hash of the ancestor's other child subtree.
+	Other Digest
+	// ProvenIsLeft reports whether the proven subtree hangs on the
+	// ancestor's left.
+	ProvenIsLeft bool
+}
+
+// KeyProof proves that a key holds a value under a Map digest. The target
+// node's child hashes are disclosed so the verifier can reconstruct its
+// node hash.
+type KeyProof struct {
+	Key       string
+	Value     []byte
+	LeftHash  Digest
+	RightHash Digest
+	Steps     []KeyProofStep
+}
+
+// ProveKey returns a membership proof for key.
+func (m *Map) ProveKey(key string) (KeyProof, error) {
+	var steps []KeyProofStep
+	n := m.root
+	for n != nil && n.key != key {
+		st := KeyProofStep{KV: kvDigest(n.key, n.val)}
+		if key < n.key {
+			st.ProvenIsLeft = true
+			st.Other = childHash(n.right)
+			steps = append(steps, st)
+			n = n.left
+		} else {
+			st.ProvenIsLeft = false
+			st.Other = childHash(n.left)
+			steps = append(steps, st)
+			n = n.right
+		}
+	}
+	if n == nil {
+		return KeyProof{}, fmt.Errorf("merkle: key %q not present", key)
+	}
+	// Steps were collected root→node; verification walks node→root.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return KeyProof{
+		Key:       key,
+		Value:     append([]byte(nil), n.val...),
+		LeftHash:  childHash(n.left),
+		RightHash: childHash(n.right),
+		Steps:     steps,
+	}, nil
+}
+
+// VerifyKey checks a KeyProof against a Map digest.
+func VerifyKey(root Digest, kp KeyProof) error {
+	h := nodeHash(kvDigest(kp.Key, kp.Value), kp.LeftHash, kp.RightHash)
+	for _, st := range kp.Steps {
+		if st.ProvenIsLeft {
+			h = nodeHash(st.KV, h, st.Other)
+		} else {
+			h = nodeHash(st.KV, st.Other, h)
+		}
+	}
+	if h != root {
+		return ErrProofInvalid
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkTreap validates the structural invariants of the authenticated
+// treap: key order (BST), priority order (heap), and hash consistency.
+func checkTreap(t *testing.T, m *Map) {
+	t.Helper()
+	var walk func(n *mapNode, min, max string) int
+	walk = func(n *mapNode, min, max string) int {
+		if n == nil {
+			return 0
+		}
+		if min != "" && n.key <= min {
+			t.Fatalf("BST violation: %q ≤ min %q", n.key, min)
+		}
+		if max != "" && n.key >= max {
+			t.Fatalf("BST violation: %q ≥ max %q", n.key, max)
+		}
+		if n.left != nil && n.left.prio > n.prio {
+			t.Fatalf("heap violation at %q", n.key)
+		}
+		if n.right != nil && n.right.prio > n.prio {
+			t.Fatalf("heap violation at %q", n.key)
+		}
+		want := nodeHash(kvDigest(n.key, n.val), childHash(n.left), childHash(n.right))
+		if n.hash != want {
+			t.Fatalf("stale hash at %q", n.key)
+		}
+		return 1 + walk(n.left, min, n.key) + walk(n.right, n.key, max)
+	}
+	if got := walk(m.root, "", ""); got != m.count {
+		t.Fatalf("count = %d, nodes = %d", m.count, got)
+	}
+}
+
+func TestTreapInvariantsUnderChurn(t *testing.T) {
+	m := NewMap()
+	rng := rand.New(rand.NewSource(42))
+	live := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0, 1:
+			m.Set(k, []byte{byte(i)})
+			live[k] = true
+		case 2:
+			m.Delete(k)
+			delete(live, k)
+		}
+	}
+	checkTreap(t, m)
+	if m.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(live))
+	}
+	for k := range live {
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("live key %q missing", k)
+		}
+	}
+}
+
+func TestTreapCanonicalShape(t *testing.T) {
+	// Insertion order must not affect the digest (replicas build state in
+	// whatever order their blocks arrive content-wise).
+	keys := []string{"m", "a", "z", "q", "b", "x", "c"}
+	forward, backward := NewMap(), NewMap()
+	for _, k := range keys {
+		forward.Set(k, []byte(k))
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		backward.Set(keys[i], []byte(keys[i]))
+	}
+	if forward.Digest() != backward.Digest() {
+		t.Fatal("insertion order changed the root digest")
+	}
+	// Deleting and re-inserting restores the exact digest.
+	d := forward.Digest()
+	forward.Delete("q")
+	forward.Set("q", []byte("q"))
+	if forward.Digest() != d {
+		t.Fatal("delete+reinsert changed the digest")
+	}
+}
+
+func TestQuickTreapMatchesReferenceMap(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint8
+		Val uint8
+	}
+	f := func(ops []op) bool {
+		m := NewMap()
+		ref := map[string][]byte{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%32)
+			if o.Del {
+				m.Delete(k)
+				delete(ref, k)
+			} else {
+				m.Set(k, []byte{o.Val})
+				ref[k] = []byte{o.Val}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(k)
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		// Rebuilding from the reference yields the same digest.
+		m2 := NewMap()
+		for k, v := range ref {
+			m2.Set(k, v)
+		}
+		return m.Digest() == m2.Digest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTreapProofsAlwaysVerify(t *testing.T) {
+	f := func(keys []string, pick uint8) bool {
+		m := NewMap()
+		for i, k := range keys {
+			m.Set(k, []byte{byte(i)})
+		}
+		if m.Len() == 0 {
+			return true
+		}
+		all := m.Keys()
+		k := all[int(pick)%len(all)]
+		kp, err := m.ProveKey(k)
+		if err != nil {
+			return false
+		}
+		if VerifyKey(m.Digest(), kp) != nil {
+			return false
+		}
+		// A tampered value must not verify.
+		kp.Value = append(kp.Value, 0xFF)
+		return VerifyKey(m.Digest(), kp) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapDeepProofPath(t *testing.T) {
+	m := NewMap()
+	for i := 0; i < 1000; i++ {
+		m.Set(fmt.Sprintf("key-%04d", i), []byte("v"))
+	}
+	root := m.Digest()
+	for _, k := range []string{"key-0000", "key-0500", "key-0999"} {
+		kp, err := m.ProveKey(k)
+		if err != nil {
+			t.Fatalf("ProveKey(%s): %v", k, err)
+		}
+		if err := VerifyKey(root, kp); err != nil {
+			t.Fatalf("VerifyKey(%s): %v", k, err)
+		}
+		// Proof must bind the position: swapping a step's direction breaks it.
+		if len(kp.Steps) > 0 {
+			kp.Steps[0].ProvenIsLeft = !kp.Steps[0].ProvenIsLeft
+			if err := VerifyKey(root, kp); err == nil {
+				t.Fatal("direction-flipped proof verified")
+			}
+		}
+	}
+}

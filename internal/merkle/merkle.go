@@ -1,0 +1,171 @@
+// Package merkle implements the Merkle tree interface the SBFT paper uses
+// for data authentication (§IV, [58]): a digest over the service state and
+// membership proofs that let a client accept a result from a single replica
+// once the state digest carries an f+1 threshold signature.
+//
+// Two structures are provided:
+//
+//   - Tree: a static binary Merkle tree over an ordered list of leaves,
+//     used to prove that an operation was executed at position l of the
+//     decision block with sequence number s (proof(o, l, s, D, val)).
+//   - Map: an incrementally-updatable sorted-key Merkle map used as the
+//     authenticator of the key-value store state (digest(D) and get-proofs).
+//
+// Domain separation: leaf hashes are H(0x00 ‖ data) and interior hashes are
+// H(0x01 ‖ left ‖ right) so a leaf can never be confused with an interior
+// node (second-preimage hardening).
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// DigestSize is the size of all node hashes in bytes.
+const DigestSize = sha256.Size
+
+// Digest is a Merkle node or root hash.
+type Digest [DigestSize]byte
+
+// String renders a short hex prefix for logs.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
+
+var (
+	// ErrProofInvalid reports a proof that fails verification.
+	ErrProofInvalid = errors.New("merkle: invalid proof")
+	// ErrIndexRange reports an out-of-range leaf index.
+	ErrIndexRange = errors.New("merkle: leaf index out of range")
+)
+
+// LeafHash hashes leaf data with the leaf domain separator.
+func LeafHash(data []byte) Digest {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// InteriorHash hashes two children with the interior domain separator.
+func InteriorHash(left, right Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Tree is a static binary Merkle tree over an ordered leaf list. Odd nodes
+// at each level are promoted unchanged (Bitcoin-style duplication is
+// deliberately avoided to prevent the CVE-2012-2459 ambiguity).
+type Tree struct {
+	levels [][]Digest // levels[0] = leaf hashes, last level = [root]
+}
+
+// NewTree builds a tree over the given leaves. An empty leaf list produces
+// a tree whose root is the hash of the empty leaf set.
+func NewTree(leaves [][]byte) *Tree {
+	hashes := make([]Digest, len(leaves))
+	for i, l := range leaves {
+		hashes[i] = LeafHash(l)
+	}
+	return NewTreeFromHashes(hashes)
+}
+
+// NewTreeFromHashes builds a tree over pre-hashed leaves.
+func NewTreeFromHashes(hashes []Digest) *Tree {
+	t := &Tree{}
+	level := make([]Digest, len(hashes))
+	copy(level, hashes)
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, InteriorHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // promote odd node
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Len reports the number of leaves.
+func (t *Tree) Len() int { return len(t.levels[0]) }
+
+// Root returns the root digest. The root of an empty tree is LeafHash(nil)
+// of the empty list sentinel.
+func (t *Tree) Root() Digest {
+	if len(t.levels[0]) == 0 {
+		return emptyRoot
+	}
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// ProofStep is one sibling on the leaf-to-root path.
+type ProofStep struct {
+	Hash  Digest
+	Right bool // sibling is the right child
+}
+
+// Proof is a membership proof for one leaf.
+type Proof struct {
+	Index int
+	Steps []ProofStep
+}
+
+// Prove returns the membership proof for leaf index i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= t.Len() {
+		return Proof{}, fmt.Errorf("%w: %d of %d", ErrIndexRange, i, t.Len())
+	}
+	p := Proof{Index: i}
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		level := t.levels[lvl]
+		if idx%2 == 0 {
+			if idx+1 < len(level) {
+				p.Steps = append(p.Steps, ProofStep{Hash: level[idx+1], Right: true})
+			}
+			// Odd promoted node: no sibling at this level.
+		} else {
+			p.Steps = append(p.Steps, ProofStep{Hash: level[idx-1], Right: false})
+		}
+		idx /= 2
+	}
+	return p, nil
+}
+
+// VerifyLeaf checks that data is the leaf at p.Index under root.
+func VerifyLeaf(root Digest, data []byte, p Proof) error {
+	return VerifyLeafHash(root, LeafHash(data), p)
+}
+
+// VerifyLeafHash checks a pre-hashed leaf against root.
+func VerifyLeafHash(root Digest, leaf Digest, p Proof) error {
+	cur := leaf
+	for _, s := range p.Steps {
+		if s.Right {
+			cur = InteriorHash(cur, s.Hash)
+		} else {
+			cur = InteriorHash(s.Hash, cur)
+		}
+	}
+	if cur != root {
+		return ErrProofInvalid
+	}
+	return nil
+}
+
+// Equal reports whether two byte slices match (constant-time not required;
+// digests are public).
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

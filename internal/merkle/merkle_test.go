@@ -1,0 +1,294 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leavesOf(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestTreeProveVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 100} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			leaves := leavesOf(n)
+			tree := NewTree(leaves)
+			root := tree.Root()
+			for i := 0; i < n; i++ {
+				p, err := tree.Prove(i)
+				if err != nil {
+					t.Fatalf("Prove(%d): %v", i, err)
+				}
+				if err := VerifyLeaf(root, leaves[i], p); err != nil {
+					t.Fatalf("VerifyLeaf(%d): %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestTreeRejectsWrongLeaf(t *testing.T) {
+	leaves := leavesOf(8)
+	tree := NewTree(leaves)
+	p, _ := tree.Prove(3)
+	if err := VerifyLeaf(tree.Root(), []byte("not-the-leaf"), p); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("err=%v, want ErrProofInvalid", err)
+	}
+}
+
+func TestTreeRejectsWrongPosition(t *testing.T) {
+	leaves := leavesOf(8)
+	tree := NewTree(leaves)
+	p3, _ := tree.Prove(3)
+	// Proof for index 3 must not authenticate leaf 4's data.
+	if err := VerifyLeaf(tree.Root(), leaves[4], p3); err == nil {
+		t.Fatal("proof for index 3 accepted leaf 4")
+	}
+}
+
+func TestTreeRejectsTamperedProof(t *testing.T) {
+	tree := NewTree(leavesOf(16))
+	p, _ := tree.Prove(5)
+	p.Steps[1].Hash[0] ^= 0xff
+	if err := VerifyLeaf(tree.Root(), []byte("leaf-5"), p); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("err=%v, want ErrProofInvalid", err)
+	}
+}
+
+func TestTreeProveOutOfRange(t *testing.T) {
+	tree := NewTree(leavesOf(4))
+	for _, i := range []int{-1, 4, 100} {
+		if _, err := tree.Prove(i); !errors.Is(err, ErrIndexRange) {
+			t.Fatalf("Prove(%d): err=%v, want ErrIndexRange", i, err)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := NewTree(nil)
+	if tree.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tree.Len())
+	}
+	if tree.Root() != emptyRoot {
+		t.Fatal("empty tree root is not the empty sentinel")
+	}
+	nonEmpty := NewTree(leavesOf(1))
+	if nonEmpty.Root() == tree.Root() {
+		t.Fatal("empty and non-empty roots collide")
+	}
+}
+
+func TestLeafInteriorDomainSeparation(t *testing.T) {
+	// A single-leaf tree's root is the leaf hash; it must differ from the
+	// interior hash of anything, and leaf data that looks like an interior
+	// preimage must not produce an interior hash.
+	l := LeafHash([]byte("x"))
+	i := InteriorHash(l, l)
+	if l == i {
+		t.Fatal("leaf and interior hashes collide")
+	}
+	var pre []byte
+	pre = append(pre, l[:]...)
+	pre = append(pre, l[:]...)
+	if LeafHash(pre) == i {
+		t.Fatal("domain separation failed: leaf encoding of (l‖l) equals interior hash")
+	}
+}
+
+func TestTreeDeterminism(t *testing.T) {
+	a := NewTree(leavesOf(13)).Root()
+	b := NewTree(leavesOf(13)).Root()
+	if a != b {
+		t.Fatal("same leaves produced different roots")
+	}
+	c := NewTree(leavesOf(14)).Root()
+	if a == c {
+		t.Fatal("different leaf sets produced the same root")
+	}
+}
+
+func TestQuickTreeMembership(t *testing.T) {
+	f := func(raw [][]byte, pick uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tree := NewTree(raw)
+		i := int(pick) % len(raw)
+		p, err := tree.Prove(i)
+		if err != nil {
+			return false
+		}
+		return VerifyLeaf(tree.Root(), raw[i], p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap()
+	if m.Len() != 0 {
+		t.Fatal("new map not empty")
+	}
+	m.Set("a", []byte("1"))
+	m.Set("b", []byte("2"))
+	if v, ok := m.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	if _, ok := m.Get("zz"); ok {
+		t.Fatal("Get(zz) found a missing key")
+	}
+	m.Delete("a")
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	m.Delete("never-existed") // must not panic or dirty semantics break
+	if m.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", m.Len())
+	}
+}
+
+func TestMapDigestChangesOnMutation(t *testing.T) {
+	m := NewMap()
+	d0 := m.Digest()
+	m.Set("k", []byte("v1"))
+	d1 := m.Digest()
+	if d0 == d1 {
+		t.Fatal("digest unchanged after Set")
+	}
+	m.Set("k", []byte("v2"))
+	d2 := m.Digest()
+	if d1 == d2 {
+		t.Fatal("digest unchanged after overwrite")
+	}
+	m.Delete("k")
+	d3 := m.Digest()
+	if d3 != d0 {
+		t.Fatal("digest after delete-all differs from empty digest")
+	}
+}
+
+func TestMapDigestOrderIndependence(t *testing.T) {
+	a := NewMap()
+	a.Set("x", []byte("1"))
+	a.Set("y", []byte("2"))
+	a.Set("z", []byte("3"))
+	b := NewMap()
+	b.Set("z", []byte("3"))
+	b.Set("x", []byte("1"))
+	b.Set("y", []byte("2"))
+	if a.Digest() != b.Digest() {
+		t.Fatal("insertion order affected digest")
+	}
+}
+
+func TestMapProveVerifyKey(t *testing.T) {
+	m := NewMap()
+	for i := 0; i < 50; i++ {
+		m.Set(fmt.Sprintf("key%02d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	root := m.Digest()
+	kp, err := m.ProveKey("key17")
+	if err != nil {
+		t.Fatalf("ProveKey: %v", err)
+	}
+	if err := VerifyKey(root, kp); err != nil {
+		t.Fatalf("VerifyKey: %v", err)
+	}
+
+	t.Run("wrong value rejected", func(t *testing.T) {
+		bad := kp
+		bad.Value = []byte("forged")
+		if err := VerifyKey(root, bad); !errors.Is(err, ErrProofInvalid) {
+			t.Fatalf("err=%v, want ErrProofInvalid", err)
+		}
+	})
+	t.Run("wrong key rejected", func(t *testing.T) {
+		bad := kp
+		bad.Key = "key18"
+		if err := VerifyKey(root, bad); !errors.Is(err, ErrProofInvalid) {
+			t.Fatalf("err=%v, want ErrProofInvalid", err)
+		}
+	})
+	t.Run("stale root rejected", func(t *testing.T) {
+		m.Set("key17", []byte("new"))
+		kp2, _ := m.ProveKey("key17")
+		if err := VerifyKey(root, kp2); !errors.Is(err, ErrProofInvalid) {
+			t.Fatalf("err=%v, want ErrProofInvalid", err)
+		}
+	})
+}
+
+func TestMapProveMissingKey(t *testing.T) {
+	m := NewMap()
+	m.Set("a", []byte("1"))
+	if _, err := m.ProveKey("b"); err == nil {
+		t.Fatal("ProveKey of a missing key succeeded")
+	}
+}
+
+func TestMapSnapshotRestore(t *testing.T) {
+	m := NewMap()
+	m.Set("a", []byte("1"))
+	m.Set("b", []byte("2"))
+	d := m.Digest()
+	snap := m.Snapshot()
+
+	m.Set("c", []byte("3"))
+	if m.Digest() == d {
+		t.Fatal("digest unchanged after post-snapshot mutation")
+	}
+
+	m2 := NewMap()
+	m2.Restore(snap)
+	if m2.Digest() != d {
+		t.Fatal("restored map digest differs from snapshot-time digest")
+	}
+
+	// Snapshot must be a deep copy.
+	snap["a"][0] = 'X'
+	if v, _ := m2.Get("a"); string(v) == "X" {
+		t.Fatal("snapshot aliases restored map storage")
+	}
+}
+
+func TestMapGetReturnsCopy(t *testing.T) {
+	m := NewMap()
+	m.Set("k", []byte("abc"))
+	v, _ := m.Get("k")
+	v[0] = 'X'
+	again, _ := m.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("Get exposed internal storage")
+	}
+}
+
+func TestQuickMapDigestInjective(t *testing.T) {
+	// Property: two maps with a differing value for some key have
+	// different digests.
+	f := func(keys []string, idx uint8, alt byte) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		a, b := NewMap(), NewMap()
+		for i, k := range keys {
+			v := []byte{byte(i)}
+			a.Set(k, v)
+			b.Set(k, v)
+		}
+		target := keys[int(idx)%len(keys)]
+		cur, _ := b.Get(target)
+		b.Set(target, append(cur, alt))
+		return a.Digest() != b.Digest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

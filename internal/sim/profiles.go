@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WAN profiles matching the paper's two deployments (§IX): a continent
+// scale WAN (5 regions, two availability zones each — we model the 10
+// zones as regions with small intra-pair latencies) and a world scale WAN
+// (15 regions across all continents). Latencies are one-way propagation
+// delays generated deterministically from a seed so experiments reproduce.
+
+// ContinentRegions is the number of zones in the continent-scale profile.
+const ContinentRegions = 10
+
+// WorldRegions is the number of regions in the world-scale profile.
+const WorldRegions = 15
+
+// ContinentProfile returns a Config modeling the paper's continent-scale
+// WAN: 5 regions × 2 availability zones. Zones 2k and 2k+1 form a region
+// (≈1ms apart); distinct regions are 10–40ms apart.
+func ContinentProfile(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	lat := make([][]time.Duration, ContinentRegions)
+	for i := range lat {
+		lat[i] = make([]time.Duration, ContinentRegions)
+	}
+	// Symmetric region-pair distances.
+	regionDist := make([][]time.Duration, 5)
+	for i := range regionDist {
+		regionDist[i] = make([]time.Duration, 5)
+		for j := 0; j < i; j++ {
+			d := 10*time.Millisecond + time.Duration(rng.Int63n(int64(30*time.Millisecond)))
+			regionDist[i][j] = d
+		}
+	}
+	for i := 0; i < ContinentRegions; i++ {
+		for j := 0; j < ContinentRegions; j++ {
+			ri, rj := i/2, j/2
+			switch {
+			case i == j:
+				lat[i][j] = 200 * time.Microsecond
+			case ri == rj:
+				lat[i][j] = time.Millisecond
+			case ri > rj:
+				lat[i][j] = regionDist[ri][rj]
+			default:
+				lat[i][j] = regionDist[rj][ri]
+			}
+		}
+	}
+	return Config{
+		Seed:         seed,
+		Regions:      ContinentRegions,
+		BaseLatency:  lat,
+		Jitter:       2 * time.Millisecond,
+		BandwidthBps: 10e9 / 8, // 10 Gbit links as in the paper
+	}
+}
+
+// WorldProfile returns a Config modeling the paper's world-scale WAN: 15
+// regions over all continents, one-way delays 20–150ms.
+func WorldProfile(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	lat := make([][]time.Duration, WorldRegions)
+	for i := range lat {
+		lat[i] = make([]time.Duration, WorldRegions)
+	}
+	for i := 0; i < WorldRegions; i++ {
+		for j := 0; j < i; j++ {
+			d := 20*time.Millisecond + time.Duration(rng.Int63n(int64(130*time.Millisecond)))
+			lat[i][j] = d
+			lat[j][i] = d
+		}
+		lat[i][i] = 200 * time.Microsecond
+	}
+	return Config{
+		Seed:         seed,
+		Regions:      WorldRegions,
+		BaseLatency:  lat,
+		Jitter:       5 * time.Millisecond,
+		BandwidthBps: 10e9 / 8,
+	}
+}
+
+// UniformProfile returns a single-region config with a fixed one-way
+// delay, useful for unit tests where latency must be exactly predictable.
+func UniformProfile(delay time.Duration) Config {
+	return Config{
+		Regions:     1,
+		BaseLatency: [][]time.Duration{{delay}},
+	}
+}

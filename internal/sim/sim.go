@@ -1,0 +1,323 @@
+// Package sim is a deterministic discrete-event network simulator standing
+// in for the paper's geo-replicated WAN deployments (§IX; substitution
+// documented in DESIGN.md). Protocol nodes are sans-io event machines; the
+// simulator owns virtual time, delivers messages with region-to-region
+// latency, jitter, bandwidth-proportional serialization delay, crash and
+// straggler injection, and fires timers — all reproducibly from a seed.
+//
+// Figures 2 and 3 of the paper depend on message counts, quorum waiting and
+// latency distributions, which this model reproduces; absolute throughput
+// also depends on crypto CPU cost, which callers model as service time via
+// Config.ComputeDelay.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies a simulated node (replica or client).
+type NodeID int
+
+// Handler receives delivered messages.
+type Handler interface {
+	// Deliver is invoked when a message arrives. Implementations run on
+	// the simulator's single logical thread; no locking is needed.
+	Deliver(from NodeID, msg any)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tiebreaker for equal timestamps → determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic virtual-time event loop.
+type Scheduler struct {
+	pq   eventHeap
+	now  time.Duration
+	seq  uint64
+	rng  *rand.Rand
+	nrun uint64
+}
+
+// NewScheduler returns a scheduler seeded for reproducibility.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand exposes the deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Events reports how many events have run.
+func (s *Scheduler) Events() uint64 { return s.nrun }
+
+// Schedule runs fn after delay d of virtual time. It returns a cancel
+// function; cancelling after the event fired is a no-op.
+func (s *Scheduler) Schedule(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	e := &event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pq, e)
+	return func() { e.fn = nil }
+}
+
+// Step runs the next event. It reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(*event)
+		if e.fn == nil {
+			continue // cancelled
+		}
+		s.now = e.at
+		s.nrun++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty, virtual time passes
+// `until`, or maxEvents fire (0 = no event cap). It returns the number of
+// events processed.
+func (s *Scheduler) Run(until time.Duration, maxEvents uint64) uint64 {
+	var n uint64
+	for s.pq.Len() > 0 {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		// Peek: do not cross the time horizon.
+		next := s.pq[0]
+		if next.fn == nil {
+			heap.Pop(&s.pq)
+			continue
+		}
+		if until > 0 && next.at > until {
+			s.now = until
+			break
+		}
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Config describes the network model.
+type Config struct {
+	// Seed drives all randomness (latency jitter, drops).
+	Seed int64
+	// Regions is the number of regions; nodes are assigned on Register.
+	Regions int
+	// BaseLatency[i][j] is the one-way propagation delay between regions
+	// i and j. Must be Regions×Regions.
+	BaseLatency [][]time.Duration
+	// Jitter is the maximum uniform extra delay added per message.
+	Jitter time.Duration
+	// BandwidthBps is per-link bandwidth in bytes/second; 0 disables
+	// serialization delay.
+	BandwidthBps float64
+	// DropRate is the probability a message is silently dropped.
+	DropRate float64
+	// SendCost models per-message CPU time at the sender (serialization,
+	// signing): a node's sends are serialized on its CPU, so an n-wide
+	// broadcast occupies the sender for n×SendCost. Nil = free.
+	SendCost func(msg any, size int) time.Duration
+	// RecvCost models per-message CPU time at the receiver (signature
+	// verification, handling). A node processes arrivals serially; this
+	// is what makes quadratic protocols saturate replicas at scale — the
+	// effect behind the paper's Figure 2 (see DESIGN.md). Nil = free.
+	RecvCost func(msg any, size int) time.Duration
+}
+
+// Network delivers messages between registered nodes over the modeled WAN.
+type Network struct {
+	sched    *Scheduler
+	cfg      Config
+	handlers map[NodeID]Handler
+	regionOf map[NodeID]int
+	crashed  map[NodeID]bool
+	straggle map[NodeID]time.Duration
+	partOf   map[NodeID]int           // partition group; groups can't talk
+	busy     map[NodeID]time.Duration // CPU-busy horizon per node
+
+	// Stats.
+	MsgsSent    uint64
+	MsgsDropped uint64
+	BytesSent   uint64
+}
+
+// NewNetwork builds a network over a scheduler.
+func NewNetwork(sched *Scheduler, cfg Config) (*Network, error) {
+	if cfg.Regions <= 0 {
+		return nil, fmt.Errorf("sim: Regions must be positive")
+	}
+	if len(cfg.BaseLatency) != cfg.Regions {
+		return nil, fmt.Errorf("sim: BaseLatency is %d rows, want %d", len(cfg.BaseLatency), cfg.Regions)
+	}
+	for i, row := range cfg.BaseLatency {
+		if len(row) != cfg.Regions {
+			return nil, fmt.Errorf("sim: BaseLatency row %d has %d cols, want %d", i, len(row), cfg.Regions)
+		}
+	}
+	return &Network{
+		sched:    sched,
+		cfg:      cfg,
+		handlers: make(map[NodeID]Handler),
+		regionOf: make(map[NodeID]int),
+		crashed:  make(map[NodeID]bool),
+		straggle: make(map[NodeID]time.Duration),
+		partOf:   make(map[NodeID]int),
+		busy:     make(map[NodeID]time.Duration),
+	}, nil
+}
+
+// Register attaches a handler for a node placed in a region.
+func (n *Network) Register(id NodeID, region int, h Handler) error {
+	if region < 0 || region >= n.cfg.Regions {
+		return fmt.Errorf("sim: region %d out of range [0,%d)", region, n.cfg.Regions)
+	}
+	if _, dup := n.handlers[id]; dup {
+		return fmt.Errorf("sim: node %d already registered", id)
+	}
+	n.handlers[id] = h
+	n.regionOf[id] = region
+	return nil
+}
+
+// Crash marks a node as crashed: it neither sends nor receives.
+func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Recover clears the crash flag.
+func (n *Network) Recover(id NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether a node is crashed.
+func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// SetStraggler adds a fixed extra delay to every message to or from id,
+// modeling the paper's slow replicas (ingredient 4 evaluation).
+func (n *Network) SetStraggler(id NodeID, extra time.Duration) {
+	if extra <= 0 {
+		delete(n.straggle, id)
+		return
+	}
+	n.straggle[id] = extra
+}
+
+// SetPartition places a node into a partition group; messages between
+// different non-zero groups are dropped. Group 0 talks to everyone.
+func (n *Network) SetPartition(id NodeID, group int) {
+	if group == 0 {
+		delete(n.partOf, id)
+		return
+	}
+	n.partOf[id] = group
+}
+
+// Latency returns the modeled one-way delay for a message of `size` bytes
+// from one node to another, excluding jitter.
+func (n *Network) Latency(from, to NodeID, size int) time.Duration {
+	d := n.cfg.BaseLatency[n.regionOf[from]][n.regionOf[to]]
+	if n.cfg.BandwidthBps > 0 {
+		d += time.Duration(float64(size) / n.cfg.BandwidthBps * float64(time.Second))
+	}
+	d += n.straggle[from] + n.straggle[to]
+	return d
+}
+
+// Send schedules delivery of msg from → to. size is the wire size estimate
+// used for bandwidth modeling and statistics.
+func (n *Network) Send(from, to NodeID, msg any, size int) {
+	if n.crashed[from] || n.crashed[to] {
+		n.MsgsDropped++
+		return
+	}
+	if gf, gt := n.partOf[from], n.partOf[to]; gf != 0 && gt != 0 && gf != gt {
+		n.MsgsDropped++
+		return
+	}
+	if n.cfg.DropRate > 0 && n.sched.rng.Float64() < n.cfg.DropRate {
+		n.MsgsDropped++
+		return
+	}
+	n.MsgsSent++
+	n.BytesSent += uint64(size)
+
+	// Sender CPU: sends serialize on the sender, so a broadcast's k-th
+	// message departs after k send costs.
+	now := n.sched.Now()
+	departure := now
+	if n.cfg.SendCost != nil {
+		if n.busy[from] > departure {
+			departure = n.busy[from]
+		}
+		departure += n.cfg.SendCost(msg, size)
+		n.busy[from] = departure
+	}
+
+	d := departure - now + n.Latency(from, to, size)
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.sched.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	n.sched.Schedule(d, func() {
+		if n.crashed[to] {
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			return
+		}
+		if n.cfg.RecvCost == nil {
+			h.Deliver(from, msg)
+			return
+		}
+		// Receiver CPU: arrivals queue behind the node's busy horizon.
+		start := n.sched.Now()
+		if n.busy[to] > start {
+			start = n.busy[to]
+		}
+		fin := start + n.cfg.RecvCost(msg, size)
+		n.busy[to] = fin
+		n.sched.Schedule(fin-n.sched.Now(), func() {
+			if n.crashed[to] {
+				return
+			}
+			h.Deliver(from, msg)
+		})
+	})
+}
+
+// Scheduler exposes the underlying scheduler (for timers).
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Region reports the region of a node.
+func (n *Network) Region(id NodeID) int { return n.regionOf[id] }

@@ -1,0 +1,286 @@
+// Package storage is the persistence substrate standing in for RocksDB in
+// the paper's deployment (§VIII–IX): replicas persist committed decision
+// blocks to disk before acknowledging execution, and checkpoint snapshots
+// for state transfer.
+//
+// Ledger is an append-only block log with per-record CRC32C checksums and
+// optional fsync-per-append durability, plus side-stored snapshot files.
+// The format is deliberately simple and self-describing:
+//
+//	record := magic(4) seq(8) payloadLen(4) payload crc32c(4)
+//
+// Torn tails (from a crash mid-append) are detected on open and truncated,
+// the standard WAL recovery contract.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const recordMagic = 0x53424654 // "SBFT"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by Ledger operations.
+var (
+	ErrCorruptRecord = errors.New("storage: corrupt record")
+	ErrOutOfOrder    = errors.New("storage: append out of order")
+	ErrNotFound      = errors.New("storage: block not found")
+	ErrClosed        = errors.New("storage: ledger closed")
+)
+
+// Options configures a Ledger.
+type Options struct {
+	// Sync forces an fsync after every append, matching the paper's
+	// "persists transactions to disk" durability point. Benchmarks that
+	// model disk latency in the simulator disable it.
+	Sync bool
+}
+
+// Ledger is a durable append-only block log. It is safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	opts    Options
+	nextSeq uint64
+	index   map[uint64]span // seq → file span of payload
+	closed  bool
+}
+
+type span struct {
+	off int64
+	len int
+}
+
+// Open creates or recovers a ledger in dir. Existing records are scanned,
+// validated, and a torn tail is truncated away.
+func Open(dir string, opts Options) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating dir: %w", err)
+	}
+	path := filepath.Join(dir, "blocks.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening log: %w", err)
+	}
+	l := &Ledger{dir: dir, f: f, opts: opts, nextSeq: 1, index: make(map[uint64]span)}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover scans the log, building the index and truncating a torn tail.
+func (l *Ledger) recover() error {
+	var off int64
+	var hdr [16]byte
+	for {
+		n, err := l.f.ReadAt(hdr[:], off)
+		if err == io.EOF && n == 0 {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("storage: reading header: %w", err)
+		}
+		if n < len(hdr) {
+			// Torn header.
+			return l.truncate(off)
+		}
+		if binary.BigEndian.Uint32(hdr[0:4]) != recordMagic {
+			return l.truncate(off)
+		}
+		seq := binary.BigEndian.Uint64(hdr[4:12])
+		plen := binary.BigEndian.Uint32(hdr[12:16])
+		body := make([]byte, int(plen)+4)
+		n, err = l.f.ReadAt(body, off+16)
+		if n < len(body) {
+			return l.truncate(off)
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("storage: reading payload: %w", err)
+		}
+		payload := body[:plen]
+		want := binary.BigEndian.Uint32(body[plen:])
+		if crc32.Checksum(payload, castagnoli) != want {
+			return l.truncate(off)
+		}
+		if seq != l.nextSeq {
+			return fmt.Errorf("%w: seq %d at offset %d, want %d", ErrCorruptRecord, seq, off, l.nextSeq)
+		}
+		l.index[seq] = span{off: off + 16, len: int(plen)}
+		l.nextSeq = seq + 1
+		off += 16 + int64(plen) + 4
+	}
+	return nil
+}
+
+func (l *Ledger) truncate(off int64) error {
+	if err := l.f.Truncate(off); err != nil {
+		return fmt.Errorf("storage: truncating torn tail: %w", err)
+	}
+	_, err := l.f.Seek(off, io.SeekStart)
+	return err
+}
+
+// Append durably appends the block with the next sequence number. Blocks
+// must be appended in order starting from 1; this matches SBFT's execute
+// trigger, which persists blocks consecutively.
+func (l *Ledger) Append(seq uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seq != l.nextSeq {
+		return fmt.Errorf("%w: got %d, want %d", ErrOutOfOrder, seq, l.nextSeq)
+	}
+	end, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("storage: seeking: %w", err)
+	}
+	buf := make([]byte, 0, 16+len(payload)+4)
+	buf = binary.BigEndian.AppendUint32(buf, recordMagic)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("storage: writing record: %w", err)
+	}
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("storage: fsync: %w", err)
+		}
+	}
+	l.index[seq] = span{off: end + 16, len: len(payload)}
+	l.nextSeq = seq + 1
+	return nil
+}
+
+// Get reads the payload of block seq.
+func (l *Ledger) Get(seq uint64) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	sp, ok := l.index[seq]
+	if !ok {
+		return nil, fmt.Errorf("%w: seq %d", ErrNotFound, seq)
+	}
+	out := make([]byte, sp.len)
+	if _, err := l.f.ReadAt(out, sp.off); err != nil {
+		return nil, fmt.Errorf("storage: reading block %d: %w", seq, err)
+	}
+	return out, nil
+}
+
+// NextSeq reports the sequence number the next Append must carry.
+func (l *Ledger) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Close releases the underlying file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// SaveSnapshot persists a checkpoint snapshot for sequence seq. Snapshots
+// are written atomically (write temp + rename).
+func (l *Ledger) SaveSnapshot(seq uint64, data []byte) error {
+	tmp := filepath.Join(l.dir, fmt.Sprintf(".snap-%d.tmp", seq))
+	final := filepath.Join(l.dir, fmt.Sprintf("snap-%d.bin", seq))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	if l.opts.Sync {
+		f, err := os.Open(tmp)
+		if err == nil {
+			f.Sync()
+			f.Close()
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("storage: renaming snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads the snapshot for seq.
+func (l *Ledger) LoadSnapshot(seq uint64) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, fmt.Sprintf("snap-%d.bin", seq)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: snapshot %d", ErrNotFound, seq)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// LatestSnapshot reports the highest snapshot sequence available, or 0.
+func (l *Ledger) LatestSnapshot() (uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return 0, fmt.Errorf("storage: listing snapshots: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".bin"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, s)
+	}
+	if len(seqs) == 0 {
+		return 0, nil
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs[len(seqs)-1], nil
+}
+
+// PruneSnapshots removes snapshots older than keepFrom.
+func (l *Ledger) PruneSnapshots(keepFrom uint64) error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("storage: listing snapshots: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".bin"), 10, 64)
+		if err != nil || s >= keepFrom {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+			return fmt.Errorf("storage: pruning snapshot %d: %w", s, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts Options) (*Ledger, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, dir
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	payloads := [][]byte{[]byte("block one"), []byte(""), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := l.Append(uint64(i+1), p); err != nil {
+			t.Fatalf("Append(%d): %v", i+1, err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := l.Get(uint64(i + 1))
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) = %d bytes, want %d", i+1, len(got), len(want))
+		}
+	}
+	if l.NextSeq() != 4 {
+		t.Fatalf("NextSeq = %d, want 4", l.NextSeq())
+	}
+}
+
+func TestAppendOutOfOrderRejected(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	if err := l.Append(2, []byte("x")); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("Append(2) first: err=%v, want ErrOutOfOrder", err)
+	}
+	if err := l.Append(1, []byte("x")); err != nil {
+		t.Fatalf("Append(1): %v", err)
+	}
+	if err := l.Append(1, []byte("x")); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("Append(1) twice: err=%v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	if _, err := l.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err=%v, want ErrNotFound", err)
+	}
+}
+
+func TestReopenRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := l.Append(seq, []byte(fmt.Sprintf("payload-%d", seq))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != 6 {
+		t.Fatalf("recovered NextSeq = %d, want 6", l2.NextSeq())
+	}
+	got, err := l2.Get(3)
+	if err != nil || string(got) != "payload-3" {
+		t.Fatalf("Get(3) = %q, %v", got, err)
+	}
+	if err := l2.Append(6, []byte("resumed")); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.Append(seq, []byte("good")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: chop bytes off the tail.
+	path := filepath.Join(dir, "blocks.log")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != 3 {
+		t.Fatalf("NextSeq after torn tail = %d, want 3 (block 3 lost)", l2.NextSeq())
+	}
+	if _, err := l2.Get(3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn block still readable: err=%v", err)
+	}
+	// Log accepts the lost sequence again.
+	if err := l2.Append(3, []byte("rewritten")); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+}
+
+func TestRecoveryDetectsCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(1, []byte("aaaaaaaa"))
+	l.Append(2, []byte("bbbbbbbb"))
+	l.Close()
+
+	// Flip a byte inside record 2's payload (header 16 + payload 8 + crc 4,
+	// record 2 payload begins at 28+16).
+	path := filepath.Join(dir, "blocks.log")
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 46); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != 2 {
+		t.Fatalf("NextSeq = %d, want 2 (corrupt record dropped)", l2.NextSeq())
+	}
+	if got, err := l2.Get(1); err != nil || string(got) != "aaaaaaaa" {
+		t.Fatalf("Get(1) = %q, %v", got, err)
+	}
+}
+
+func TestClosedLedgerRejectsOps(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	l.Append(1, []byte("x"))
+	l.Close()
+	if err := l.Append(2, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close: err=%v, want ErrClosed", err)
+	}
+	if _, err := l.Get(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close: err=%v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	if err := l.SaveSnapshot(10, []byte("state@10")); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if err := l.SaveSnapshot(20, []byte("state@20")); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+
+	got, err := l.LoadSnapshot(10)
+	if err != nil || string(got) != "state@10" {
+		t.Fatalf("LoadSnapshot(10) = %q, %v", got, err)
+	}
+	latest, err := l.LatestSnapshot()
+	if err != nil || latest != 20 {
+		t.Fatalf("LatestSnapshot = %d, %v, want 20", latest, err)
+	}
+
+	if err := l.PruneSnapshots(15); err != nil {
+		t.Fatalf("PruneSnapshots: %v", err)
+	}
+	if _, err := l.LoadSnapshot(10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("pruned snapshot still loads: err=%v", err)
+	}
+	if _, err := l.LoadSnapshot(20); err != nil {
+		t.Fatalf("retained snapshot lost: %v", err)
+	}
+}
+
+func TestLatestSnapshotEmpty(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	latest, err := l.LatestSnapshot()
+	if err != nil || latest != 0 {
+		t.Fatalf("LatestSnapshot on empty dir = %d, %v, want 0", latest, err)
+	}
+}
+
+func TestLoadMissingSnapshot(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	if _, err := l.LoadSnapshot(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err=%v, want ErrNotFound", err)
+	}
+}
+
+func TestSyncModeAppend(t *testing.T) {
+	l, _ := openTemp(t, Options{Sync: true})
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.Append(seq, []byte("durable")); err != nil {
+			t.Fatalf("Append with sync: %v", err)
+		}
+	}
+}
