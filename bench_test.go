@@ -241,13 +241,9 @@ func BenchmarkCryptoThresholdRSA(b *testing.B) {
 }
 
 // BenchmarkCryptoThresholdBLS benches threshold BLS over the from-scratch
-// BN254 pairing (the 33-byte column; this audit-grade big.Int pairing is
-// orders slower than the paper's optimized RELIC build — the sizes and
-// algebra are what the table compares).
+// BN254 pairing (the 33-byte column), running on the fixed-limb
+// Montgomery hot path (internal/crypto/bn254).
 func BenchmarkCryptoThresholdBLS(b *testing.B) {
-	if testing.Short() {
-		b.Skip("pairings are expensive")
-	}
 	scheme, signers, err := threshbls.Dealer{}.Deal(2, 3)
 	if err != nil {
 		b.Fatal(err)

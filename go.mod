@@ -1,0 +1,3 @@
+module sbft
+
+go 1.24

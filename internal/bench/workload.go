@@ -2,7 +2,7 @@
 // (§IX): workload generators, the experiment grid behind Figures 2 and 3,
 // the smart-contract benchmarks (continent and world WAN), the single-node
 // baseline, and the ingredient ablation. Each experiment prints the same
-// rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+// rows/series the paper reports; DESIGN.md holds the per-experiment index.
 package bench
 
 import (

@@ -650,7 +650,9 @@ func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
 	// Fast path: combine σ(h) once 3f+c+1 shares arrive.
 	if r.cfg.FastPath && !s.sentFastProof && len(s.sigmaShares) >= r.cfg.QuorumFast() {
 		shares := sharesList(s.sigmaShares)
-		sig, err := r.suite.Sigma.Combine(s.hash[:], shares)
+		// Shares in sigmaShares were pairing-checked on arrival in
+		// onSignShare, so combination skips re-verification (§III).
+		sig, err := r.suite.Sigma.CombineVerified(s.hash[:], shares)
 		if err == nil {
 			s.sentFastProof = true
 			if s.fastTimer != nil {
@@ -677,7 +679,7 @@ func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
 				return
 			}
 			shares := sharesList(s.tauShares)
-			sig, err := r.suite.Tau.Combine(s.hash[:], shares)
+			sig, err := r.suite.Tau.CombineVerified(s.hash[:], shares)
 			if err != nil {
 				return
 			}
@@ -835,7 +837,7 @@ func (r *Replica) onCommit(_ int, m CommitMsg) {
 			if s.committed || s.commitSlow != nil {
 				return // another collector's proof already landed
 			}
-			sig, err := r.suite.Tau.Combine(tauTauDigest(s.prepareTau), sharesList(s.tautauShares))
+			sig, err := r.suite.Tau.CombineVerified(tauTauDigest(s.prepareTau), sharesList(s.tautauShares))
 			if err != nil {
 				return
 			}
@@ -1156,7 +1158,7 @@ func (r *Replica) onSignState(_ int, m SignStateMsg) {
 		if s.execCertSeen {
 			return // another E-collector already certified this sequence
 		}
-		pi, err := r.suite.Pi.Combine(stateSigDigest(m.Seq, s.execDigest), sharesList(s.piShares))
+		pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, s.execDigest), sharesList(s.piShares))
 		if err != nil {
 			return
 		}
@@ -1283,7 +1285,7 @@ func (r *Replica) onCheckpointShare(_ int, m CheckpointShareMsg) {
 	if len(r.ckptShares[m.Seq]) < r.cfg.QuorumExec() {
 		return
 	}
-	pi, err := r.suite.Pi.Combine(stateSigDigest(m.Seq, m.Digest), sharesList(r.ckptShares[m.Seq]))
+	pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, m.Digest), sharesList(r.ckptShares[m.Seq]))
 	if err != nil {
 		return
 	}

@@ -1,0 +1,112 @@
+package bn254
+
+// Microbenchmarks for the crypto hot path, each paired with its retained
+// math/big reference so the speedup is measured in one run:
+//
+//	go test ./internal/crypto/bn254 -bench . -benchtime 10x
+import (
+	"math/big"
+	"testing"
+)
+
+func BenchmarkPair(b *testing.B) {
+	g1, g2 := G1Generator(), G2Generator()
+	p := g1.ScalarMul(big.NewInt(12345))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, g2)
+	}
+}
+
+func BenchmarkPairReference(b *testing.B) {
+	g1, g2 := G1Generator(), G2Generator()
+	p := g1.ScalarMul(big.NewInt(12345))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairReference(p, g2)
+	}
+}
+
+func BenchmarkPairingCheck(b *testing.B) {
+	g1, g2 := G1Generator(), G2Generator()
+	k := big.NewInt(31337)
+	p := g1.ScalarMul(k)
+	qs := []G2Point{g2, g2.ScalarMul(k)}
+	ps := []G1Point{p, g1.Neg()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !PairingCheck(ps, qs) {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+func BenchmarkG1ScalarMul(b *testing.B) {
+	g := G1Generator()
+	k, _ := new(big.Int).SetString("1234567891011121314151617181920212223242526272829303132333435", 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMul(k)
+	}
+}
+
+func BenchmarkG1ScalarMulReference(b *testing.B) {
+	g := G1Generator()
+	k, _ := new(big.Int).SetString("1234567891011121314151617181920212223242526272829303132333435", 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.scalarMulReference(k)
+	}
+}
+
+func BenchmarkG2ScalarMul(b *testing.B) {
+	g := G2Generator()
+	k, _ := new(big.Int).SetString("1234567891011121314151617181920212223242526272829303132333435", 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMul(k)
+	}
+}
+
+func BenchmarkHashToG1(b *testing.B) {
+	msgs := make([][]byte, 64)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), byte(i >> 8), 0xab}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashToG1(msgs[i%len(msgs)])
+	}
+}
+
+func BenchmarkHashToG1Reference(b *testing.B) {
+	msgs := make([][]byte, 64)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), byte(i >> 8), 0xab}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hashToG1Reference(msgs[i%len(msgs)])
+	}
+}
+
+func BenchmarkFpMul(b *testing.B) {
+	x := fpFromBig(big.NewInt(0).SetBytes([]byte("benchmark fp element a.")))
+	y := fpFromBig(big.NewInt(0).SetBytes([]byte("benchmark fp element b.")))
+	var z fp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		montMul(&z, &x, &y)
+	}
+}
+
+func BenchmarkFp12Mul(b *testing.B) {
+	r := testRand()
+	x := fp12FromFQP(randFq12(r))
+	y := fp12FromFQP(randFq12(r))
+	var z fp12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp12Mul(&z, &x, &y)
+	}
+}

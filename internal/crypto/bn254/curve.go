@@ -77,18 +77,11 @@ func (p G1Point) Double() G1Point {
 	return G1Point{X: x3, Y: y3}
 }
 
-// ScalarMul returns k·p (double-and-add; k taken mod R).
+// ScalarMul returns k·p (k taken mod R). It runs in fixed-limb Jacobian
+// coordinates (g1fast.go); scalarMulReference retains the affine math/big
+// double-and-add as the oracle.
 func (p G1Point) ScalarMul(k *big.Int) G1Point {
-	kk := new(big.Int).Mod(k, R)
-	acc := G1Infinity()
-	base := p
-	for i := 0; i < kk.BitLen(); i++ {
-		if kk.Bit(i) == 1 {
-			acc = acc.Add(base)
-		}
-		base = base.Double()
-	}
-	return acc
+	return p.scalarMulFast(k)
 }
 
 // Marshal serializes the point (64 bytes, or all-zero for infinity).
@@ -102,7 +95,19 @@ func (p G1Point) Marshal() []byte {
 	return out
 }
 
-// UnmarshalG1 parses a 64-byte point and checks curve membership.
+// canonicalFq parses a 32-byte big-endian field element, rejecting
+// non-canonical (≥ Q) encodings so every point has exactly one byte
+// representation (signatures are compared and deduplicated as bytes).
+func canonicalFq(b []byte) (Fq, bool) {
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(Q) >= 0 {
+		return Fq{}, false
+	}
+	return Fq{v: v}, true
+}
+
+// UnmarshalG1 parses a 64-byte point, checking canonical coordinate
+// encoding and curve membership.
 func UnmarshalG1(data []byte) (G1Point, bool) {
 	if len(data) != 64 {
 		return G1Point{}, false
@@ -117,10 +122,12 @@ func UnmarshalG1(data []byte) (G1Point, bool) {
 	if allZero {
 		return G1Infinity(), true
 	}
-	p := G1Point{
-		X: NewFq(new(big.Int).SetBytes(data[:32])),
-		Y: NewFq(new(big.Int).SetBytes(data[32:])),
+	x, okX := canonicalFq(data[:32])
+	y, okY := canonicalFq(data[32:])
+	if !okX || !okY {
+		return G1Point{}, false
 	}
+	p := G1Point{X: x, Y: y}
 	if !p.IsOnCurve() {
 		return G1Point{}, false
 	}
@@ -130,22 +137,41 @@ func UnmarshalG1(data []byte) (G1Point, bool) {
 // HashToG1 hashes a message onto G1 by try-and-increment: candidate x
 // values derived from the digest until x³+3 is a quadratic residue. The
 // method is deterministic and constant-free; BLS signatures only need a
-// random-oracle-ish map (§III).
+// random-oracle-ish map (§III). The square-root test runs on the
+// fixed-limb field (hashCandidate); hashToG1Reference retains the
+// math/big loop and produces identical points.
 func HashToG1(msg []byte) G1Point {
 	for ctr := uint32(0); ; ctr++ {
-		h := sha256.New()
-		h.Write([]byte("bn254:hash-to-g1"))
-		var cb [4]byte
-		binary.BigEndian.PutUint32(cb[:], ctr)
-		h.Write(cb[:])
-		h.Write(msg)
-		d1 := h.Sum(nil)
-		h.Reset()
-		h.Write([]byte("bn254:hash-to-g1:2"))
-		h.Write(cb[:])
-		h.Write(msg)
-		d2 := h.Sum(nil)
-		x := NewFq(new(big.Int).SetBytes(append(d1, d2...)))
+		// E(Fq) has order R exactly for BN curves (cofactor 1), so any
+		// curve point is already in the subgroup.
+		if p, ok := hashCandidate(hashCandidateX(msg, ctr)); ok {
+			return p
+		}
+	}
+}
+
+// hashCandidateX derives the ctr-th candidate x coordinate for msg.
+func hashCandidateX(msg []byte, ctr uint32) *big.Int {
+	h := sha256.New()
+	h.Write([]byte("bn254:hash-to-g1"))
+	var cb [4]byte
+	binary.BigEndian.PutUint32(cb[:], ctr)
+	h.Write(cb[:])
+	h.Write(msg)
+	d1 := h.Sum(nil)
+	h.Reset()
+	h.Write([]byte("bn254:hash-to-g1:2"))
+	h.Write(cb[:])
+	h.Write(msg)
+	d2 := h.Sum(nil)
+	return new(big.Int).SetBytes(append(d1, d2...))
+}
+
+// hashToG1Reference is the retained math/big try-and-increment loop, the
+// differential oracle for HashToG1.
+func hashToG1Reference(msg []byte) G1Point {
+	for ctr := uint32(0); ; ctr++ {
+		x := NewFq(hashCandidateX(msg, ctr))
 		rhs := x.Mul(x).Mul(x).Add(FqFromInt64(3))
 		y := new(big.Int).ModSqrt(rhs.Big(), Q)
 		if y == nil {
@@ -157,10 +183,7 @@ func HashToG1(msg []byte) G1Point {
 		if other.Big().Cmp(yf.Big()) < 0 {
 			yf = other
 		}
-		p := G1Point{X: x, Y: yf}
-		// E(Fq) has order R exactly for BN curves (cofactor 1), so any
-		// curve point is already in the subgroup.
-		return p
+		return G1Point{X: x, Y: yf}
 	}
 }
 
@@ -250,18 +273,11 @@ func (p G2Point) Double() G2Point {
 	return G2Point{X: x3, Y: y3}
 }
 
-// ScalarMul returns k·p.
+// ScalarMul returns k·p (k taken mod R). It runs in fixed-limb Jacobian
+// coordinates over Fq² (g2fast.go); scalarMulReference retains the affine
+// math/big double-and-add as the oracle.
 func (p G2Point) ScalarMul(k *big.Int) G2Point {
-	kk := new(big.Int).Mod(k, R)
-	acc := G2Infinity()
-	base := p
-	for i := 0; i < kk.BitLen(); i++ {
-		if kk.Bit(i) == 1 {
-			acc = acc.Add(base)
-		}
-		base = base.Double()
-	}
-	return acc
+	return p.scalarMulFast(k)
 }
 
 // InSubgroup reports R·p == ∞ (the twist has composite order; valid
@@ -283,8 +299,8 @@ func (p G2Point) Marshal() []byte {
 	return out
 }
 
-// UnmarshalG2 parses a 128-byte point, checking curve and subgroup
-// membership.
+// UnmarshalG2 parses a 128-byte point, checking canonical coordinate
+// encoding, curve and subgroup membership.
 func UnmarshalG2(data []byte) (G2Point, bool) {
 	if len(data) != 128 {
 		return G2Point{}, false
@@ -299,10 +315,14 @@ func UnmarshalG2(data []byte) (G2Point, bool) {
 	if allZero {
 		return G2Infinity(), true
 	}
-	p := G2Point{
-		X: NewFq2(NewFq(new(big.Int).SetBytes(data[0:32])), NewFq(new(big.Int).SetBytes(data[32:64]))),
-		Y: NewFq2(NewFq(new(big.Int).SetBytes(data[64:96])), NewFq(new(big.Int).SetBytes(data[96:128]))),
+	x0, ok0 := canonicalFq(data[0:32])
+	x1, ok1 := canonicalFq(data[32:64])
+	y0, ok2 := canonicalFq(data[64:96])
+	y1, ok3 := canonicalFq(data[96:128])
+	if !ok0 || !ok1 || !ok2 || !ok3 {
+		return G2Point{}, false
 	}
+	p := G2Point{X: NewFq2(x0, x1), Y: NewFq2(y0, y1)}
 	if !p.IsOnCurve() || !p.InSubgroup() {
 		return G2Point{}, false
 	}

@@ -1,0 +1,334 @@
+package bn254
+
+// Differential tests: every fixed-limb operation is cross-checked against
+// the retained math/big reference implementation on random inputs. The
+// reference is slow (a full pairing costs hundreds of milliseconds), so
+// the tests that invoke it directly are capped at a few samples and
+// skipped under -short, like the original pairing tests.
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// testRand returns a deterministic source so failures are reproducible.
+func testRand() *rand.Rand { return rand.New(rand.NewSource(0x5bf7)) }
+
+func randBig(r *rand.Rand) *big.Int {
+	b := make([]byte, 40) // > 32 bytes: exercises reduction mod Q
+	r.Read(b)
+	return new(big.Int).SetBytes(b)
+}
+
+func randFq(r *rand.Rand) Fq { return NewFq(randBig(r)) }
+
+func randFq2(r *rand.Rand) FQP { return NewFq2(randFq(r), randFq(r)) }
+
+func randFq12(r *rand.Rand) FQP {
+	var c [12]Fq
+	for i := range c {
+		c[i] = randFq(r)
+	}
+	return NewFq12(c)
+}
+
+func TestFpDifferential(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 200; i++ {
+		a, b := randBig(r), randBig(r)
+		fa, fb := fpFromBig(a), fpFromBig(b)
+		ra, rb := NewFq(a), NewFq(b)
+
+		var z fp
+		fpAdd(&z, &fa, &fb)
+		if z.toBig().Cmp(ra.Add(rb).Big()) != 0 {
+			t.Fatalf("add mismatch: %v + %v", a, b)
+		}
+		fpSub(&z, &fa, &fb)
+		if z.toBig().Cmp(ra.Sub(rb).Big()) != 0 {
+			t.Fatalf("sub mismatch: %v - %v", a, b)
+		}
+		montMul(&z, &fa, &fb)
+		if z.toBig().Cmp(ra.Mul(rb).Big()) != 0 {
+			t.Fatalf("mul mismatch: %v * %v", a, b)
+		}
+		fpNeg(&z, &fa)
+		if z.toBig().Cmp(ra.Neg().Big()) != 0 {
+			t.Fatalf("neg mismatch: %v", a)
+		}
+		fpHalve(&z, &fa)
+		var z2 fp
+		fpDouble(&z2, &z)
+		if !z2.equal(&fa) {
+			t.Fatalf("halve/double mismatch: %v", a)
+		}
+		if !ra.IsZero() {
+			fpInv(&z, &fa)
+			if z.toBig().Cmp(ra.Inv().Big()) != 0 {
+				t.Fatalf("inv mismatch: %v", a)
+			}
+		}
+		// Sqrt agrees with big.Int ModSqrt on existence, and the root
+		// squares back.
+		var s fp
+		ok := fpSqrt(&s, &fa)
+		refRoot := new(big.Int).ModSqrt(ra.Big(), Q)
+		if ok != (refRoot != nil) {
+			t.Fatalf("sqrt existence mismatch for %v", a)
+		}
+		if ok {
+			fpSquare(&z, &s)
+			if !z.equal(&fa) {
+				t.Fatalf("sqrt does not square back: %v", a)
+			}
+		}
+	}
+	// Round-trip at the field boundary.
+	for _, v := range []*big.Int{big.NewInt(0), big.NewInt(1), new(big.Int).Sub(Q, big.NewInt(1))} {
+		f := fpFromBig(v)
+		if f.toBig().Cmp(v) != 0 {
+			t.Fatalf("round trip mismatch for %v", v)
+		}
+	}
+}
+
+func TestFp2Differential(t *testing.T) {
+	r := testRand()
+	xi := NewFq2(FqFromInt64(9), FqFromInt64(1))
+	for i := 0; i < 100; i++ {
+		a, b := randFq2(r), randFq2(r)
+		fa, fb := fp2FromFQP(a), fp2FromFQP(b)
+
+		var z fp2
+		fp2Mul(&z, &fa, &fb)
+		if !z.toFQP().Equal(a.Mul(b)) {
+			t.Fatal("fp2 mul mismatch")
+		}
+		fp2Square(&z, &fa)
+		if !z.toFQP().Equal(a.Mul(a)) {
+			t.Fatal("fp2 square mismatch")
+		}
+		fp2Add(&z, &fa, &fb)
+		if !z.toFQP().Equal(a.Add(b)) {
+			t.Fatal("fp2 add mismatch")
+		}
+		fp2MulByNonresidue(&z, &fa)
+		if !z.toFQP().Equal(a.Mul(xi)) {
+			t.Fatal("fp2 mul-by-ξ mismatch")
+		}
+		if !a.IsZero() {
+			fp2Inv(&z, &fa)
+			if !z.toFQP().Equal(a.Inv()) {
+				t.Fatal("fp2 inv mismatch")
+			}
+		}
+		// Aliased nonresidue multiplication.
+		z = fa
+		fp2MulByNonresidue(&z, &z)
+		if !z.toFQP().Equal(a.Mul(xi)) {
+			t.Fatal("aliased fp2 mul-by-ξ mismatch")
+		}
+	}
+}
+
+func TestFp12Differential(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 25; i++ {
+		a, b := randFq12(r), randFq12(r)
+		fa, fb := fp12FromFQP(a), fp12FromFQP(b)
+
+		if !fa.toFQP().Equal(a) {
+			t.Fatal("fp12 conversion round trip mismatch")
+		}
+		var z fp12
+		fp12Mul(&z, &fa, &fb)
+		if !z.toFQP().Equal(a.Mul(b)) {
+			t.Fatal("fp12 mul mismatch")
+		}
+		fp12Square(&z, &fa)
+		if !z.toFQP().Equal(a.Mul(a)) {
+			t.Fatal("fp12 square mismatch")
+		}
+		if !a.IsZero() {
+			fp12Inv(&z, &fa)
+			if !z.toFQP().Equal(a.Inv()) {
+				t.Fatal("fp12 inv mismatch")
+			}
+		}
+	}
+}
+
+func TestFp12FrobeniusDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference Frobenius exponentiation is expensive")
+	}
+	r := testRand()
+	a := randFq12(r)
+	fa := fp12FromFQP(a)
+	q2 := new(big.Int).Mul(Q, Q)
+	q3 := new(big.Int).Mul(q2, Q)
+	var z fp12
+	fp12Frobenius(&z, &fa)
+	if !z.toFQP().Equal(a.Pow(Q)) {
+		t.Fatal("Frobenius mismatch vs Pow(q)")
+	}
+	fp12FrobeniusSquare(&z, &fa)
+	if !z.toFQP().Equal(a.Pow(q2)) {
+		t.Fatal("Frobenius² mismatch vs Pow(q²)")
+	}
+	fp12FrobeniusCube(&z, &fa)
+	if !z.toFQP().Equal(a.Pow(q3)) {
+		t.Fatal("Frobenius³ mismatch vs Pow(q³)")
+	}
+}
+
+// easyPart maps an arbitrary nonzero element into the cyclotomic subgroup.
+func easyPart(f *fp12) fp12 {
+	var t, inv, t2 fp12
+	fp12Conjugate(&t, f)
+	fp12Inv(&inv, f)
+	fp12Mul(&t, &t, &inv)
+	fp12FrobeniusSquare(&t2, &t)
+	fp12Mul(&t, &t2, &t)
+	return t
+}
+
+func TestCyclotomicSquareAgrees(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 10; i++ {
+		a := fp12FromFQP(randFq12(r))
+		g := easyPart(&a)
+		var cs, sq fp12
+		fp12CyclotomicSquare(&cs, &g)
+		fp12Square(&sq, &g)
+		if !cs.equal(&sq) {
+			t.Fatal("cyclotomic square disagrees with full square in the cyclotomic subgroup")
+		}
+	}
+}
+
+func TestExpByUAgrees(t *testing.T) {
+	r := testRand()
+	a := fp12FromFQP(randFq12(r))
+	g := easyPart(&a)
+	var fast, slow fp12
+	expByU(&fast, &g)
+	fp12Exp(&slow, &g, ateU)
+	if !fast.equal(&slow) {
+		t.Fatal("expByU disagrees with generic exponentiation")
+	}
+}
+
+func TestFinalExpMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference final exponentiation is expensive")
+	}
+	g1, g2 := G1Generator(), G2Generator()
+	p := g1.ScalarMul(big.NewInt(5))
+	xP := fpFromBig(p.X.v)
+	yP := fpFromBig(p.Y.v)
+	qa := g2AffineFromPoint(g2)
+	f, ok := millerLoopFast(&qa, &xP, &yP)
+	if !ok {
+		t.Fatal("miller loop hit degenerate line")
+	}
+	fast := finalExpFast(&f)
+	ref := f.toFQP().Pow(finalExponent)
+	if !fast.toFQP().Equal(ref) {
+		t.Fatal("fast final exponentiation disagrees with f^((q¹²−1)/r)")
+	}
+}
+
+func TestScalarMulFastMatchesReference(t *testing.T) {
+	r := testRand()
+	g1, g2 := G1Generator(), G2Generator()
+	scalars := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(R, big.NewInt(1)), new(big.Int).Set(R),
+	}
+	for i := 0; i < 5; i++ {
+		scalars = append(scalars, randBig(r))
+	}
+	for _, k := range scalars {
+		if !g1.scalarMulFast(k).Equal(g1.scalarMulReference(k)) {
+			t.Fatalf("G1 scalar mul mismatch for k=%v", k)
+		}
+		if !g2.scalarMulFast(k).Equal(g2.scalarMulReference(k)) {
+			t.Fatalf("G2 scalar mul mismatch for k=%v", k)
+		}
+	}
+	// Non-generator base points.
+	p := g1.scalarMulFast(big.NewInt(7))
+	q := g2.scalarMulFast(big.NewInt(11))
+	k := randBig(r)
+	if !p.scalarMulFast(k).Equal(p.scalarMulReference(k)) {
+		t.Fatal("G1 scalar mul mismatch on derived base")
+	}
+	if !q.scalarMulFast(k).Equal(q.scalarMulReference(k)) {
+		t.Fatal("G2 scalar mul mismatch on derived base")
+	}
+	if !G1Infinity().scalarMulFast(k).Inf || !G2Infinity().scalarMulFast(k).Inf {
+		t.Fatal("scalar mul of infinity is not infinity")
+	}
+}
+
+func TestHashToG1MatchesReference(t *testing.T) {
+	for _, msg := range []string{"", "a", "sbft digest", "try-and-increment exercises retries"} {
+		fast := HashToG1([]byte(msg))
+		ref := hashToG1Reference([]byte(msg))
+		if !fast.Equal(ref) {
+			t.Fatalf("HashToG1 mismatch for %q", msg)
+		}
+		if !fast.IsOnCurve() {
+			t.Fatalf("hashed point off curve for %q", msg)
+		}
+	}
+}
+
+func TestPairFastMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference pairing is expensive")
+	}
+	g1, g2 := G1Generator(), G2Generator()
+	cases := []struct {
+		p G1Point
+		q G2Point
+	}{
+		{g1, g2},
+		{g1.ScalarMul(big.NewInt(17)), g2.ScalarMul(big.NewInt(29))},
+		{G1Infinity(), g2},
+		{g1, G2Infinity()},
+	}
+	for i, c := range cases {
+		if !Pair(c.p, c.q).Equal(pairReference(c.p, c.q)) {
+			t.Fatalf("case %d: fast pairing disagrees with reference", i)
+		}
+	}
+}
+
+func TestPairFastBilinearity(t *testing.T) {
+	g1, g2 := G1Generator(), G2Generator()
+	e := Pair(g1, g2)
+	if e.Equal(Fq12One()) {
+		t.Fatal("fast pairing degenerate")
+	}
+	a, b := big.NewInt(131), big.NewInt(467)
+	lhs := Pair(g1.ScalarMul(a), g2.ScalarMul(b))
+	rhs := e.Pow(new(big.Int).Mul(a, b))
+	if !lhs.Equal(rhs) {
+		t.Fatal("fast pairing not bilinear")
+	}
+	if !e.Pow(R).Equal(Fq12One()) {
+		t.Fatal("fast pairing value not in the order-r subgroup")
+	}
+	// PairingCheck agreement on true and false statements.
+	k := big.NewInt(31337)
+	p := g1.ScalarMul(k)
+	if !PairingCheck([]G1Point{p, g1.Neg()}, []G2Point{g2, g2.ScalarMul(k)}) {
+		t.Fatal("fast PairingCheck rejected a true statement")
+	}
+	if PairingCheck([]G1Point{p, g1.Neg()}, []G2Point{g2, g2.ScalarMul(big.NewInt(42))}) {
+		t.Fatal("fast PairingCheck accepted a false statement")
+	}
+}

@@ -1,16 +1,35 @@
 // Package bn254 implements the BN254 (alt_bn128 / BN-P254) pairing-
 // friendly elliptic curve from scratch on the standard library: the base
-// field Fq, the polynomial field extensions Fq² and Fq¹², the groups G1
-// and G2, and the optimal ate pairing. It is the curve the SBFT paper
-// deploys for threshold BLS signatures (§III, [21][23]).
+// field Fq, the field extensions Fq² and Fq¹², the groups G1 and G2, and
+// the optimal ate pairing. It is the curve the SBFT paper deploys for
+// threshold BLS signatures (§III, [21][23]).
 //
-// The implementation favors auditability over speed: field elements are
-// math/big integers and the extensions are generic polynomial quotient
-// rings, so the tower behavior (including Frobenius action) follows from
-// ordinary polynomial arithmetic rather than hand-derived constants. Every
-// structural property — group laws, subgroup orders, non-degeneracy and
-// bilinearity of the pairing — is property-tested. A production deployment
-// would swap in fixed-limb arithmetic; the algebra is identical.
+// The package carries two implementations of the same algebra:
+//
+//   - The production hot path (fp.go, fp2.go, fp6.go, fp12.go, g1fast.go,
+//     g2fast.go, pairing_fast.go): fixed 4×64-bit Montgomery limbs for Fq
+//     with no per-operation heap allocation, a dedicated 2-3-2 tower
+//     (Fq² = Fq[i]/(i²+1), Fq⁶ = Fq²[v]/(v³−(9+i)), Fq¹² = Fq⁶[w]/(w²−v))
+//     with Frobenius coefficient tables, Jacobian-coordinate group law,
+//     and a projective Miller loop with inline sparse line evaluation and
+//     a cyclotomic-squaring final exponentiation. All public entry points
+//     (ScalarMul, HashToG1, Pair, PairingCheck) run on this path.
+//
+//   - The auditable reference (field.go, curve.go, pairing.go): math/big
+//     field elements and generic polynomial quotient rings, where the
+//     tower behavior (including the Frobenius action) follows from
+//     ordinary polynomial arithmetic rather than hand-derived constants.
+//     It is retained as the differential-test oracle: fast_test.go
+//     cross-checks every limb, tower, group and pairing operation against
+//     it on random inputs, and all Montgomery/Frobenius constants of the
+//     fast path are derived from it at package init rather than
+//     transcribed.
+//
+// Every structural property — group laws, subgroup orders, non-degeneracy
+// and bilinearity of the pairing — is property-tested against both paths.
+// Arithmetic is variable-time (as was the math/big reference); signing
+// keys are protocol-internal and the threat model of the replication
+// protocol is Byzantine behavior, not co-located timing measurement.
 package bn254
 
 import (

@@ -1,0 +1,260 @@
+package bn254
+
+// Fixed-limb base-field arithmetic: the production hot path promised by the
+// package doc. An fp holds an integer mod Q as 4 little-endian 64-bit limbs
+// in Montgomery form (value · 2²⁵⁶ mod Q), so multiplication is a single
+// CIOS pass over machine words with no heap allocation. The math/big Fq
+// type above remains the semantic reference; fast_test.go cross-checks
+// every operation here against it on random inputs.
+//
+// All Montgomery constants are derived from Q at package init rather than
+// transcribed, so they cannot drift from the reference modulus.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// fp is a base-field element in Montgomery form. The zero value is 0.
+type fp [4]uint64
+
+var (
+	// fpQ is the modulus as limbs.
+	fpQ = bigToLimbs(Q)
+	// qInvNeg is −Q⁻¹ mod 2⁶⁴, the Montgomery reduction factor.
+	qInvNeg = func() uint64 {
+		b := new(big.Int).Lsh(big.NewInt(1), 64)
+		inv := new(big.Int).ModInverse(Q, b)
+		inv.Neg(inv).Mod(inv, b)
+		return inv.Uint64()
+	}()
+	// fpMontOne is 1 in Montgomery form (2²⁵⁶ mod Q).
+	fpMontOne = fp(bigToLimbs(new(big.Int).Mod(new(big.Int).Lsh(big.NewInt(1), 256), Q)))
+	// fpRSquare is 2⁵¹² mod Q, used to convert into Montgomery form.
+	fpRSquare = fp(bigToLimbs(new(big.Int).Mod(new(big.Int).Lsh(big.NewInt(1), 512), Q)))
+	// fpQMinus2 is the Fermat inversion exponent.
+	fpQMinus2 = new(big.Int).Sub(Q, big.NewInt(2))
+	// fpSqrtExp is (Q+1)/4; Q ≡ 3 (mod 4), so x^((Q+1)/4) is a square
+	// root of any quadratic residue x.
+	fpSqrtExp = new(big.Int).Rsh(new(big.Int).Add(Q, big.NewInt(1)), 2)
+)
+
+func bigToLimbs(x *big.Int) [4]uint64 {
+	var l [4]uint64
+	for i, w := range x.Bits() {
+		l[i] = uint64(w)
+	}
+	return l
+}
+
+// fpFromBig reduces v mod Q and converts to Montgomery form.
+func fpFromBig(v *big.Int) fp {
+	m := new(big.Int).Mod(v, Q)
+	if m.Sign() < 0 {
+		m.Add(m, Q)
+	}
+	z := fp(bigToLimbs(m))
+	montMul(&z, &z, &fpRSquare)
+	return z
+}
+
+func fpFromUint64(v uint64) fp {
+	z := fp{v}
+	montMul(&z, &z, &fpRSquare)
+	return z
+}
+
+// toBig converts out of Montgomery form into a canonical integer < Q.
+func (z *fp) toBig() *big.Int {
+	c := z.canonical()
+	b := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		b.Lsh(b, 64)
+		b.Or(b, new(big.Int).SetUint64(c[i]))
+	}
+	return b
+}
+
+// canonical returns the non-Montgomery limb representation (< Q).
+func (z *fp) canonical() fp {
+	one := fp{1}
+	var c fp
+	montMul(&c, z, &one)
+	return c
+}
+
+func (z *fp) isZero() bool { return z[0]|z[1]|z[2]|z[3] == 0 }
+
+func (z *fp) equal(x *fp) bool { return *z == *x }
+
+func (z *fp) set(x *fp) { *z = *x }
+
+func (z *fp) setZero() { *z = fp{} }
+
+func (z *fp) setOne() { *z = fpMontOne }
+
+// lessCanonical compares canonical (non-Montgomery) values: z < x.
+func (z *fp) lessCanonical(x *fp) bool {
+	a, b := z.canonical(), x.canonical()
+	for i := 3; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// montMul sets z = x·y·2⁻²⁵⁶ mod Q (CIOS Montgomery multiplication).
+func montMul(z, x, y *fp) {
+	var t [6]uint64
+	for i := 0; i < 4; i++ {
+		// Multiply-accumulate: t += x · y[i].
+		var c uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(x[j], y[i])
+			var c1, c2 uint64
+			lo, c1 = bits.Add64(lo, t[j], 0)
+			lo, c2 = bits.Add64(lo, c, 0)
+			t[j] = lo
+			c = hi + c1 + c2 // cannot overflow: x[j]·y[i] + t[j] + c < 2¹²⁸
+		}
+		t[4], c = bits.Add64(t[4], c, 0)
+		t[5] = c
+		// Reduce: add m·Q so the low word cancels, then shift down a word.
+		m := t[0] * qInvNeg
+		hi, lo := bits.Mul64(m, fpQ[0])
+		_, c1 := bits.Add64(lo, t[0], 0)
+		c = hi + c1
+		for j := 1; j < 4; j++ {
+			hi, lo := bits.Mul64(m, fpQ[j])
+			var c1, c2 uint64
+			lo, c1 = bits.Add64(lo, t[j], 0)
+			lo, c2 = bits.Add64(lo, c, 0)
+			t[j-1] = lo
+			c = hi + c1 + c2
+		}
+		t[3], c = bits.Add64(t[4], c, 0)
+		t[4] = t[5] + c
+	}
+	// t < 2Q (and t[4] == 0 since 2Q < 2²⁵⁵): one conditional subtraction.
+	var r fp
+	var b uint64
+	r[0], b = bits.Sub64(t[0], fpQ[0], 0)
+	r[1], b = bits.Sub64(t[1], fpQ[1], b)
+	r[2], b = bits.Sub64(t[2], fpQ[2], b)
+	r[3], b = bits.Sub64(t[3], fpQ[3], b)
+	if b == 0 || t[4] != 0 {
+		*z = r
+	} else {
+		z[0], z[1], z[2], z[3] = t[0], t[1], t[2], t[3]
+	}
+}
+
+// fpAdd sets z = x + y.
+func fpAdd(z, x, y *fp) {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], _ = bits.Add64(x[3], y[3], c) // Q < 2²⁵⁴, so no carry out
+	fpReduce(z)
+}
+
+// fpReduce conditionally subtracts Q once (input < 2Q).
+func fpReduce(z *fp) {
+	var r fp
+	var b uint64
+	r[0], b = bits.Sub64(z[0], fpQ[0], 0)
+	r[1], b = bits.Sub64(z[1], fpQ[1], b)
+	r[2], b = bits.Sub64(z[2], fpQ[2], b)
+	r[3], b = bits.Sub64(z[3], fpQ[3], b)
+	if b == 0 {
+		*z = r
+	}
+}
+
+// fpSub sets z = x − y.
+func fpSub(z, x, y *fp) {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		z[0], c = bits.Add64(z[0], fpQ[0], 0)
+		z[1], c = bits.Add64(z[1], fpQ[1], c)
+		z[2], c = bits.Add64(z[2], fpQ[2], c)
+		z[3], _ = bits.Add64(z[3], fpQ[3], c)
+	}
+}
+
+// fpNeg sets z = −x.
+func fpNeg(z, x *fp) {
+	if x.isZero() {
+		z.setZero()
+		return
+	}
+	var b uint64
+	z[0], b = bits.Sub64(fpQ[0], x[0], 0)
+	z[1], b = bits.Sub64(fpQ[1], x[1], b)
+	z[2], b = bits.Sub64(fpQ[2], x[2], b)
+	z[3], _ = bits.Sub64(fpQ[3], x[3], b)
+}
+
+// fpDouble sets z = 2x.
+func fpDouble(z, x *fp) { fpAdd(z, x, x) }
+
+// fpHalve sets z = x/2.
+func fpHalve(z, x *fp) {
+	t := *x
+	var carry uint64
+	if t[0]&1 != 0 { // odd: add Q (odd) to make it even
+		var c uint64
+		t[0], c = bits.Add64(t[0], fpQ[0], 0)
+		t[1], c = bits.Add64(t[1], fpQ[1], c)
+		t[2], c = bits.Add64(t[2], fpQ[2], c)
+		t[3], carry = bits.Add64(t[3], fpQ[3], c)
+	}
+	z[0] = t[0]>>1 | t[1]<<63
+	z[1] = t[1]>>1 | t[2]<<63
+	z[2] = t[2]>>1 | t[3]<<63
+	z[3] = t[3]>>1 | carry<<63
+}
+
+// fpSquare sets z = x².
+func fpSquare(z, x *fp) { montMul(z, x, x) }
+
+// fpExp sets z = x^e (e ≥ 0, not a secret exponent: variable time).
+func fpExp(z, x *fp, e *big.Int) {
+	var r fp
+	r.setOne()
+	b := *x
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		fpSquare(&r, &r)
+		if e.Bit(i) == 1 {
+			montMul(&r, &r, &b)
+		}
+	}
+	*z = r
+}
+
+// fpInv sets z = x⁻¹ via Fermat's little theorem. Panics on zero.
+func fpInv(z, x *fp) {
+	if x.isZero() {
+		panic("bn254: inverse of zero")
+	}
+	fpExp(z, x, fpQMinus2)
+}
+
+// fpSqrt sets z to a square root of x and reports whether one exists.
+func fpSqrt(z, x *fp) bool {
+	var r, check fp
+	fpExp(&r, x, fpSqrtExp)
+	fpSquare(&check, &r)
+	if !check.equal(x) {
+		return false
+	}
+	*z = r
+	return true
+}

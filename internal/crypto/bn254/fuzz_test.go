@@ -1,0 +1,64 @@
+package bn254
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// Fuzz targets for the deserialization boundary: any accepted input must
+// be a valid curve (and for G2, subgroup) point whose re-marshalling
+// round-trips, and valid marshalled points must always be accepted.
+
+func FuzzUnmarshalG1(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(G1Generator().Marshal())
+	f.Add(G1Generator().ScalarMul(big.NewInt(7)).Marshal())
+	f.Add([]byte{1, 2, 3})
+	bad := G1Generator().Marshal()
+	bad[63] ^= 1
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok := UnmarshalG1(data)
+		if !ok {
+			return
+		}
+		if !p.IsOnCurve() {
+			t.Fatal("accepted off-curve G1 point")
+		}
+		out := p.Marshal()
+		if !bytes.Equal(out, data) {
+			t.Fatalf("G1 round trip mismatch: in=%x out=%x", data, out)
+		}
+		q, ok2 := UnmarshalG1(out)
+		if !ok2 || !q.Equal(p) {
+			t.Fatal("re-unmarshal mismatch")
+		}
+	})
+}
+
+func FuzzUnmarshalG2(f *testing.F) {
+	f.Add(make([]byte, 128))
+	f.Add(G2Generator().Marshal())
+	f.Add(G2Generator().ScalarMul(big.NewInt(9)).Marshal())
+	f.Add([]byte{4, 5, 6})
+	bad := G2Generator().Marshal()
+	bad[127] ^= 1
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok := UnmarshalG2(data)
+		if !ok {
+			return
+		}
+		if !p.IsOnCurve() {
+			t.Fatal("accepted off-curve G2 point")
+		}
+		if !p.InSubgroup() {
+			t.Fatal("accepted G2 point outside the r-torsion")
+		}
+		out := p.Marshal()
+		if !bytes.Equal(out, data) {
+			t.Fatalf("G2 round trip mismatch: in=%x out=%x", data, out)
+		}
+	})
+}

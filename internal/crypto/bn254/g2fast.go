@@ -1,0 +1,163 @@
+package bn254
+
+import "math/big"
+
+// Jacobian-coordinate G2 arithmetic over fp2, mirroring g1fast.go on the
+// sextic twist E'(Fq²). The group law never references the curve constant,
+// so the formulas are identical to G1 with fp2 coefficients.
+
+// fp2TwistB is b' = 3/ξ, the twist coefficient (converted from the
+// reference constant at init).
+var fp2TwistB = fp2FromFQP(twistB)
+
+type g2Jac struct{ x, y, z fp2 }
+
+func (p *g2Jac) setInfinity() {
+	p.x.setOne()
+	p.y.setOne()
+	p.z.setZero()
+}
+
+func (p *g2Jac) isInfinity() bool { return p.z.isZero() }
+
+// g2Affine is a twist point in affine fp2 coordinates.
+type g2Affine struct {
+	x, y fp2
+	inf  bool
+}
+
+func g2AffineFromPoint(a G2Point) g2Affine {
+	if a.Inf {
+		return g2Affine{inf: true}
+	}
+	return g2Affine{x: fp2FromFQP(a.X), y: fp2FromFQP(a.Y)}
+}
+
+func (a *g2Affine) toPoint() G2Point {
+	if a.inf {
+		return G2Infinity()
+	}
+	return G2Point{X: a.x.toFQP(), Y: a.y.toFQP()}
+}
+
+func (p *g2Jac) toAffine() g2Affine {
+	if p.isInfinity() {
+		return g2Affine{inf: true}
+	}
+	var zi, zi2, zi3 fp2
+	fp2Inv(&zi, &p.z)
+	fp2Square(&zi2, &zi)
+	fp2Mul(&zi3, &zi2, &zi)
+	var a g2Affine
+	fp2Mul(&a.x, &p.x, &zi2)
+	fp2Mul(&a.y, &p.y, &zi3)
+	return a
+}
+
+// double sets p = 2p (dbl-2009-l over fp2).
+func (p *g2Jac) double() {
+	if p.isInfinity() {
+		return
+	}
+	var a, b, c, d, e, f, t fp2
+	fp2Square(&a, &p.x)
+	fp2Square(&b, &p.y)
+	fp2Square(&c, &b)
+	fp2Add(&d, &p.x, &b)
+	fp2Square(&d, &d)
+	fp2Sub(&d, &d, &a)
+	fp2Sub(&d, &d, &c)
+	fp2Double(&d, &d)
+	fp2Double(&e, &a)
+	fp2Add(&e, &e, &a)
+	fp2Square(&f, &e)
+	fp2Mul(&t, &p.y, &p.z)
+	fp2Double(&p.z, &t)
+	fp2Sub(&p.x, &f, &d)
+	fp2Sub(&p.x, &p.x, &d)
+	fp2Sub(&t, &d, &p.x)
+	fp2Mul(&t, &e, &t)
+	fp2Double(&c, &c)
+	fp2Double(&c, &c)
+	fp2Double(&c, &c)
+	fp2Sub(&p.y, &t, &c)
+}
+
+// addAffine sets p += a (mixed addition, madd-2007-bl over fp2).
+func (p *g2Jac) addAffine(a *g2Affine) {
+	if a.inf {
+		return
+	}
+	if p.isInfinity() {
+		p.x = a.x
+		p.y = a.y
+		p.z.setOne()
+		return
+	}
+	var z1z1, u2, s2, h, hh, i, j, rr, v, t fp2
+	fp2Square(&z1z1, &p.z)
+	fp2Mul(&u2, &a.x, &z1z1)
+	fp2Mul(&s2, &a.y, &p.z)
+	fp2Mul(&s2, &s2, &z1z1)
+	fp2Sub(&h, &u2, &p.x)
+	fp2Sub(&rr, &s2, &p.y)
+	if h.isZero() {
+		if rr.isZero() {
+			p.double()
+			return
+		}
+		p.setInfinity()
+		return
+	}
+	fp2Double(&rr, &rr)
+	fp2Square(&hh, &h)
+	fp2Double(&i, &hh)
+	fp2Double(&i, &i)
+	fp2Mul(&j, &h, &i)
+	fp2Mul(&v, &p.x, &i)
+	fp2Mul(&t, &p.z, &h)
+	fp2Double(&p.z, &t)
+	fp2Square(&t, &rr)
+	fp2Sub(&t, &t, &j)
+	fp2Sub(&t, &t, &v)
+	fp2Sub(&t, &t, &v)
+	fp2Sub(&v, &v, &t)
+	fp2Mul(&v, &rr, &v)
+	fp2Mul(&j, &p.y, &j)
+	fp2Double(&j, &j)
+	fp2Sub(&p.y, &v, &j)
+	p.x = t
+}
+
+// scalarMulFast computes k·p via Jacobian double-and-add; k is taken mod R.
+func (p G2Point) scalarMulFast(k *big.Int) G2Point {
+	kk := new(big.Int).Mod(k, R)
+	if p.Inf || kk.Sign() == 0 {
+		return G2Infinity()
+	}
+	base := g2AffineFromPoint(p)
+	var acc g2Jac
+	acc.setInfinity()
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc.double()
+		if kk.Bit(i) == 1 {
+			acc.addAffine(&base)
+		}
+	}
+	a := acc.toAffine()
+	return a.toPoint()
+}
+
+// scalarMulReference is the retained math/big double-and-add oracle.
+func (p G2Point) scalarMulReference(k *big.Int) G2Point {
+	kk := new(big.Int).Mod(k, R)
+	acc := G2Infinity()
+	base := p
+	for i := 0; i < kk.BitLen(); i++ {
+		if kk.Bit(i) == 1 {
+			acc = acc.Add(base)
+		}
+		base = base.Double()
+	}
+	return acc
+}

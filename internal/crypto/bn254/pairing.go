@@ -53,8 +53,24 @@ var finalExponent = func() *big.Int {
 
 // Pair computes the optimal ate pairing e(P, Q) ∈ Fq¹² for P ∈ G1 and
 // Q ∈ G2. The result lies in the order-r subgroup of Fq¹²; e is bilinear
-// and non-degenerate (property-tested in pairing_test.go).
+// and non-degenerate (property-tested in pairing_test.go). It runs on the
+// fixed-limb projective path (pairing_fast.go); pairReference retains the
+// auditable affine implementation as the oracle.
 func Pair(p G1Point, q G2Point) FQP {
+	f, skip, ok := millerLoopPoints(p, q)
+	if skip {
+		return Fq12One()
+	}
+	if !ok {
+		return pairReference(p, q)
+	}
+	e := finalExpFast(&f)
+	return e.toFQP()
+}
+
+// pairReference is the retained math/big pairing, the differential oracle
+// for the fast path.
+func pairReference(p G1Point, q G2Point) FQP {
 	if p.Inf || q.Inf {
 		return Fq12One()
 	}
@@ -63,8 +79,31 @@ func Pair(p G1Point, q G2Point) FQP {
 }
 
 // PairingCheck reports whether Π e(Pᵢ, Qᵢ) == 1, the form signature
-// verification uses: e(H(m), pk) · e(−sig, g₂) == 1.
+// verification uses: e(H(m), pk) · e(−sig, g₂) == 1. The product of
+// Miller loops shares a single final exponentiation.
 func PairingCheck(ps []G1Point, qs []G2Point) bool {
+	if len(ps) != len(qs) {
+		return false
+	}
+	var acc fp12
+	acc.setOne()
+	for i := range ps {
+		f, skip, ok := millerLoopPoints(ps[i], qs[i])
+		if skip {
+			continue
+		}
+		if !ok {
+			return pairingCheckReference(ps, qs)
+		}
+		fp12Mul(&acc, &acc, &f)
+	}
+	e := finalExpFast(&acc)
+	return e.isOne()
+}
+
+// pairingCheckReference is the retained math/big product-of-pairings
+// check, the differential oracle for the fast path.
+func pairingCheckReference(ps []G1Point, qs []G2Point) bool {
 	if len(ps) != len(qs) {
 		return false
 	}

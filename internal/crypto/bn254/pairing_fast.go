@@ -1,0 +1,270 @@
+package bn254
+
+import "math/big"
+
+// Projective optimal-ate Miller loop over the fixed-limb tower. The
+// reference implementation in pairing.go works in affine Fq¹² coordinates
+// and pays a full extension-field inversion per line evaluation; here the
+// G2 accumulator lives in homogeneous projective coordinates over Fq², the
+// line is evaluated inline as a sparse Fq¹² element (three Fq²
+// coefficients at 1, w, v·w), and multiplying it into f is a dedicated
+// sparse multiplication. Lines are computed only up to Fq² scalars, which
+// the final exponentiation kills.
+
+// ateU is the BN parameter u with 6u+2 = ateLoopCount.
+var ateU, _ = new(big.Int).SetString("4965661367192848881", 10)
+
+// g2Proj is a twist point in homogeneous projective coordinates:
+// affine (X/Z, Y/Z).
+type g2Proj struct{ x, y, z fp2 }
+
+// lineEval is ℓ(P) = r0 + r1·w + r2·v·w with rᵢ ∈ Fq².
+type lineEval struct{ r0, r1, r2 fp2 }
+
+// doubleStep sets T = 2T and evaluates the tangent line at P = (xP, yP):
+//
+//	ℓ(P) = −2YZ·yP + 3X²·xP·w + (3b′Z² − Y²)·v·w
+//
+// (scaled by 2YZ²/Z relative to the affine tangent; Fq² scalars vanish
+// under the final exponentiation).
+func doubleStep(t *g2Proj, l *lineEval, xP, yP *fp) {
+	var a, b, c, e, f, g, h, i, j, ee, u fp2
+	fp2Mul(&a, &t.x, &t.y)
+	fp2Halve(&a, &a) // A = XY/2
+	fp2Square(&b, &t.y)
+	fp2Square(&c, &t.z)
+	fp2Double(&e, &c)
+	fp2Add(&e, &e, &c)
+	fp2Mul(&e, &e, &fp2TwistB) // E = 3b′Z²
+	fp2Double(&f, &e)
+	fp2Add(&f, &f, &e) // F = 3E
+	fp2Add(&g, &b, &f)
+	fp2Halve(&g, &g) // G = (B+F)/2
+	fp2Add(&h, &t.y, &t.z)
+	fp2Square(&h, &h)
+	fp2Add(&u, &b, &c)
+	fp2Sub(&h, &h, &u) // H = (Y+Z)² − B − C = 2YZ
+	fp2Sub(&i, &e, &b) // I = E − B
+	fp2Square(&j, &t.x)
+	fp2Square(&ee, &e)
+
+	// T = 2T.
+	fp2Sub(&u, &b, &f)
+	fp2Mul(&t.x, &a, &u) // X' = A(B − F)
+	fp2Square(&t.y, &g)
+	fp2Double(&u, &ee)
+	fp2Add(&u, &u, &ee)
+	fp2Sub(&t.y, &t.y, &u) // Y' = G² − 3E²
+	fp2Mul(&t.z, &b, &h)   // Z' = BH
+
+	// Line coefficients.
+	fp2MulByFp(&l.r0, &h, yP)
+	fp2Neg(&l.r0, &l.r0) // −H·yP
+	fp2Double(&u, &j)
+	fp2Add(&u, &u, &j)
+	fp2MulByFp(&l.r1, &u, xP) // 3X²·xP
+	l.r2 = i
+}
+
+// addStep sets T = T + Q (Q affine) and evaluates the chord line at P:
+//
+//	ℓ(P) = −λ·yP + θ·xP·w + (λ·yQ − θ·xQ)·v·w
+//
+// with θ = Y − yQ·Z, λ = X − xQ·Z. Returns false on the degenerate
+// vertical-line case (callers fall back to the reference pairing; it
+// cannot occur for r-torsion inputs).
+func addStep(t *g2Proj, l *lineEval, q *g2Affine, xP, yP *fp) bool {
+	var theta, lambda, c, d, e, f, g, h, u fp2
+	fp2Mul(&u, &q.y, &t.z)
+	fp2Sub(&theta, &t.y, &u) // θ = Y − yQ·Z
+	fp2Mul(&u, &q.x, &t.z)
+	fp2Sub(&lambda, &t.x, &u) // λ = X − xQ·Z
+	if lambda.isZero() {
+		return false
+	}
+	fp2Square(&c, &theta)
+	fp2Square(&d, &lambda)
+	fp2Mul(&e, &lambda, &d)
+	fp2Mul(&f, &t.z, &c)
+	fp2Mul(&g, &t.x, &d)
+	fp2Double(&u, &g)
+	fp2Add(&h, &e, &f)
+	fp2Sub(&h, &h, &u) // H = E + F − 2G
+
+	// Line first (θ, λ still pristine; uses Q, not T).
+	fp2MulByFp(&l.r0, &lambda, yP)
+	fp2Neg(&l.r0, &l.r0) // −λ·yP
+	fp2MulByFp(&l.r1, &theta, xP)
+	var t0, t1 fp2
+	fp2Mul(&t0, &lambda, &q.y)
+	fp2Mul(&t1, &theta, &q.x)
+	fp2Sub(&l.r2, &t0, &t1) // λ·yQ − θ·xQ
+
+	// T = T + Q.
+	fp2Mul(&u, &t.y, &e)
+	fp2Sub(&g, &g, &h)
+	fp2Mul(&g, &theta, &g)
+	fp2Sub(&t.y, &g, &u) // Y' = θ(G − H) − E·Y
+	fp2Mul(&t.x, &lambda, &h)
+	fp2Mul(&t.z, &t.z, &e)
+	return true
+}
+
+// mulByLine multiplies f by the sparse line value
+// r0 + (r1 + r2·v)·w, costing 15 fp2 multiplications instead of 18.
+func mulByLine(f *fp12, l *lineEval) {
+	var a, b, sum fp6
+	var d0 fp2
+	fp6MulByE2(&a, &f.c0, &l.r0)      // A·L0
+	fp6Mul01(&b, &f.c1, &l.r1, &l.r2) // B·L1
+	fp2Add(&d0, &l.r0, &l.r1)
+	var s fp6
+	fp6Add(&s, &f.c0, &f.c1)
+	fp6Mul01(&sum, &s, &d0, &l.r2) // (A+B)(L0+L1)
+	fp6Sub(&sum, &sum, &a)
+	fp6Sub(&sum, &sum, &b) // A·L1 + B·L0
+	var vb fp6
+	fp6MulByNonresidue(&vb, &b)
+	fp6Add(&f.c0, &a, &vb)
+	f.c1 = sum
+}
+
+// psi applies the twist-Frobenius-untwist endomorphism to an affine twist
+// point: ψ(x, y) = (x̄·ξ^((q−1)/3), ȳ·ξ^((q−1)/2)).
+func psi(q *g2Affine) g2Affine {
+	var r g2Affine
+	var t fp2
+	fp2Conjugate(&t, &q.x)
+	fp2Mul(&r.x, &t, &frobGamma1[2])
+	fp2Conjugate(&t, &q.y)
+	fp2Mul(&r.y, &t, &frobGamma1[3])
+	return r
+}
+
+// psi2 applies ψ²: (x·ξ^((q²−1)/3), y·ξ^((q²−1)/2)).
+func psi2(q *g2Affine) g2Affine {
+	var r g2Affine
+	fp2Mul(&r.x, &q.x, &frobGamma2[2])
+	fp2Mul(&r.y, &q.y, &frobGamma2[3])
+	return r
+}
+
+// millerLoopFast computes f_{6u+2,Q}(P) with the two optimal-ate
+// correction steps. The bool reports success (false = degenerate line;
+// impossible for r-torsion inputs, handled by falling back to the
+// reference loop).
+func millerLoopFast(q *g2Affine, xP, yP *fp) (fp12, bool) {
+	t := g2Proj{x: q.x, y: q.y}
+	t.z.setOne()
+	var f fp12
+	f.setOne()
+	var l lineEval
+	for i := ateLoopCount.BitLen() - 2; i >= 0; i-- {
+		fp12Square(&f, &f)
+		doubleStep(&t, &l, xP, yP)
+		mulByLine(&f, &l)
+		if ateLoopCount.Bit(i) == 1 {
+			if !addStep(&t, &l, q, xP, yP) {
+				return fp12{}, false
+			}
+			mulByLine(&f, &l)
+		}
+	}
+	q1 := psi(q)
+	nq2 := psi2(q)
+	fp2Neg(&nq2.y, &nq2.y)
+	if !addStep(&t, &l, &q1, xP, yP) {
+		return fp12{}, false
+	}
+	mulByLine(&f, &l)
+	if !addStep(&t, &l, &nq2, xP, yP) {
+		return fp12{}, false
+	}
+	mulByLine(&f, &l)
+	return f, true
+}
+
+// expByU sets z = x^u using cyclotomic squarings (x must lie in the
+// cyclotomic subgroup).
+func expByU(z, x *fp12) {
+	var r fp12
+	r.setOne()
+	b := *x
+	for i := ateU.BitLen() - 1; i >= 0; i-- {
+		fp12CyclotomicSquare(&r, &r)
+		if ateU.Bit(i) == 1 {
+			fp12Mul(&r, &r, &b)
+		}
+	}
+	*z = r
+}
+
+// finalExpFast raises a Miller-loop output to (q¹²−1)/r: the easy part
+// (q⁶−1)(q²+1) by conjugation, inversion and Frobenius, then the hard part
+// (q⁴−q²+1)/r via the u-power decomposition of Devegili et al. (the
+// schedule used by golang.org/x/crypto/bn256), with cyclotomic squarings.
+// Verified against the reference full-exponent Pow in fast_test.go.
+func finalExpFast(f *fp12) fp12 {
+	// Easy part: t = f^((q⁶−1)(q²+1)).
+	var t, inv, t2 fp12
+	fp12Conjugate(&t, f)
+	fp12Inv(&inv, f)
+	fp12Mul(&t, &t, &inv)
+	fp12FrobeniusSquare(&t2, &t)
+	fp12Mul(&t, &t2, &t)
+
+	// Hard part.
+	var fq, fq2, fq3, fu, fu2, fu3, fu2p, fu3p fp12
+	var y0, y1, y2, y3, y4, y5, y6, t0, t1 fp12
+	fp12Frobenius(&fq, &t)
+	fp12FrobeniusSquare(&fq2, &t)
+	fp12FrobeniusCube(&fq3, &t)
+	expByU(&fu, &t)
+	expByU(&fu2, &fu)
+	expByU(&fu3, &fu2)
+	fp12Frobenius(&y3, &fu)
+	fp12Frobenius(&fu2p, &fu2)
+	fp12Frobenius(&fu3p, &fu3)
+	fp12FrobeniusSquare(&y2, &fu2)
+
+	fp12Mul(&y0, &fq, &fq2)
+	fp12Mul(&y0, &y0, &fq3)
+	fp12Conjugate(&y1, &t)
+	fp12Conjugate(&y5, &fu2)
+	fp12Conjugate(&y3, &y3)
+	fp12Mul(&y4, &fu, &fu2p)
+	fp12Conjugate(&y4, &y4)
+	fp12Mul(&y6, &fu3, &fu3p)
+	fp12Conjugate(&y6, &y6)
+
+	fp12CyclotomicSquare(&t0, &y6)
+	fp12Mul(&t0, &t0, &y4)
+	fp12Mul(&t0, &t0, &y5)
+	fp12Mul(&t1, &y3, &y5)
+	fp12Mul(&t1, &t1, &t0)
+	fp12Mul(&t0, &t0, &y2)
+	fp12CyclotomicSquare(&t1, &t1)
+	fp12Mul(&t1, &t1, &t0)
+	fp12CyclotomicSquare(&t1, &t1)
+	fp12Mul(&t0, &t1, &y1)
+	fp12Mul(&t1, &t1, &y0)
+	fp12CyclotomicSquare(&t0, &t0)
+	fp12Mul(&t0, &t0, &t1)
+	return t0
+}
+
+// millerLoopPoints runs the fast Miller loop for public points. Infinity
+// inputs (contribution 1) are reported via skip=true; ok=false means the
+// fast loop hit a degenerate line and the caller must fall back to the
+// reference pairing.
+func millerLoopPoints(p G1Point, q G2Point) (f fp12, skip, ok bool) {
+	if p.Inf || q.Inf {
+		f.setOne()
+		return f, true, true
+	}
+	xP := fpFromBig(p.X.v)
+	yP := fpFromBig(p.Y.v)
+	qa := g2AffineFromPoint(q)
+	f, ok = millerLoopFast(&qa, &xP, &yP)
+	return f, false, ok
+}

@@ -10,6 +10,19 @@
 // σ_i = s_i·H(m) ∈ G1; any k of them interpolate to σ = s·H(m), verified
 // by e(H(m), PK) == e(σ, g₂).
 //
+// Three collector-path optimizations keep pairings off the hot path
+// (§III: "multiple signature shares ... validated at nearly the same cost
+// of validating only one"):
+//
+//   - H(m) is memoized per digest, so the n share verifications and the
+//     combination for one slot hash to the curve once.
+//   - CombineVerified skips the per-share pairing checks when the caller
+//     (the collector) already verified each share on arrival.
+//   - Combine and BatchVerifyShares check k unverified shares with a
+//     single two-pairing product over a random linear combination,
+//     falling back to per-share checks only on failure to identify the
+//     bad signer.
+//
 // The group signature mode the paper mentions (n-of-n, §VIII) falls out
 // of the same algebra: Aggregate simply adds shares.
 package threshbls
@@ -19,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"sbft/internal/crypto/bn254"
 	"sbft/internal/crypto/threshsig"
@@ -32,11 +46,19 @@ type Dealer struct {
 
 var _ threshsig.Dealer = Dealer{}
 
+// hashCacheLimit bounds the per-scheme H(m) memo; entries are evicted
+// wholesale when it fills. Slots verify and combine shares over a handful
+// of live digests, so the cache is effectively hot for all of them.
+const hashCacheLimit = 1024
+
 // Scheme is the public side of a (k, n) threshold BLS instance.
 type Scheme struct {
 	k, n   int
 	pk     bn254.G2Point   // group public key s·g₂
 	shares []bn254.G2Point // shares[i-1] = s_i·g₂, per-signer keys
+
+	mu        sync.Mutex
+	hashCache map[string]bn254.G1Point
 }
 
 // Signer holds one Shamir share of the secret key.
@@ -65,10 +87,11 @@ func (d Dealer) Deal(k, n int) (threshsig.Scheme, []threshsig.Signer, error) {
 	}
 	g2 := bn254.G2Generator()
 	sch := &Scheme{
-		k:      k,
-		n:      n,
-		pk:     g2.ScalarMul(coeffs[0]),
-		shares: make([]bn254.G2Point, n),
+		k:         k,
+		n:         n,
+		pk:        g2.ScalarMul(coeffs[0]),
+		shares:    make([]bn254.G2Point, n),
+		hashCache: make(map[string]bn254.G1Point),
 	}
 	signers := make([]threshsig.Signer, n)
 	for i := 1; i <= n; i++ {
@@ -110,6 +133,26 @@ func (s *Scheme) N() int { return s.n }
 // PublicKey returns the group public key.
 func (s *Scheme) PublicKey() bn254.G2Point { return s.pk }
 
+// hashToG1 memoizes bn254.HashToG1 per digest: every share verification
+// and combination over one slot's digest shares the hash-to-curve work.
+func (s *Scheme) hashToG1(digest []byte) bn254.G1Point {
+	key := string(digest)
+	s.mu.Lock()
+	if p, ok := s.hashCache[key]; ok {
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+	p := bn254.HashToG1(digest)
+	s.mu.Lock()
+	if len(s.hashCache) >= hashCacheLimit {
+		clear(s.hashCache)
+	}
+	s.hashCache[key] = p
+	s.mu.Unlock()
+	return p
+}
+
 // VerifyShare implements threshsig.Scheme: e(H(m), pk_i) == e(σ_i, g₂),
 // checked as e(H(m), pk_i)·e(−σ_i, g₂) == 1.
 func (s *Scheme) VerifyShare(digest []byte, share threshsig.Share) error {
@@ -120,7 +163,7 @@ func (s *Scheme) VerifyShare(digest []byte, share threshsig.Share) error {
 	if !ok {
 		return fmt.Errorf("%w: not a G1 point", threshsig.ErrInvalidShare)
 	}
-	h := bn254.HashToG1(digest)
+	h := s.hashToG1(digest)
 	if !bn254.PairingCheck(
 		[]bn254.G1Point{h, sig.Neg()},
 		[]bn254.G2Point{s.shares[share.Signer-1], bn254.G2Generator()},
@@ -128,6 +171,64 @@ func (s *Scheme) VerifyShare(digest []byte, share threshsig.Share) error {
 		return fmt.Errorf("%w: signer %d", threshsig.ErrInvalidShare, share.Signer)
 	}
 	return nil
+}
+
+// BatchVerifyShares checks every share in one pairing product instead of
+// one pairing check per share: with random 128-bit scalars r_i,
+//
+//	e(H(m), Σ r_i·pk_i) == e(Σ r_i·σ_i, g₂)
+//
+// holds for honest shares and fails with probability ≥ 1 − 2⁻¹²⁸ if any
+// share is invalid. On failure it falls back to per-share verification and
+// returns the first offending signer's error.
+func (s *Scheme) BatchVerifyShares(digest []byte, shares []threshsig.Share) error {
+	for _, sh := range shares {
+		if sh.Signer < 1 || sh.Signer > s.n {
+			return fmt.Errorf("%w: signer %d, n=%d", threshsig.ErrBadSignerID, sh.Signer, s.n)
+		}
+	}
+	ids, points, err := parsePoints(shares)
+	if err != nil {
+		return err
+	}
+	return s.batchVerifyParsed(digest, shares, ids, points)
+}
+
+// batchVerifyParsed is BatchVerifyShares over already-parsed points, so
+// combination paths unmarshal each share only once. shares is kept for
+// the per-share blame fallback.
+func (s *Scheme) batchVerifyParsed(digest []byte, shares []threshsig.Share, ids []int, points []bn254.G1Point) error {
+	if len(shares) == 0 {
+		return nil
+	}
+	if len(shares) == 1 {
+		return s.VerifyShare(digest, shares[0])
+	}
+	bound := new(big.Int).Lsh(big.NewInt(1), 128)
+	sigSum := bn254.G1Infinity()
+	pkSum := bn254.G2Infinity()
+	for i := range points {
+		r, err := rand.Int(rand.Reader, bound)
+		if err != nil {
+			return fmt.Errorf("threshbls: sampling batch scalar: %w", err)
+		}
+		sigSum = sigSum.Add(points[i].ScalarMul(r))
+		pkSum = pkSum.Add(s.shares[ids[i]-1].ScalarMul(r))
+	}
+	h := s.hashToG1(digest)
+	if bn254.PairingCheck(
+		[]bn254.G1Point{h, sigSum.Neg()},
+		[]bn254.G2Point{pkSum, bn254.G2Generator()},
+	) {
+		return nil
+	}
+	// Identify the bad signer (robustness, §III).
+	for _, sh := range shares {
+		if err := s.VerifyShare(digest, sh); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("%w: batch verification failed", threshsig.ErrInvalidShare)
 }
 
 // lagrangeAtZero computes λ_i(0) = Π_{j≠i} j/(j−i) over the scalar field.
@@ -148,33 +249,65 @@ func lagrangeAtZero(set []int, i int) *big.Int {
 	return num.Mod(num, bn254.R)
 }
 
+// parsePoints unmarshals sorted shares into ids and G1 points.
+func parsePoints(shares []threshsig.Share) ([]int, []bn254.G1Point, error) {
+	ids := make([]int, len(shares))
+	points := make([]bn254.G1Point, len(shares))
+	for i, sh := range shares {
+		p, ok := bn254.UnmarshalG1(sh.Data)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: signer %d: not a G1 point", threshsig.ErrInvalidShare, sh.Signer)
+		}
+		ids[i] = sh.Signer
+		points[i] = p
+	}
+	return ids, points, nil
+}
+
+// interpolate combines shares in the exponent: σ = Σ λ_i(0)·σ_i.
+func interpolate(ids []int, points []bn254.G1Point) threshsig.Signature {
+	acc := bn254.G1Infinity()
+	for i := range points {
+		acc = acc.Add(points[i].ScalarMul(lagrangeAtZero(ids, ids[i])))
+	}
+	return threshsig.Signature{Data: acc.Marshal()}
+}
+
 // Combine implements threshsig.Scheme: interpolate k shares in the
-// exponent, σ = Σ λ_i(0)·σ_i. Shares are verified first (robustness,
-// §III), so the combined signature always verifies.
+// exponent. Shares are batch-verified first (robustness, §III), so the
+// combined signature always verifies.
 func (s *Scheme) Combine(digest []byte, shares []threshsig.Share) (threshsig.Signature, error) {
 	sorted, err := threshsig.CheckShares(s.k, s.n, shares)
 	if err != nil {
 		return threshsig.Signature{}, err
 	}
 	sorted = sorted[:s.k]
-	ids := make([]int, s.k)
-	points := make([]bn254.G1Point, s.k)
-	for i, sh := range sorted {
-		if err := s.VerifyShare(digest, sh); err != nil {
-			return threshsig.Signature{}, err
-		}
-		p, ok := bn254.UnmarshalG1(sh.Data)
-		if !ok {
-			return threshsig.Signature{}, fmt.Errorf("%w: not a G1 point", threshsig.ErrInvalidShare)
-		}
-		ids[i] = sh.Signer
-		points[i] = p
+	ids, points, err := parsePoints(sorted)
+	if err != nil {
+		return threshsig.Signature{}, err
 	}
-	acc := bn254.G1Infinity()
-	for i := range points {
-		acc = acc.Add(points[i].ScalarMul(lagrangeAtZero(ids, ids[i])))
+	if err := s.batchVerifyParsed(digest, sorted, ids, points); err != nil {
+		return threshsig.Signature{}, err
 	}
-	return threshsig.Signature{Data: acc.Marshal()}, nil
+	return interpolate(ids, points), nil
+}
+
+// CombineVerified implements threshsig.Scheme: like Combine but with no
+// share verification at all — zero pairings. The caller attests that every
+// share passed VerifyShare for this digest (the collector flow in
+// internal/core verifies each share on arrival before counting it).
+func (s *Scheme) CombineVerified(digest []byte, shares []threshsig.Share) (threshsig.Signature, error) {
+	sorted, err := threshsig.CheckShares(s.k, s.n, shares)
+	if err != nil {
+		return threshsig.Signature{}, err
+	}
+	sorted = sorted[:s.k]
+	ids, points, err := parsePoints(sorted)
+	if err != nil {
+		return threshsig.Signature{}, err
+	}
+	_ = digest // shares are pre-verified against this digest by contract
+	return interpolate(ids, points), nil
 }
 
 // Verify implements threshsig.Scheme: e(H(m), PK) == e(σ, g₂).
@@ -183,7 +316,7 @@ func (s *Scheme) Verify(digest []byte, sig threshsig.Signature) error {
 	if !ok {
 		return threshsig.ErrInvalidSignature
 	}
-	h := bn254.HashToG1(digest)
+	h := s.hashToG1(digest)
 	if !bn254.PairingCheck(
 		[]bn254.G1Point{h, p.Neg()},
 		[]bn254.G2Point{s.pk, bn254.G2Generator()},
@@ -200,25 +333,17 @@ func (s *Scheme) Aggregate(digest []byte, shares []threshsig.Share) (threshsig.S
 	if len(shares) != s.n {
 		return threshsig.Signature{}, fmt.Errorf("threshbls: group mode needs all %d shares, have %d", s.n, len(shares))
 	}
-	// n-of-n aggregation is interpolation over the full set; reuse
-	// Combine when k == n, else interpolate over all n.
+	// n-of-n aggregation is interpolation over the full set.
 	sorted, err := threshsig.CheckShares(s.n, s.n, shares)
 	if err != nil {
 		return threshsig.Signature{}, err
 	}
-	ids := make([]int, s.n)
-	points := make([]bn254.G1Point, s.n)
-	for i, sh := range sorted {
-		if err := s.VerifyShare(digest, sh); err != nil {
-			return threshsig.Signature{}, err
-		}
-		p, _ := bn254.UnmarshalG1(sh.Data)
-		ids[i] = sh.Signer
-		points[i] = p
+	ids, points, err := parsePoints(sorted)
+	if err != nil {
+		return threshsig.Signature{}, err
 	}
-	acc := bn254.G1Infinity()
-	for i := range points {
-		acc = acc.Add(points[i].ScalarMul(lagrangeAtZero(ids, ids[i])))
+	if err := s.batchVerifyParsed(digest, sorted, ids, points); err != nil {
+		return threshsig.Signature{}, err
 	}
-	return threshsig.Signature{Data: acc.Marshal()}, nil
+	return interpolate(ids, points), nil
 }

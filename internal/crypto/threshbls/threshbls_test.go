@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -149,6 +150,79 @@ func TestNotEnoughShares(t *testing.T) {
 	sh1, _ := sgs[0].Sign(d)
 	if _, err := sch.Combine(d, []threshsig.Share{sh1}); !errors.Is(err, threshsig.ErrNotEnoughShares) {
 		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestCombineVerifiedMatchesCombine(t *testing.T) {
+	sch, sgs := instance(t)
+	d := digestOf("pre-verified shares")
+	sh1, _ := sgs[0].Sign(d)
+	sh2, _ := sgs[1].Sign(d)
+	shares := []threshsig.Share{sh1, sh2}
+	for _, sh := range shares {
+		if err := sch.VerifyShare(d, sh); err != nil {
+			t.Fatalf("VerifyShare: %v", err)
+		}
+	}
+	fast, err := sch.CombineVerified(d, shares)
+	if err != nil {
+		t.Fatalf("CombineVerified: %v", err)
+	}
+	slow, err := sch.Combine(d, shares)
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if !bytes.Equal(fast.Data, slow.Data) {
+		t.Fatal("CombineVerified and Combine disagree")
+	}
+	if err := sch.Verify(d, fast); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Threshold bookkeeping still applies.
+	if _, err := sch.CombineVerified(d, shares[:1]); !errors.Is(err, threshsig.ErrNotEnoughShares) {
+		t.Fatalf("short CombineVerified: err=%v", err)
+	}
+	if _, err := sch.CombineVerified(d, []threshsig.Share{sh1, sh1}); !errors.Is(err, threshsig.ErrDuplicateShare) {
+		t.Fatalf("duplicate CombineVerified: err=%v", err)
+	}
+}
+
+func TestBatchVerifyShares(t *testing.T) {
+	sch, sgs := instance(t)
+	blsScheme := sch.(*Scheme)
+	d := digestOf("batch verification")
+	var shares []threshsig.Share
+	for _, sg := range sgs {
+		sh, _ := sg.Sign(d)
+		shares = append(shares, sh)
+	}
+	if err := blsScheme.BatchVerifyShares(d, shares); err != nil {
+		t.Fatalf("batch of valid shares rejected: %v", err)
+	}
+	if err := blsScheme.BatchVerifyShares(d, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := blsScheme.BatchVerifyShares(d, shares[:1]); err != nil {
+		t.Fatalf("singleton batch: %v", err)
+	}
+
+	// A corrupted share must fail the batch and be attributed to its
+	// signer via the per-share fallback.
+	bad := threshsig.Share{Signer: 2, Data: append([]byte{}, shares[0].Data...)}
+	tampered := []threshsig.Share{shares[0], bad, shares[2]}
+	err := blsScheme.BatchVerifyShares(d, tampered)
+	if !errors.Is(err, threshsig.ErrInvalidShare) {
+		t.Fatalf("tampered batch: err=%v", err)
+	}
+	if !strings.Contains(err.Error(), "signer 2") {
+		t.Fatalf("bad signer not identified: %v", err)
+	}
+	// Combine goes through the batch path and must report the same error.
+	if _, err := sch.Combine(d, tampered[:2]); !errors.Is(err, threshsig.ErrInvalidShare) {
+		t.Fatalf("Combine with bad share: err=%v", err)
+	}
+	if err := blsScheme.BatchVerifyShares(d, []threshsig.Share{{Signer: 9, Data: shares[0].Data}, shares[0]}); !errors.Is(err, threshsig.ErrBadSignerID) {
+		t.Fatalf("out-of-range signer in batch: err=%v", err)
 	}
 }
 

@@ -302,6 +302,18 @@ func (s *Scheme) VerifyShare(digest []byte, share threshsig.Share) error {
 
 // Combine implements threshsig.Scheme.
 func (s *Scheme) Combine(digest []byte, shares []threshsig.Share) (threshsig.Signature, error) {
+	return s.combine(digest, shares, true)
+}
+
+// CombineVerified implements threshsig.Scheme: the caller attests the
+// shares' Chaum–Pedersen proofs were already checked, so only the
+// interpolation runs (the combined signature is still self-checked, which
+// costs one RSA verification rather than k proof verifications).
+func (s *Scheme) CombineVerified(digest []byte, shares []threshsig.Share) (threshsig.Signature, error) {
+	return s.combine(digest, shares, false)
+}
+
+func (s *Scheme) combine(digest []byte, shares []threshsig.Share, verify bool) (threshsig.Signature, error) {
 	sorted, err := threshsig.CheckShares(s.k, s.n, shares)
 	if err != nil {
 		return threshsig.Signature{}, err
@@ -310,8 +322,10 @@ func (s *Scheme) Combine(digest []byte, shares []threshsig.Share) (threshsig.Sig
 	ids := make([]int, s.k)
 	xis := make([]*big.Int, s.k)
 	for i, sh := range sorted {
-		if err := s.VerifyShare(digest, sh); err != nil {
-			return threshsig.Signature{}, err
+		if verify {
+			if err := s.VerifyShare(digest, sh); err != nil {
+				return threshsig.Signature{}, err
+			}
 		}
 		xi, _, _, err := decodeShare(sh.Data)
 		if err != nil {

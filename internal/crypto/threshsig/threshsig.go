@@ -71,8 +71,16 @@ type Scheme interface {
 	// contributes to a valid combined signature.
 	VerifyShare(digest []byte, share Share) error
 	// Combine merges at least Threshold() distinct valid shares over the
-	// same digest into a single signature.
+	// same digest into a single signature, verifying them first
+	// (robustness: a bad share is reported, not combined).
 	Combine(digest []byte, shares []Share) (Signature, error)
+	// CombineVerified merges at least Threshold() distinct shares that the
+	// caller has already checked with VerifyShare against this digest,
+	// skipping re-verification. This is the collector fast path (§III):
+	// shares are verified once on arrival and must not pay a second
+	// pairing/proof check at combination time. Passing unverified shares
+	// may yield a signature that fails Verify.
+	CombineVerified(digest []byte, shares []Share) (Signature, error)
 	// Verify checks a combined signature over digest.
 	Verify(digest []byte, sig Signature) error
 }
@@ -195,6 +203,15 @@ func (s *InsecureScheme) Combine(digest []byte, shares []Share) (Signature, erro
 		if err := s.VerifyShare(digest, sh); err != nil {
 			return Signature{}, err
 		}
+	}
+	return Signature{Data: s.combined(digest)}, nil
+}
+
+// CombineVerified implements Scheme: share validity is attested by the
+// caller, so only the threshold bookkeeping runs.
+func (s *InsecureScheme) CombineVerified(digest []byte, shares []Share) (Signature, error) {
+	if _, err := CheckShares(s.k, s.n, shares); err != nil {
+		return Signature{}, err
 	}
 	return Signature{Data: s.combined(digest)}, nil
 }

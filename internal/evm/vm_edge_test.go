@@ -15,8 +15,8 @@ func TestByteOpcodeEdges(t *testing.T) {
 		i    uint64
 		want uint64
 	}{
-		{"msb", 0, 0},       // most significant byte of 0xAB (32-byte value) is 0
-		{"lsb", 31, 0xAB},   // least significant byte
+		{"msb", 0, 0},     // most significant byte of 0xAB (32-byte value) is 0
+		{"lsb", 31, 0xAB}, // least significant byte
 		{"out of range", 32, 0},
 	}
 	for _, tt := range tests {
@@ -131,9 +131,9 @@ func TestMulmodLargeOperands(t *testing.T) {
 	// MULMOD must compute over the full product, not the truncated one.
 	big1 := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
 	a := NewAsm()
-	a.Push(7)        // modulus (pushed first, popped last)
-	a.PushBig(big1)  // b
-	a.PushBig(big1)  // a
+	a.Push(7)       // modulus (pushed first, popped last)
+	a.PushBig(big1) // b
+	a.PushBig(big1) // a
 	a.Op(MULMOD)
 	res := runCode(t, retTop(a), nil)
 	want := new(big.Int).Mul(big1, big1)
