@@ -15,6 +15,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"sbft/internal/core"
 	"sbft/internal/pbft"
 	"sbft/internal/sim"
+	"sbft/internal/storage"
 )
 
 // Protocol selects the replication engine variant.
@@ -94,6 +97,16 @@ type Options struct {
 	// The factory receives the replica's env and the honest replica it
 	// displaces, which it may wrap or ignore.
 	Byzantine map[int]func(env core.Env, honest *core.Replica) Node
+	// Persist gives every SBFT-variant replica a durable storage.Ledger
+	// block store, enabling RestartReplica (restart-from-storage). The
+	// data lives under DataDir, or a temporary directory removed by Close.
+	Persist bool
+	// DataDir is the root directory for persisted replica state; empty
+	// with Persist set means a temp dir owned by the cluster.
+	DataDir string
+	// WrapApp, when set, wraps each replica's application (e.g. with the
+	// chaos harness's execution recorder) before the replica is built.
+	WrapApp func(id int, app core.Application) core.Application
 }
 
 // Node is a protocol event machine attachable to the simulator.
@@ -115,25 +128,54 @@ type Cluster struct {
 	PBFTReplicas []*pbft.Replica // nil entries when SBFT variants
 	Apps         []core.Application
 	Clients      []*core.Client
+	// Stores holds each replica's durable block store when Opts.Persist
+	// is set (1-based; nil entries for PBFT).
+	Stores []*storage.Ledger
+
+	// OnResult, when set, observes every completed client operation during
+	// RunClosedLoop (client id, result) — the safety auditor's ack log.
+	OnResult func(clientID int, res core.Result)
+
+	// FaultErrors collects failures from scheduled fault steps (e.g. a
+	// RestartReplica that could not reopen its store). Scheduled callbacks
+	// cannot return errors, so they accumulate here for the caller.
+	FaultErrors []error
+
+	dataDir     string
+	ownsDataDir bool
+	keys        []core.ReplicaKeys
+	envs        []*env
 }
 
-// env adapts one node id to core.Env over the simulator.
+// env adapts one node id to core.Env over the simulator. A replica
+// restart kills its env: a dead env drops sends and suppresses pending
+// timer callbacks, modeling process death (the replaced replica's timers
+// must not act under the restarted node's identity).
 type env struct {
 	id    int
 	net   *sim.Network
 	sched *sim.Scheduler
+	dead  bool
 }
 
 var _ core.Env = (*env)(nil)
 
 func (e *env) Send(to int, msg core.Message) {
+	if e.dead {
+		return
+	}
 	e.net.Send(sim.NodeID(e.id), sim.NodeID(to), msg, msg.WireSize())
 }
 
 func (e *env) Now() time.Duration { return e.sched.Now() }
 
 func (e *env) After(d time.Duration, fn func()) func() {
-	return e.sched.Schedule(d, fn)
+	return e.sched.Schedule(d, func() {
+		if e.dead {
+			return
+		}
+		fn()
+	})
 }
 
 // handler adapts Node to sim.Handler.
@@ -208,6 +250,28 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
+	// Durable per-replica block stores (restart-from-storage support).
+	// Any later constructor error must release what was opened (stores,
+	// cluster-owned temp dir); callers only Close() built clusters.
+	built := false
+	defer func() {
+		if !built {
+			cl.Close()
+		}
+	}()
+	if opts.Persist {
+		dir := opts.DataDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "sbft-cluster-")
+			if err != nil {
+				return nil, fmt.Errorf("cluster: creating data dir: %w", err)
+			}
+			cl.ownsDataDir = true
+		}
+		cl.dataDir = dir
+		cl.Stores = make([]*storage.Ledger, cl.N+1)
+	}
+
 	// The simulation uses the insecure threshold scheme; crypto CPU cost
 	// is modeled via the network cost model above (see DESIGN.md).
 	if opts.Protocol != ProtoPBFT {
@@ -216,16 +280,27 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		cl.Suite = suite
+		cl.keys = keys
 		cl.Replicas = make([]*core.Replica, cl.N+1) // 1-based
 		cl.Apps = make([]core.Application, cl.N+1)
+		cl.envs = make([]*env, cl.N+1)
 		for id := 1; id <= cl.N; id++ {
-			app, err := cl.newApp()
+			app, err := cl.newApp(id)
 			if err != nil {
 				return nil, err
 			}
 			cl.Apps[id] = app
+			var store core.BlockStore
+			if opts.Persist {
+				led, err := cl.openStore(id)
+				if err != nil {
+					return nil, err
+				}
+				store = led
+			}
 			e := &env{id: id, net: cl.Net, sched: cl.Sched}
-			rep, err := core.NewReplica(id, cl.Cfg, suite, keys[id-1], app, e, nil)
+			cl.envs[id] = e
+			rep, err := core.NewReplica(id, cl.Cfg, suite, keys[id-1], app, e, store)
 			if err != nil {
 				return nil, err
 			}
@@ -251,7 +326,7 @@ func New(opts Options) (*Cluster, error) {
 		cl.PBFTReplicas = make([]*pbft.Replica, cl.N+1)
 		cl.Apps = make([]core.Application, cl.N+1)
 		for id := 1; id <= cl.N; id++ {
-			app, err := cl.newApp()
+			app, err := cl.newApp(id)
 			if err != nil {
 				return nil, err
 			}
@@ -297,22 +372,57 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	built = true
 	return cl, nil
 }
 
-func (cl *Cluster) newApp() (core.Application, error) {
+func (cl *Cluster) newApp(id int) (core.Application, error) {
+	var app core.Application
 	switch cl.Opts.App {
 	case AppKV:
-		return apps.NewKVApp(), nil
+		app = apps.NewKVApp()
 	case AppEVM:
 		a := apps.NewEVMApp()
 		if cl.Opts.GenesisEVM != nil {
 			cl.Opts.GenesisEVM(a)
 		}
-		return a, nil
+		app = a
 	default:
 		return nil, fmt.Errorf("cluster: unknown app kind %d", cl.Opts.App)
 	}
+	if cl.Opts.WrapApp != nil {
+		app = cl.Opts.WrapApp(id, app)
+	}
+	return app, nil
+}
+
+// openStore opens (or reopens) replica id's durable block store.
+func (cl *Cluster) openStore(id int) (*storage.Ledger, error) {
+	led, err := storage.Open(filepath.Join(cl.dataDir, fmt.Sprintf("r%d", id)), storage.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening store for replica %d: %w", id, err)
+	}
+	cl.Stores[id] = led
+	return led, nil
+}
+
+// Close releases durable stores and removes cluster-owned data.
+func (cl *Cluster) Close() error {
+	var first error
+	for _, led := range cl.Stores {
+		if led == nil {
+			continue
+		}
+		if err := led.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if cl.ownsDataDir && cl.dataDir != "" {
+		if err := os.RemoveAll(cl.dataDir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // CrashReplicas crashes k replicas, skipping the view-0 primary (the
@@ -413,6 +523,9 @@ func (cl *Cluster) RunClosedLoop(opsPerClient int, gen OpGen, horizon time.Durat
 			lastDone = cl.Sched.Now()
 			completions = append(completions, lastDone)
 			latencies = append(latencies, res.Latency)
+			if cl.OnResult != nil {
+				cl.OnResult(c.ID(), res)
+			}
 			if res.FastAck {
 				fastAcks++
 			}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"sbft/internal/core"
+	"sbft/internal/sim"
+)
+
+// This file is the cluster-level fault-schedule API of the chaos harness:
+// a Schedule of timestamped Fault steps is applied against the simulated
+// deployment before (or during) Run/RunClosedLoop, reproducing the paper's
+// fault experiments as scripts — "partition the primary at t=2s, heal at
+// t=5s" — plus the crash-restart-from-storage path the paper's RocksDB
+// persistence implies (§IX).
+
+// FaultKind enumerates scripted fault actions.
+type FaultKind int
+
+// Fault actions.
+const (
+	// FaultCrash crashes replica Node (messages to/from it are dropped;
+	// its in-memory state is retained, modeling a paused process).
+	FaultCrash FaultKind = iota
+	// FaultRecover un-crashes replica Node with its in-memory state.
+	FaultRecover
+	// FaultRestart rebuilds replica Node from its durable block store and
+	// rejoins it (requires Options.Persist): the crash-recover model of
+	// the paper's persistent deployment. Implies recovery from a crash.
+	FaultRestart
+	// FaultPartition moves replica Node into partition Group (non-zero
+	// groups cannot talk to each other; group 0 talks to everyone).
+	FaultPartition
+	// FaultHeal returns every node to partition group 0.
+	FaultHeal
+	// FaultStraggle delays all messages to/from Node by Extra (0 clears).
+	FaultStraggle
+	// FaultLink installs a drop/duplicate/reorder rule on the directed
+	// link From → To (0 endpoints mean "any node").
+	FaultLink
+	// FaultLinkClear removes every link rule.
+	FaultLinkClear
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRecover:
+		return "recover"
+	case FaultRestart:
+		return "restart"
+	case FaultPartition:
+		return "partition"
+	case FaultHeal:
+		return "heal"
+	case FaultStraggle:
+		return "straggle"
+	case FaultLink:
+		return "link"
+	case FaultLinkClear:
+		return "link-clear"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one timestamped step of a fault schedule.
+type Fault struct {
+	// At is the absolute virtual time the fault applies.
+	At   time.Duration
+	Kind FaultKind
+	// Node is the target replica for Crash/Recover/Restart/Partition/
+	// Straggle.
+	Node int
+	// Group is the partition group for FaultPartition.
+	Group int
+	// Extra is the straggler delay for FaultStraggle.
+	Extra time.Duration
+	// From and To are the directed link endpoints for FaultLink; 0 is a
+	// wildcard matching any node.
+	From, To int
+	// Link is the injected link behavior for FaultLink.
+	Link sim.LinkFault
+}
+
+// String renders the step for chaos reports.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultPartition:
+		return fmt.Sprintf("%v %s r%d→g%d", f.At, f.Kind, f.Node, f.Group)
+	case FaultStraggle:
+		return fmt.Sprintf("%v %s r%d +%v", f.At, f.Kind, f.Node, f.Extra)
+	case FaultLink:
+		return fmt.Sprintf("%v %s %d→%d drop=%.2f dup=%.2f reorder=%v",
+			f.At, f.Kind, f.From, f.To, f.Link.Drop, f.Link.Duplicate, f.Link.ReorderJitter)
+	case FaultHeal, FaultLinkClear:
+		return fmt.Sprintf("%v %s", f.At, f.Kind)
+	default:
+		return fmt.Sprintf("%v %s r%d", f.At, f.Kind, f.Node)
+	}
+}
+
+// Schedule is a scripted fault timeline.
+type Schedule []Fault
+
+// linkEnd maps a schedule endpoint (0 = wildcard) to a sim node.
+func linkEnd(id int) sim.NodeID {
+	if id == 0 {
+		return sim.AnyNode
+	}
+	return sim.NodeID(id)
+}
+
+// Apply schedules every fault step against the cluster's simulator. Steps
+// fire at their absolute virtual times during subsequent Run or
+// RunClosedLoop calls. Errors from steps (e.g. a failed restart) collect
+// in cl.FaultErrors.
+func (cl *Cluster) Apply(s Schedule) {
+	adv := sim.NewAdversary(cl.Net)
+	for _, f := range s {
+		f := f
+		adv.Do(f.At, func() { cl.applyFault(f) })
+	}
+}
+
+// applyFault executes one fault step immediately.
+func (cl *Cluster) applyFault(f Fault) {
+	switch f.Kind {
+	case FaultCrash:
+		cl.Net.Crash(sim.NodeID(f.Node))
+	case FaultRecover:
+		cl.Net.Recover(sim.NodeID(f.Node))
+	case FaultRestart:
+		if err := cl.RestartReplica(f.Node); err != nil {
+			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("restart r%d at %v: %w", f.Node, f.At, err))
+		}
+	case FaultPartition:
+		cl.Net.SetPartition(sim.NodeID(f.Node), f.Group)
+	case FaultHeal:
+		cl.Net.HealPartitions()
+	case FaultStraggle:
+		cl.Net.SetStraggler(sim.NodeID(f.Node), f.Extra)
+	case FaultLink:
+		cl.Net.SetLinkFault(linkEnd(f.From), linkEnd(f.To), f.Link)
+	case FaultLinkClear:
+		cl.Net.ClearLinkFaults()
+	default:
+		cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("unknown fault kind %d at %v", f.Kind, f.At))
+	}
+}
+
+// RestartReplica rebuilds replica id from its durable block store — the
+// process-crash-and-restart path: the old in-memory replica is discarded,
+// a fresh application replays the persisted block log, and the rebuilt
+// replica takes over the node's network identity and rejoins (catching up
+// via gap repair or state transfer). Requires Options.Persist and an SBFT
+// protocol variant.
+func (cl *Cluster) RestartReplica(id int) error {
+	if cl.Opts.Protocol == ProtoPBFT {
+		return fmt.Errorf("cluster: restart-from-storage unsupported for PBFT")
+	}
+	if !cl.Opts.Persist {
+		return fmt.Errorf("cluster: restart requires Options.Persist")
+	}
+	if id < 1 || id > cl.N {
+		return fmt.Errorf("cluster: replica id %d out of range [1,%d]", id, cl.N)
+	}
+	if _, byz := cl.Opts.Byzantine[id]; byz {
+		return fmt.Errorf("cluster: replica %d is Byzantine; restart models honest crash-recovery", id)
+	}
+	// Drop the process: kill the old env so the abandoned replica's timer
+	// callbacks and sends are suppressed, exactly as a process death would.
+	cl.Net.Crash(sim.NodeID(id))
+	if old := cl.envs[id]; old != nil {
+		old.dead = true
+	}
+	if old := cl.Stores[id]; old != nil {
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("cluster: closing store of replica %d: %w", id, err)
+		}
+	}
+	led, err := cl.openStore(id)
+	if err != nil {
+		return err
+	}
+	app, err := cl.newApp(id)
+	if err != nil {
+		return err
+	}
+	e := &env{id: id, net: cl.Net, sched: cl.Sched}
+	rep, err := core.NewRecoveredReplica(id, cl.Cfg, cl.Suite, cl.keys[id-1], app, e, led)
+	if err != nil {
+		return fmt.Errorf("cluster: recovering replica %d: %w", id, err)
+	}
+	cl.envs[id] = e
+	cl.Replicas[id] = rep
+	cl.Apps[id] = app
+	if err := cl.Net.Reattach(sim.NodeID(id), handler{rep}); err != nil {
+		return err
+	}
+	cl.Net.Recover(sim.NodeID(id))
+	return nil
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sbft/internal/core"
+)
+
+func TestRestartReplicaFromStorage(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 40, Persist: true,
+		Tune: func(c *core.Config) {
+			c.Win = 16
+			c.Batch = 1
+			c.CheckpointInterval = 8
+		},
+	})
+	defer cl.Close()
+
+	res := cl.RunClosedLoop(10, kvGen, 2*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20", res.Completed)
+	}
+	preFrontier := cl.Replicas[4].LastExecuted()
+	preDigest := cl.Apps[4].Digest()
+	if preFrontier == 0 {
+		t.Fatal("replica 4 executed nothing before the restart")
+	}
+
+	// Crash replica 4, then rebuild it from its durable log.
+	cl.Net.Crash(4)
+	oldRep := cl.Replicas[4]
+	if err := cl.RestartReplica(4); err != nil {
+		t.Fatalf("RestartReplica: %v", err)
+	}
+	if cl.Replicas[4] == oldRep {
+		t.Fatal("restart did not build a fresh replica")
+	}
+	// The replay must land exactly on the pre-crash durable state.
+	if got := cl.Replicas[4].LastExecuted(); got != preFrontier {
+		t.Fatalf("recovered frontier %d, want %d", got, preFrontier)
+	}
+	if !bytes.Equal(cl.Apps[4].Digest(), preDigest) {
+		t.Fatal("recovered app digest differs from pre-crash digest")
+	}
+
+	// The restarted replica keeps participating in new commits.
+	more := cl.RunClosedLoop(10, kvGen, 2*time.Minute)
+	if more.Completed != 20 {
+		t.Fatalf("completed %d of 20 after restart", more.Completed)
+	}
+	cl.Run(30 * time.Second)
+	if got := cl.Replicas[4].LastExecuted(); got <= preFrontier {
+		t.Fatalf("restarted replica stuck at %d (pre-crash %d)", got, preFrontier)
+	}
+	if len(cl.FaultErrors) != 0 {
+		t.Fatalf("fault errors: %v", cl.FaultErrors)
+	}
+	digestsAgree(t, cl)
+}
+
+func TestScheduleAppliesFaults(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 41, Persist: true,
+		Tune: func(c *core.Config) {
+			c.Batch = 1
+			c.ViewChangeTimeout = time.Second
+		},
+		ClientTimeout: time.Second,
+	})
+	defer cl.Close()
+
+	// Crash replica 3 at 200ms, restart it from storage at 900ms.
+	cl.Apply(Schedule{
+		{At: 200 * time.Millisecond, Kind: FaultCrash, Node: 3},
+		{At: 900 * time.Millisecond, Kind: FaultRestart, Node: 3},
+	})
+	res := cl.RunClosedLoop(15, kvGen, 5*time.Minute)
+	if res.Completed != 30 {
+		t.Fatalf("completed %d of 30 across the crash/restart window", res.Completed)
+	}
+	cl.Run(30 * time.Second)
+	if len(cl.FaultErrors) != 0 {
+		t.Fatalf("fault errors: %v", cl.FaultErrors)
+	}
+	if cl.Replicas[3].LastExecuted() == 0 {
+		t.Fatal("restarted replica never executed")
+	}
+	digestsAgree(t, cl)
+}
+
+func TestRestartRequiresPersistence(t *testing.T) {
+	cl := newKV(t, Options{Protocol: ProtoSBFT, F: 1, C: 0, Clients: 1, Seed: 42})
+	if err := cl.RestartReplica(2); err == nil {
+		t.Fatal("restart without Persist accepted")
+	}
+}

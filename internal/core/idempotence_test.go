@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// Idempotence and reordering tests: the system model (§II) allows the
+// network to duplicate and reorder messages arbitrarily; every protocol
+// handler must tolerate redelivery and out-of-order arrival without
+// double-executing, double-broadcasting, or losing liveness.
+
+// collectorSeqFor finds an early sequence whose C-collector list contains
+// the replica, so collector-side handlers can be exercised.
+func collectorSeqFor(cfg Config, replica int, view uint64) uint64 {
+	for s := uint64(1); s < 256; s++ {
+		for _, c := range cfg.CCollectors(s, view) {
+			if c == replica {
+				return s
+			}
+		}
+	}
+	return 0
+}
+
+// TestDuplicateFastPathDelivery redelivers every fast-path message twice:
+// one execution, one sign-share per collector, one proof broadcast.
+func TestDuplicateFastPathDelivery(t *testing.T) {
+	cfg := DefaultConfig(1, 0)
+	seq := collectorSeqFor(cfg, 2, 0)
+	if seq == 0 {
+		t.Skip("replica 2 never a collector early")
+	}
+	rg := newRig(t, 2, nil)
+	reqs := []Request{{Client: ClientBase, Timestamp: 1, Op: []byte("x")}}
+
+	pp := PrePrepareMsg{Seq: seq, View: 0, Reqs: reqs}
+	rg.r.Deliver(1, pp)
+	rg.r.Deliver(1, pp) // duplicate
+	for i := 1; i <= rg.cfg.QuorumFast(); i++ {
+		if i == 2 {
+			continue
+		}
+		ss := rg.signShare(i, seq, 0, reqs, true)
+		rg.r.Deliver(i, ss)
+		rg.r.Deliver(i, ss) // duplicate
+	}
+	proofs := rg.sentOfType(func(m Message) bool {
+		p, ok := m.(FullCommitProofMsg)
+		return ok && p.Seq == seq
+	})
+	// Exactly one broadcast: n-1 copies, not 2(n-1).
+	if proofs != rg.cfg.N()-1 {
+		t.Fatalf("full-commit-proof copies = %d, want %d", proofs, rg.cfg.N()-1)
+	}
+	shares := rg.sentOfType(func(m Message) bool {
+		s, ok := m.(SignShareMsg)
+		return ok && s.Seq == seq
+	})
+	want := 0
+	seen := map[int]bool{}
+	for _, c := range rg.cfg.CCollectors(seq, 0) {
+		if !seen[c] && c != 2 {
+			want++
+		}
+		seen[c] = true
+	}
+	if shares != want {
+		t.Fatalf("sign-share sends = %d, want %d (no duplicates)", shares, want)
+	}
+
+	// Redeliver the full proof itself twice: executes at most once.
+	h := BlockHash(seq, 0, reqs)
+	var sigShares []threshsig.Share
+	for i := 1; i <= rg.cfg.QuorumFast(); i++ {
+		sh, _ := rg.keys[i-1].Sigma.Sign(h[:])
+		sigShares = append(sigShares, sh)
+	}
+	sigma, _ := rg.suite.Sigma.Combine(h[:], sigShares)
+	fcp := FullCommitProofMsg{Seq: seq, View: 0, Sigma: sigma}
+	rg.r.Deliver(3, fcp)
+	rg.r.Deliver(3, fcp)
+	if rg.r.Metrics.FastCommits != 1 {
+		t.Fatalf("FastCommits = %d after duplicate proofs, want 1", rg.r.Metrics.FastCommits)
+	}
+	if seq == 1 && rg.app.blocks != 1 {
+		t.Fatalf("executed %d blocks, want 1", rg.app.blocks)
+	}
+}
+
+// TestSlowPathDuplicateAndReorderedCommits drives the slow path with
+// commit shares arriving before the prepare and every message delivered
+// twice: exactly one slow proof, one commit.
+func TestSlowPathDuplicateAndReorderedCommits(t *testing.T) {
+	cfg := DefaultConfig(1, 0)
+	cfg.FastPath = false
+	seq := collectorSeqFor(cfg, 2, 0)
+	if seq == 0 {
+		t.Skip("replica 2 never a collector early")
+	}
+	rg := newRig(t, 2, func(c *Config) { c.FastPath = false })
+	reqs := []Request{{Client: ClientBase, Timestamp: 1, Op: []byte("y")}}
+	h := BlockHash(seq, 0, reqs)
+
+	// Assemble the prepare certificate τ(h).
+	var tauShares []threshsig.Share
+	for i := 1; i <= rg.cfg.QuorumSlow(); i++ {
+		sh, err := rg.keys[i-1].Tau.Sign(h[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tauShares = append(tauShares, sh)
+	}
+	tau, err := rg.suite.Tau.Combine(h[:], tauShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitShare := func(i int) CommitMsg {
+		sh, err := rg.keys[i-1].Tau.Sign(tauTauDigest(tau))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return CommitMsg{Seq: seq, View: 0, Replica: i, TauTau: sh}
+	}
+
+	rg.r.Deliver(1, PrePrepareMsg{Seq: seq, View: 0, Reqs: reqs})
+	// Commit shares arrive BEFORE any prepare (reordering): must not be
+	// counted against a nonexistent certificate, must not panic.
+	rg.r.Deliver(3, commitShare(3))
+	prep := PrepareMsg{Seq: seq, View: 0, Tau: tau}
+	rg.r.Deliver(3, prep)
+	rg.r.Deliver(3, prep) // duplicate
+	// Now the commit quorum, every share twice (own share came from
+	// onPrepare already).
+	for i := 1; i <= rg.cfg.QuorumSlow(); i++ {
+		if i == 2 {
+			continue
+		}
+		cs := commitShare(i)
+		rg.r.Deliver(i, cs)
+		rg.r.Deliver(i, cs)
+	}
+	slow := rg.sentOfType(func(m Message) bool {
+		p, ok := m.(FullCommitProofSlowMsg)
+		return ok && p.Seq == seq
+	})
+	if slow != rg.cfg.N()-1 {
+		t.Fatalf("slow proof copies = %d, want %d (single broadcast)", slow, rg.cfg.N()-1)
+	}
+	if rg.r.Metrics.SlowCommits != 1 {
+		t.Fatalf("SlowCommits = %d, want 1", rg.r.Metrics.SlowCommits)
+	}
+}
+
+// TestSignShareArrivalOrderIrrelevant permutes sign-share arrival orders
+// across seeds (including before the pre-prepare): the collector must
+// reach the fast proof every time.
+func TestSignShareArrivalOrderIrrelevant(t *testing.T) {
+	cfg := DefaultConfig(1, 0)
+	seq := collectorSeqFor(cfg, 2, 0)
+	if seq == 0 {
+		t.Skip("replica 2 never a collector early")
+	}
+	for trial := 0; trial < 8; trial++ {
+		rg := newRig(t, 2, nil)
+		reqs := []Request{{Client: ClientBase, Timestamp: 1, Op: []byte("z")}}
+		type ev struct {
+			from int
+			msg  any
+		}
+		events := []ev{{1, PrePrepareMsg{Seq: seq, View: 0, Reqs: reqs}}}
+		for i := 1; i <= rg.cfg.QuorumFast(); i++ {
+			if i == 2 {
+				continue
+			}
+			events = append(events, ev{i, rg.signShare(i, seq, 0, reqs, true)})
+		}
+		rng := rand.New(rand.NewSource(int64(trial)))
+		rng.Shuffle(len(events), func(a, b int) { events[a], events[b] = events[b], events[a] })
+		for _, e := range events {
+			rg.r.Deliver(e.from, e.msg)
+		}
+		got := rg.sentOfType(func(m Message) bool {
+			p, ok := m.(FullCommitProofMsg)
+			return ok && p.Seq == seq
+		})
+		if got == 0 {
+			order := make([]string, len(events))
+			for i, e := range events {
+				order[i] = fmt.Sprintf("%T", e.msg)
+			}
+			t.Fatalf("trial %d: no fast proof for order %v", trial, order)
+		}
+	}
+}
+
+// TestDuplicateCheckpointShares advances the stable point exactly once.
+func TestDuplicateCheckpointShares(t *testing.T) {
+	rg := newRig(t, 2, func(c *Config) { c.CheckpointInterval = 1; c.Win = 8 })
+	d := []byte("ckpt")
+	sd := stateSigDigest(4, d)
+	for round := 0; round < 2; round++ {
+		for i := 1; i <= rg.cfg.QuorumExec(); i++ {
+			sh, err := rg.keys[i-1].Pi.Sign(sd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rg.r.Deliver(i, CheckpointShareMsg{Seq: 4, Replica: i, Digest: d, PiSig: sh})
+		}
+	}
+	if rg.r.LastStable() != 4 {
+		t.Fatalf("LastStable = %d, want 4", rg.r.LastStable())
+	}
+	if rg.r.Metrics.Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d after redelivery, want 1", rg.r.Metrics.Checkpoints)
+	}
+}
+
+// TestExactlyOnceExecutionAcrossSequences commits the same request at two
+// sequence numbers (as a Byzantine primary could): the application must
+// see it once, and the second block executes as empty.
+func TestExactlyOnceExecutionAcrossSequences(t *testing.T) {
+	rg := newRig(t, 2, nil)
+	req := Request{Client: ClientBase, Timestamp: 1, Op: []byte("once")}
+	for _, seq := range []uint64{1, 2} {
+		reqs := []Request{req}
+		rg.r.Deliver(1, PrePrepareMsg{Seq: seq, View: 0, Reqs: reqs})
+		h := BlockHash(seq, 0, reqs)
+		var shares []threshsig.Share
+		for i := 1; i <= rg.cfg.QuorumFast(); i++ {
+			sh, _ := rg.keys[i-1].Sigma.Sign(h[:])
+			shares = append(shares, sh)
+		}
+		sigma, _ := rg.suite.Sigma.Combine(h[:], shares)
+		rg.r.Deliver(3, FullCommitProofMsg{Seq: seq, View: 0, Sigma: sigma})
+	}
+	if rg.r.LastExecuted() != 2 {
+		t.Fatalf("LastExecuted = %d, want 2", rg.r.LastExecuted())
+	}
+	if rg.app.ops != 1 {
+		t.Fatalf("application saw %d ops, want 1 (exactly-once)", rg.app.ops)
+	}
+	if rg.r.Metrics.DedupSkips != 1 {
+		t.Fatalf("DedupSkips = %d, want 1", rg.r.Metrics.DedupSkips)
+	}
+}
+
+// TestSnapshotCarriesReplyCache pins the state-transfer envelope: the
+// last-reply table must round-trip so dedup stays deterministic.
+func TestSnapshotCarriesReplyCache(t *testing.T) {
+	cache := map[int]replyCacheEntry{
+		ClientBase:     {timestamp: 3, seq: 7, l: 0, val: []byte("a")},
+		ClientBase + 1: {timestamp: 9, seq: 8, l: 1, val: []byte("b")},
+	}
+	env, err := decodeSnapshot(encodeSnapshot([]byte("app-bytes"), cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(env.App, []byte("app-bytes")) {
+		t.Fatal("app snapshot corrupted")
+	}
+	if len(env.Replies) != 2 || env.Replies[ClientBase+1].Timestamp != 9 {
+		t.Fatalf("reply table corrupted: %+v", env.Replies)
+	}
+	if _, err := decodeSnapshot([]byte("junk")); err == nil {
+		t.Fatal("junk snapshot decoded")
+	}
+}

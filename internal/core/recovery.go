@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// This file implements replica restart from durable storage. The paper's
+// deployment persists committed transactions to disk (RocksDB, §IX);
+// internal/storage provides the substitute log. A replica that crashes and
+// restarts replays its block log through the application — recovering the
+// exact pre-crash state because execution is deterministic — and then
+// rejoins the protocol, catching up on anything it missed through the
+// normal gap-repair and state-transfer paths (§II re-transmit layer,
+// §VIII state transfer).
+
+// BlockRecord is the durable form of one committed decision block: the
+// requests and the per-request execution results. Records are
+// self-contained so a restarted replica can rebuild both application state
+// (by re-executing) and its client reply cache (from the stored results).
+type BlockRecord struct {
+	Reqs    []Request
+	Results [][]byte
+}
+
+// encodeBlockPayload serializes a block record for the BlockStore.
+func encodeBlockPayload(reqs []Request, results [][]byte) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(BlockRecord{Reqs: reqs, Results: results}); err != nil {
+		// Requests and results are plain slices and ints; encoding cannot
+		// fail for well-formed inputs.
+		panic(fmt.Sprintf("core: encoding block record: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// DecodeBlockPayload parses a stored block record (the inverse of the
+// encoding used by Replica when appending to its BlockStore).
+func DecodeBlockPayload(payload []byte) (BlockRecord, error) {
+	var rec BlockRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return BlockRecord{}, fmt.Errorf("core: decoding block record: %w", err)
+	}
+	return rec, nil
+}
+
+// ClientReply is the durable/transferable form of one reply-cache entry.
+type ClientReply struct {
+	Timestamp uint64
+	Seq       uint64
+	L         int
+	Val       []byte
+}
+
+// snapshotEnvelope is what replicas actually ship in StateSnapshotMsg: the
+// application snapshot plus the last-reply table. The table makes the
+// exactly-once execution filter deterministic across replicas that caught
+// up via state transfer instead of executing every block. (The π
+// checkpoint certificate covers only the application digest; certifying
+// the reply table inside the checkpoint digest is future work — see
+// ROADMAP — so a Byzantine snapshot server could perturb dedup state. The
+// application state itself remains certificate-checked.)
+type snapshotEnvelope struct {
+	App     []byte
+	Replies map[int]ClientReply
+}
+
+// encodeSnapshot wraps an application snapshot with the reply table.
+func encodeSnapshot(app []byte, cache map[int]replyCacheEntry) []byte {
+	env := snapshotEnvelope{App: app, Replies: make(map[int]ClientReply, len(cache))}
+	for client, e := range cache {
+		env.Replies[client] = ClientReply{Timestamp: e.timestamp, Seq: e.seq, L: e.l, Val: e.val}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		panic(fmt.Sprintf("core: encoding snapshot envelope: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// decodeSnapshot unwraps a snapshot envelope.
+func decodeSnapshot(data []byte) (snapshotEnvelope, error) {
+	var env snapshotEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return snapshotEnvelope{}, fmt.Errorf("core: decoding snapshot envelope: %w", err)
+	}
+	return env, nil
+}
+
+// RecoverableStore is a BlockStore that can be read back on restart.
+// storage.Ledger satisfies it.
+type RecoverableStore interface {
+	BlockStore
+	// Get returns the payload appended at seq.
+	Get(seq uint64) ([]byte, error)
+	// NextSeq reports the sequence number the next Append must carry
+	// (one past the highest durable block).
+	NextSeq() uint64
+}
+
+// NewRecoveredReplica rebuilds a replica from its durable block log: it
+// replays every stored block through the application (which must be at
+// genesis), verifies the recomputed results against the stored ones, and
+// primes the reply cache and execution frontier. The replica then rejoins
+// the protocol at its durable frontier; blocks committed by the rest of
+// the cluster while it was down arrive through gap repair or state
+// transfer.
+func NewRecoveredReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app Application, env Env, store RecoverableStore) (*Replica, error) {
+	r, err := NewReplica(id, cfg, suite, keys, app, env, store)
+	if err != nil {
+		return nil, err
+	}
+	frontier := store.NextSeq() - 1
+	for seq := uint64(1); seq <= frontier; seq++ {
+		payload, err := store.Get(seq)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering block %d: %w", seq, err)
+		}
+		rec, err := DecodeBlockPayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering block %d: %w", seq, err)
+		}
+		ops := make([][]byte, len(rec.Reqs))
+		for i, req := range rec.Reqs {
+			ops[i] = req.Op
+		}
+		results := app.ExecuteBlock(seq, ops)
+		if len(results) != len(rec.Results) {
+			return nil, fmt.Errorf("core: block %d replay produced %d results, stored %d", seq, len(results), len(rec.Results))
+		}
+		for i := range results {
+			if !bytes.Equal(results[i], rec.Results[i]) {
+				return nil, fmt.Errorf("core: block %d result %d diverged on replay (corrupt store or non-deterministic app)", seq, i)
+			}
+		}
+		for i, req := range rec.Reqs {
+			r.replyCache[req.Client] = replyCacheEntry{
+				timestamp: req.Timestamp, seq: seq, l: i, val: results[i],
+			}
+			if ts := r.seen[req.Client]; ts < req.Timestamp {
+				r.seen[req.Client] = req.Timestamp
+			}
+		}
+		r.lastExecuted = seq
+		r.Metrics.Executions++
+	}
+	// Anchor the protocol window at the durable frontier: pre-prepares at
+	// or below it are stale, and a primary role resumed here must propose
+	// above it. The stable checkpoint (lastStable) stays at 0 — stability
+	// is a quorum property the restarted replica re-learns from its peers.
+	r.windowBase = frontier
+	if r.nextSeq <= frontier {
+		r.nextSeq = frontier + 1
+	}
+	return r, nil
+}

@@ -40,7 +40,11 @@ type slot struct {
 
 	committed     bool
 	committedReqs []Request
-	executed      bool
+	// execReqs is the exactly-once subset of committedReqs actually fed to
+	// the application (requests already executed for their client at an
+	// earlier sequence are skipped deterministically).
+	execReqs []Request
+	executed bool
 
 	sentSignShare   bool
 	sentCommitShare bool
@@ -122,6 +126,10 @@ type Metrics struct {
 	StateFetches uint64
 	NullBlocks   uint64
 	GapRepairs   uint64
+	// DedupSkips counts committed requests skipped at execution because
+	// the client's request had already executed at an earlier sequence
+	// (exactly-once enforcement across view changes and retries).
+	DedupSkips uint64
 }
 
 // BlockStore persists committed decision blocks (the paper persists
@@ -158,6 +166,12 @@ type Replica struct {
 	snapshotData []byte
 	snapshotDig  []byte
 	snapshotPi   threshsig.Signature
+	// pendingSnap holds snapshot envelopes captured at the moment a
+	// checkpoint sequence executed, keyed by that sequence. Stabilization
+	// (the π quorum) arrives a round-trip later, when execution may have
+	// pipelined past the checkpoint; capturing then would mislabel newer
+	// state (and a newer reply table) with the older certified digest.
+	pendingSnap map[uint64][]byte
 
 	// Primary state.
 	pending    []Request
@@ -175,6 +189,12 @@ type Replica struct {
 	// Checkpoint shares collected (as E-collector for checkpoint seqs).
 	ckptShares map[uint64]map[int]threshsig.Share
 	ckptDigest map[uint64][]byte
+
+	// ppBuffer holds pre-prepares that arrived from a future view's
+	// primary before this replica installed that view (the new primary's
+	// first proposals race its new-view broadcast on jittery links);
+	// replayed on view installation.
+	ppBuffer map[uint64][]PrePrepareMsg
 
 	// View change state.
 	vcMsgs        map[uint64]map[int]*ViewChangeMsg // target view → sender → msg
@@ -207,23 +227,25 @@ func NewReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app App
 		return nil, fmt.Errorf("core: replica id %d out of range [1,%d]", id, cfg.N())
 	}
 	r := &Replica{
-		id:         id,
-		cfg:        cfg,
-		suite:      suite,
-		keys:       keys,
-		app:        app,
-		env:        env,
-		store:      store,
-		slots:      make(map[uint64]*slot),
-		seen:       make(map[int]uint64),
-		nextSeq:    1,
-		replyCache: make(map[int]replyCacheEntry),
-		directReq:  make(map[uint64]map[int]bool),
-		watch:      make(map[int]watchEntry),
-		ckptShares: make(map[uint64]map[int]threshsig.Share),
-		ckptDigest: make(map[uint64][]byte),
-		vcMsgs:     make(map[uint64]map[int]*ViewChangeMsg),
-		vcSent:     make(map[uint64]bool),
+		id:          id,
+		cfg:         cfg,
+		suite:       suite,
+		keys:        keys,
+		app:         app,
+		env:         env,
+		store:       store,
+		slots:       make(map[uint64]*slot),
+		seen:        make(map[int]uint64),
+		nextSeq:     1,
+		replyCache:  make(map[int]replyCacheEntry),
+		directReq:   make(map[uint64]map[int]bool),
+		watch:       make(map[int]watchEntry),
+		ckptShares:  make(map[uint64]map[int]threshsig.Share),
+		ckptDigest:  make(map[uint64][]byte),
+		vcMsgs:      make(map[uint64]map[int]*ViewChangeMsg),
+		vcSent:      make(map[uint64]bool),
+		ppBuffer:    make(map[uint64][]PrePrepareMsg),
+		pendingSnap: make(map[uint64][]byte),
 	}
 	return r, nil
 }
@@ -357,6 +379,27 @@ func (r *Replica) notePending(req Request) {
 	r.armBatchTimer()
 }
 
+// requeue re-adds a request to the pending queue unless it has already
+// executed or is already queued, bypassing the `seen` dedup (which tracks
+// proposed-but-possibly-lost requests). Used at view installation so
+// requests stuck in slots the new view did not adopt are proposed again;
+// the exactly-once execution filter makes a redundant re-proposal
+// harmless.
+func (r *Replica) requeue(req Request) {
+	if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+		return
+	}
+	for _, p := range r.pending {
+		if p.Client == req.Client && p.Timestamp >= req.Timestamp {
+			return
+		}
+	}
+	r.pending = append(r.pending, req)
+	if ts := r.seen[req.Client]; ts < req.Timestamp {
+		r.seen[req.Client] = req.Timestamp
+	}
+}
+
 // armBatchTimer ensures a pending-but-unproposed request cannot starve:
 // whenever the primary holds pending requests, a batch timer is running.
 func (r *Replica) armBatchTimer() {
@@ -452,6 +495,16 @@ func (r *Replica) proposeIfReady(timerFired bool) {
 
 func (r *Replica) onPrePrepare(from int, m PrePrepareMsg) {
 	if m.View != r.view || r.inViewChange {
+		// A future view's primary may propose before our new-view message
+		// arrives (its first pre-prepares race the install on jittery
+		// links): buffer and replay at installation instead of dropping.
+		// Bounded to one primary rotation of future views and one entry
+		// per sequence, so neither a Byzantine future-primary nor a
+		// duplicating link can exhaust the buffer.
+		if m.View >= r.view && m.View <= r.view+uint64(r.cfg.N()) &&
+			from == r.cfg.Primary(m.View) {
+			r.bufferPP(m)
+		}
 		return
 	}
 	if from != r.cfg.Primary(r.view) {
@@ -476,6 +529,21 @@ func (r *Replica) onPrePrepare(from int, m PrePrepareMsg) {
 		return
 	}
 	r.acceptPrePrepare(from, m)
+}
+
+// bufferPP stores a racing pre-prepare for replay at view installation,
+// capped at Win entries per view with one entry per sequence (duplicated
+// deliveries must not evict distinct sequences).
+func (r *Replica) bufferPP(m PrePrepareMsg) {
+	buf := r.ppBuffer[m.View]
+	for _, b := range buf {
+		if b.Seq == m.Seq {
+			return
+		}
+	}
+	if uint64(len(buf)) < r.cfg.Win {
+		r.ppBuffer[m.View] = append(buf, m)
+	}
 }
 
 func (r *Replica) acceptPrePrepare(_ int, m PrePrepareMsg) {
@@ -674,8 +742,14 @@ func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
 	if !s.sentPrepare && len(s.tauShares) >= r.cfg.QuorumSlow() {
 		fire := func() {
 			// A prepare already seen from another collector makes ours
-			// redundant (hasPrepare); committed slots need nothing.
-			if s.sentPrepare || s.sentFastProof || s.committed || s.hasPrepare {
+			// redundant — but only a CURRENT-view prepare counts: stale
+			// prepare evidence from an earlier view must not stop the slot
+			// from re-preparing after a view change, or it deadlocks (the
+			// chaos harness found exactly this under lossy links).
+			if s.sentPrepare || s.sentFastProof || s.committed {
+				return
+			}
+			if s.hasPrepare && s.prepareView >= view {
 				return
 			}
 			shares := sharesList(s.tauShares)
@@ -1029,8 +1103,32 @@ func (r *Replica) executeReady() {
 			return
 		}
 		advanced = true
-		ops := make([][]byte, len(s.committedReqs))
-		for i, req := range s.committedReqs {
+		// Exactly-once execution: the same request can legitimately commit
+		// at two sequence numbers (a retried request re-proposed across a
+		// view change, or a Byzantine primary double-proposing); replicas
+		// skip the second occurrence deterministically, keyed on the reply
+		// cache — the classic PBFT last-reply-timestamp rule.
+		s.execReqs = s.committedReqs[:0:0]
+		for _, req := range s.committedReqs {
+			if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+				r.Metrics.DedupSkips++
+				continue
+			}
+			dup := false
+			for _, e := range s.execReqs {
+				if e.Client == req.Client && e.Timestamp >= req.Timestamp {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				r.Metrics.DedupSkips++
+				continue
+			}
+			s.execReqs = append(s.execReqs, req)
+		}
+		ops := make([][]byte, len(s.execReqs))
+		for i, req := range s.execReqs {
 			ops[i] = req.Op
 		}
 		results := r.app.ExecuteBlock(next, ops)
@@ -1041,14 +1139,14 @@ func (r *Replica) executeReady() {
 			r.Metrics.NullBlocks++
 		}
 		if r.store != nil {
-			if err := r.store.Append(next, encodeBlockPayload(s.committedReqs, results)); err != nil {
+			if err := r.store.Append(next, encodeBlockPayload(s.execReqs, results)); err != nil {
 				r.tracef("block store append failed: %v", err)
 			}
 		}
 		digest := r.app.Digest()
 
 		// Cache replies and serve direct-path replies.
-		for i, req := range s.committedReqs {
+		for i, req := range s.execReqs {
 			r.replyCache[req.Client] = replyCacheEntry{
 				timestamp: req.Timestamp, seq: next, l: i, val: results[i],
 			}
@@ -1094,7 +1192,7 @@ func (r *Replica) executeReady() {
 			// Fallback: if every E-collector of this sequence is crashed,
 			// serve clients directly after a timeout so the single
 			// correct-collector liveness assumption degrades gracefully.
-			if r.cfg.ExecFallbackTimeout > 0 && len(s.committedReqs) > 0 {
+			if r.cfg.ExecFallbackTimeout > 0 && len(s.execReqs) > 0 {
 				seq := next
 				r.env.After(r.cfg.ExecFallbackTimeout, func() {
 					r.execFallback(seq)
@@ -1102,19 +1200,16 @@ func (r *Replica) executeReady() {
 			}
 		}
 
-		// Periodic checkpoint (§V-F).
+		// Periodic checkpoint (§V-F). Capture the snapshot envelope NOW,
+		// while application state and reply table are exactly at this
+		// sequence; the stable certificate adopts it when it arrives.
 		if next%r.cfg.checkpointEvery() == 0 {
+			if snap, err := r.app.Snapshot(); err == nil {
+				r.pendingSnap[next] = encodeSnapshot(snap, r.replyCache)
+			}
 			r.initiateCheckpoint(next, digest)
 		}
 	}
-}
-
-func encodeBlockPayload(reqs []Request, results [][]byte) []byte {
-	var buf bytes.Buffer
-	for i, req := range reqs {
-		fmt.Fprintf(&buf, "%d/%d:%d:%d;", req.Client, req.Timestamp, len(req.Op), len(results[i]))
-	}
-	return buf.Bytes()
 }
 
 func (r *Replica) isECollector(seq uint64) bool {
@@ -1192,7 +1287,7 @@ func (r *Replica) sendExecuteAcks(seq uint64) {
 	}
 	s.execAcked = true
 	digest, pi := s.execDigest, s.execPi
-	for i, req := range s.committedReqs {
+	for i, req := range s.execReqs {
 		if req.Direct {
 			continue // direct requests already got PBFT-style replies
 		}
@@ -1220,7 +1315,7 @@ func (r *Replica) execFallback(seq uint64) {
 	if !ok || !s.executed || s.execCertSeen {
 		return
 	}
-	for i, req := range s.committedReqs {
+	for i, req := range s.execReqs {
 		ent, ok := r.replyCache[req.Client]
 		if !ok || ent.seq != seq || ent.timestamp != req.Timestamp {
 			continue
@@ -1319,11 +1414,27 @@ func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature
 	r.stableDigest = digest
 	r.stablePi = pi
 	if r.lastExecuted >= seq {
-		if snap, err := r.app.Snapshot(); err == nil {
+		// Adopt the envelope captured when seq executed; if none exists
+		// (restart, state transfer) capture now — but only when execution
+		// has not pipelined past seq, or current state would be mislabeled
+		// with the older certified digest and rejected by every receiver.
+		env, ok := r.pendingSnap[seq]
+		if !ok && r.lastExecuted == seq {
+			if snap, err := r.app.Snapshot(); err == nil {
+				env = encodeSnapshot(snap, r.replyCache)
+				ok = true
+			}
+		}
+		if ok {
 			r.snapshotSeq = seq
-			r.snapshotData = snap
+			r.snapshotData = env
 			r.snapshotDig = digest
 			r.snapshotPi = pi
+		}
+		for s := range r.pendingSnap {
+			if s <= seq {
+				delete(r.pendingSnap, s)
+			}
 		}
 		r.app.GarbageCollect(seq)
 	}
@@ -1397,7 +1508,12 @@ func (r *Replica) onStateSnapshot(_ int, m StateSnapshotMsg) {
 	if r.suite.Pi.Verify(stateSigDigest(m.Seq, m.Digest), m.Pi) != nil {
 		return
 	}
-	if err := r.app.Restore(m.Snapshot); err != nil {
+	env, err := decodeSnapshot(m.Snapshot)
+	if err != nil {
+		r.tracef("snapshot envelope malformed: %v", err)
+		return
+	}
+	if err := r.app.Restore(env.App); err != nil {
 		r.tracef("restore failed: %v", err)
 		return
 	}
@@ -1406,6 +1522,13 @@ func (r *Replica) onStateSnapshot(_ int, m StateSnapshotMsg) {
 		// State is now inconsistent with the certificate — refuse and try
 		// another peer on the retry timer.
 		return
+	}
+	// Merge the last-reply table so the exactly-once execution filter
+	// stays deterministic over the restored span.
+	for client, e := range env.Replies {
+		if ent, ok := r.replyCache[client]; !ok || ent.timestamp < e.Timestamp {
+			r.replyCache[client] = replyCacheEntry{timestamp: e.Timestamp, seq: e.Seq, l: e.L, val: e.Val}
+		}
 	}
 	r.fetching = false
 	r.lastExecuted = m.Seq

@@ -455,6 +455,14 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 		if s.committed {
 			continue
 		}
+		// Requests stuck in an uncommitted slot would be lost if the new
+		// view does not adopt that slot (the proposer's pending queue
+		// already dropped them and client retries are deduplicated by
+		// `seen`): requeue them for re-proposal. The pending prune below
+		// removes any the new view does carry.
+		for _, req := range s.reqs {
+			r.requeue(req)
+		}
 		s.sentSignShare = false
 		s.sentCommitShare = false
 		s.hasPrePrepare = false
@@ -463,9 +471,15 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 
 	// Apply decisions.
 	maxSeq := r.lastStable
+	inFlight := make(map[int]uint64) // client → highest ts re-proposed/decided
 	for _, dec := range decisions {
 		if dec.seq > maxSeq {
 			maxSeq = dec.seq
+		}
+		for _, req := range dec.reqs {
+			if ts := inFlight[req.Client]; ts < req.Timestamp {
+				inFlight[req.Client] = req.Timestamp
+			}
 		}
 		s := r.getSlot(dec.seq)
 		if dec.decided {
@@ -486,9 +500,38 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 		r.acceptPrePrepare(r.cfg.Primary(m.View), PrePrepareMsg{Seq: dec.seq, View: m.View, Reqs: reqs})
 	}
 
+	// Requests the new view already carries (re-proposed or decided above)
+	// must not be proposed again from the retained pending queue, or the
+	// same request would commit at two sequence numbers and execute twice.
+	if len(r.pending) > 0 {
+		kept := r.pending[:0]
+		for _, req := range r.pending {
+			if ts, ok := inFlight[req.Client]; ok && ts >= req.Timestamp {
+				continue
+			}
+			if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+				continue
+			}
+			kept = append(kept, req)
+		}
+		r.pending = kept
+	}
+
 	if r.isPrimary() {
 		r.nextSeq = maxSeq + 1
 		r.proposeIfReady(true)
+	}
+	// Replay pre-prepares that raced ahead of this view installation.
+	if buf := r.ppBuffer[m.View]; len(buf) > 0 {
+		delete(r.ppBuffer, m.View)
+		for _, pp := range buf {
+			r.onPrePrepare(r.cfg.Primary(m.View), pp)
+		}
+	}
+	for v := range r.ppBuffer {
+		if v <= m.View {
+			delete(r.ppBuffer, v)
+		}
 	}
 	if r.lastExecuted < r.lastStable {
 		r.maybeFetchState(r.lastStable)

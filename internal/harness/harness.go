@@ -1,0 +1,162 @@
+// Package harness is the deterministic chaos harness: it runs scripted or
+// randomly generated fault scenarios against simulated SBFT deployments
+// and audits the outcome for safety. A scenario is a cluster
+// configuration, a timed fault schedule (crash, restart-from-storage,
+// partition, straggler, per-link drop/duplicate/reorder windows — the
+// fault classes behind the paper's evaluation, §VII and §IX), and a
+// closed-loop workload. After every scenario the safety auditor
+// cross-checks per-replica committed logs, application state roots and
+// executed-request sets, and verifies no client holds an ack for work the
+// cluster did not perform.
+//
+// The chaos runner (RunChaos) explores seeded random schedules across all
+// four protocol variants and reports the minimal failing seed, turning
+// "does the protocol survive X?" into a reproducible one-liner.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+)
+
+// Scenario describes one harness run.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Opts configures the simulated deployment. The harness overlays
+	// WrapApp to install its execution recorders (composing with any
+	// caller-supplied wrapper).
+	Opts cluster.Options
+	// Schedule is the timed fault script applied during the run.
+	Schedule cluster.Schedule
+	// OpsPerClient sizes the closed-loop workload.
+	OpsPerClient int
+	// Gen produces the i-th operation of a client. Nil uses a unique-key
+	// KV workload (required by the auditor's re-execution check: operation
+	// payloads must be unique).
+	Gen cluster.OpGen
+	// Horizon bounds the workload phase in virtual time.
+	Horizon time.Duration
+	// Settle runs the simulation beyond the workload so retransmissions,
+	// state transfers and checkpoints quiesce before the audit.
+	Settle time.Duration
+	// ExpectAllCommitted asserts liveness: every client operation must
+	// complete within Horizon. Set it only for schedules that heal all
+	// faults (safety is audited regardless).
+	ExpectAllCommitted bool
+}
+
+// UniqueKVGen is the default workload: globally unique keys so the
+// auditor can detect re-execution.
+func UniqueKVGen(client, i int) []byte {
+	return kvstore.Put(fmt.Sprintf("c%d/k%d", client, i), []byte(fmt.Sprintf("v%d", i)))
+}
+
+// Report is the outcome of one scenario.
+type Report struct {
+	Scenario string
+	Seed     int64
+	// Completed / Expected count client operations.
+	Completed uint64
+	Expected  uint64
+	// LivenessFailure is set when ExpectAllCommitted was requested and
+	// operations were left incomplete.
+	LivenessFailure string
+	// Audit is the cross-replica safety audit.
+	Audit *Audit
+	// Result is the workload summary.
+	Result cluster.WorkloadResult
+	// Faults echoes the applied schedule for reproduction.
+	Faults cluster.Schedule
+}
+
+// Failed reports whether the scenario violated safety or (when asserted)
+// liveness.
+func (r *Report) Failed() bool {
+	return r.LivenessFailure != "" || (r.Audit != nil && !r.Audit.OK())
+}
+
+// Summary renders a one-line outcome.
+func (r *Report) Summary() string {
+	status := "ok"
+	if r.Failed() {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%s seed=%d %s: %d/%d ops, %d replicas, %d seqs audited",
+		r.Scenario, r.Seed, status, r.Completed, r.Expected,
+		r.Audit.ReplicasAudited, r.Audit.SeqsAudited)
+	if r.LivenessFailure != "" {
+		s += "; " + r.LivenessFailure
+	}
+	for _, d := range r.Audit.Divergences {
+		s += "; " + d
+	}
+	return s
+}
+
+// Run executes one scenario end to end: build the cluster with recording
+// applications, apply the fault schedule, drive the workload, settle, and
+// audit.
+func Run(s Scenario) (*Report, error) {
+	recorders := make(map[int]*Recorder)
+	opts := s.Opts
+	userWrap := opts.WrapApp
+	opts.WrapApp = func(id int, app core.Application) core.Application {
+		if userWrap != nil {
+			app = userWrap(id, app)
+		}
+		rec := NewRecorder(app)
+		recorders[id] = rec
+		return rec
+	}
+	cl, err := cluster.New(opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building cluster: %w", err)
+	}
+	defer cl.Close()
+
+	var acks []Ack
+	cl.OnResult = func(clientID int, res core.Result) {
+		acks = append(acks, Ack{
+			Client:    clientID,
+			Timestamp: res.Timestamp,
+			Seq:       res.Seq,
+			Op:        res.Op,
+			Val:       res.Val,
+		})
+	}
+
+	cl.Apply(s.Schedule)
+
+	gen := s.Gen
+	if gen == nil {
+		gen = UniqueKVGen
+	}
+	horizon := s.Horizon
+	if horizon <= 0 {
+		horizon = 10 * time.Minute
+	}
+	res := cl.RunClosedLoop(s.OpsPerClient, gen, horizon)
+	if s.Settle > 0 {
+		cl.Run(s.Settle)
+	}
+
+	report := &Report{
+		Scenario:  s.Name,
+		Seed:      opts.Seed,
+		Completed: res.Completed,
+		Expected:  uint64(opts.Clients * s.OpsPerClient),
+		Audit:     AuditCluster(cl, recorders, acks),
+		Result:    res,
+		Faults:    s.Schedule,
+	}
+	if s.ExpectAllCommitted && report.Completed < report.Expected {
+		report.LivenessFailure = fmt.Sprintf("liveness: %d of %d ops completed (live replicas: %d)",
+			report.Completed, report.Expected, liveReplicaCount(cl))
+	}
+	return report, nil
+}

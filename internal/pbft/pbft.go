@@ -230,6 +230,12 @@ type Replica struct {
 	progressTimer func()
 	vcTimer       func()
 
+	// ppBuffer holds pre-prepares that arrived from a future view's
+	// primary before this replica installed that view (the new primary's
+	// first proposals race its NEW-VIEW broadcast on jittery links);
+	// replayed on view installation.
+	ppBuffer map[uint64][]PrePrepareMsg
+
 	Metrics Metrics
 }
 
@@ -260,6 +266,7 @@ func NewReplica(id int, cfg Config, app core.Application, env core.Env) (*Replic
 		watch:      make(map[int]uint64),
 		ckpts:      make(map[uint64]map[int]string),
 		vcMsgs:     make(map[uint64]map[int]*ViewChangeMsg),
+		ppBuffer:   make(map[uint64][]PrePrepareMsg),
 	}, nil
 }
 
@@ -400,7 +407,20 @@ func (r *Replica) proposeIfReady(timerFired bool) {
 }
 
 func (r *Replica) onPrePrepare(from int, m PrePrepareMsg) {
-	if m.View != r.view || r.inViewChange || from != r.cfg.Primary(r.view) {
+	if m.View != r.view || r.inViewChange {
+		// A future view's primary may propose before our NEW-VIEW arrives
+		// (its first pre-prepares race the install on jittery links):
+		// buffer and replay at installation instead of dropping. Bounded
+		// to one primary rotation of future views and one entry per
+		// sequence, so neither a Byzantine future-primary nor a
+		// duplicating link can exhaust the buffer.
+		if m.View >= r.view && m.View <= r.view+uint64(r.cfg.N()) &&
+			from == r.cfg.Primary(m.View) {
+			r.bufferPP(m)
+		}
+		return
+	}
+	if from != r.cfg.Primary(r.view) {
 		return
 	}
 	if m.Seq <= r.lastStable || m.Seq > r.lastStable+r.cfg.Win {
@@ -411,6 +431,21 @@ func (r *Replica) onPrePrepare(from int, m PrePrepareMsg) {
 		return
 	}
 	r.acceptPrePrepare(m)
+}
+
+// bufferPP stores a racing pre-prepare for replay at view installation,
+// capped at Win entries per view with one entry per sequence (duplicated
+// deliveries must not evict distinct sequences).
+func (r *Replica) bufferPP(m PrePrepareMsg) {
+	buf := r.ppBuffer[m.View]
+	for _, b := range buf {
+		if b.Seq == m.Seq {
+			return
+		}
+	}
+	if uint64(len(buf)) < r.cfg.Win {
+		r.ppBuffer[m.View] = append(buf, m)
+	}
 }
 
 func (r *Replica) acceptPrePrepare(m PrePrepareMsg) {
@@ -515,21 +550,46 @@ func (r *Replica) commit(s *slot, reqs []core.Request) {
 }
 
 func (r *Replica) executeReady() {
+	advanced := false
+	defer func() {
+		if advanced {
+			r.resetProgressTimer()
+		}
+	}()
 	for {
 		next := r.lastExecuted + 1
 		s, ok := r.slots[next]
 		if !ok || !s.committed || s.executed {
 			return
 		}
-		ops := make([][]byte, len(s.reqs))
-		for i, req := range s.reqs {
+		advanced = true
+		// Exactly-once: skip requests whose client already saw an equal or
+		// newer execution (re-proposed across a view change or retried).
+		exec := s.reqs[:0:0]
+		for _, req := range s.reqs {
+			if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+				continue
+			}
+			dup := false
+			for _, e := range exec {
+				if e.Client == req.Client && e.Timestamp >= req.Timestamp {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				exec = append(exec, req)
+			}
+		}
+		ops := make([][]byte, len(exec))
+		for i, req := range exec {
 			ops[i] = req.Op
 		}
 		results := r.app.ExecuteBlock(next, ops)
 		s.executed = true
 		r.lastExecuted = next
 		r.Metrics.Executions++
-		for i, req := range s.reqs {
+		for i, req := range exec {
 			r.replyCache[req.Client] = replyEntry{timestamp: req.Timestamp, seq: next, l: i, val: results[i]}
 			if ts, ok := r.watch[req.Client]; ok && ts <= req.Timestamp {
 				delete(r.watch, req.Client)
@@ -617,12 +677,11 @@ func (r *Replica) hasOutstandingWork() bool {
 	return false
 }
 
+// armProgressTimer arms the liveness timer if it is not already running.
+// It deliberately does NOT reset a pending timer: a client retrying every
+// RequestTimeout would otherwise postpone the view change forever.
 func (r *Replica) armProgressTimer() {
-	if r.progressTimer != nil {
-		r.progressTimer()
-		r.progressTimer = nil
-	}
-	if r.inViewChange || !r.hasOutstandingWork() {
+	if r.progressTimer != nil || r.inViewChange || !r.hasOutstandingWork() {
 		return
 	}
 	r.progressTimer = r.env.After(r.vcTimeout(), func() {
@@ -631,6 +690,15 @@ func (r *Replica) armProgressTimer() {
 			r.startViewChange(r.view + 1)
 		}
 	})
+}
+
+// resetProgressTimer restarts the liveness timer after real progress.
+func (r *Replica) resetProgressTimer() {
+	if r.progressTimer != nil {
+		r.progressTimer()
+		r.progressTimer = nil
+	}
+	r.armProgressTimer()
 }
 
 func (r *Replica) startViewChange(target uint64) {
@@ -788,6 +856,14 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 		if s.committed {
 			continue
 		}
+		// Requests stuck in an uncommitted slot would be lost if the new
+		// view does not re-propose that slot (the proposer's pending queue
+		// already dropped them and the client-retry path is deduplicated
+		// by `seen`): requeue them so some primary proposes them again.
+		// Exactly-once execution makes a redundant re-proposal harmless.
+		for _, req := range s.reqs {
+			r.requeue(req)
+		}
 		s.sentPrepare = false
 		s.sentCommit = false
 		s.prepared = false
@@ -795,6 +871,7 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 		s.prepares = make(map[int]bool)
 		s.commits = make(map[int]bool)
 	}
+	inFlight := make(map[int]uint64) // client → highest ts re-proposed
 	for _, pp := range m.PrePrepares {
 		if pp.Seq <= r.lastStable {
 			continue
@@ -802,14 +879,64 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 		if pp.Seq > maxSeq {
 			maxSeq = pp.Seq
 		}
+		for _, req := range pp.Reqs {
+			if ts := inFlight[req.Client]; ts < req.Timestamp {
+				inFlight[req.Client] = req.Timestamp
+			}
+		}
 		if s, ok := r.slots[pp.Seq]; ok && s.committed {
 			continue
 		}
 		r.acceptPrePrepare(pp)
 	}
+	// Requests the new view already re-proposed must not also be proposed
+	// from the retained pending queue (they would execute twice).
+	if len(r.pending) > 0 {
+		kept := r.pending[:0]
+		for _, req := range r.pending {
+			if ts, ok := inFlight[req.Client]; ok && ts >= req.Timestamp {
+				continue
+			}
+			if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+				continue
+			}
+			kept = append(kept, req)
+		}
+		r.pending = kept
+	}
 	if r.isPrimary() {
 		r.nextSeq = maxSeq + 1
 		r.proposeIfReady(true)
 	}
-	r.armProgressTimer()
+	// Replay pre-prepares that raced ahead of this view installation.
+	if buf := r.ppBuffer[m.View]; len(buf) > 0 {
+		delete(r.ppBuffer, m.View)
+		for _, pp := range buf {
+			r.onPrePrepare(r.cfg.Primary(m.View), pp)
+		}
+	}
+	for v := range r.ppBuffer {
+		if v <= m.View {
+			delete(r.ppBuffer, v)
+		}
+	}
+	r.resetProgressTimer()
+}
+
+// requeue re-adds a request to the pending queue unless it has already
+// executed or is already queued, bypassing the `seen` dedup (which tracks
+// proposed-but-possibly-lost requests).
+func (r *Replica) requeue(req core.Request) {
+	if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+		return
+	}
+	for _, p := range r.pending {
+		if p.Client == req.Client && p.Timestamp >= req.Timestamp {
+			return
+		}
+	}
+	r.pending = append(r.pending, req)
+	if ts := r.seen[req.Client]; ts < req.Timestamp {
+		r.seen[req.Client] = req.Timestamp
+	}
 }

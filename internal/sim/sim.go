@@ -159,6 +159,31 @@ type Config struct {
 	RecvCost func(msg any, size int) time.Duration
 }
 
+// AnyNode is a wildcard endpoint for link-fault rules: a rule keyed with
+// AnyNode on one side applies to every node on that side.
+const AnyNode NodeID = -1
+
+// LinkFault describes adversarial behavior injected on a directed link
+// (the chaos harness's per-link drop/duplicate/reorder windows).
+type LinkFault struct {
+	// Drop is the probability a message on the link is silently dropped.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice; the
+	// copy takes an independent jittered delay, so duplicates also
+	// arrive reordered relative to the original.
+	Duplicate float64
+	// ReorderJitter adds a uniform random extra delay in [0,ReorderJitter)
+	// per message, scrambling delivery order on the link.
+	ReorderJitter time.Duration
+	// ExtraDelay is a fixed additional delay (link degradation).
+	ExtraDelay time.Duration
+}
+
+// zero reports whether the fault injects nothing.
+func (f LinkFault) zero() bool {
+	return f.Drop == 0 && f.Duplicate == 0 && f.ReorderJitter == 0 && f.ExtraDelay == 0
+}
+
 // Network delivers messages between registered nodes over the modeled WAN.
 type Network struct {
 	sched    *Scheduler
@@ -169,10 +194,12 @@ type Network struct {
 	straggle map[NodeID]time.Duration
 	partOf   map[NodeID]int           // partition group; groups can't talk
 	busy     map[NodeID]time.Duration // CPU-busy horizon per node
+	faults   map[[2]NodeID]LinkFault  // directed link → injected fault
 
 	// Stats.
 	MsgsSent    uint64
 	MsgsDropped uint64
+	MsgsDuped   uint64
 	BytesSent   uint64
 }
 
@@ -198,6 +225,7 @@ func NewNetwork(sched *Scheduler, cfg Config) (*Network, error) {
 		straggle: make(map[NodeID]time.Duration),
 		partOf:   make(map[NodeID]int),
 		busy:     make(map[NodeID]time.Duration),
+		faults:   make(map[[2]NodeID]LinkFault),
 	}, nil
 }
 
@@ -211,6 +239,18 @@ func (n *Network) Register(id NodeID, region int, h Handler) error {
 	}
 	n.handlers[id] = h
 	n.regionOf[id] = region
+	return nil
+}
+
+// Reattach replaces the handler of an already-registered node, keeping its
+// region. It is the restart hook: a replica rebuilt from storage takes over
+// its predecessor's network identity. Messages already in flight to the
+// node deliver to the new handler.
+func (n *Network) Reattach(id NodeID, h Handler) error {
+	if _, ok := n.handlers[id]; !ok {
+		return fmt.Errorf("sim: node %d not registered", id)
+	}
+	n.handlers[id] = h
 	return nil
 }
 
@@ -243,6 +283,42 @@ func (n *Network) SetPartition(id NodeID, group int) {
 	n.partOf[id] = group
 }
 
+// HealPartitions returns every node to partition group 0.
+func (n *Network) HealPartitions() {
+	n.partOf = make(map[NodeID]int)
+}
+
+// SetLinkFault installs a fault rule on the directed link from → to.
+// Either endpoint may be AnyNode as a wildcard. A zero fault clears the
+// rule. The most specific rule wins: (from,to) before (from,Any) before
+// (Any,to).
+func (n *Network) SetLinkFault(from, to NodeID, f LinkFault) {
+	key := [2]NodeID{from, to}
+	if f.zero() {
+		delete(n.faults, key)
+		return
+	}
+	n.faults[key] = f
+}
+
+// ClearLinkFaults removes every link-fault rule.
+func (n *Network) ClearLinkFaults() {
+	n.faults = make(map[[2]NodeID]LinkFault)
+}
+
+// linkFaultFor resolves the active fault rule for a directed link.
+func (n *Network) linkFaultFor(from, to NodeID) (LinkFault, bool) {
+	if len(n.faults) == 0 {
+		return LinkFault{}, false
+	}
+	for _, key := range [...][2]NodeID{{from, to}, {from, AnyNode}, {AnyNode, to}, {AnyNode, AnyNode}} {
+		if f, ok := n.faults[key]; ok {
+			return f, true
+		}
+	}
+	return LinkFault{}, false
+}
+
 // Latency returns the modeled one-way delay for a message of `size` bytes
 // from one node to another, excluding jitter.
 func (n *Network) Latency(from, to NodeID, size int) time.Duration {
@@ -269,6 +345,11 @@ func (n *Network) Send(from, to NodeID, msg any, size int) {
 		n.MsgsDropped++
 		return
 	}
+	fault, faulty := n.linkFaultFor(from, to)
+	if faulty && fault.Drop > 0 && n.sched.rng.Float64() < fault.Drop {
+		n.MsgsDropped++
+		return
+	}
 	n.MsgsSent++
 	n.BytesSent += uint64(size)
 
@@ -284,10 +365,34 @@ func (n *Network) Send(from, to NodeID, msg any, size int) {
 		n.busy[from] = departure
 	}
 
-	d := departure - now + n.Latency(from, to, size)
+	base := departure - now + n.Latency(from, to, size)
+	if faulty {
+		base += fault.ExtraDelay
+	}
+	n.scheduleDelivery(from, to, msg, size, n.perturb(base, fault, faulty))
+	if faulty && fault.Duplicate > 0 && n.sched.rng.Float64() < fault.Duplicate {
+		// The copy takes an independent jittered delay: duplicated AND
+		// possibly reordered relative to the original.
+		n.MsgsDuped++
+		n.scheduleDelivery(from, to, msg, size, n.perturb(base, fault, faulty))
+	}
+}
+
+// perturb adds the configured network jitter plus any link reorder jitter
+// to a base delay.
+func (n *Network) perturb(d time.Duration, fault LinkFault, faulty bool) time.Duration {
 	if n.cfg.Jitter > 0 {
 		d += time.Duration(n.sched.rng.Int63n(int64(n.cfg.Jitter)))
 	}
+	if faulty && fault.ReorderJitter > 0 {
+		d += time.Duration(n.sched.rng.Int63n(int64(fault.ReorderJitter)))
+	}
+	return d
+}
+
+// scheduleDelivery schedules one delivery attempt after delay d, applying
+// receiver crash state and CPU cost at delivery time.
+func (n *Network) scheduleDelivery(from, to NodeID, msg any, size int, d time.Duration) {
 	n.sched.Schedule(d, func() {
 		if n.crashed[to] {
 			return

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sbft/internal/apps"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+	"sbft/internal/storage"
+)
+
+// TestTCPClusterEndToEndConvergence boots the cmd/sbft-node wiring path
+// in-process: four Shell-hosted replicas with durable block stores plus a
+// client, all over real loopback TCP. It commits a batch of KV operations
+// end-to-end and asserts every replica converges to the same execution
+// frontier, state digest, and durable log.
+func TestTCPClusterEndToEndConvergence(t *testing.T) {
+	cfg := core.DefaultConfig(1, 0)
+	cfg.BatchTimeout = 5 * time.Millisecond
+	n := cfg.N()
+	suite, keys, err := core.InsecureSuite(cfg, "tcp-integration")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dataDir := t.TempDir()
+	shells := make([]*Shell, n+1)
+	replicas := make([]*core.Replica, n+1)
+	kvApps := make([]*apps.KVApp, n+1)
+	ledgers := make([]*storage.Ledger, n+1)
+	peers := make(map[int]string)
+	for id := 1; id <= n; id++ {
+		sh, err := NewShell(id, "127.0.0.1:0", peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shells[id] = sh
+		peers[id] = sh.Addr()
+		t.Cleanup(func() { sh.Close() })
+	}
+	clientID := core.ClientBase
+	clientShell, err := NewShell(clientID, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[clientID] = clientShell.Addr()
+	t.Cleanup(func() { clientShell.Close() })
+
+	// The sbft-node main wiring: KV app + storage.Ledger block store.
+	for id := 1; id <= n; id++ {
+		led, err := storage.Open(filepath.Join(dataDir, fmt.Sprintf("r%d", id)), storage.Options{Sync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledgers[id] = led
+		t.Cleanup(func() { led.Close() })
+		app := apps.NewKVApp()
+		kvApps[id] = app
+		rep, err := core.NewReplica(id, cfg, suite, keys[id-1], app, shells[id], led)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = rep
+		shells[id].Start(rep)
+	}
+	client, err := core.NewClient(clientID, cfg, suite, clientShell, apps.VerifyKV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.RequestTimeout = 2 * time.Second
+	clientShell.Start(client)
+
+	// Drive a batch of KV puts, then reads verifying them.
+	const ops = 12
+	opAt := func(i int) []byte {
+		if i < ops/2 {
+			return kvstore.Put(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i)))
+		}
+		return kvstore.Get(fmt.Sprintf("key%d", i-ops/2))
+	}
+	var mu sync.Mutex
+	var results []core.Result
+	done := make(chan struct{})
+	client.SetOnResult(func(res core.Result) {
+		mu.Lock()
+		results = append(results, res)
+		k := len(results)
+		mu.Unlock()
+		if k < ops {
+			if err := client.Submit(opAt(k)); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		} else {
+			close(done)
+		}
+	})
+	clientShell.Do(func() {
+		if err := client.Submit(opAt(0)); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out committing the batch over TCP")
+	}
+
+	mu.Lock()
+	var maxSeq uint64
+	for i, res := range results {
+		if i >= ops/2 && !bytes.Equal(res.Val, []byte(fmt.Sprintf("val%d", i-ops/2))) {
+			t.Errorf("get %d returned %q", i-ops/2, res.Val)
+		}
+		if res.Seq > maxSeq {
+			maxSeq = res.Seq
+		}
+	}
+	mu.Unlock()
+
+	// Wait for every replica to reach the client's last committed block
+	// (replicas execute asynchronously after the client's quorum ack).
+	deadline := time.Now().Add(30 * time.Second)
+	for id := 1; id <= n; id++ {
+		for {
+			var le uint64
+			shells[id].Do(func() { le = replicas[id].LastExecuted() })
+			if le >= maxSeq {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d stuck at %d < %d", id, le, maxSeq)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Convergence: identical frontiers ⇒ identical state digests and
+	// identical durable logs.
+	type state struct {
+		le     uint64
+		digest []byte
+	}
+	states := make([]state, n+1)
+	for id := 1; id <= n; id++ {
+		id := id
+		shells[id].Do(func() {
+			states[id] = state{le: replicas[id].LastExecuted(), digest: kvApps[id].Digest()}
+		})
+	}
+	for id := 2; id <= n; id++ {
+		if states[id].le == states[1].le && !bytes.Equal(states[id].digest, states[1].digest) {
+			t.Fatalf("replica %d digest differs from replica 1 at frontier %d", id, states[id].le)
+		}
+	}
+	// Durable logs must agree block-for-block over the common prefix.
+	minLE := states[1].le
+	for id := 2; id <= n; id++ {
+		if states[id].le < minLE {
+			minLE = states[id].le
+		}
+	}
+	if minLE == 0 {
+		t.Fatal("no common durable prefix")
+	}
+	for seq := uint64(1); seq <= minLE; seq++ {
+		first, err := ledgers[1].Get(seq)
+		if err != nil {
+			t.Fatalf("replica 1 block %d: %v", seq, err)
+		}
+		for id := 2; id <= n; id++ {
+			b, err := ledgers[id].Get(seq)
+			if err != nil {
+				t.Fatalf("replica %d block %d: %v", id, seq, err)
+			}
+			if !bytes.Equal(first, b) {
+				t.Fatalf("durable logs diverge at block %d (replica 1 vs %d)", seq, id)
+			}
+		}
+	}
+}
