@@ -4,11 +4,19 @@
 // execution. A failing seed is a complete reproduction recipe — rerun
 // with -start <seed> -seeds 1 -v to replay it.
 //
+// Two generators are available: "default" (benign crash / restart /
+// partition / straggler / link faults, one replica at a time) and
+// "byzantine" (overlapping benign + Byzantine windows — equivocating
+// primaries, silent-but-alive replicas, conflicting-checkpoint senders,
+// stale-view spammers — within the f/c budget, including an f=2
+// paper-scale configuration every 16th seed). "both" splits the seed
+// range across the two, keeping wall-time flat.
+//
 // Examples:
 //
-//	sbft-chaos                      # 200 seeds, all four protocol variants
-//	sbft-chaos -seeds 1000          # longer sweep
-//	sbft-chaos -start 176 -seeds 1 -v
+//	sbft-chaos                          # 100 benign + 100 Byzantine seeds
+//	sbft-chaos -gen byzantine -seeds 1000
+//	sbft-chaos -gen byzantine -start 176 -seeds 1 -v
 package main
 
 import (
@@ -23,6 +31,7 @@ func main() {
 	var (
 		seeds   = flag.Int("seeds", 200, "number of seeded scenarios to run")
 		start   = flag.Int64("start", 1, "first seed")
+		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, or both (seed range split)")
 		verbose = flag.Bool("v", false, "print every scenario outcome")
 	)
 	flag.Parse()
@@ -32,25 +41,59 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Outcomes stream as the sweep progresses; aggregation (including the
-	// minimal failing seed) lives in harness.RunChaos.
-	cr := harness.RunChaos(harness.SeedRange(*start, *seeds), harness.DefaultGen,
-		func(seed int64, rep *harness.Report, err error) {
-			switch {
-			case err != nil:
-				fmt.Printf("seed %d ERROR: %v\n", seed, err)
-			case rep.Failed():
-				fmt.Println(rep.Summary())
-				for _, f := range rep.Faults {
-					fmt.Printf("  fault: %s\n", f)
-				}
-			case *verbose:
-				fmt.Println(rep.Summary())
-			}
-		})
+	type sweep struct {
+		name  string
+		gen   harness.ScenarioGen
+		seeds []int64
+	}
+	var sweeps []sweep
+	switch *gen {
+	case "default":
+		sweeps = []sweep{{"default", harness.DefaultGen, harness.SeedRange(*start, *seeds)}}
+	case "byzantine":
+		sweeps = []sweep{{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, *seeds)}}
+	case "both":
+		// Split the budget so adding the Byzantine sweep keeps the total
+		// scenario count (and CI wall-time) flat.
+		half := *seeds / 2
+		sweeps = []sweep{
+			{"default", harness.DefaultGen, harness.SeedRange(*start, *seeds-half)},
+			{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, half)},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, or both)\n", *gen)
+		os.Exit(2)
+	}
 
-	fmt.Println(cr.Summary())
-	if !cr.OK() {
+	failed := false
+	for _, sw := range sweeps {
+		if len(sw.seeds) == 0 {
+			continue
+		}
+		// Outcomes stream as the sweep progresses; aggregation (including
+		// the minimal failing seed) lives in harness.RunChaos.
+		cr := harness.RunChaos(sw.seeds, sw.gen,
+			func(seed int64, rep *harness.Report, err error) {
+				switch {
+				case err != nil:
+					fmt.Printf("[%s] seed %d ERROR: %v\n", sw.name, seed, err)
+				case rep.Failed():
+					fmt.Printf("[%s] %s\n", sw.name, rep.Summary())
+					for _, f := range rep.Faults {
+						fmt.Printf("  fault: %s\n", f)
+					}
+				case *verbose:
+					fmt.Printf("[%s] %s\n", sw.name, rep.Summary())
+				}
+			})
+		fmt.Printf("[%s] %s\n", sw.name, cr.Summary())
+		if !cr.OK() {
+			failed = true
+			fmt.Printf("[%s] reproduce: sbft-chaos -gen %s -start %d -seeds 1 -v\n",
+				sw.name, sw.name, cr.MinFailingSeed)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -17,6 +17,10 @@
 //	sbft-node -id 3 -peers peers.txt -f 1 &
 //	sbft-node -id 4 -peers peers.txt -f 1 &
 //	sbft-client -peers peers.txt -f 1 -n 100
+//
+// The peers file lists replicas only. Clients are not in it: a client
+// announces its own listen address in the transport handshake and
+// replicas learn the dial-back route from that (see transport.Shell).
 package main
 
 import (

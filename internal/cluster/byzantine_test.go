@@ -131,6 +131,133 @@ func TestBackToBackFaultyPrimaries(t *testing.T) {
 	digestsAgree(t, cl)
 }
 
+// ---------------------------------------------------------------------------
+// Scheduled (corrupter-based) Byzantine faults: the engine object stays
+// honest, the node's outbound wire traffic lies.
+
+func TestScheduledEquivocatingPrimaryWindow(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 24,
+		Tune: func(c *core.Config) {
+			c.ViewChangeTimeout = 500 * time.Millisecond
+			c.FastPathTimeout = 100 * time.Millisecond
+		},
+		ClientTimeout: time.Second,
+	})
+	cl.Apply(Schedule{
+		{At: 0, Kind: FaultByzEquivocate, Node: 1},
+		{At: 4 * time.Second, Kind: FaultByzRestore, Node: 1},
+	})
+	res := cl.RunClosedLoop(10, kvGen, 5*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under scheduled equivocating primary", res.Completed)
+	}
+	if !cl.IsByzantine(1) {
+		t.Error("equivocating replica not marked Byzantine")
+	}
+	if cl.Net.MsgsCorrupted == 0 {
+		t.Error("corrupter never intercepted a send")
+	}
+	m := cl.Metrics()
+	if m.ViewChanges == 0 {
+		t.Error("no view change despite equivocating primary")
+	}
+	// The corrupter never touched the engine's state, so even the marked
+	// replica must agree with the honest ones at equal frontiers.
+	digestsAgree(t, cl)
+}
+
+func TestScheduledSilentReplicaWindow(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 25,
+		Tune: func(c *core.Config) {
+			c.ViewChangeTimeout = 500 * time.Millisecond
+			c.FastPathTimeout = 100 * time.Millisecond
+		},
+		ClientTimeout: time.Second,
+	})
+	cl.Apply(Schedule{
+		{At: 0, Kind: FaultByzSilent, Node: 3},
+		{At: 3 * time.Second, Kind: FaultByzRestore, Node: 3},
+	})
+	res := cl.RunClosedLoop(10, kvGen, 5*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 with a silent-but-alive replica", res.Completed)
+	}
+	digestsAgree(t, cl)
+}
+
+func TestScheduledConflictingCheckpointsTolerated(t *testing.T) {
+	// Small checkpoint interval so the window actually crosses checkpoint
+	// sequences; the Byzantine digests are correctly signed, so only the
+	// per-digest f+1 quorum keeps them inert.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 26,
+		Tune: func(c *core.Config) {
+			c.Win = 16
+			c.Batch = 1
+			c.CheckpointInterval = 4
+			c.ViewChangeTimeout = time.Second
+		},
+		ClientTimeout: time.Second,
+	})
+	cl.Apply(Schedule{{At: 0, Kind: FaultByzConflictCkpt, Node: 2}})
+	res := cl.RunClosedLoop(20, kvGen, 5*time.Minute)
+	if res.Completed != 40 {
+		t.Fatalf("completed %d of 40 under conflicting checkpoint digests", res.Completed)
+	}
+	cl.Run(30 * time.Second)
+	// Honest replicas must still stabilize checkpoints.
+	for id := 1; id <= cl.N; id++ {
+		if id == 2 {
+			continue
+		}
+		if ls := cl.Replicas[id].LastStable(); ls == 0 {
+			t.Errorf("replica %d never stabilized a checkpoint", id)
+		}
+	}
+	digestsAgree(t, cl)
+}
+
+func TestScheduledStaleViewSpamTolerated(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 27,
+		Tune: func(c *core.Config) {
+			c.ViewChangeTimeout = time.Second
+		},
+		ClientTimeout: time.Second,
+	})
+	cl.Apply(Schedule{{At: 0, Kind: FaultByzStaleView, Node: 4}})
+	res := cl.RunClosedLoop(10, kvGen, 5*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under stale view-change spam", res.Completed)
+	}
+	digestsAgree(t, cl)
+}
+
+func TestScheduledByzantinePBFTVariants(t *testing.T) {
+	// The corrupters must speak the baseline's wire types too.
+	cl := newKV(t, Options{
+		Protocol: ProtoPBFT, F: 1,
+		Clients: 2, Seed: 28,
+		ClientTimeout: time.Second,
+	})
+	cl.Apply(Schedule{
+		{At: 0, Kind: FaultByzEquivocate, Node: 1},
+		{At: 4 * time.Second, Kind: FaultByzRestore, Node: 1},
+		{At: 5 * time.Second, Kind: FaultByzStaleView, Node: 3},
+	})
+	res := cl.RunClosedLoop(10, kvGen, 5*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under PBFT Byzantine schedule", res.Completed)
+	}
+	digestsAgree(t, cl)
+}
+
 func TestViewChangeUnderLoadPreservesCommits(t *testing.T) {
 	// Crash the primary mid-stream with a large in-flight window; blocks
 	// committed before the crash must survive into the new view with the

@@ -145,6 +145,12 @@ type Cluster struct {
 	ownsDataDir bool
 	keys        []core.ReplicaKeys
 	envs        []*env
+	// byzantine marks replicas whose behavior has been adversarial at any
+	// point (replaced nodes via Options.Byzantine, or corrupter-equipped
+	// nodes via the Byzantine fault kinds). The mark is sticky: the safety
+	// audit must not hold Byzantine replicas to honest-replica invariants
+	// even after a FaultByzRestore.
+	byzantine map[int]bool
 }
 
 // env adapts one node id to core.Env over the simulator. A replica
@@ -191,8 +197,11 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Clients < 0 {
 		return nil, fmt.Errorf("cluster: negative client count")
 	}
-	cl := &Cluster{Opts: opts}
+	cl := &Cluster{Opts: opts, byzantine: make(map[int]bool)}
 	cl.Sched = sim.NewScheduler(opts.Seed)
+	for id := range opts.Byzantine {
+		cl.byzantine[id] = true
+	}
 
 	netCfg := sim.ContinentProfile(opts.Seed)
 	if opts.NetCfg != nil {
@@ -325,14 +334,24 @@ func New(opts Options) (*Cluster, error) {
 		cl.Suite = suite
 		cl.PBFTReplicas = make([]*pbft.Replica, cl.N+1)
 		cl.Apps = make([]core.Application, cl.N+1)
+		cl.envs = make([]*env, cl.N+1)
 		for id := 1; id <= cl.N; id++ {
 			app, err := cl.newApp(id)
 			if err != nil {
 				return nil, err
 			}
 			cl.Apps[id] = app
+			var store core.BlockStore
+			if opts.Persist {
+				led, err := cl.openStore(id)
+				if err != nil {
+					return nil, err
+				}
+				store = led
+			}
 			e := &env{id: id, net: cl.Net, sched: cl.Sched}
-			rep, err := pbft.NewReplica(id, cl.PBFTCfg, app, e)
+			cl.envs[id] = e
+			rep, err := pbft.NewReplica(id, cl.PBFTCfg, app, e, store)
 			if err != nil {
 				return nil, err
 			}
@@ -424,6 +443,15 @@ func (cl *Cluster) Close() error {
 	}
 	return first
 }
+
+// MarkByzantine records a replica as adversarial for the safety audit.
+func (cl *Cluster) MarkByzantine(id int) { cl.byzantine[id] = true }
+
+// IsByzantine reports whether a replica has ever behaved adversarially.
+func (cl *Cluster) IsByzantine(id int) bool { return cl.byzantine[id] }
+
+// ByzantineCount reports how many replicas carry the Byzantine mark.
+func (cl *Cluster) ByzantineCount() int { return len(cl.byzantine) }
 
 // CrashReplicas crashes k replicas, skipping the view-0 primary (the
 // paper's failure experiments measure throughput under crashed backups).

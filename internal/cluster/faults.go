@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sbft/internal/core"
+	"sbft/internal/pbft"
 	"sbft/internal/sim"
 )
 
@@ -41,6 +42,35 @@ const (
 	FaultLink
 	// FaultLinkClear removes every link rule.
 	FaultLinkClear
+
+	// Byzantine fault kinds: each installs a wire-aware sim.Corrupter on
+	// replica Node's outbound boundary (the process is compromised, not
+	// the engine object — its internal state stays honest, its messages
+	// lie) and marks the replica Byzantine for the safety audit.
+
+	// FaultByzEquivocate makes Node an equivocating primary: pre-prepares
+	// are rewritten per recipient so different halves of the cluster see
+	// conflicting blocks for the same sequence number (footnote-3 of the
+	// paper: "primaries sending partial, equivocating and/or stale
+	// information"). Non-primary traffic passes through.
+	FaultByzEquivocate
+	// FaultByzStaleView makes Node a stale-view spammer: alongside its
+	// honest traffic it injects view-change messages for stale and
+	// near-future views carrying junk certificate evidence.
+	FaultByzStaleView
+	// FaultByzConflictCkpt makes Node send per-recipient conflicting
+	// checkpoint and execution-state digests, correctly signed with its
+	// own key shares (signed garbage is within a Byzantine replica's
+	// power; only the quorum intersection protects honest replicas).
+	FaultByzConflictCkpt
+	// FaultByzSilent suppresses all of Node's outbound messages while it
+	// keeps receiving: a crash-like replica that still looks alive at the
+	// transport level.
+	FaultByzSilent
+	// FaultByzRestore removes Node's corrupter. The engine was never
+	// corrupted internally, so the replica resumes honest participation;
+	// the audit keeps treating it as Byzantine (sticky mark).
+	FaultByzRestore
 )
 
 // String names the fault kind.
@@ -62,9 +92,28 @@ func (k FaultKind) String() string {
 		return "link"
 	case FaultLinkClear:
 		return "link-clear"
+	case FaultByzEquivocate:
+		return "byz-equivocate"
+	case FaultByzStaleView:
+		return "byz-stale-view"
+	case FaultByzConflictCkpt:
+		return "byz-conflict-ckpt"
+	case FaultByzSilent:
+		return "byz-silent"
+	case FaultByzRestore:
+		return "byz-restore"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
+}
+
+// Byzantine reports whether the kind installs or removes a corrupter.
+func (k FaultKind) Byzantine() bool {
+	switch k {
+	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt, FaultByzSilent, FaultByzRestore:
+		return true
+	}
+	return false
 }
 
 // Fault is one timestamped step of a fault schedule.
@@ -147,6 +196,10 @@ func (cl *Cluster) applyFault(f Fault) {
 		cl.Net.SetLinkFault(linkEnd(f.From), linkEnd(f.To), f.Link)
 	case FaultLinkClear:
 		cl.Net.ClearLinkFaults()
+	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt, FaultByzSilent, FaultByzRestore:
+		if err := cl.InstallByzantine(f.Node, f.Kind); err != nil {
+			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("%s r%d at %v: %w", f.Kind, f.Node, f.At, err))
+		}
 	default:
 		cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("unknown fault kind %d at %v", f.Kind, f.At))
 	}
@@ -156,12 +209,9 @@ func (cl *Cluster) applyFault(f Fault) {
 // process-crash-and-restart path: the old in-memory replica is discarded,
 // a fresh application replays the persisted block log, and the rebuilt
 // replica takes over the node's network identity and rejoins (catching up
-// via gap repair or state transfer). Requires Options.Persist and an SBFT
-// protocol variant.
+// via gap repair or state transfer). Requires Options.Persist; covers
+// both the SBFT variants and the PBFT baseline.
 func (cl *Cluster) RestartReplica(id int) error {
-	if cl.Opts.Protocol == ProtoPBFT {
-		return fmt.Errorf("cluster: restart-from-storage unsupported for PBFT")
-	}
 	if !cl.Opts.Persist {
 		return fmt.Errorf("cluster: restart requires Options.Persist")
 	}
@@ -191,14 +241,25 @@ func (cl *Cluster) RestartReplica(id int) error {
 		return err
 	}
 	e := &env{id: id, net: cl.Net, sched: cl.Sched}
-	rep, err := core.NewRecoveredReplica(id, cl.Cfg, cl.Suite, cl.keys[id-1], app, e, led)
-	if err != nil {
-		return fmt.Errorf("cluster: recovering replica %d: %w", id, err)
+	var node Node
+	if cl.Opts.Protocol == ProtoPBFT {
+		rep, err := pbft.NewRecoveredReplica(id, cl.PBFTCfg, app, e, led)
+		if err != nil {
+			return fmt.Errorf("cluster: recovering replica %d: %w", id, err)
+		}
+		cl.PBFTReplicas[id] = rep
+		node = rep
+	} else {
+		rep, err := core.NewRecoveredReplica(id, cl.Cfg, cl.Suite, cl.keys[id-1], app, e, led)
+		if err != nil {
+			return fmt.Errorf("cluster: recovering replica %d: %w", id, err)
+		}
+		cl.Replicas[id] = rep
+		node = rep
 	}
 	cl.envs[id] = e
-	cl.Replicas[id] = rep
 	cl.Apps[id] = app
-	if err := cl.Net.Reattach(sim.NodeID(id), handler{rep}); err != nil {
+	if err := cl.Net.Reattach(sim.NodeID(id), handler{node}); err != nil {
 		return err
 	}
 	cl.Net.Recover(sim.NodeID(id))

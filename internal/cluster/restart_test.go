@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sbft/internal/core"
+	"sbft/internal/pbft"
 )
 
 func TestRestartReplicaFromStorage(t *testing.T) {
@@ -98,4 +99,93 @@ func TestRestartRequiresPersistence(t *testing.T) {
 	if err := cl.RestartReplica(2); err == nil {
 		t.Fatal("restart without Persist accepted")
 	}
+}
+
+func TestPBFTRestartReplicaFromStorage(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoPBFT, F: 1,
+		Clients: 2, Seed: 43, Persist: true,
+		TunePBFT: func(c *pbft.Config) {
+			c.Batch = 1
+		},
+		ClientTimeout: time.Second,
+	})
+	defer cl.Close()
+
+	res := cl.RunClosedLoop(10, kvGen, 2*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20", res.Completed)
+	}
+	preFrontier := cl.PBFTReplicas[4].LastExecuted()
+	preDigest := cl.Apps[4].Digest()
+	if preFrontier == 0 {
+		t.Fatal("replica 4 executed nothing before the restart")
+	}
+
+	// Crash replica 4, let the cluster move on without it, then rebuild it
+	// from its durable log.
+	cl.Net.Crash(4)
+	mid := cl.RunClosedLoop(5, kvGen, 2*time.Minute)
+	if mid.Completed != 10 {
+		t.Fatalf("completed %d of 10 while replica 4 was down", mid.Completed)
+	}
+	oldRep := cl.PBFTReplicas[4]
+	if err := cl.RestartReplica(4); err != nil {
+		t.Fatalf("RestartReplica: %v", err)
+	}
+	if cl.PBFTReplicas[4] == oldRep {
+		t.Fatal("restart did not build a fresh replica")
+	}
+	// The replay must land exactly on the pre-crash durable state.
+	if got := cl.PBFTReplicas[4].LastExecuted(); got != preFrontier {
+		t.Fatalf("recovered frontier %d, want %d", got, preFrontier)
+	}
+	if !bytes.Equal(cl.Apps[4].Digest(), preDigest) {
+		t.Fatal("recovered app digest differs from pre-crash digest")
+	}
+
+	// The restarted replica catches up on the blocks it missed (f+1
+	// matching retransmissions) and keeps participating.
+	more := cl.RunClosedLoop(10, kvGen, 2*time.Minute)
+	if more.Completed != 20 {
+		t.Fatalf("completed %d of 20 after restart", more.Completed)
+	}
+	cl.Run(30 * time.Second)
+	if got, want := cl.PBFTReplicas[4].LastExecuted(), cl.PBFTReplicas[1].LastExecuted(); got < want {
+		t.Fatalf("restarted replica stuck at %d, cluster at %d", got, want)
+	}
+	if len(cl.FaultErrors) != 0 {
+		t.Fatalf("fault errors: %v", cl.FaultErrors)
+	}
+	digestsAgree(t, cl)
+}
+
+func TestPBFTScheduledRestart(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoPBFT, F: 1,
+		Clients: 2, Seed: 44, Persist: true,
+		TunePBFT: func(c *pbft.Config) {
+			c.Batch = 1
+			c.ViewChangeTimeout = time.Second
+		},
+		ClientTimeout: time.Second,
+	})
+	defer cl.Close()
+
+	cl.Apply(Schedule{
+		{At: 200 * time.Millisecond, Kind: FaultCrash, Node: 3},
+		{At: 900 * time.Millisecond, Kind: FaultRestart, Node: 3},
+	})
+	res := cl.RunClosedLoop(15, kvGen, 5*time.Minute)
+	if res.Completed != 30 {
+		t.Fatalf("completed %d of 30 across the crash/restart window", res.Completed)
+	}
+	cl.Run(30 * time.Second)
+	if len(cl.FaultErrors) != 0 {
+		t.Fatalf("fault errors: %v", cl.FaultErrors)
+	}
+	if cl.PBFTReplicas[3].LastExecuted() == 0 {
+		t.Fatal("restarted replica never executed")
+	}
+	digestsAgree(t, cl)
 }

@@ -368,6 +368,14 @@ func tauTauDigest(inner threshsig.Signature) []byte {
 	return h[:]
 }
 
+// StateSigDigest exposes the domain-separated π signing digest for a
+// state at a sequence number. Adversarial harnesses use it to craft
+// correctly-signed conflicting checkpoint shares (a Byzantine replica
+// owns its key shares, so "signed garbage" is within its power).
+func StateSigDigest(seq uint64, digest []byte) []byte {
+	return stateSigDigest(seq, digest)
+}
+
 // stateSigDigest domain-separates π signatures over state digests at a
 // sequence number.
 func stateSigDigest(seq uint64, digest []byte) []byte {

@@ -24,8 +24,9 @@ type BlockRecord struct {
 	Results [][]byte
 }
 
-// encodeBlockPayload serializes a block record for the BlockStore.
-func encodeBlockPayload(reqs []Request, results [][]byte) []byte {
+// EncodeBlockPayload serializes a block record for the BlockStore (shared
+// by the SBFT and PBFT engines so both logs recover the same way).
+func EncodeBlockPayload(reqs []Request, results [][]byte) []byte {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(BlockRecord{Reqs: reqs, Results: results}); err != nil {
 		// Requests and results are plain slices and ints; encoding cannot

@@ -85,7 +85,7 @@ func TestBlockPayloadRoundTrip(t *testing.T) {
 		{Client: ClientBase + 1, Timestamp: 9, Op: []byte("get k"), Direct: true},
 	}
 	results := [][]byte{[]byte("ok"), []byte("v")}
-	rec, err := DecodeBlockPayload(encodeBlockPayload(reqs, results))
+	rec, err := DecodeBlockPayload(EncodeBlockPayload(reqs, results))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestRecoveredReplicaDetectsDivergentReplay(t *testing.T) {
 	}
 	store := newMemStore()
 	// Store a record whose results cannot come from countingApp.
-	payload := encodeBlockPayload(
+	payload := EncodeBlockPayload(
 		[]Request{{Client: ClientBase, Timestamp: 1, Op: []byte("x")}},
 		[][]byte{[]byte("not-what-replay-produces")},
 	)

@@ -74,8 +74,13 @@ type slot struct {
 	fastTimer     func() // cancel
 	staggerTimer  func() // cancel
 
-	// E-collector state.
-	piShares     map[int]threshsig.Share
+	// E-collector state. π shares are grouped by the digest they sign: a
+	// Byzantine replica may send correctly-signed shares over a garbage
+	// digest, and first-write-wins bookkeeping would let one such share
+	// block the honest f+1 quorum. Per-digest groups make the garbage
+	// digest inert (it can never gather f+1 signers, at least one of
+	// which would have to be honest).
+	piShares     map[string]map[int]threshsig.Share
 	execDigest   []byte
 	execPi       threshsig.Signature
 	sentExecCert bool
@@ -186,9 +191,11 @@ type Replica struct {
 	// yet executed; non-empty watch arms the liveness timer (§VII).
 	watch map[int]watchEntry
 
-	// Checkpoint shares collected (as E-collector for checkpoint seqs).
-	ckptShares map[uint64]map[int]threshsig.Share
-	ckptDigest map[uint64][]byte
+	// Checkpoint shares collected at checkpoint sequences, grouped by the
+	// digest they sign (see the piShares comment: per-digest groups keep
+	// a Byzantine replica's signed-garbage digest from blocking the
+	// honest quorum).
+	ckptShares map[uint64]map[string]map[int]threshsig.Share
 
 	// ppBuffer holds pre-prepares that arrived from a future view's
 	// primary before this replica installed that view (the new primary's
@@ -240,8 +247,7 @@ func NewReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app App
 		replyCache:  make(map[int]replyCacheEntry),
 		directReq:   make(map[uint64]map[int]bool),
 		watch:       make(map[int]watchEntry),
-		ckptShares:  make(map[uint64]map[int]threshsig.Share),
-		ckptDigest:  make(map[uint64][]byte),
+		ckptShares:  make(map[uint64]map[string]map[int]threshsig.Share),
 		vcMsgs:      make(map[uint64]map[int]*ViewChangeMsg),
 		vcSent:      make(map[uint64]bool),
 		ppBuffer:    make(map[uint64][]PrePrepareMsg),
@@ -1139,7 +1145,7 @@ func (r *Replica) executeReady() {
 			r.Metrics.NullBlocks++
 		}
 		if r.store != nil {
-			if err := r.store.Append(next, encodeBlockPayload(s.execReqs, results)); err != nil {
+			if err := r.store.Append(next, EncodeBlockPayload(s.execReqs, results)); err != nil {
 				r.tracef("block store append failed: %v", err)
 			}
 		}
@@ -1229,31 +1235,41 @@ func (r *Replica) onSignState(_ int, m SignStateMsg) {
 	if s.sentExecCert {
 		return
 	}
+	// Group shares by signed digest: only a digest f+1 distinct replicas
+	// vouch for (at least one honest) can be certified, so a Byzantine
+	// replica's signed-garbage digest can never block or hijack the cert.
+	// One share slot per replica per sequence ACROSS groups — checked
+	// before the expensive share verification — bounds the table at n
+	// entries and keeps duplicate deliveries cheap; a Byzantine
+	// double-voter merely wastes its slot on its first digest.
 	if s.piShares == nil {
-		s.piShares = make(map[int]threshsig.Share)
+		s.piShares = make(map[string]map[int]threshsig.Share)
 	}
-	if _, dup := s.piShares[m.Replica]; dup {
-		return
+	for _, g := range s.piShares {
+		if _, dup := g[m.Replica]; dup {
+			return
+		}
 	}
 	if r.suite.Pi.VerifyShare(stateSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
 		return
 	}
-	if s.execDigest == nil {
-		s.execDigest = m.Digest
-	} else if !bytes.Equal(s.execDigest, m.Digest) {
-		// Conflicting digests cannot both gather f+1 shares; keep first.
-		return
+	group := s.piShares[string(m.Digest)]
+	if group == nil {
+		group = make(map[int]threshsig.Share)
+		s.piShares[string(m.Digest)] = group
 	}
-	s.piShares[m.Replica] = m.PiSig
-	if len(s.piShares) < r.cfg.QuorumExec() {
+	group[m.Replica] = m.PiSig
+	if len(group) < r.cfg.QuorumExec() {
 		return
 	}
 	s.sentExecCert = true
+	s.execDigest = m.Digest
+	quorum := sharesList(group)
 	fire := func() {
 		if s.execCertSeen {
 			return // another E-collector already certified this sequence
 		}
-		pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, s.execDigest), sharesList(s.piShares))
+		pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, s.execDigest), quorum)
 		if err != nil {
 			return
 		}
@@ -1363,24 +1379,32 @@ func (r *Replica) onCheckpointShare(_ int, m CheckpointShareMsg) {
 	if m.Seq <= r.lastStable {
 		return
 	}
+	byDigest := r.ckptShares[m.Seq]
+	if byDigest == nil {
+		byDigest = make(map[string]map[int]threshsig.Share)
+		r.ckptShares[m.Seq] = byDigest
+	}
+	// One share slot per replica per sequence across digest groups (see
+	// onSignState): bounds the table at n entries and rejects duplicate
+	// deliveries before the expensive share verification.
+	for _, g := range byDigest {
+		if _, dup := g[m.Replica]; dup {
+			return
+		}
+	}
 	if r.suite.Pi.VerifyShare(stateSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
 		return
 	}
-	if d, ok := r.ckptDigest[m.Seq]; ok && !bytes.Equal(d, m.Digest) {
+	group := byDigest[string(m.Digest)]
+	if group == nil {
+		group = make(map[int]threshsig.Share)
+		byDigest[string(m.Digest)] = group
+	}
+	group[m.Replica] = m.PiSig
+	if len(group) < r.cfg.QuorumExec() {
 		return
 	}
-	r.ckptDigest[m.Seq] = m.Digest
-	if r.ckptShares[m.Seq] == nil {
-		r.ckptShares[m.Seq] = make(map[int]threshsig.Share)
-	}
-	if _, dup := r.ckptShares[m.Seq][m.Replica]; dup {
-		return
-	}
-	r.ckptShares[m.Seq][m.Replica] = m.PiSig
-	if len(r.ckptShares[m.Seq]) < r.cfg.QuorumExec() {
-		return
-	}
-	pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, m.Digest), sharesList(r.ckptShares[m.Seq]))
+	pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, m.Digest), sharesList(group))
 	if err != nil {
 		return
 	}
@@ -1452,7 +1476,6 @@ func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature
 	for s := range r.ckptShares {
 		if s <= seq {
 			delete(r.ckptShares, s)
-			delete(r.ckptDigest, s)
 		}
 	}
 	for s := range r.directReq {

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// Table-driven tests for the §V-G safe-value computation under
+// CONFLICTING (equivocated) and forged certificate evidence: a Byzantine
+// replica's view-change message may carry certificates whose signatures
+// cover a different block than the requests it claims, stolen σ shares,
+// or plain garbage. The computation must reject every mismatched-digest
+// component individually while still honoring the valid evidence next to
+// it — otherwise an equivocating primary's leftovers could resurrect a
+// conflicting block across a view change.
+func TestSafeValueRejectsEquivocatedEvidence(t *testing.T) {
+	f := newVCFixture(t)
+	reqsA, reqsB := f.reqs("A"), f.reqs("B")
+
+	cases := []struct {
+		name string
+		vcs  func(t *testing.T) []ViewChangeMsg
+		// wantDecided / wantOp describe the expected slot-1 decision;
+		// wantOp "" means a null block.
+		wantDecided bool
+		wantOp      string
+	}{
+		{
+			// τ(τ(h)) chain valid for block A, but the slot claims the
+			// certificate decided block B.
+			name: "slow cert over different block than claimed",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				inner := f.prepareCert(t, 1, 0, reqsA)
+				outer := f.slowCert(t, inner)
+				return []ViewChangeMsg{vcMsg(1, SlotInfo{
+					Seq: 1, HasCommitProofSlow: true,
+					Tau: inner, TauTau: outer, SlowView: 0, SlowReqs: reqsB,
+				}), vcMsg(2), vcMsg(3)}
+			},
+			wantDecided: false, wantOp: "",
+		},
+		{
+			// Valid inner prepare certificate, garbage outer certificate.
+			name: "slow cert with forged outer tau-tau",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				inner := f.prepareCert(t, 1, 0, reqsA)
+				return []ViewChangeMsg{vcMsg(1, SlotInfo{
+					Seq: 1, HasCommitProofSlow: true,
+					Tau: inner, TauTau: threshsig.Signature{Data: []byte("forged")},
+					SlowView: 0, SlowReqs: reqsA,
+				}), vcMsg(2), vcMsg(3)}
+			},
+			wantDecided: false, wantOp: "",
+		},
+		{
+			// σ(h) valid for A, slot claims it decided B.
+			name: "fast cert over different block than claimed",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				sig := f.fastCert(t, 1, 0, reqsA)
+				return []ViewChangeMsg{vcMsg(1, SlotInfo{
+					Seq: 1, HasCommitProof: true, Sigma: sig, FastView: 0, FastReqs: reqsB,
+				}), vcMsg(2), vcMsg(3)}
+			},
+			wantDecided: false, wantOp: "",
+		},
+		{
+			// An equivocated prepare: certificate signs block A, slot
+			// claims it prepared block B. Must not adopt B (or A — the
+			// claim is what is adopted, and it is unproven).
+			name: "prepare cert over different block than claimed",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				tau := f.prepareCert(t, 1, 0, reqsA)
+				return []ViewChangeMsg{vcMsg(1, SlotInfo{
+					Seq: 1, HasPrepare: true, PrepareTau: tau, PrepareView: 0, PrepareReqs: reqsB,
+				}), vcMsg(2), vcMsg(3)}
+			},
+			wantDecided: false, wantOp: "",
+		},
+		{
+			// A forged high-view prepare must not outrank a genuine
+			// low-view one.
+			name: "forged higher-view prepare loses to valid prepare",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				tau := f.prepareCert(t, 1, 0, reqsA)
+				return []ViewChangeMsg{
+					vcMsg(1, SlotInfo{
+						Seq: 1, HasPrepare: true, PrepareTau: tau, PrepareView: 0, PrepareReqs: reqsA,
+					}),
+					vcMsg(2, SlotInfo{
+						Seq: 1, HasPrepare: true,
+						PrepareTau:  threshsig.Signature{Data: []byte("forged")},
+						PrepareView: 7, PrepareReqs: reqsB,
+					}),
+					vcMsg(3),
+				}
+			},
+			wantDecided: false, wantOp: "A",
+		},
+		{
+			// A stolen σ share: replica 2's message carries replica 1's
+			// share. Signer/sender mismatch must void it, so the fast
+			// value never reaches f+c+1 = 2 distinct backers.
+			name: "stolen sigma share does not count toward fast value",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				return []ViewChangeMsg{
+					vcMsg(1, SlotInfo{Seq: 1, HasPrePrepare: true,
+						SigmaShare: f.sigmaShare(t, 1, 1, 0, reqsA), PrePrepareView: 0, PrePrepareReqs: reqsA}),
+					vcMsg(2, SlotInfo{Seq: 1, HasPrePrepare: true,
+						SigmaShare: f.sigmaShare(t, 1, 1, 0, reqsA), PrePrepareView: 0, PrePrepareReqs: reqsA}),
+					vcMsg(3),
+				}
+			},
+			wantDecided: false, wantOp: "",
+		},
+		{
+			// σ share signed over block A attached to a claim of block B.
+			name: "sigma share over different block than claimed",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				return []ViewChangeMsg{
+					vcMsg(1, SlotInfo{Seq: 1, HasPrePrepare: true,
+						SigmaShare: f.sigmaShare(t, 1, 1, 0, reqsA), PrePrepareView: 0, PrePrepareReqs: reqsB}),
+					vcMsg(2, SlotInfo{Seq: 1, HasPrePrepare: true,
+						SigmaShare: f.sigmaShare(t, 2, 1, 0, reqsB), PrePrepareView: 0, PrePrepareReqs: reqsB}),
+					vcMsg(3),
+				}
+			},
+			wantDecided: false, wantOp: "",
+		},
+		{
+			// The honest majority's evidence must survive a Byzantine
+			// slot full of garbage in the same message set.
+			name: "garbage evidence next to a valid slow cert",
+			vcs: func(t *testing.T) []ViewChangeMsg {
+				inner := f.prepareCert(t, 1, 0, reqsA)
+				outer := f.slowCert(t, inner)
+				return []ViewChangeMsg{
+					vcMsg(1, SlotInfo{
+						Seq: 1, HasCommitProofSlow: true,
+						Tau: inner, TauTau: outer, SlowView: 0, SlowReqs: reqsA,
+					}),
+					vcMsg(2, SlotInfo{
+						Seq:                1,
+						HasCommitProofSlow: true,
+						Tau:                threshsig.Signature{Data: []byte("junk")},
+						TauTau:             threshsig.Signature{Data: []byte("junk")},
+						SlowView:           9, SlowReqs: reqsB,
+						HasPrepare:  true,
+						PrepareTau:  threshsig.Signature{Data: []byte("junk")},
+						PrepareView: 9, PrepareReqs: reqsB,
+					}),
+					vcMsg(3),
+				}
+			},
+			wantDecided: true, wantOp: "A",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := decide(f, tc.vcs(t)...)
+			if len(d) != 1 {
+				t.Fatalf("got %d decisions, want 1", len(d))
+			}
+			if d[0].decided != tc.wantDecided {
+				t.Fatalf("decided = %v, want %v (%+v)", d[0].decided, tc.wantDecided, d[0])
+			}
+			if tc.wantOp == "" {
+				if len(d[0].reqs) != 0 {
+					t.Fatalf("adopted %q, want null block", d[0].reqs[0].Op)
+				}
+				return
+			}
+			if len(d[0].reqs) == 0 || string(d[0].reqs[0].Op) != tc.wantOp {
+				t.Fatalf("adopted %+v, want op %q", d[0].reqs, tc.wantOp)
+			}
+		})
+	}
+}
+
+// TestValidateViewChangeRejectsForgedStableProof pins the other evidence
+// gate: a view-change message claiming a stable checkpoint must prove it
+// with a valid π certificate.
+func TestValidateViewChangeRejectsForgedStableProof(t *testing.T) {
+	f := newVCFixture(t)
+	r, err := NewReplica(1, f.cfg, f.suite, f.keys[0], &countingApp{}, &fakeEnv{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &ViewChangeMsg{
+		NewView: 1, Replica: 2, LastStable: 8,
+		StableDigest: []byte("fake state"),
+		StablePi:     threshsig.Signature{Data: []byte("forged")},
+	}
+	if r.validateViewChange(forged) {
+		t.Fatal("forged stable-checkpoint proof accepted")
+	}
+	genesis := &ViewChangeMsg{NewView: 1, Replica: 2, LastStable: 0}
+	if !r.validateViewChange(genesis) {
+		t.Fatal("genesis view-change (no stable proof needed) rejected")
+	}
+}

@@ -22,11 +22,15 @@ type Ack struct {
 // Audit is the outcome of the cross-replica safety audit. Divergences are
 // safety violations: honest replicas disagreeing on what was committed or
 // executed, or a client holding an ack for work no replica performed.
+// Byzantine replicas are expected to diverge arbitrarily and are excluded
+// from every honest-replica invariant.
 type Audit struct {
 	Divergences []string
 	// ReplicasAudited and SeqsAudited size the evidence base.
 	ReplicasAudited int
 	SeqsAudited     int
+	// ByzantineExcluded counts replicas exempted from honest invariants.
+	ByzantineExcluded int
 }
 
 // OK reports whether the audit found no divergence.
@@ -51,8 +55,9 @@ func (a *Audit) addf(format string, args ...any) {
 //  5. Scheduled fault steps all applied (cl.FaultErrors empty).
 //
 // Crashed replicas are still audited — a crashed node's retained state
-// must not contradict the survivors' — but Byzantine slots (nil entries)
-// are skipped.
+// must not contradict the survivors' — but Byzantine replicas (replaced
+// nodes and corrupter-equipped ones, per cl.IsByzantine) are expected to
+// diverge and are skipped.
 func AuditCluster(cl *cluster.Cluster, recorders map[int]*Recorder, acks []Ack) *Audit {
 	a := &Audit{}
 
@@ -60,9 +65,13 @@ func AuditCluster(cl *cluster.Cluster, recorders map[int]*Recorder, acks []Ack) 
 		a.addf("fault step failed: %v", err)
 	}
 
-	// Execution frontiers per live (honest) replica.
+	// Execution frontiers per live honest replica.
 	frontier := make(map[int]uint64)
 	for id := 1; id <= cl.N; id++ {
+		if cl.IsByzantine(id) {
+			a.ByzantineExcluded++
+			continue
+		}
 		if cl.Replicas != nil && cl.Replicas[id] != nil {
 			frontier[id] = cl.Replicas[id].LastExecuted()
 		} else if cl.PBFTReplicas != nil && cl.PBFTReplicas[id] != nil {
@@ -170,7 +179,7 @@ func AuditCluster(cl *cluster.Cluster, recorders map[int]*Recorder, acks []Ack) 
 func liveReplicaCount(cl *cluster.Cluster) int {
 	n := 0
 	for id := 1; id <= cl.N; id++ {
-		if !cl.Net.Crashed(sim.NodeID(id)) {
+		if !cl.Net.Crashed(sim.NodeID(id)) && !cl.IsByzantine(id) {
 			n++
 		}
 	}

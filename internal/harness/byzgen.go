@@ -1,0 +1,359 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+	"sbft/internal/pbft"
+	"sbft/internal/sim"
+)
+
+// This file is the Byzantine scenario generator: where DefaultGen injects
+// benign faults one replica at a time, ByzantineGen composes OVERLAPPING
+// benign and Byzantine fault windows while provably respecting the
+// deployment's fault budget. SBFT's n = 3f + 2c + 1 sizing (§IV) tolerates
+// f Byzantine replicas and c additional crashed/slow ones. Byzantine-ness
+// is a property of a replica over the WHOLE execution — the safety
+// argument quantifies over executions, so a replica that equivocated once
+// consumes an f slot forever even after it resumes honest behavior —
+// while benign impairment is transient. The generator therefore
+// maintains:
+//
+//	|{replicas ever Byzantine}| ≤ f            (sticky, whole run)
+//	|byzantine(t) ∪ impaired(t)| ≤ f + c      (at every instant t)
+//
+// counted over distinct replicas (a replica that is simultaneously
+// Byzantine and crashed consumes one budget slot). ValidateBudget replays
+// a schedule and checks both invariants; ByzantineGen panics if its own
+// output ever violates them, and the chaos tests sweep the validator over
+// hundreds of seeds.
+
+// ValidateBudget replays a fault schedule over n replicas and returns an
+// error if more than f DISTINCT replicas are ever made Byzantine across
+// the whole schedule (the sticky f budget), or if, at any instant, more
+// than f+c distinct replicas are faulty at all (Byzantine, crashed,
+// partitioned into a minority group, straggling, or behind a lossy
+// link). Global link faults (both endpoints wildcarded) impair no one:
+// they model the network, not a replica.
+func ValidateBudget(s cluster.Schedule, n, f, c int) error {
+	steps := make([]cluster.Fault, len(s))
+	copy(steps, s)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+
+	type state struct {
+		byz, crashed, straggling, lossy bool
+		group                           int
+	}
+	nodes := make(map[int]*state)
+	everByz := make(map[int]bool)
+	get := func(id int) *state {
+		st, ok := nodes[id]
+		if !ok {
+			st = &state{}
+			nodes[id] = st
+		}
+		return st
+	}
+
+	check := func(at time.Duration) error {
+		// Partition-impaired: members of every non-zero group except the
+		// most populous one (the majority side keeps quorum candidates).
+		groups := make(map[int]int)
+		for _, st := range nodes {
+			if st.group != 0 {
+				groups[st.group]++
+			}
+		}
+		major, majorSize := 0, 0
+		for g, size := range groups {
+			if size > majorSize || (size == majorSize && g < major) {
+				major, majorSize = g, size
+			}
+		}
+		faulty := 0
+		for _, st := range nodes {
+			if st.byz || st.crashed || st.straggling || st.lossy ||
+				(st.group != 0 && st.group != major) {
+				faulty++
+			}
+		}
+		if len(everByz) > f {
+			return fmt.Errorf("budget violated at %v: %d distinct replicas ever Byzantine, budget f=%d", at, len(everByz), f)
+		}
+		if faulty > f+c {
+			return fmt.Errorf("budget violated at %v: %d faulty replicas, budget f+c=%d", at, faulty, f+c)
+		}
+		return nil
+	}
+
+	for i, st := range steps {
+		switch st.Kind {
+		case cluster.FaultCrash:
+			get(st.Node).crashed = true
+		case cluster.FaultRecover, cluster.FaultRestart:
+			get(st.Node).crashed = false
+		case cluster.FaultPartition:
+			get(st.Node).group = st.Group
+		case cluster.FaultHeal:
+			for _, s := range nodes {
+				s.group = 0
+			}
+		case cluster.FaultStraggle:
+			get(st.Node).straggling = st.Extra > 0
+		case cluster.FaultLink:
+			switch {
+			case st.From != 0:
+				get(st.From).lossy = true
+			case st.To != 0:
+				get(st.To).lossy = true
+			}
+		case cluster.FaultLinkClear:
+			for _, s := range nodes {
+				s.lossy = false
+			}
+		case cluster.FaultByzEquivocate, cluster.FaultByzStaleView,
+			cluster.FaultByzConflictCkpt, cluster.FaultByzSilent:
+			get(st.Node).byz = true
+			everByz[st.Node] = true
+		case cluster.FaultByzRestore:
+			get(st.Node).byz = false
+		}
+		// Steps sharing a timestamp apply atomically (a partition pattern
+		// is several same-instant steps): check once per instant.
+		if i+1 < len(steps) && steps[i+1].At == st.At {
+			continue
+		}
+		if err := check(st.At); err != nil {
+			return err
+		}
+	}
+	_ = n
+	return nil
+}
+
+// window is one planned fault span during generation.
+type window struct {
+	start, end time.Duration
+	node       int
+	byz        bool
+}
+
+// byzWindowKinds are the corrupter-based behaviors ByzantineGen draws.
+var byzWindowKinds = [...]cluster.FaultKind{
+	cluster.FaultByzEquivocate,
+	cluster.FaultByzSilent,
+	cluster.FaultByzConflictCkpt,
+	cluster.FaultByzStaleView,
+}
+
+// ByzantineGen generates a survivable schedule mixing Byzantine windows
+// (equivocating primary, silent-but-alive replica, conflicting-checkpoint
+// sender, stale-view spammer) with the benign fault classes of
+// DefaultGen, allowing windows to OVERLAP whenever the f/c budget admits
+// two concurrent faulty replicas (or the windows share one target). The
+// protocol variant cycles with the seed; every 16th seed runs the
+// paper-scale configuration f=2, c=1 (n = 9) under the scaled crypto cost
+// model. Every generated schedule is checked against ValidateBudget.
+func ByzantineGen(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed*0x6c62272e07bb0142 + 0x2545f4914f6cdd1d))
+	proto := chaosVariants[int(uint64(seed)%uint64(len(chaosVariants)))]
+
+	f, c := 1, 0
+	paperScale := seed%16 == 15
+	opts := cluster.Options{
+		Protocol:      proto,
+		Clients:       2,
+		Seed:          seed,
+		ClientTimeout: time.Second,
+		Persist:       true,
+		Tune: func(cc *core.Config) {
+			cc.ViewChangeTimeout = time.Second
+		},
+		TunePBFT: func(pc *pbft.Config) {
+			pc.ViewChangeTimeout = time.Second
+		},
+	}
+	switch {
+	case paperScale:
+		// seed ≡ 15 (mod 16) ⇒ seed ≡ 3 (mod 4) ⇒ ProtoSBFT: the §IX
+		// failure-experiment scale with redundant collectors.
+		f, c = 2, 1 // n = 9
+		cm := cluster.DefaultCosts().ScaledCrypto(3)
+		opts.Costs = &cm
+		opts.Clients = 3
+	case proto == cluster.ProtoSBFT && rng.Float64() < 0.5:
+		c = 1 // n = 6
+	}
+	opts.F, opts.C = f, c
+	n := 3*f + 1
+	if proto != cluster.ProtoPBFT {
+		n = 3*f + 2*c + 1
+	}
+	budget := f
+	if proto == cluster.ProtoSBFT {
+		budget = f + c
+	}
+
+	var (
+		sched    cluster.Schedule
+		windows  []window
+		byzNodes []int // sticky f budget: the only replicas ever Byzantine
+	)
+	inByzNodes := func(id int) bool {
+		for _, b := range byzNodes {
+			if b == id {
+				return true
+			}
+		}
+		return false
+	}
+	// overlappers returns the planned windows still active at time t.
+	overlappers := func(t time.Duration) []window {
+		var out []window
+		for _, w := range windows {
+			if w.end > t {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	// fits reports whether adding (node, byz) over span [start,end) keeps
+	// the budget: distinct Byzantine ≤ f, distinct faulty ≤ f+c.
+	fits := func(start time.Duration, node int, byz bool) bool {
+		distinct := map[int]bool{node: true}
+		byzSet := map[int]bool{}
+		if byz {
+			byzSet[node] = true
+		}
+		for _, w := range overlappers(start) {
+			distinct[w.node] = true
+			if w.byz {
+				byzSet[w.node] = true
+			}
+		}
+		return len(byzSet) <= f && len(distinct) <= budget
+	}
+
+	start := 200*time.Millisecond + time.Duration(rng.Int63n(int64(300*time.Millisecond)))
+	count := 2 + rng.Intn(3)
+	for w := 0; w < count; w++ {
+		dur := 300*time.Millisecond + time.Duration(rng.Int63n(int64(900*time.Millisecond)))
+		byz := rng.Float64() < 0.55
+		node := 1 + rng.Intn(n)
+		if byz {
+			// Byzantine windows only ever hit the sticky byzNodes set (at
+			// most f distinct replicas per run; the first is the view-0
+			// primary, the interesting adversary position).
+			if len(byzNodes) == 0 {
+				byzNodes = append(byzNodes, 1)
+			} else if len(byzNodes) < f && !inByzNodes(node) && rng.Float64() < 0.5 {
+				byzNodes = append(byzNodes, node)
+			}
+			node = byzNodes[rng.Intn(len(byzNodes))]
+		}
+		if !fits(start, node, byz) {
+			// Retarget onto an already-faulty replica if that fits (a
+			// replica can be Byzantine and crashed at once for one budget
+			// slot), else serialize after every active window.
+			retargeted := false
+			for _, ow := range overlappers(start) {
+				if byz && !inByzNodes(ow.node) {
+					continue
+				}
+				if fits(start, ow.node, byz) {
+					node, retargeted = ow.node, true
+					break
+				}
+			}
+			if !retargeted {
+				for _, ow := range overlappers(start) {
+					if ow.end > start {
+						start = ow.end
+					}
+				}
+				start += 100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+			}
+		}
+		end := start + dur
+
+		if byz {
+			kind := byzWindowKinds[rng.Intn(len(byzWindowKinds))]
+			sched = append(sched,
+				cluster.Fault{At: start, Kind: kind, Node: node},
+				cluster.Fault{At: end, Kind: cluster.FaultByzRestore, Node: node})
+		} else {
+			switch kind := rng.Intn(6); kind {
+			case 0, 1:
+				sched = append(sched, cluster.Fault{At: start, Kind: cluster.FaultCrash, Node: node})
+				if kind == 0 {
+					sched = append(sched, cluster.Fault{At: end, Kind: cluster.FaultRestart, Node: node})
+				} else {
+					sched = append(sched, cluster.Fault{At: end, Kind: cluster.FaultRecover, Node: node})
+				}
+			case 2:
+				// Isolate one replica; everyone else stays a majority.
+				for id := 1; id <= n; id++ {
+					g := 2
+					if id == node {
+						g = 1
+					}
+					sched = append(sched, cluster.Fault{At: start, Kind: cluster.FaultPartition, Node: id, Group: g})
+				}
+				sched = append(sched, cluster.Fault{At: end, Kind: cluster.FaultHeal})
+			case 3:
+				extra := 100*time.Millisecond + time.Duration(rng.Int63n(int64(900*time.Millisecond)))
+				sched = append(sched,
+					cluster.Fault{At: start, Kind: cluster.FaultStraggle, Node: node, Extra: extra},
+					cluster.Fault{At: end, Kind: cluster.FaultStraggle, Node: node, Extra: 0})
+			case 4:
+				lf := sim.LinkFault{Drop: 0.3 + 0.6*rng.Float64()}
+				sched = append(sched,
+					cluster.Fault{At: start, Kind: cluster.FaultLink, From: node, To: 0, Link: lf},
+					cluster.Fault{At: end, Kind: cluster.FaultLinkClear})
+			default:
+				// Global duplicate+reorder: a network-wide idempotence
+				// stressor that impairs no replica budget-wise.
+				lf := sim.LinkFault{
+					Duplicate:     0.3 + 0.4*rng.Float64(),
+					ReorderJitter: 5*time.Millisecond + time.Duration(rng.Int63n(int64(25*time.Millisecond))),
+				}
+				sched = append(sched,
+					cluster.Fault{At: start, Kind: cluster.FaultLink, From: 0, To: 0, Link: lf},
+					cluster.Fault{At: end, Kind: cluster.FaultLinkClear})
+			}
+		}
+		windows = append(windows, window{start: start, end: end, node: node, byz: byz})
+
+		// Next window: half the time overlap the current one, else start
+		// after it heals.
+		if rng.Float64() < 0.5 {
+			start += time.Duration(rng.Int63n(int64(dur)))
+		} else {
+			start = end + 100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+		}
+	}
+
+	if err := ValidateBudget(sched, n, f, c); err != nil {
+		// The generator's own invariant: a violating schedule is a bug,
+		// not a scenario.
+		panic(fmt.Sprintf("harness: ByzantineGen(%d) violated its budget: %v\nschedule:\n%v\nwindows: %+v", seed, err, sched, windows))
+	}
+
+	name := fmt.Sprintf("byzchaos-%s", proto)
+	if paperScale {
+		name += "-paperscale"
+	}
+	return Scenario{
+		Name:               name,
+		Opts:               opts,
+		Schedule:           sched,
+		OpsPerClient:       5,
+		Horizon:            30 * time.Minute, // virtual time; generous on purpose
+		Settle:             30 * time.Second,
+		ExpectAllCommitted: true,
+	}
+}

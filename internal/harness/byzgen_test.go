@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/pbft"
+)
+
+// TestByzantineGenRespectsBudget sweeps the generator across many seeds
+// and re-validates every schedule against the f/c budget invariant (the
+// generator also self-checks and panics, so this doubles as a no-panic
+// sweep). It additionally asserts the generator actually uses its
+// Byzantine and overlap freedoms in aggregate.
+func TestByzantineGenRespectsBudget(t *testing.T) {
+	byzSchedules, overlapping := 0, 0
+	for seed := int64(1); seed <= 500; seed++ {
+		s := ByzantineGen(seed)
+		n := 3*s.Opts.F + 1
+		if s.Opts.Protocol != cluster.ProtoPBFT {
+			n = 3*s.Opts.F + 2*s.Opts.C + 1
+		}
+		if err := ValidateBudget(s.Schedule, n, s.Opts.F, s.Opts.C); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		hasByz := false
+		for _, f := range s.Schedule {
+			if f.Kind.Byzantine() && f.Kind != cluster.FaultByzRestore {
+				hasByz = true
+			}
+		}
+		if hasByz {
+			byzSchedules++
+		}
+		if scheduleHasOverlap(s.Schedule) {
+			overlapping++
+		}
+	}
+	if byzSchedules < 200 {
+		t.Errorf("only %d of 500 schedules contained a Byzantine window", byzSchedules)
+	}
+	if overlapping < 50 {
+		t.Errorf("only %d of 500 schedules overlapped fault windows", overlapping)
+	}
+}
+
+// scheduleHasOverlap detects two concurrently active fault windows
+// (possibly on one replica: a node can be, say, Byzantine and straggling
+// at once within one budget slot). Steps are time-sorted first — the
+// generator appends them window by window, not chronologically.
+func scheduleHasOverlap(s cluster.Schedule) bool {
+	steps := make([]cluster.Fault, len(s))
+	copy(steps, s)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	active, link := 0, 0
+	for _, f := range steps {
+		switch f.Kind {
+		case cluster.FaultCrash, cluster.FaultByzEquivocate, cluster.FaultByzStaleView,
+			cluster.FaultByzConflictCkpt, cluster.FaultByzSilent:
+			active++
+		case cluster.FaultStraggle:
+			if f.Extra > 0 {
+				active++
+			} else {
+				active--
+			}
+		case cluster.FaultRecover, cluster.FaultRestart, cluster.FaultByzRestore:
+			active--
+		case cluster.FaultLink:
+			if f.From != 0 || f.To != 0 {
+				link++ // per-node lossy window (global faults impair no one)
+			}
+		case cluster.FaultLinkClear:
+			link = 0
+		}
+		if active+link >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestByzantineGenCoversVariantsAndPaperScale pins protocol cycling and
+// the every-16th-seed paper-scale configuration.
+func TestByzantineGenCoversVariantsAndPaperScale(t *testing.T) {
+	seen := make(map[cluster.Protocol]bool)
+	for seed := int64(1); seed <= 8; seed++ {
+		seen[ByzantineGen(seed).Opts.Protocol] = true
+	}
+	for _, p := range chaosVariants {
+		if !seen[p] {
+			t.Errorf("generator never produced %s", p)
+		}
+	}
+	s := ByzantineGen(15)
+	if s.Opts.F != 2 || s.Opts.C != 1 || s.Opts.Protocol != cluster.ProtoSBFT {
+		t.Fatalf("seed 15 = %s f=%d c=%d, want paper-scale SBFT f=2 c=1", s.Opts.Protocol, s.Opts.F, s.Opts.C)
+	}
+	if s.Opts.Costs == nil {
+		t.Error("paper-scale scenario not under the scaled cost model")
+	}
+	if !strings.Contains(s.Name, "paperscale") {
+		t.Errorf("paper-scale scenario name %q lacks the marker", s.Name)
+	}
+}
+
+// TestValidateBudgetRejectsOverBudget pins the validator itself.
+func TestValidateBudgetRejectsOverBudget(t *testing.T) {
+	over := cluster.Schedule{
+		{At: 0, Kind: cluster.FaultByzSilent, Node: 1},
+		{At: time.Millisecond, Kind: cluster.FaultCrash, Node: 2},
+	}
+	if err := ValidateBudget(over, 4, 1, 0); err == nil {
+		t.Fatal("two concurrent faulty replicas accepted under f=1 c=0")
+	}
+	twoByz := cluster.Schedule{
+		{At: 0, Kind: cluster.FaultByzSilent, Node: 1},
+		{At: time.Millisecond, Kind: cluster.FaultByzEquivocate, Node: 2},
+	}
+	if err := ValidateBudget(twoByz, 6, 1, 1); err == nil {
+		t.Fatal("two concurrent Byzantine replicas accepted under f=1")
+	}
+	sameNode := cluster.Schedule{
+		{At: 0, Kind: cluster.FaultByzSilent, Node: 1},
+		{At: time.Millisecond, Kind: cluster.FaultCrash, Node: 1},
+	}
+	if err := ValidateBudget(sameNode, 4, 1, 0); err != nil {
+		t.Fatalf("Byzantine+crashed on one replica should fit one budget slot: %v", err)
+	}
+	healed := cluster.Schedule{
+		{At: 0, Kind: cluster.FaultByzSilent, Node: 1},
+		{At: time.Millisecond, Kind: cluster.FaultByzRestore, Node: 1},
+		{At: 2 * time.Millisecond, Kind: cluster.FaultCrash, Node: 2},
+	}
+	if err := ValidateBudget(healed, 4, 1, 0); err != nil {
+		t.Fatalf("sequential windows rejected: %v", err)
+	}
+	// The f budget is sticky: a second Byzantine replica is over budget
+	// even after the first was restored (Byzantine-ness quantifies over
+	// the whole execution, not an instant).
+	sticky := cluster.Schedule{
+		{At: 0, Kind: cluster.FaultByzSilent, Node: 1},
+		{At: time.Millisecond, Kind: cluster.FaultByzRestore, Node: 1},
+		{At: 2 * time.Millisecond, Kind: cluster.FaultByzEquivocate, Node: 2},
+	}
+	if err := ValidateBudget(sticky, 4, 1, 0); err == nil {
+		t.Fatal("two sequentially Byzantine replicas accepted under sticky f=1")
+	}
+}
+
+// TestByzantineChaosSweep is the acceptance gate for the Byzantine
+// subsystem: ≥ 100 seeded scenarios mixing overlapping benign and
+// Byzantine fault windows across all four protocol variants (including
+// the f=2 paper-scale configuration every 16th seed), zero honest-replica
+// safety divergences and zero liveness failures.
+func TestByzantineChaosSweep(t *testing.T) {
+	const runs = 120
+	cr := RunChaos(SeedRange(1, runs), ByzantineGen)
+	if cr.Runs != runs {
+		t.Fatalf("ran %d scenarios, want %d", cr.Runs, runs)
+	}
+	if !cr.OK() {
+		for seed, err := range cr.Errors {
+			t.Errorf("seed %d errored: %v", seed, err)
+		}
+		for _, rep := range cr.Failures {
+			t.Errorf("%s", rep.Summary())
+			for _, f := range rep.Faults {
+				t.Logf("  fault: %s", f)
+			}
+		}
+		t.Fatalf("%s", cr.Summary())
+	}
+}
+
+// TestByzantineCanaryOverBudgetDetected is the auditor canary: raise the
+// Byzantine count ABOVE the f budget (f+1 = 2 colluding replicas on the
+// PBFT baseline, whose votes are forgeable channel-authenticated hashes)
+// and the resulting honest-replica divergence MUST be reported. If this
+// test fails, the green Byzantine sweep above proves nothing.
+func TestByzantineCanaryOverBudgetDetected(t *testing.T) {
+	rep, err := Run(Scenario{
+		Name: "byz-canary-over-budget",
+		Opts: cluster.Options{
+			Protocol: cluster.ProtoPBFT, F: 1,
+			Clients: 2, Seed: 99,
+			ClientTimeout: time.Second,
+			TunePBFT: func(pc *pbft.Config) {
+				pc.Batch = 1
+				pc.ViewChangeTimeout = time.Second
+			},
+		},
+		Arm: func(cl *cluster.Cluster) {
+			if err := cl.InstallColludingEquivocators(1, 2); err != nil {
+				t.Fatalf("arming colluders: %v", err)
+			}
+		},
+		OpsPerClient: 5,
+		Horizon:      5 * time.Minute,
+		Settle:       10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Audit.OK() {
+		t.Fatal("auditor missed the divergence caused by f+1 colluding Byzantine replicas")
+	}
+	foundDivergence := false
+	for _, d := range rep.Audit.Divergences {
+		if strings.Contains(d, "divergence") {
+			foundDivergence = true
+		}
+	}
+	if !foundDivergence {
+		t.Fatalf("no log/state divergence among honest replicas reported; got: %v", rep.Audit.Divergences)
+	}
+	if rep.Audit.ByzantineExcluded != 2 {
+		t.Errorf("ByzantineExcluded = %d, want 2", rep.Audit.ByzantineExcluded)
+	}
+}

@@ -41,7 +41,7 @@ func DefaultGen(seed int64) Scenario {
 		Clients:       2,
 		Seed:          seed,
 		ClientTimeout: time.Second,
-		Persist:       proto != cluster.ProtoPBFT,
+		Persist:       true, // every engine restarts from storage now
 		Tune: func(c *core.Config) {
 			c.ViewChangeTimeout = time.Second
 		},

@@ -33,6 +33,11 @@ type Scenario struct {
 	Opts cluster.Options
 	// Schedule is the timed fault script applied during the run.
 	Schedule cluster.Schedule
+	// Arm, when set, runs against the freshly built cluster before the
+	// schedule applies — the hook for adversarial wiring a flat Schedule
+	// cannot express (e.g. colluding corrupters for the over-budget
+	// auditor canary).
+	Arm func(cl *cluster.Cluster)
 	// OpsPerClient sizes the closed-loop workload.
 	OpsPerClient int
 	// Gen produces the i-th operation of a client. Nil uses a unique-key
@@ -89,6 +94,9 @@ func (r *Report) Summary() string {
 	s := fmt.Sprintf("%s seed=%d %s: %d/%d ops, %d replicas, %d seqs audited",
 		r.Scenario, r.Seed, status, r.Completed, r.Expected,
 		r.Audit.ReplicasAudited, r.Audit.SeqsAudited)
+	if r.Audit.ByzantineExcluded > 0 {
+		s += fmt.Sprintf(" (%d byzantine excluded)", r.Audit.ByzantineExcluded)
+	}
 	if r.LivenessFailure != "" {
 		s += "; " + r.LivenessFailure
 	}
@@ -130,6 +138,9 @@ func Run(s Scenario) (*Report, error) {
 		})
 	}
 
+	if s.Arm != nil {
+		s.Arm(cl)
+	}
 	cl.Apply(s.Schedule)
 
 	gen := s.Gen

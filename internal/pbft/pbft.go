@@ -25,6 +25,11 @@ type Config struct {
 	BatchTimeout       time.Duration
 	ViewChangeTimeout  time.Duration
 	CheckpointInterval uint64
+	// GapRepairTimeout is how long a replica waits on an execution gap
+	// before asking peers to retransmit the missing decision (the §II
+	// re-transmit layer; what lets a restarted-from-storage replica catch
+	// up). Zero disables repair.
+	GapRepairTimeout time.Duration
 }
 
 // DefaultConfig mirrors the SBFT defaults for a fair comparison.
@@ -35,6 +40,7 @@ func DefaultConfig(f int) Config {
 		Batch:             64,
 		BatchTimeout:      20 * time.Millisecond,
 		ViewChangeTimeout: 2 * time.Second,
+		GapRepairTimeout:  250 * time.Millisecond,
 	}
 }
 
@@ -166,6 +172,36 @@ func (m NewViewMsg) WireSize() int {
 	return n
 }
 
+// FetchCommitMsg asks peers to retransmit the decision at a sequence
+// number (the §II re-transmit layer, needed once restart-from-storage can
+// rejoin a replica whose log trails the cluster).
+type FetchCommitMsg struct {
+	Replica int
+	Seq     uint64
+}
+
+// WireSize implements core.Message.
+func (m FetchCommitMsg) WireSize() int { return 24 }
+
+// CommitInfoMsg retransmits a committed decision block. PBFT's baseline
+// certificates are per-sender channel-authenticated rather than
+// self-contained, so a catching-up replica adopts a block only once f+1
+// distinct peers retransmit an identical one (at least one is honest).
+type CommitInfoMsg struct {
+	Seq     uint64
+	Replica int
+	Reqs    []core.Request
+}
+
+// WireSize implements core.Message.
+func (m CommitInfoMsg) WireSize() int {
+	n := 24 + 64
+	for _, r := range m.Reqs {
+		n += 24 + len(r.Op)
+	}
+	return n
+}
+
 type slot struct {
 	seq      uint64
 	view     uint64
@@ -199,15 +235,17 @@ type Metrics struct {
 	Executions  uint64
 	ViewChanges uint64
 	Checkpoints uint64
+	GapRepairs  uint64
 }
 
 // Replica is a PBFT replica event machine; drive it exactly like
 // core.Replica.
 type Replica struct {
-	id  int
-	cfg Config
-	app core.Application
-	env core.Env
+	id    int
+	cfg   Config
+	app   core.Application
+	env   core.Env
+	store core.BlockStore // nil disables persistence
 
 	view         uint64
 	inViewChange bool
@@ -236,6 +274,16 @@ type Replica struct {
 	// replayed on view installation.
 	ppBuffer map[uint64][]PrePrepareMsg
 
+	// Gap repair (catch-up after restart-from-storage): votes collects
+	// per-sequence retransmitted blocks keyed by block identity; a block
+	// is adopted at f+1 matching retransmissions.
+	gapTimer    func()
+	behindHint  bool // saw traffic suggesting the cluster is ahead of us
+	fruitless   int
+	lastFetchAt uint64
+	fetchVotes  map[uint64]map[string]map[int]bool
+	fetchReqs   map[uint64]map[string][]core.Request
+
 	Metrics Metrics
 }
 
@@ -246,8 +294,9 @@ type replyEntry struct {
 	val       []byte
 }
 
-// NewReplica constructs a PBFT replica.
-func NewReplica(id int, cfg Config, app core.Application, env core.Env) (*Replica, error) {
+// NewReplica constructs a PBFT replica. store persists committed blocks
+// for restart-from-storage (nil disables persistence).
+func NewReplica(id int, cfg Config, app core.Application, env core.Env, store core.BlockStore) (*Replica, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -259,6 +308,7 @@ func NewReplica(id int, cfg Config, app core.Application, env core.Env) (*Replic
 		cfg:        cfg,
 		app:        app,
 		env:        env,
+		store:      store,
 		slots:      make(map[uint64]*slot),
 		seen:       make(map[int]uint64),
 		nextSeq:    1,
@@ -267,6 +317,8 @@ func NewReplica(id int, cfg Config, app core.Application, env core.Env) (*Replic
 		ckpts:      make(map[uint64]map[int]string),
 		vcMsgs:     make(map[uint64]map[int]*ViewChangeMsg),
 		ppBuffer:   make(map[uint64][]PrePrepareMsg),
+		fetchVotes: make(map[uint64]map[string]map[int]bool),
+		fetchReqs:  make(map[uint64]map[string][]core.Request),
 	}, nil
 }
 
@@ -311,6 +363,10 @@ func (r *Replica) Deliver(from int, msg any) {
 		r.onCommit(from, m)
 	case CheckpointMsg:
 		r.onCheckpoint(from, m)
+	case FetchCommitMsg:
+		r.onFetchCommit(from, m)
+	case CommitInfoMsg:
+		r.onCommitInfo(from, m)
 	case ViewChangeMsg:
 		r.onViewChange(from, m)
 	case NewViewMsg:
@@ -417,13 +473,23 @@ func (r *Replica) onPrePrepare(from int, m PrePrepareMsg) {
 		if m.View >= r.view && m.View <= r.view+uint64(r.cfg.N()) &&
 			from == r.cfg.Primary(m.View) {
 			r.bufferPP(m)
+		} else if m.View > r.view+uint64(r.cfg.N()) {
+			// More than a primary rotation ahead: this replica (likely
+			// restarted from storage) missed whole views and cannot learn
+			// them from NEW-VIEW replays. Catch up on committed blocks
+			// through gap repair; a future genuine view change resyncs
+			// the view number.
+			r.noteBehind()
 		}
 		return
 	}
 	if from != r.cfg.Primary(r.view) {
 		return
 	}
-	if m.Seq <= r.lastStable || m.Seq > r.lastStable+r.cfg.Win {
+	if m.Seq <= r.lastStable || m.Seq <= r.lastExecuted || m.Seq > r.lastStable+r.cfg.Win {
+		if m.Seq > r.lastStable+r.cfg.Win && m.Seq > r.lastExecuted+r.cfg.Win {
+			r.noteBehind()
+		}
 		return
 	}
 	s := r.getSlot(m.Seq)
@@ -547,6 +613,7 @@ func (r *Replica) commit(s *slot, reqs []core.Request) {
 	r.Metrics.Commits++
 	r.executeReady()
 	r.armProgressTimer()
+	r.armGapTimer()
 }
 
 func (r *Replica) executeReady() {
@@ -563,6 +630,8 @@ func (r *Replica) executeReady() {
 			return
 		}
 		advanced = true
+		delete(r.fetchVotes, next)
+		delete(r.fetchReqs, next)
 		// Exactly-once: skip requests whose client already saw an equal or
 		// newer execution (re-proposed across a view change or retried).
 		exec := s.reqs[:0:0]
@@ -589,6 +658,13 @@ func (r *Replica) executeReady() {
 		s.executed = true
 		r.lastExecuted = next
 		r.Metrics.Executions++
+		if r.store != nil {
+			if err := r.store.Append(next, core.EncodeBlockPayload(exec, results)); err != nil {
+				// Persistence is best-effort in-simulation; the replica
+				// keeps serving from memory (matching core.Replica).
+				_ = err
+			}
+		}
 		for i, req := range exec {
 			r.replyCache[req.Client] = replyEntry{timestamp: req.Timestamp, seq: next, l: i, val: results[i]}
 			if ts, ok := r.watch[req.Client]; ok && ts <= req.Timestamp {
@@ -639,8 +715,15 @@ func (r *Replica) onCheckpoint(_ int, m CheckpointMsg) {
 			if r.lastExecuted >= m.Seq {
 				r.app.GarbageCollect(m.Seq)
 			}
+			// Drop slot state below the stable point — but never ahead of
+			// local execution, or committed-but-unexecuted blocks on a
+			// lagging replica would be lost before it catches up.
+			gcTo := m.Seq
+			if r.lastExecuted < gcTo {
+				gcTo = r.lastExecuted
+			}
 			for seq := range r.slots {
-				if seq <= m.Seq {
+				if seq <= gcTo {
 					delete(r.slots, seq)
 				}
 			}
@@ -649,9 +732,128 @@ func (r *Replica) onCheckpoint(_ int, m CheckpointMsg) {
 					delete(r.ckpts, seq)
 				}
 			}
+			if r.lastStable > r.lastExecuted {
+				r.armGapTimer()
+			}
 			return
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Gap repair / restart catch-up (§II re-transmit layer).
+
+// noteBehind records evidence that the cluster has moved past this
+// replica (pre-prepares from views or sequences far ahead) and arms the
+// repair timer. A replica restarted from storage rejoins here: committed
+// blocks are fetched from peers even while its view number trails.
+func (r *Replica) noteBehind() {
+	r.behindHint = true
+	r.armGapTimer()
+}
+
+// hasGap reports whether execution is stalled behind committed progress.
+func (r *Replica) hasGap() bool {
+	next := r.lastExecuted + 1
+	if s, ok := r.slots[next]; ok && s.committed {
+		return false // executeReady will handle it
+	}
+	for seq, s := range r.slots {
+		if seq > next && s.committed {
+			return true
+		}
+	}
+	return r.behindHint || r.lastStable > r.lastExecuted
+}
+
+// armGapTimer schedules a repair round if none is pending. Rounds that
+// repeatedly adopt nothing drop the behind hint so an idle replica
+// quiesces; genuine gaps (committed slots above the frontier) keep the
+// timer armed, and fresh future-view traffic re-hints.
+func (r *Replica) armGapTimer() {
+	if r.gapTimer != nil || r.cfg.GapRepairTimeout <= 0 || !r.hasGap() {
+		return
+	}
+	r.gapTimer = r.env.After(r.cfg.GapRepairTimeout, func() {
+		r.gapTimer = nil
+		if !r.hasGap() {
+			r.fruitless = 0
+			return
+		}
+		if r.lastExecuted == r.lastFetchAt {
+			r.fruitless++
+		} else {
+			r.fruitless = 0
+		}
+		r.lastFetchAt = r.lastExecuted
+		if r.fruitless >= 4 {
+			r.behindHint = false
+			r.fruitless = 0
+			if !r.hasGap() {
+				return
+			}
+		}
+		r.broadcast(FetchCommitMsg{Replica: r.id, Seq: r.lastExecuted + 1})
+		r.armGapTimer()
+	})
+}
+
+// onFetchCommit serves a small batch of committed blocks starting at the
+// requested sequence.
+func (r *Replica) onFetchCommit(from int, m FetchCommitMsg) {
+	if from != m.Replica || m.Replica == r.id {
+		return
+	}
+	for seq, sent := m.Seq, 0; sent < 8; seq, sent = seq+1, sent+1 {
+		s, ok := r.slots[seq]
+		if !ok || !s.committed {
+			return
+		}
+		r.env.Send(m.Replica, CommitInfoMsg{Seq: seq, Replica: r.id, Reqs: s.reqs})
+	}
+}
+
+// blockIdent is a view-independent identity for a retransmitted block.
+func blockIdent(seq uint64, reqs []core.Request) string {
+	h := core.BlockHash(seq, 0, reqs)
+	return string(h[:])
+}
+
+// onCommitInfo adopts a retransmitted block once f+1 distinct peers sent
+// an identical one (at least one of them is honest; PBFT's baseline
+// certificates are channel-authenticated, not self-contained).
+func (r *Replica) onCommitInfo(from int, m CommitInfoMsg) {
+	if from != m.Replica || m.Seq <= r.lastExecuted {
+		return
+	}
+	if m.Seq > r.lastExecuted+r.cfg.Win {
+		return // bound the vote table against far-future spam
+	}
+	if s, ok := r.slots[m.Seq]; ok && s.committed {
+		return
+	}
+	key := blockIdent(m.Seq, m.Reqs)
+	if r.fetchVotes[m.Seq] == nil {
+		r.fetchVotes[m.Seq] = make(map[string]map[int]bool)
+		r.fetchReqs[m.Seq] = make(map[string][]core.Request)
+	}
+	if r.fetchVotes[m.Seq][key] == nil {
+		r.fetchVotes[m.Seq][key] = make(map[int]bool)
+		r.fetchReqs[m.Seq][key] = m.Reqs
+	}
+	r.fetchVotes[m.Seq][key][m.Replica] = true
+	if len(r.fetchVotes[m.Seq][key]) <= r.cfg.F {
+		return
+	}
+	reqs := r.fetchReqs[m.Seq][key]
+	delete(r.fetchVotes, m.Seq)
+	delete(r.fetchReqs, m.Seq)
+	s := r.getSlot(m.Seq)
+	s.hasPP = true
+	s.reqs = reqs
+	s.hash = core.BlockHash(m.Seq, 0, reqs) // identity only; never signed
+	r.Metrics.GapRepairs++
+	r.commit(s, reqs)
 }
 
 // ---------------------------------------------------------------------------

@@ -48,15 +48,15 @@ func TestPrimaryRotation(t *testing.T) {
 
 func TestNewReplicaValidation(t *testing.T) {
 	cfg := DefaultConfig(1)
-	if _, err := NewReplica(0, cfg, nil, nil); err == nil {
+	if _, err := NewReplica(0, cfg, nil, nil, nil); err == nil {
 		t.Error("id 0 accepted")
 	}
-	if _, err := NewReplica(5, cfg, nil, nil); err == nil {
+	if _, err := NewReplica(5, cfg, nil, nil, nil); err == nil {
 		t.Error("id beyond n accepted")
 	}
 	bad := cfg
 	bad.F = 0
-	if _, err := NewReplica(1, bad, nil, nil); err == nil {
+	if _, err := NewReplica(1, bad, nil, nil, nil); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
@@ -162,7 +162,7 @@ func TestSingleReplicaProtocolFlow(t *testing.T) {
 	cfg.BatchTimeout = 0
 	env := &fakeEnv{id: 2}
 	app := &countingApp{}
-	r, err := NewReplica(2, cfg, app, env)
+	r, err := NewReplica(2, cfg, app, env, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestSingleReplicaProtocolFlow(t *testing.T) {
 func TestReplicaIgnoresWrongViewAndPrimary(t *testing.T) {
 	cfg := DefaultConfig(1)
 	env := &fakeEnv{id: 2}
-	r, _ := NewReplica(2, cfg, &countingApp{}, env)
+	r, _ := NewReplica(2, cfg, &countingApp{}, env, nil)
 
 	req := []core.Request{{Client: core.ClientBase, Timestamp: 1, Op: []byte("x")}}
 	// Wrong view.
@@ -245,7 +245,7 @@ func TestReplyFromCacheOnRetry(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.BatchTimeout = 0
 	env := &fakeEnv{id: 2}
-	r, _ := NewReplica(2, cfg, &countingApp{}, env)
+	r, _ := NewReplica(2, cfg, &countingApp{}, env, nil)
 
 	client := core.ClientBase
 	req := core.Request{Client: client, Timestamp: 1, Op: []byte("x")}
@@ -274,7 +274,7 @@ func TestProgressTimerTriggersViewChange(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.ViewChangeTimeout = 100 * time.Millisecond
 	env := &fakeEnv{id: 2}
-	r, _ := NewReplica(2, cfg, &countingApp{}, env)
+	r, _ := NewReplica(2, cfg, &countingApp{}, env, nil)
 
 	deliver(r, core.ClientBase, core.RequestMsg{Req: core.Request{
 		Client: core.ClientBase, Timestamp: 1, Op: []byte("x")}})

@@ -69,6 +69,17 @@ func (a *Adversary) LinkFaultWindow(from, until time.Duration, fromNode, toNode 
 	}
 }
 
+// CorrupterWindow installs a Byzantine outbound interceptor on a node at
+// `from` and clears it at `until` (0 = keep). While installed, every send
+// of the node is rewritten by c (equivocation, mutation, replay,
+// suppression); the node's internal state stays honest throughout.
+func (a *Adversary) CorrupterWindow(from, until time.Duration, id NodeID, c Corrupter) {
+	a.at(from, func() { a.net.SetCorrupter(id, c) })
+	if until > 0 {
+		a.at(until, func() { a.net.SetCorrupter(id, nil) })
+	}
+}
+
 // Do schedules an arbitrary fault action at time t (escape hatch for
 // transitions the helpers don't cover, e.g. replica restart).
 func (a *Adversary) Do(t time.Duration, fn func()) {

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCorrupterSuppresses models a silent-but-alive node: every outbound
+// send is swallowed, while inbound delivery still works.
+func TestCorrupterSuppresses(t *testing.T) {
+	net, recs := newUniformNet(t, time.Millisecond, 3)
+	net.SetCorrupter(0, CorruptFunc(func(NodeID, any, int) []Injection { return nil }))
+
+	net.Send(0, 1, "gone", 10)
+	net.Send(2, 0, "heard", 10)
+	net.Scheduler().Run(0, 0)
+
+	if len(recs[1].got) != 0 {
+		t.Fatalf("suppressed send delivered: %v", recs[1].got)
+	}
+	if len(recs[0].got) != 1 || recs[0].got[0].msg != "heard" {
+		t.Fatalf("inbound delivery to corrupted node broken: %v", recs[0].got)
+	}
+	if net.MsgsCorrupted != 1 {
+		t.Fatalf("MsgsCorrupted = %d, want 1", net.MsgsCorrupted)
+	}
+}
+
+// TestCorrupterEquivocates rewrites the payload per recipient: node 1
+// sees the original, node 2 a conflicting variant.
+func TestCorrupterEquivocates(t *testing.T) {
+	net, recs := newUniformNet(t, time.Millisecond, 3)
+	net.SetCorrupter(0, CorruptFunc(func(to NodeID, msg any, size int) []Injection {
+		if to == 2 {
+			return []Injection{{To: to, Msg: "evil", Size: size}}
+		}
+		return PassThrough(to, msg, size)
+	}))
+
+	net.Send(0, 1, "honest", 10)
+	net.Send(0, 2, "honest", 10)
+	net.Scheduler().Run(0, 0)
+
+	if len(recs[1].got) != 1 || recs[1].got[0].msg != "honest" {
+		t.Fatalf("node 1 got %v, want honest", recs[1].got)
+	}
+	if len(recs[2].got) != 1 || recs[2].got[0].msg != "evil" {
+		t.Fatalf("node 2 got %v, want evil", recs[2].got)
+	}
+}
+
+// TestCorrupterReplaysAndRedirects one send into several deliveries,
+// including a delayed replay and a redirect to a third node.
+func TestCorrupterReplaysAndRedirects(t *testing.T) {
+	net, recs := newUniformNet(t, time.Millisecond, 3)
+	net.SetCorrupter(0, CorruptFunc(func(to NodeID, msg any, size int) []Injection {
+		return []Injection{
+			{To: to, Msg: msg, Size: size},
+			{To: to, Msg: msg, Size: size, Delay: 5 * time.Millisecond},
+			{To: 2, Msg: "leak", Size: size},
+		}
+	}))
+
+	net.Send(0, 1, "m", 10)
+	net.Scheduler().Run(0, 0)
+
+	if len(recs[1].got) != 2 {
+		t.Fatalf("node 1 got %d deliveries, want original + replay", len(recs[1].got))
+	}
+	if len(recs[2].got) != 1 || recs[2].got[0].msg != "leak" {
+		t.Fatalf("redirect missing: %v", recs[2].got)
+	}
+}
+
+// TestCorrupterClearedRestoresHonestTraffic and respects crash state: a
+// crashed corrupted node sends nothing at all.
+func TestCorrupterClearedRestoresHonestTraffic(t *testing.T) {
+	net, recs := newUniformNet(t, time.Millisecond, 2)
+	net.SetCorrupter(0, CorruptFunc(func(NodeID, any, int) []Injection { return nil }))
+	if !net.Corrupted(0) {
+		t.Fatal("Corrupted(0) = false after install")
+	}
+
+	net.Crash(0)
+	net.Send(0, 1, "while-crashed", 10)
+	net.Recover(0)
+	net.SetCorrupter(0, nil)
+	if net.Corrupted(0) {
+		t.Fatal("Corrupted(0) = true after clear")
+	}
+	net.Send(0, 1, "honest-again", 10)
+	net.Scheduler().Run(0, 0)
+
+	if len(recs[1].got) != 1 || recs[1].got[0].msg != "honest-again" {
+		t.Fatalf("got %v, want exactly honest-again", recs[1].got)
+	}
+}
+
+// TestAdversaryCorrupterWindow schedules install/clear at virtual times.
+func TestAdversaryCorrupterWindow(t *testing.T) {
+	net, recs := newUniformNet(t, time.Millisecond, 2)
+	adv := NewAdversary(net)
+	adv.CorrupterWindow(10*time.Millisecond, 20*time.Millisecond, 0,
+		CorruptFunc(func(NodeID, any, int) []Injection { return nil }))
+
+	sched := net.Scheduler()
+	sched.Schedule(5*time.Millisecond, func() { net.Send(0, 1, "before", 1) })
+	sched.Schedule(15*time.Millisecond, func() { net.Send(0, 1, "during", 1) })
+	sched.Schedule(25*time.Millisecond, func() { net.Send(0, 1, "after", 1) })
+	sched.Run(0, 0)
+
+	if len(recs[1].got) != 2 {
+		t.Fatalf("got %d deliveries, want 2 (window send suppressed): %v", len(recs[1].got), recs[1].got)
+	}
+	if recs[1].got[0].msg != "before" || recs[1].got[1].msg != "after" {
+		t.Fatalf("wrong survivors: %v", recs[1].got)
+	}
+}

@@ -184,6 +184,44 @@ func (f LinkFault) zero() bool {
 	return f.Drop == 0 && f.Duplicate == 0 && f.ReorderJitter == 0 && f.ExtraDelay == 0
 }
 
+// Injection is one delivery produced by a Corrupter in place of an
+// intercepted send. To may differ from the original recipient (redirect),
+// Msg may differ from the original payload (mutation, equivocation), and
+// Delay postpones the delivery relative to normal send timing (replay of
+// stale messages).
+type Injection struct {
+	To    NodeID
+	Msg   any
+	Size  int
+	Delay time.Duration
+}
+
+// Corrupter models a Byzantine node at the boundary between the process
+// and the wire: the protocol engine stays honest, but every outbound
+// message passes through the corrupter, which decides what actually goes
+// on the network. Returning nil suppresses the message (silent-but-alive
+// replica), a single unchanged entry passes it through, several entries
+// replay or multicast it, and per-recipient payload differences
+// equivocate. Corrupt runs on the simulator's single logical thread, at
+// the virtual time of the send.
+type Corrupter interface {
+	Corrupt(to NodeID, msg any, size int) []Injection
+}
+
+// CorruptFunc adapts a function to the Corrupter interface.
+type CorruptFunc func(to NodeID, msg any, size int) []Injection
+
+// Corrupt implements Corrupter.
+func (f CorruptFunc) Corrupt(to NodeID, msg any, size int) []Injection {
+	return f(to, msg, size)
+}
+
+// PassThrough is the identity injection list for an intercepted send:
+// deliver the original message to the original recipient unchanged.
+func PassThrough(to NodeID, msg any, size int) []Injection {
+	return []Injection{{To: to, Msg: msg, Size: size}}
+}
+
 // Network delivers messages between registered nodes over the modeled WAN.
 type Network struct {
 	sched    *Scheduler
@@ -195,12 +233,14 @@ type Network struct {
 	partOf   map[NodeID]int           // partition group; groups can't talk
 	busy     map[NodeID]time.Duration // CPU-busy horizon per node
 	faults   map[[2]NodeID]LinkFault  // directed link → injected fault
+	corrupt  map[NodeID]Corrupter     // Byzantine outbound interception
 
 	// Stats.
-	MsgsSent    uint64
-	MsgsDropped uint64
-	MsgsDuped   uint64
-	BytesSent   uint64
+	MsgsSent      uint64
+	MsgsDropped   uint64
+	MsgsDuped     uint64
+	BytesSent     uint64
+	MsgsCorrupted uint64 // sends intercepted by a Corrupter
 }
 
 // NewNetwork builds a network over a scheduler.
@@ -226,6 +266,7 @@ func NewNetwork(sched *Scheduler, cfg Config) (*Network, error) {
 		partOf:   make(map[NodeID]int),
 		busy:     make(map[NodeID]time.Duration),
 		faults:   make(map[[2]NodeID]LinkFault),
+		corrupt:  make(map[NodeID]Corrupter),
 	}, nil
 }
 
@@ -330,9 +371,40 @@ func (n *Network) Latency(from, to NodeID, size int) time.Duration {
 	return d
 }
 
+// SetCorrupter installs a Byzantine outbound interceptor on a node; every
+// subsequent Send from that node is replaced by whatever the corrupter
+// returns. A nil corrupter clears the interception (the node's outbound
+// traffic is honest again; its internal state was never touched).
+func (n *Network) SetCorrupter(id NodeID, c Corrupter) {
+	if c == nil {
+		delete(n.corrupt, id)
+		return
+	}
+	n.corrupt[id] = c
+}
+
+// Corrupted reports whether a node currently has a corrupter installed.
+func (n *Network) Corrupted(id NodeID) bool { return n.corrupt[id] != nil }
+
 // Send schedules delivery of msg from → to. size is the wire size estimate
-// used for bandwidth modeling and statistics.
+// used for bandwidth modeling and statistics. If the sender has a
+// Corrupter installed, the corrupter's injections are sent instead (each
+// subject to the same crash/partition/link-fault model; injections do not
+// re-enter the corrupter).
 func (n *Network) Send(from, to NodeID, msg any, size int) {
+	if c := n.corrupt[from]; c != nil && !n.crashed[from] {
+		n.MsgsCorrupted++
+		for _, inj := range c.Corrupt(to, msg, size) {
+			n.sendRaw(from, inj.To, inj.Msg, inj.Size, inj.Delay)
+		}
+		return
+	}
+	n.sendRaw(from, to, msg, size, 0)
+}
+
+// sendRaw is the physical send path: the network model applied to one
+// delivery, bypassing any corrupter on the sender.
+func (n *Network) sendRaw(from, to NodeID, msg any, size int, extra time.Duration) {
 	if n.crashed[from] || n.crashed[to] {
 		n.MsgsDropped++
 		return
@@ -365,7 +437,7 @@ func (n *Network) Send(from, to NodeID, msg any, size int) {
 		n.busy[from] = departure
 	}
 
-	base := departure - now + n.Latency(from, to, size)
+	base := departure - now + n.Latency(from, to, size) + extra
 	if faulty {
 		base += fault.ExtraDelay
 	}

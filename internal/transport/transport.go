@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -48,6 +49,8 @@ func init() {
 	gob.Register(pbft.PrepareMsg{})
 	gob.Register(pbft.CommitMsg{})
 	gob.Register(pbft.CheckpointMsg{})
+	gob.Register(pbft.FetchCommitMsg{})
+	gob.Register(pbft.CommitInfoMsg{})
 	gob.Register(pbft.ViewChangeMsg{})
 	gob.Register(pbft.NewViewMsg{})
 }
@@ -58,9 +61,16 @@ type envelope struct {
 	Msg  any
 }
 
-// hello is the first frame on every outbound connection.
+// hello is the first frame on every outbound connection. Addr announces
+// the sender's listen address so the receiver can dial back even when the
+// sender is absent from its static peers file — without this, a client
+// (never listed in the replicas' peers files) commits blocks it can never
+// hear about: requests flow in over its inbound connections while every
+// reply is dropped as "unknown peer". The cmd-level 4×sbft-node +
+// sbft-client deployment hung exactly this way after its first block.
 type hello struct {
 	From int
+	Addr string
 }
 
 // Node is a protocol event machine (core.Replica, core.Client,
@@ -73,9 +83,11 @@ type Node interface {
 // event loop goroutine, preserving the sans-io single-threaded contract.
 type Shell struct {
 	id    int
-	peers map[int]string // node id → address
+	peers map[int]string // node id → address (static book; not mutated)
 
 	mu      sync.Mutex
+	learned map[int]string // addresses announced by inbound hellos
+	faults  *shellFaults
 	conns   map[int]*gob.Encoder
 	rawConn map[int]net.Conn
 	inbound map[net.Conn]struct{}
@@ -98,6 +110,7 @@ func NewShell(id int, listenAddr string, peers map[int]string) (*Shell, error) {
 	s := &Shell{
 		id:      id,
 		peers:   peers,
+		learned: make(map[int]string),
 		conns:   make(map[int]*gob.Encoder),
 		rawConn: make(map[int]net.Conn),
 		inbound: make(map[net.Conn]struct{}),
@@ -154,6 +167,15 @@ func (s *Shell) readLoop(conn net.Conn) {
 		return
 	}
 	from := h.From
+	if h.Addr != "" {
+		// Learn a dial-back route for peers absent from the static book
+		// (clients announce themselves this way).
+		s.mu.Lock()
+		if _, known := s.peers[from]; !known {
+			s.learned[from] = h.Addr
+		}
+		s.mu.Unlock()
+	}
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -196,6 +218,9 @@ func (s *Shell) dial(to int) (*gob.Encoder, error) {
 	}
 	addr, ok := s.peers[to]
 	if !ok {
+		addr, ok = s.learned[to]
+	}
+	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %d", to)
 	}
 	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
@@ -203,7 +228,7 @@ func (s *Shell) dial(to int) (*gob.Encoder, error) {
 		return nil, fmt.Errorf("transport: dial %d (%s): %w", to, addr, err)
 	}
 	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(hello{From: s.id}); err != nil {
+	if err := enc.Encode(hello{From: s.id, Addr: s.Addr()}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: handshake with %d: %w", to, err)
 	}
@@ -224,9 +249,71 @@ func (s *Shell) dropConn(to int) {
 
 var _ core.Env = (*Shell)(nil)
 
+// ShellFaults configures seeded outbound fault injection on a Shell —
+// the transport-level counterpart of the simulator's link faults, letting
+// the real-TCP integration test run chaos scenarios. Faults apply before
+// the codec: a dropped message never reaches the encoder, a delayed one
+// is re-enqueued through the event loop (which also reorders it relative
+// to later sends).
+type ShellFaults struct {
+	// Drop is the probability an outbound message is silently dropped.
+	Drop float64
+	// MaxDelay, when positive, delays each outbound message by a uniform
+	// random duration in [0, MaxDelay).
+	MaxDelay time.Duration
+	// Seed drives the fault randomness.
+	Seed int64
+}
+
+type shellFaults struct {
+	cfg ShellFaults
+	rng *rand.Rand
+}
+
+// SetFaults installs outbound fault injection; a zero value clears it.
+func (s *Shell) SetFaults(f ShellFaults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.Drop <= 0 && f.MaxDelay <= 0 {
+		s.faults = nil
+		return
+	}
+	s.faults = &shellFaults{cfg: f, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// faultDecision draws the fate of one outbound message.
+func (s *Shell) faultDecision() (drop bool, delay time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.faults
+	if f == nil {
+		return false, 0
+	}
+	if f.cfg.Drop > 0 && f.rng.Float64() < f.cfg.Drop {
+		return true, 0
+	}
+	if f.cfg.MaxDelay > 0 {
+		return false, time.Duration(f.rng.Int63n(int64(f.cfg.MaxDelay)))
+	}
+	return false, 0
+}
+
 // Send implements core.Env. Failures are dropped silently (the protocol's
 // re-transmit and view-change layers handle loss, §II).
 func (s *Shell) Send(to int, msg core.Message) {
+	drop, delay := s.faultDecision()
+	if drop {
+		return
+	}
+	if delay > 0 {
+		s.After(delay, func() { s.sendNow(to, msg) })
+		return
+	}
+	s.sendNow(to, msg)
+}
+
+// sendNow pushes one message through the codec.
+func (s *Shell) sendNow(to int, msg core.Message) {
 	enc, err := s.dial(to)
 	if err != nil {
 		return
