@@ -4,18 +4,22 @@
 // execution. A failing seed is a complete reproduction recipe — rerun
 // with -start <seed> -seeds 1 -v to replay it.
 //
-// Two generators are available: "default" (benign crash / restart /
-// partition / straggler / link faults, one replica at a time) and
-// "byzantine" (overlapping benign + Byzantine windows — equivocating
-// primaries, silent-but-alive replicas, conflicting-checkpoint senders,
-// stale-view spammers — within the f/c budget, including an f=2
-// paper-scale configuration every 16th seed). "both" splits the seed
-// range across the two, keeping wall-time flat.
+// Generators: "default" (benign crash / restart / partition / straggler /
+// link faults, one replica at a time), "byzantine" (overlapping benign +
+// Byzantine windows — equivocating primaries, silent-but-alive replicas,
+// conflicting-checkpoint senders, stale-view spammers, snapshot-chunk
+// tamperers — within the f/c budget, including an f=2 paper-scale
+// configuration every 16th seed), and "evm" (the benign generator with the
+// EVM token ledger as the replicated application on every seed). "both"
+// splits the seed range across default and byzantine, keeping wall-time
+// flat; both of those also run the EVM ledger themselves on every fifth
+// seed.
 //
 // Examples:
 //
 //	sbft-chaos                          # 100 benign + 100 Byzantine seeds
 //	sbft-chaos -gen byzantine -seeds 1000
+//	sbft-chaos -gen evm -seeds 50
 //	sbft-chaos -gen byzantine -start 176 -seeds 1 -v
 package main
 
@@ -52,6 +56,8 @@ func main() {
 		sweeps = []sweep{{"default", harness.DefaultGen, harness.SeedRange(*start, *seeds)}}
 	case "byzantine":
 		sweeps = []sweep{{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, *seeds)}}
+	case "evm":
+		sweeps = []sweep{{"evm", harness.EVMGen, harness.SeedRange(*start, *seeds)}}
 	case "both":
 		// Split the budget so adding the Byzantine sweep keeps the total
 		// scenario count (and CI wall-time) flat.
@@ -61,7 +67,7 @@ func main() {
 			{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, half)},
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, or both)\n", *gen)
+		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, evm, or both)\n", *gen)
 		os.Exit(2)
 	}
 

@@ -104,6 +104,11 @@ func main() {
 		}
 	})
 	shell.Start(client)
+	// Announce the client's dial-back address to every replica up front:
+	// replicas otherwise learn it only from the forwarded first request,
+	// and any reply sent before that is dropped as "unknown peer", costing
+	// a full retry timeout on the first operation.
+	shell.AnnounceAll()
 
 	start := time.Now()
 	shell.Do(func() {

@@ -47,6 +47,8 @@ func (cl *Cluster) InstallByzantine(node int, kind FaultKind) error {
 		c = &conflictCkpt{node: node, keys: keys, rng: rng}
 	case FaultByzSilent:
 		c = silencer{}
+	case FaultByzSnapshot:
+		c = snapshotTamperer{}
 	default:
 		return fmt.Errorf("cluster: %v is not a Byzantine fault kind", kind)
 	}
@@ -210,7 +212,7 @@ func (c *conflictCkpt) Corrupt(to sim.NodeID, msg any, size int) []sim.Injection
 	switch m := msg.(type) {
 	case core.CheckpointShareMsg:
 		evil := c.garbage(m.Seq, to)
-		share, err := c.keys.Pi.Sign(core.StateSigDigest(m.Seq, evil))
+		share, err := c.keys.Pi.Sign(core.CheckpointSigDigest(m.Seq, evil))
 		if err != nil {
 			return nil
 		}
@@ -237,6 +239,41 @@ type silencer struct{}
 
 // Corrupt implements sim.Corrupter.
 func (silencer) Corrupt(sim.NodeID, any, int) []sim.Injection { return nil }
+
+// TamperSnapshotChunk is the byte-level tampering a Byzantine snapshot
+// server applies to state-transfer chunks: deterministic bit flips across
+// the chunk (hitting serialized application state and, in the tail chunks,
+// the last-reply table — the dedup state the old uncertified envelope let
+// an adversary perturb silently). Exported so the pre-fix exploit test can
+// apply the identical corruption to the legacy envelope encoding.
+func TamperSnapshotChunk(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < len(out); i += 64 {
+		out[i] ^= 0x80
+	}
+	if n := len(out); n > 0 {
+		out[n-1] ^= 0x01
+	}
+	return out
+}
+
+// snapshotTamperer rewrites outbound snapshot chunks. The metadata
+// (threshold-signed root + header) is passed through untouched — a
+// Byzantine server cannot forge the π certificate anyway, and an honest-
+// looking meta answer followed by tampered chunks is exactly the attack
+// the chunk-level Merkle verification exists to catch. All non-snapshot
+// traffic passes through: the replica participates honestly in consensus
+// while lying only on the state-transfer path.
+type snapshotTamperer struct{}
+
+// Corrupt implements sim.Corrupter.
+func (snapshotTamperer) Corrupt(to sim.NodeID, msg any, size int) []sim.Injection {
+	if m, ok := msg.(core.SnapshotChunkMsg); ok {
+		em := core.SnapshotChunkMsg{Seq: m.Seq, Index: m.Index, Data: TamperSnapshotChunk(m.Data), Proof: m.Proof}
+		return []sim.Injection{{To: to, Msg: em, Size: em.WireSize()}}
+	}
+	return sim.PassThrough(to, msg, size)
+}
 
 // ---------------------------------------------------------------------------
 // Over-budget collusion (auditor canary).

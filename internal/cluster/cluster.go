@@ -1,15 +1,3 @@
-// Package cluster wires SBFT and PBFT replicas, clients and applications
-// into the discrete-event simulator, reproducing the paper's deployments
-// (§IX): a full protocol stack per replica over a modeled WAN, with crash
-// and straggler injection and closed-loop measurement clients.
-//
-// The five protocol variants of the evaluation map to:
-//
-//	PBFT            → internal/pbft (quadratic baseline)
-//	Linear-PBFT     → SBFT engine, fast path off, exec collectors off, c=0
-//	Linear+Fast     → SBFT engine, fast path on, exec collectors off, c=0
-//	SBFT (c=0)      → all ingredients, c=0
-//	SBFT (c=8)      → all ingredients, c=8
 package cluster
 
 import (

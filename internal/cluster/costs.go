@@ -100,8 +100,10 @@ func (cm CostModel) RecvCost(msg any, size int) time.Duration {
 		d += cm.Verify + time.Duration(len(m.Slots))*cm.Verify
 	case core.NewViewMsg:
 		d += time.Duration(1+len(m.ViewChanges)) * cm.Verify
-	case core.StateSnapshotMsg:
-		d += cm.Verify + time.Duration(size/4096)*cm.PerOp
+	case core.SnapshotMetaMsg:
+		d += cm.Verify // π certificate + header proof
+	case core.SnapshotChunkMsg:
+		d += time.Duration(1+size/4096) * cm.PerOp // leaf hash chain
 
 	// --- PBFT baseline (all messages carry a signature, §IX) ---
 	case pbft.PrePrepareMsg:

@@ -67,6 +67,14 @@ const (
 	// keeps receiving: a crash-like replica that still looks alive at the
 	// transport level.
 	FaultByzSilent
+	// FaultByzSnapshot makes Node a Byzantine snapshot server: outbound
+	// state-transfer chunks are tampered with (flipped bytes — perturbing
+	// the serialized reply table and application state a recovering
+	// replica would restore). Because every chunk is Merkle-verified
+	// against the π-certified checkpoint root, honest receivers must
+	// detect the tampering, blame this server, and finish recovery from
+	// the remaining honest servers.
+	FaultByzSnapshot
 	// FaultByzRestore removes Node's corrupter. The engine was never
 	// corrupted internally, so the replica resumes honest participation;
 	// the audit keeps treating it as Byzantine (sticky mark).
@@ -100,6 +108,8 @@ func (k FaultKind) String() string {
 		return "byz-conflict-ckpt"
 	case FaultByzSilent:
 		return "byz-silent"
+	case FaultByzSnapshot:
+		return "byz-snapshot"
 	case FaultByzRestore:
 		return "byz-restore"
 	default:
@@ -110,7 +120,8 @@ func (k FaultKind) String() string {
 // Byzantine reports whether the kind installs or removes a corrupter.
 func (k FaultKind) Byzantine() bool {
 	switch k {
-	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt, FaultByzSilent, FaultByzRestore:
+	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt,
+		FaultByzSilent, FaultByzSnapshot, FaultByzRestore:
 		return true
 	}
 	return false
@@ -196,7 +207,8 @@ func (cl *Cluster) applyFault(f Fault) {
 		cl.Net.SetLinkFault(linkEnd(f.From), linkEnd(f.To), f.Link)
 	case FaultLinkClear:
 		cl.Net.ClearLinkFaults()
-	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt, FaultByzSilent, FaultByzRestore:
+	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt,
+		FaultByzSilent, FaultByzSnapshot, FaultByzRestore:
 		if err := cl.InstallByzantine(f.Node, f.Kind); err != nil {
 			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("%s r%d at %v: %w", f.Kind, f.Node, f.At, err))
 		}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"sbft/internal/crypto/threshsig"
+	"sbft/internal/merkle"
+)
+
+// This file defines the certified execution state: the canonical,
+// Merkle-committed encoding of everything a recovering replica needs to
+// resume deterministic execution — the application snapshot AND the
+// last-reply/client-timestamp table of the exactly-once execution filter.
+// The Merkle root over this encoding is the digest replicas threshold-sign
+// at checkpoints (π, f+1), so a single honest snapshot server suffices for
+// state transfer (§V-F, §VIII) and — unlike the earlier design, where the
+// reply table rode alongside the snapshot uncertified — a Byzantine
+// snapshot server cannot perturb dedup state: every transferred chunk is
+// verified leaf-by-leaf against the threshold-signed root, and a server
+// whose chunk fails verification is blamed and excluded.
+//
+// Layout of the commitment tree (internal/merkle, domain-separated leaves):
+//
+//	leaf 0               header: app digest, app/table byte lengths, chunk size
+//	leaf 1 .. n_a        app snapshot bytes, split into ChunkSize pieces
+//	leaf n_a+1 .. n_a+n_t   canonical reply-table bytes, split likewise
+//
+// Determinism contract: Application.Snapshot must produce identical bytes
+// on replicas with identical state (the kvstore and evm apps encode
+// key-sorted entries), and the reply table is serialized sorted by client
+// id — so every honest replica computes the same root at the same
+// checkpoint sequence and the π quorum forms.
+
+// SnapshotChunkSize is the number of snapshot bytes committed per Merkle
+// leaf (and transferred per SnapshotChunkMsg).
+const SnapshotChunkSize = 8 * 1024
+
+// maxSnapshotLen bounds a header's claimed byte lengths; a sanity guard
+// against allocation bombs from malformed (never certified) metadata.
+const maxSnapshotLen = 1 << 31
+
+// SnapshotHeader is leaf 0 of the commitment tree: the shape of the
+// certified state. AppDigest is the application's own state root at the
+// checkpoint sequence (digest(D), §IV), retained for defense in depth —
+// after chunk-verified restoration the application digest must match it.
+type SnapshotHeader struct {
+	AppDigest []byte
+	AppLen    uint64
+	TableLen  uint64
+	ChunkSize uint32
+}
+
+// chunkCount is ceil(n / size).
+func chunkCount(n uint64, size uint32) int {
+	if n == 0 {
+		return 0
+	}
+	return int((n + uint64(size) - 1) / uint64(size))
+}
+
+// NumChunks reports the number of data chunks (Merkle leaves past the
+// header) the certified snapshot carries.
+func (h SnapshotHeader) NumChunks() int {
+	return chunkCount(h.AppLen, h.ChunkSize) + chunkCount(h.TableLen, h.ChunkSize)
+}
+
+// chunkLen reports the exact byte length of 1-based chunk index i.
+func (h SnapshotHeader) chunkLen(i int) int {
+	na := chunkCount(h.AppLen, h.ChunkSize)
+	lenOf := func(total uint64, pos int, count int) int {
+		if pos < count-1 {
+			return int(h.ChunkSize)
+		}
+		rem := total % uint64(h.ChunkSize)
+		if rem == 0 {
+			return int(h.ChunkSize)
+		}
+		return int(rem)
+	}
+	if i <= na {
+		return lenOf(h.AppLen, i-1, na)
+	}
+	return lenOf(h.TableLen, i-na-1, h.NumChunks()-na)
+}
+
+// valid performs cheap structural sanity checks (the certified root is
+// what actually authenticates a header; this only guards allocations).
+func (h SnapshotHeader) valid() bool {
+	return h.ChunkSize > 0 && h.ChunkSize <= 1<<20 &&
+		h.AppLen <= maxSnapshotLen && h.TableLen <= maxSnapshotLen &&
+		len(h.AppDigest) <= 64
+}
+
+// headerLeaf is the canonical leaf-0 encoding.
+func headerLeaf(h SnapshotHeader) []byte {
+	buf := make([]byte, 0, 32+len(h.AppDigest))
+	buf = append(buf, []byte("sbft:snap-hdr")...)
+	buf = binary.BigEndian.AppendUint64(buf, h.AppLen)
+	buf = binary.BigEndian.AppendUint64(buf, h.TableLen)
+	buf = binary.BigEndian.AppendUint32(buf, h.ChunkSize)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(h.AppDigest)))
+	buf = append(buf, h.AppDigest...)
+	return buf
+}
+
+// chunkLeaf binds a data chunk to its 1-based leaf index, so a correct
+// proof for chunk i can never authenticate its bytes at position j.
+func chunkLeaf(index int, data []byte) []byte {
+	buf := make([]byte, 0, 24+len(data))
+	buf = append(buf, []byte("sbft:snap-chunk")...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(index))
+	buf = append(buf, data...)
+	return buf
+}
+
+// splitChunks cuts data into ChunkSize pieces (no copy; callers treat the
+// result as read-only).
+func splitChunks(data []byte, size uint32) [][]byte {
+	var out [][]byte
+	for len(data) > 0 {
+		n := int(size)
+		if n > len(data) {
+			n = len(data)
+		}
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}
+
+// CertifiedSnapshot is one checkpoint's certified execution state: the
+// chunked snapshot, its commitment tree, and (once stable) the π
+// certificate over the root.
+type CertifiedSnapshot struct {
+	Seq    uint64
+	Header SnapshotHeader
+	Chunks [][]byte
+	// Pi is the threshold certificate over CheckpointSigDigest(Seq, Root());
+	// zero until the checkpoint stabilizes.
+	Pi threshsig.Signature
+
+	root []byte
+	tree *merkle.Tree
+}
+
+// NewCertifiedSnapshot commits (app snapshot bytes, canonical reply-table
+// bytes) for a checkpoint sequence.
+func NewCertifiedSnapshot(seq uint64, appDigest, appSnap, tableBytes []byte) *CertifiedSnapshot {
+	cs := &CertifiedSnapshot{
+		Seq: seq,
+		Header: SnapshotHeader{
+			AppDigest: append([]byte(nil), appDigest...),
+			AppLen:    uint64(len(appSnap)),
+			TableLen:  uint64(len(tableBytes)),
+			ChunkSize: SnapshotChunkSize,
+		},
+	}
+	cs.Chunks = append(splitChunks(appSnap, SnapshotChunkSize), splitChunks(tableBytes, SnapshotChunkSize)...)
+	cs.build()
+	return cs
+}
+
+// build computes the commitment tree from Header and Chunks.
+func (cs *CertifiedSnapshot) build() {
+	leaves := make([][]byte, 1+len(cs.Chunks))
+	leaves[0] = headerLeaf(cs.Header)
+	for i, c := range cs.Chunks {
+		leaves[i+1] = chunkLeaf(i+1, c)
+	}
+	cs.tree = merkle.NewTree(leaves)
+	root := cs.tree.Root()
+	cs.root = root[:]
+}
+
+// Root returns the Merkle root — the digest threshold-signed at this
+// checkpoint.
+func (cs *CertifiedSnapshot) Root() []byte { return cs.root }
+
+// ProveHeader returns the membership proof of leaf 0.
+func (cs *CertifiedSnapshot) ProveHeader() (merkle.Proof, error) { return cs.tree.Prove(0) }
+
+// ProveChunk returns the membership proof of 1-based chunk index i.
+func (cs *CertifiedSnapshot) ProveChunk(i int) (merkle.Proof, error) { return cs.tree.Prove(i) }
+
+// VerifySnapshotHeader checks a header against a certified root.
+func VerifySnapshotHeader(root []byte, h SnapshotHeader, p merkle.Proof) error {
+	if !h.valid() {
+		return fmt.Errorf("core: malformed snapshot header")
+	}
+	if p.Index != 0 {
+		return fmt.Errorf("core: snapshot header proof at index %d", p.Index)
+	}
+	var rd merkle.Digest
+	if len(root) != merkle.DigestSize {
+		return fmt.Errorf("core: snapshot root length %d", len(root))
+	}
+	copy(rd[:], root)
+	return merkle.VerifyLeaf(rd, headerLeaf(h), p)
+}
+
+// VerifySnapshotChunk checks a data chunk at 1-based index i against a
+// certified root and its header.
+func VerifySnapshotChunk(root []byte, h SnapshotHeader, i int, data []byte, p merkle.Proof) error {
+	if i < 1 || i > h.NumChunks() {
+		return fmt.Errorf("core: snapshot chunk index %d of %d", i, h.NumChunks())
+	}
+	if len(data) != h.chunkLen(i) {
+		return fmt.Errorf("core: snapshot chunk %d has %d bytes, want %d", i, len(data), h.chunkLen(i))
+	}
+	if p.Index != i {
+		return fmt.Errorf("core: snapshot chunk proof at index %d, want %d", p.Index, i)
+	}
+	var rd merkle.Digest
+	if len(root) != merkle.DigestSize {
+		return fmt.Errorf("core: snapshot root length %d", len(root))
+	}
+	copy(rd[:], root)
+	return merkle.VerifyLeaf(rd, chunkLeaf(i, data), p)
+}
+
+// AssembleSnapshot reassembles (app snapshot bytes, reply-table bytes)
+// from a complete, individually verified chunk list.
+func AssembleSnapshot(h SnapshotHeader, chunks [][]byte) (app, table []byte, err error) {
+	if len(chunks) != h.NumChunks() {
+		return nil, nil, fmt.Errorf("core: %d chunks, want %d", len(chunks), h.NumChunks())
+	}
+	var all []byte
+	for _, c := range chunks {
+		all = append(all, c...)
+	}
+	if uint64(len(all)) != h.AppLen+h.TableLen {
+		return nil, nil, fmt.Errorf("core: assembled %d bytes, want %d", len(all), h.AppLen+h.TableLen)
+	}
+	return all[:h.AppLen], all[h.AppLen:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Canonical reply-table encoding.
+
+// encodeReplyTable serializes the last-reply table sorted by client id:
+// the canonical byte form committed inside the checkpoint digest.
+func encodeReplyTable(cache map[int]replyCacheEntry) []byte {
+	clients := make([]int, 0, len(cache))
+	for c := range cache {
+		clients = append(clients, c)
+	}
+	sort.Ints(clients)
+	buf := make([]byte, 0, 8+48*len(clients))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(clients)))
+	for _, c := range clients {
+		e := cache[c]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
+		buf = binary.BigEndian.AppendUint64(buf, e.timestamp)
+		buf = binary.BigEndian.AppendUint64(buf, e.seq)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.l))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(e.val)))
+		buf = append(buf, e.val...)
+	}
+	return buf
+}
+
+// decodeReplyTable parses the canonical reply-table encoding.
+func decodeReplyTable(data []byte) (map[int]replyCacheEntry, error) {
+	readU64 := func() (uint64, error) {
+		if len(data) < 8 {
+			return 0, fmt.Errorf("core: truncated reply table")
+		}
+		v := binary.BigEndian.Uint64(data)
+		data = data[8:]
+		return v, nil
+	}
+	n, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSnapshotLen/8 {
+		return nil, fmt.Errorf("core: reply table claims %d entries", n)
+	}
+	out := make(map[int]replyCacheEntry, n)
+	for i := uint64(0); i < n; i++ {
+		var vals [5]uint64
+		for j := range vals {
+			if vals[j], err = readU64(); err != nil {
+				return nil, err
+			}
+		}
+		vlen := vals[4]
+		if uint64(len(data)) < vlen {
+			return nil, fmt.Errorf("core: truncated reply table value")
+		}
+		out[int(vals[0])] = replyCacheEntry{
+			timestamp: vals[1],
+			seq:       vals[2],
+			l:         int(vals[3]),
+			val:       append([]byte(nil), data[:vlen]...),
+		}
+		data = data[vlen:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("core: %d trailing reply-table bytes", len(data))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Durable form (storage.Ledger snapshot files).
+
+// storedSnapshot is the gob-encoded durable form of a certified snapshot,
+// including the π certificate so a restarted replica can serve state
+// transfer before reaching its next checkpoint.
+type storedSnapshot struct {
+	Seq    uint64
+	Header SnapshotHeader
+	Chunks [][]byte
+	Pi     threshsig.Signature
+}
+
+// Encode serializes the snapshot (with certificate) for the SnapshotStore.
+func (cs *CertifiedSnapshot) Encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(storedSnapshot{
+		Seq: cs.Seq, Header: cs.Header, Chunks: cs.Chunks, Pi: cs.Pi,
+	}); err != nil {
+		panic(fmt.Sprintf("core: encoding stored snapshot: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// DecodeCertifiedSnapshot parses a stored snapshot and rebuilds its
+// commitment tree. Callers must still verify the π certificate over
+// (Seq, Root()) before serving or trusting it.
+func DecodeCertifiedSnapshot(data []byte) (*CertifiedSnapshot, error) {
+	var st storedSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding stored snapshot: %w", err)
+	}
+	if !st.Header.valid() || len(st.Chunks) != st.Header.NumChunks() {
+		return nil, fmt.Errorf("core: stored snapshot shape mismatch")
+	}
+	for i, c := range st.Chunks {
+		if len(c) != st.Header.chunkLen(i+1) {
+			return nil, fmt.Errorf("core: stored snapshot chunk %d length mismatch", i+1)
+		}
+	}
+	cs := &CertifiedSnapshot{Seq: st.Seq, Header: st.Header, Chunks: st.Chunks, Pi: st.Pi}
+	cs.build()
+	return cs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Signing digests.
+
+// CheckpointSigDigest domain-separates π signatures over certified
+// checkpoint roots. It is distinct from StateSigDigest (the per-sequence
+// execution certificates of §V-D) so an execution certificate can never be
+// replayed as a checkpoint certificate or vice versa.
+func CheckpointSigDigest(seq uint64, root []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("sbft:ckpt"))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seq)
+	h.Write(b[:])
+	h.Write(root)
+	return h.Sum(nil)
+}
+
+// ExecutionStateDigest is a cheap commitment to a replica's replayable
+// execution state — H(app digest ‖ canonical reply table) — used by the
+// chaos auditor to cross-check that replicas at the same frontier agree on
+// dedup state, not just application state. (The full certified root also
+// covers the serialized snapshot; this avoids the serialization cost.)
+func (r *Replica) ExecutionStateDigest() []byte {
+	h := sha256.New()
+	h.Write([]byte("sbft:execstate"))
+	h.Write(r.app.Digest())
+	h.Write(encodeReplyTable(r.replyCache))
+	return h.Sum(nil)
+}

@@ -60,6 +60,7 @@ type pendingOp struct {
 	replies  map[int]string // replica → reply fingerprint (f+1 matching)
 	vals     map[string][]byte
 	seqs     map[string]uint64
+	views    map[int]uint64 // replica → claimed current view (routing hint)
 	cancelTo func()
 }
 
@@ -75,6 +76,10 @@ func NewClient(id int, cfg Config, suite CryptoSuite, env Env, verify ProofVerif
 
 // ID reports the client id.
 func (c *Client) ID() int { return c.id }
+
+// View reports the client's best guess of the cluster's current view,
+// learned from reply and execute-ack view hints.
+func (c *Client) View() uint64 { return c.view }
 
 // SetOnResult installs the completion callback. It must be set before
 // Submit.
@@ -97,6 +102,7 @@ func (c *Client) Submit(op []byte) error {
 		replies: make(map[int]string),
 		vals:    make(map[string][]byte),
 		seqs:    make(map[string]uint64),
+		views:   make(map[int]uint64),
 	}
 	c.cur = p
 	req := RequestMsg{Req: Request{Client: c.id, Timestamp: p.ts, Op: op}}
@@ -149,7 +155,7 @@ func (c *Client) onExecuteAck(_ int, m ExecuteAckMsg) {
 			return
 		}
 	}
-	c.complete(p, m.Val, m.Seq, true)
+	c.complete(p, m.Val, m.Seq, true, m.View)
 }
 
 func (c *Client) onReply(from int, m ReplyMsg) {
@@ -164,6 +170,7 @@ func (c *Client) onReply(from int, m ReplyMsg) {
 	p.replies[from] = fp
 	p.vals[fp] = m.Val
 	p.seqs[fp] = m.Seq
+	p.views[from] = m.View
 	count := 0
 	for _, f := range p.replies {
 		if f == fp {
@@ -171,13 +178,49 @@ func (c *Client) onReply(from int, m ReplyMsg) {
 		}
 	}
 	if count >= c.cfg.QuorumExec() { // f+1 matching replies
-		c.complete(p, p.vals[fp], p.seqs[fp], false)
+		// View hint: the LOWEST view claimed by the f+1 matching
+		// repliers. Any f+1 set contains an honest replica, so the
+		// minimum is bounded above by a view some honest replica really
+		// reached — a Byzantine member can drag the hint down (costing at
+		// most a forwarding hop: backups forward client requests to their
+		// primary) but cannot inflate it.
+		viewHint := uint64(0)
+		first := true
+		for id, f := range p.replies {
+			if f != fp {
+				continue
+			}
+			if first || p.views[id] < viewHint {
+				viewHint = p.views[id]
+				first = false
+			}
+		}
+		c.complete(p, p.vals[fp], p.seqs[fp], false, viewHint)
 	}
 }
 
-func (c *Client) complete(p *pendingOp, val []byte, seq uint64, fast bool) {
+// complete finishes the outstanding operation and adopts the view hint so
+// the next Submit addresses the current primary directly (cutting the
+// post-view-change retry latency the ROADMAP flagged). Hints are
+// unauthenticated routing advice, never safety-relevant, and are treated
+// with suspicion: forward adoption is capped to one primary rotation per
+// operation (an inflated hint from a lying replica cannot point the
+// client at an arbitrary view), and an operation that needed the §V-A
+// retry broadcast — evidence the stored view misroutes — may additionally
+// move the stored view DOWN to the completing hint instead of keeping a
+// poisoned maximum (upward adoption stays capped even then). Worst case,
+// ≤ f lying replicas degrade one client's latency; the retry broadcast
+// bounds the damage per operation.
+func (c *Client) complete(p *pendingOp, val []byte, seq uint64, fast bool, viewHint uint64) {
 	if p.cancelTo != nil {
 		p.cancelTo()
+	}
+	// Upward drift is ALWAYS capped to one primary rotation — including
+	// after a retry, where the completing evidence may be a single
+	// unauthenticated execute-ack; a retry additionally allows the view
+	// to move down (the stored value demonstrably misroutes).
+	if viewHint <= c.view+uint64(c.cfg.N()) && (p.retried || viewHint > c.view) {
+		c.view = viewHint
 	}
 	c.cur = nil
 	c.Completed++

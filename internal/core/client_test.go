@@ -277,3 +277,126 @@ type threshsigShare = threshShare
 
 // threshSig aliases the signature type for replica tests.
 type threshSig = threshsig.Signature
+
+// TestClientLearnsViewFromReplies pins the post-view-change routing
+// optimization: the client adopts the view hint carried by the f+1
+// matching repliers (or by a verified execute-ack) and addresses the new
+// view's primary directly on the next operation.
+func TestClientLearnsViewFromReplies(t *testing.T) {
+	c, env, _, _ := newTestClient(t)
+	c.SetOnResult(func(Result) {})
+	c.Submit([]byte("op1"))
+	if env.sent[0].to != c.cfg.Primary(0) {
+		t.Fatalf("first request sent to %d, want view-0 primary %d", env.sent[0].to, c.cfg.Primary(0))
+	}
+
+	// Two matching replies claiming view 3 (one honest is among any f+1).
+	for _, from := range []int{2, 3} {
+		c.Deliver(from, ReplyMsg{
+			Seq: 3, Replica: from, Client: c.ID(), Timestamp: 1, View: 3, Val: []byte("A"),
+		})
+	}
+	if c.View() != 3 {
+		t.Fatalf("client view = %d after f+1 replies claiming view 3", c.View())
+	}
+
+	before := len(env.sent)
+	c.Submit([]byte("op2"))
+	if to := env.sent[before].to; to != c.cfg.Primary(3) {
+		t.Fatalf("post-view-change request sent to %d, want view-3 primary %d", to, c.cfg.Primary(3))
+	}
+}
+
+// TestClientViewHintFromExecuteAck: the single-message path updates the
+// view too, and stale hints never move the view backwards (absent retry
+// evidence that the stored view misroutes).
+func TestClientViewHintFromExecuteAck(t *testing.T) {
+	c, _, suite, keys := newTestClient(t)
+	c.SetOnResult(func(Result) {})
+	c.Submit([]byte("op"))
+	ack := buildExecAck(t, suite, keys, c.ID(), 1, []byte("r"))
+	ack.View = 3
+	c.Deliver(2, ack)
+	if c.View() != 3 {
+		t.Fatalf("client view = %d after execute-ack claiming view 3", c.View())
+	}
+
+	// A later completion with a stale view hint must not regress.
+	c.Submit([]byte("op2"))
+	ack2 := buildExecAck(t, suite, keys, c.ID(), 2, []byte("r2"))
+	ack2.View = 1
+	c.Deliver(3, ack2)
+	if c.View() != 3 {
+		t.Fatalf("client view regressed to %d on stale hint", c.View())
+	}
+}
+
+// TestClientViewHintBoundedAndResetOnRetry pins the anti-poisoning rules:
+// a wildly inflated hint (a lying replica steering the client at a view
+// where it would be primary forever) is rejected by the one-rotation
+// drift cap, and an operation that needed the retry broadcast — proof
+// the stored view misroutes — replaces the stored view with the
+// completing quorum's hint, even downward.
+func TestClientViewHintBoundedAndResetOnRetry(t *testing.T) {
+	c, env, suite, keys := newTestClient(t)
+	c.SetOnResult(func(Result) {})
+	c.RequestTimeout = time.Second
+
+	// Inflated single-ack hint: rejected (drift cap is one rotation, n=4).
+	c.Submit([]byte("op"))
+	ack := buildExecAck(t, suite, keys, c.ID(), 1, []byte("r"))
+	ack.View = 1000
+	c.Deliver(2, ack)
+	if c.View() != 0 {
+		t.Fatalf("client adopted inflated view %d", c.View())
+	}
+
+	// Legitimately reach view 3, then a retried op completes with a
+	// quorum claiming view 1: the reset rule adopts it (downward).
+	c.Submit([]byte("op2"))
+	ack2 := buildExecAck(t, suite, keys, c.ID(), 2, []byte("r2"))
+	ack2.View = 3
+	c.Deliver(2, ack2)
+	if c.View() != 3 {
+		t.Fatalf("client view = %d, want 3", c.View())
+	}
+	c.Submit([]byte("op3"))
+	env.advance(2 * time.Second) // force the §V-A retry broadcast
+	for _, from := range []int{1, 4} {
+		c.Deliver(from, ReplyMsg{
+			Seq: 9, Replica: from, Client: c.ID(), Timestamp: 3, View: 1, Val: []byte("v"),
+		})
+	}
+	if c.View() != 1 {
+		t.Fatalf("client view = %d after retried completion hinting view 1, want reset", c.View())
+	}
+}
+
+// TestClientMismatchedRepliesDoNotMoveView: view hints from replies that
+// never formed the f+1 quorum are not adopted.
+func TestClientMismatchedRepliesDoNotMoveView(t *testing.T) {
+	c, _, _, _ := newTestClient(t)
+	c.SetOnResult(func(Result) {})
+	c.Submit([]byte("op"))
+	c.Deliver(2, ReplyMsg{Seq: 3, Replica: 2, Client: c.ID(), Timestamp: 1, View: 9, Val: []byte("X")})
+	if c.View() != 0 {
+		t.Fatalf("client adopted view %d from a single unconfirmed reply", c.View())
+	}
+}
+
+// TestClientRetriedFastAckHintStillCapped: the downward-reset rule for
+// retried operations must not open an unbounded upward channel — a single
+// unauthenticated execute-ack after a retry cannot teleport the view.
+func TestClientRetriedFastAckHintStillCapped(t *testing.T) {
+	c, env, suite, keys := newTestClient(t)
+	c.SetOnResult(func(Result) {})
+	c.RequestTimeout = time.Second
+	c.Submit([]byte("op"))
+	env.advance(2 * time.Second) // retried
+	ack := buildExecAck(t, suite, keys, c.ID(), 1, []byte("r"))
+	ack.View = 1 << 40
+	c.Deliver(2, ack)
+	if c.View() != 0 {
+		t.Fatalf("retried completion adopted inflated view %d", c.View())
+	}
+}

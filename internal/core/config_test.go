@@ -219,7 +219,9 @@ func TestMessageWireSizes(t *testing.T) {
 		CheckpointShareMsg{},
 		CheckpointCertMsg{},
 		FetchStateMsg{},
-		StateSnapshotMsg{Snapshot: make([]byte, 1000)},
+		SnapshotMetaMsg{Root: make([]byte, 32)},
+		FetchSnapshotChunkMsg{},
+		SnapshotChunkMsg{Data: make([]byte, 1000)},
 		ViewChangeMsg{Slots: []SlotInfo{{}}},
 		NewViewMsg{ViewChanges: []ViewChangeMsg{{}}},
 	}

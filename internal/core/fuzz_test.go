@@ -145,7 +145,17 @@ func nextFuzzMessage(data []byte) (msg any, from int, rest []byte) {
 	case 13:
 		msg = FetchStateMsg{Replica: from, Seq: seq}
 	case 14:
-		msg = StateSnapshotMsg{Seq: seq, Digest: payload, Pi: sig, Snapshot: payload}
+		// Exercise the chunked state-transfer receivers with junk metadata
+		// and chunks (none of it certified, so all must be rejected).
+		switch seqB % 3 {
+		case 0:
+			msg = SnapshotMetaMsg{Seq: seq, Root: payload, Pi: sig,
+				Header: SnapshotHeader{AppDigest: payload, AppLen: uint64(len(payload)), ChunkSize: 4}}
+		case 1:
+			msg = FetchSnapshotChunkMsg{Replica: from, Seq: seq, Index: int(viewB)}
+		default:
+			msg = SnapshotChunkMsg{Seq: seq, Index: int(viewB), Data: payload}
+		}
 	case 15:
 		msg = ViewChangeMsg{
 			NewView: view, Replica: from, LastStable: seq,

@@ -202,7 +202,7 @@ func TestSignShareArrivalOrderIrrelevant(t *testing.T) {
 func TestDuplicateCheckpointShares(t *testing.T) {
 	rg := newRig(t, 2, func(c *Config) { c.CheckpointInterval = 1; c.Win = 8 })
 	d := []byte("ckpt")
-	sd := stateSigDigest(4, d)
+	sd := CheckpointSigDigest(4, d)
 	for round := 0; round < 2; round++ {
 		for i := 1; i <= rg.cfg.QuorumExec(); i++ {
 			sh, err := rg.keys[i-1].Pi.Sign(sd)
@@ -249,24 +249,26 @@ func TestExactlyOnceExecutionAcrossSequences(t *testing.T) {
 	}
 }
 
-// TestSnapshotCarriesReplyCache pins the state-transfer envelope: the
-// last-reply table must round-trip so dedup stays deterministic.
+// TestSnapshotCarriesReplyCache pins the certified state-transfer payload:
+// the last-reply table must round-trip through its canonical encoding so
+// dedup stays deterministic, and the encoding itself must be canonical
+// (client-sorted) because it is committed inside the checkpoint digest.
 func TestSnapshotCarriesReplyCache(t *testing.T) {
 	cache := map[int]replyCacheEntry{
 		ClientBase:     {timestamp: 3, seq: 7, l: 0, val: []byte("a")},
 		ClientBase + 1: {timestamp: 9, seq: 8, l: 1, val: []byte("b")},
 	}
-	env, err := decodeSnapshot(encodeSnapshot([]byte("app-bytes"), cache))
+	table, err := decodeReplyTable(encodeReplyTable(cache))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(env.App, []byte("app-bytes")) {
-		t.Fatal("app snapshot corrupted")
+	if len(table) != 2 || table[ClientBase+1].timestamp != 9 || !bytes.Equal(table[ClientBase].val, []byte("a")) {
+		t.Fatalf("reply table corrupted: %+v", table)
 	}
-	if len(env.Replies) != 2 || env.Replies[ClientBase+1].Timestamp != 9 {
-		t.Fatalf("reply table corrupted: %+v", env.Replies)
+	if !bytes.Equal(encodeReplyTable(cache), encodeReplyTable(table)) {
+		t.Fatal("reply-table encoding is not canonical")
 	}
-	if _, err := decodeSnapshot([]byte("junk")); err == nil {
-		t.Fatal("junk snapshot decoded")
+	if _, err := decodeReplyTable([]byte("junk")); err == nil {
+		t.Fatal("junk reply table decoded")
 	}
 }

@@ -1,14 +1,3 @@
-// Package core implements the SBFT replication protocol (§V–VII of the
-// paper): the fast path (pre-prepare → sign-share → full-commit-proof), the
-// linear-PBFT fallback path (prepare → commit → full-commit-proof-slow),
-// the execution/acknowledgement phase with E-collectors and single-message
-// client acks, checkpointing and garbage collection, state transfer, and
-// the dual-mode view change.
-//
-// Replicas are sans-io event machines: they receive messages and timer
-// callbacks through an Env interface and emit messages through it, so the
-// same code runs under the deterministic discrete-event simulator
-// (internal/sim) and real transports (internal/transport).
 package core
 
 import (
@@ -16,6 +5,7 @@ import (
 	"encoding/binary"
 
 	"sbft/internal/crypto/threshsig"
+	"sbft/internal/merkle"
 )
 
 // Digest is a SHA-256 block or state digest.
@@ -180,13 +170,20 @@ type FullExecuteProofMsg struct {
 func (m FullExecuteProofMsg) WireSize() int { return msgHeader + hashSize + sigSize }
 
 // ExecuteAckMsg is the single-message client acknowledgement
-// ⟨"execute-ack", s, l, val, o, π(d), proof⟩ (§V-A, §V-D).
+// ⟨"execute-ack", s, l, val, o, π(d), proof⟩ (§V-A, §V-D). View is the
+// sender's current view — a routing hint that lets clients address the
+// current primary directly after a view change instead of paying a retry
+// broadcast. It is unauthenticated beside the ack itself; clients adopt
+// it with bounded drift and reset it when routing demonstrably failed
+// (see Client.complete), so a lying replica can only degrade latency,
+// never safety.
 type ExecuteAckMsg struct {
 	Seq       uint64
 	L         int
 	Val       []byte
 	Client    int
 	Timestamp uint64
+	View      uint64
 	Digest    []byte
 	Pi        threshsig.Signature
 	Proof     []byte // application-encoded proof(o, l, s, D, val)
@@ -198,22 +195,26 @@ func (m ExecuteAckMsg) WireSize() int {
 }
 
 // ReplyMsg is the PBFT-style direct reply used when execution collectors
-// are disabled or a client requested the f+1 fallback path.
+// are disabled or a client requested the f+1 fallback path. View carries
+// the same routing hint as ExecuteAckMsg.View.
 type ReplyMsg struct {
 	Seq       uint64
 	L         int
 	Replica   int
 	Client    int
 	Timestamp uint64
+	View      uint64
 	Val       []byte
 }
 
 // WireSize implements Message.
 func (m ReplyMsg) WireSize() int { return msgHeader + len(m.Val) + sigSize }
 
-// CheckpointShareMsg carries a replica's π share over the state digest at
-// a checkpoint sequence (every win/2 executions, §V-F), sent to the
-// E-collectors of that sequence.
+// CheckpointShareMsg carries a replica's π share over the certified
+// execution-state root at a checkpoint sequence (every win/2 executions,
+// §V-F). Digest is the Merkle root committing to the application snapshot
+// AND the last-reply table (see certstate.go); the share signs
+// CheckpointSigDigest(Seq, Digest).
 type CheckpointShareMsg struct {
 	Seq     uint64
 	Replica int
@@ -262,8 +263,8 @@ type CommitInfoMsg struct {
 // WireSize implements Message.
 func (m CommitInfoMsg) WireSize() int { return msgHeader + reqsSize(m.Reqs) + 3*sigSize }
 
-// FetchStateMsg asks a peer for a checkpoint snapshot at or above Seq
-// (state transfer, §VIII).
+// FetchStateMsg asks a peer for the metadata of a certified checkpoint
+// snapshot at or above Seq (state transfer, §VIII).
 type FetchStateMsg struct {
 	Replica int
 	Seq     uint64
@@ -272,18 +273,50 @@ type FetchStateMsg struct {
 // WireSize implements Message.
 func (m FetchStateMsg) WireSize() int { return msgHeader }
 
-// StateSnapshotMsg returns a snapshot with its stable-checkpoint
-// certificate.
-type StateSnapshotMsg struct {
-	Seq      uint64
-	Digest   []byte
-	Pi       threshsig.Signature
-	Snapshot []byte
+// SnapshotMetaMsg answers FetchStateMsg: the certified snapshot's root,
+// its π stable-checkpoint certificate, and the header (leaf 0) with its
+// membership proof. A receiver verifies π over
+// CheckpointSigDigest(Seq, Root) and then the header proof before
+// requesting chunks — everything after that is authenticated leaf by leaf.
+type SnapshotMetaMsg struct {
+	Seq         uint64
+	Root        []byte
+	Pi          threshsig.Signature
+	Header      SnapshotHeader
+	HeaderProof merkle.Proof
 }
 
 // WireSize implements Message.
-func (m StateSnapshotMsg) WireSize() int {
-	return msgHeader + hashSize + sigSize + len(m.Snapshot)
+func (m SnapshotMetaMsg) WireSize() int {
+	return msgHeader + 2*hashSize + sigSize + len(m.HeaderProof.Steps)*hashSize
+}
+
+// FetchSnapshotChunkMsg requests one chunk (1-based Merkle leaf index) of
+// the certified snapshot at Seq. A recovering replica spreads chunk
+// requests across peers and re-requests from a different server when a
+// chunk fails verification.
+type FetchSnapshotChunkMsg struct {
+	Replica int
+	Seq     uint64
+	Index   int
+}
+
+// WireSize implements Message.
+func (m FetchSnapshotChunkMsg) WireSize() int { return msgHeader }
+
+// SnapshotChunkMsg carries one snapshot chunk with its membership proof
+// against the certified root. Tampering with Data (or Proof) is detected
+// by the receiver's leaf verification and blamed on the sender.
+type SnapshotChunkMsg struct {
+	Seq   uint64
+	Index int
+	Data  []byte
+	Proof merkle.Proof
+}
+
+// WireSize implements Message.
+func (m SnapshotChunkMsg) WireSize() int {
+	return msgHeader + len(m.Data) + len(m.Proof.Steps)*hashSize
 }
 
 // SlotInfo is one sequence slot of a view-change message (§V-G): the pair

@@ -54,39 +54,16 @@ type ClientReply struct {
 	Val       []byte
 }
 
-// snapshotEnvelope is what replicas actually ship in StateSnapshotMsg: the
-// application snapshot plus the last-reply table. The table makes the
-// exactly-once execution filter deterministic across replicas that caught
-// up via state transfer instead of executing every block. (The π
-// checkpoint certificate covers only the application digest; certifying
-// the reply table inside the checkpoint digest is future work — see
-// ROADMAP — so a Byzantine snapshot server could perturb dedup state. The
-// application state itself remains certificate-checked.)
-type snapshotEnvelope struct {
-	App     []byte
-	Replies map[int]ClientReply
-}
-
-// encodeSnapshot wraps an application snapshot with the reply table.
-func encodeSnapshot(app []byte, cache map[int]replyCacheEntry) []byte {
-	env := snapshotEnvelope{App: app, Replies: make(map[int]ClientReply, len(cache))}
-	for client, e := range cache {
-		env.Replies[client] = ClientReply{Timestamp: e.timestamp, Seq: e.seq, L: e.l, Val: e.val}
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		panic(fmt.Sprintf("core: encoding snapshot envelope: %v", err))
-	}
-	return buf.Bytes()
-}
-
-// decodeSnapshot unwraps a snapshot envelope.
-func decodeSnapshot(data []byte) (snapshotEnvelope, error) {
-	var env snapshotEnvelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return snapshotEnvelope{}, fmt.Errorf("core: decoding snapshot envelope: %w", err)
-	}
-	return env, nil
+// SnapshotStore is an optional BlockStore extension for durable certified
+// snapshots (the encoded CertifiedSnapshot, chunks and π certificate
+// included). storage.Ledger satisfies it. A replica whose store supports
+// it persists each stable checkpoint's snapshot and can serve verified
+// state transfer immediately after a restart.
+type SnapshotStore interface {
+	SaveSnapshot(seq uint64, data []byte) error
+	LoadSnapshot(seq uint64) ([]byte, error)
+	LatestSnapshot() (uint64, error)
+	PruneSnapshots(keepFrom uint64) error
 }
 
 // RecoverableStore is a BlockStore that can be read back on restart.
@@ -153,6 +130,24 @@ func NewRecoveredReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys
 	r.windowBase = frontier
 	if r.nextSeq <= frontier {
 		r.nextSeq = frontier + 1
+	}
+	// Re-arm snapshot serving from the durable certified snapshot, if one
+	// exists at or below the replayed frontier. The stored blob carries its
+	// π certificate; verify it (and the chunk shape) before trusting disk.
+	if ss, ok := store.(SnapshotStore); ok {
+		if seq, err := ss.LatestSnapshot(); err == nil && seq > 0 && seq <= frontier {
+			blob, err := ss.LoadSnapshot(seq)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading snapshot %d: %w", seq, err)
+			}
+			cs, err := DecodeCertifiedSnapshot(blob)
+			if err != nil || cs.Seq != seq {
+				return nil, fmt.Errorf("core: durable snapshot %d corrupt: %v", seq, err)
+			}
+			if suite.Pi.Verify(CheckpointSigDigest(cs.Seq, cs.Root()), cs.Pi) == nil {
+				r.snapshot = cs
+			}
+		}
 	}
 	return r, nil
 }

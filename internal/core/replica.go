@@ -135,6 +135,12 @@ type Metrics struct {
 	// the client's request had already executed at an earlier sequence
 	// (exactly-once enforcement across view changes and retries).
 	DedupSkips uint64
+	// SnapshotChunks counts snapshot chunks fetched and leaf-verified
+	// during state transfer.
+	SnapshotChunks uint64
+	// SnapshotBlames counts snapshot servers blamed for serving metadata
+	// or chunks that failed verification against the certified root.
+	SnapshotBlames uint64
 }
 
 // BlockStore persists committed decision blocks (the paper persists
@@ -167,16 +173,21 @@ type Replica struct {
 	stableDigest []byte
 	stablePi     threshsig.Signature
 	slots        map[uint64]*slot
-	snapshotSeq  uint64
-	snapshotData []byte
-	snapshotDig  []byte
-	snapshotPi   threshsig.Signature
-	// pendingSnap holds snapshot envelopes captured at the moment a
+	// snapshot is the highest stable certified snapshot this replica can
+	// serve for state transfer (chunk by chunk, each leaf-provable against
+	// the threshold-signed root).
+	snapshot *CertifiedSnapshot
+	// pendingSnap holds certified snapshots captured at the moment a
 	// checkpoint sequence executed, keyed by that sequence. Stabilization
 	// (the π quorum) arrives a round-trip later, when execution may have
 	// pipelined past the checkpoint; capturing then would mislabel newer
 	// state (and a newer reply table) with the older certified digest.
-	pendingSnap map[uint64][]byte
+	pendingSnap map[uint64]*CertifiedSnapshot
+	// fetch is the in-progress chunked state transfer, if any.
+	fetch *stateFetch
+	// snapshotBlames accumulates, per server id, how many times that
+	// server was blamed for snapshot material failing verification.
+	snapshotBlames map[int]int
 
 	// Primary state.
 	pending    []Request
@@ -209,7 +220,6 @@ type Replica struct {
 	vcBackoff     uint64
 	progressTimer func()
 	vcTimer       func()
-	fetching      bool
 	gapTimer      func()
 	gapAttempt    int
 
@@ -234,24 +244,25 @@ func NewReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app App
 		return nil, fmt.Errorf("core: replica id %d out of range [1,%d]", id, cfg.N())
 	}
 	r := &Replica{
-		id:          id,
-		cfg:         cfg,
-		suite:       suite,
-		keys:        keys,
-		app:         app,
-		env:         env,
-		store:       store,
-		slots:       make(map[uint64]*slot),
-		seen:        make(map[int]uint64),
-		nextSeq:     1,
-		replyCache:  make(map[int]replyCacheEntry),
-		directReq:   make(map[uint64]map[int]bool),
-		watch:       make(map[int]watchEntry),
-		ckptShares:  make(map[uint64]map[string]map[int]threshsig.Share),
-		vcMsgs:      make(map[uint64]map[int]*ViewChangeMsg),
-		vcSent:      make(map[uint64]bool),
-		ppBuffer:    make(map[uint64][]PrePrepareMsg),
-		pendingSnap: make(map[uint64][]byte),
+		id:             id,
+		cfg:            cfg,
+		suite:          suite,
+		keys:           keys,
+		app:            app,
+		env:            env,
+		store:          store,
+		slots:          make(map[uint64]*slot),
+		seen:           make(map[int]uint64),
+		nextSeq:        1,
+		replyCache:     make(map[int]replyCacheEntry),
+		directReq:      make(map[uint64]map[int]bool),
+		watch:          make(map[int]watchEntry),
+		ckptShares:     make(map[uint64]map[string]map[int]threshsig.Share),
+		vcMsgs:         make(map[uint64]map[int]*ViewChangeMsg),
+		vcSent:         make(map[uint64]bool),
+		ppBuffer:       make(map[uint64][]PrePrepareMsg),
+		pendingSnap:    make(map[uint64]*CertifiedSnapshot),
+		snapshotBlames: make(map[int]int),
 	}
 	return r, nil
 }
@@ -333,8 +344,12 @@ func (r *Replica) Deliver(from int, msg any) {
 		r.onCommitInfo(from, m)
 	case FetchStateMsg:
 		r.onFetchState(from, m)
-	case StateSnapshotMsg:
-		r.onStateSnapshot(from, m)
+	case SnapshotMetaMsg:
+		r.onSnapshotMeta(from, m)
+	case FetchSnapshotChunkMsg:
+		r.onFetchSnapshotChunk(from, m)
+	case SnapshotChunkMsg:
+		r.onSnapshotChunk(from, m)
 	case ViewChangeMsg:
 		r.onViewChange(from, m)
 	case NewViewMsg:
@@ -351,7 +366,7 @@ func (r *Replica) onRequest(from int, m RequestMsg) {
 	if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
 		if ent.timestamp == req.Timestamp {
 			r.env.Send(req.Client, ReplyMsg{
-				Seq: ent.seq, L: ent.l, Replica: r.id,
+				Seq: ent.seq, L: ent.l, Replica: r.id, View: r.view,
 				Client: req.Client, Timestamp: ent.timestamp, Val: ent.val,
 			})
 		}
@@ -1034,7 +1049,7 @@ func (r *Replica) onFetchCommit(_ int, m FetchCommitMsg) {
 	s, ok := r.slots[m.Seq]
 	if !ok || !s.committed {
 		// Possibly garbage-collected: offer the snapshot instead.
-		if r.snapshotData != nil && r.snapshotSeq >= m.Seq {
+		if r.snapshot != nil && r.snapshot.Seq >= m.Seq {
 			r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica, Seq: m.Seq})
 		}
 		return
@@ -1100,6 +1115,7 @@ func (r *Replica) executeReady() {
 		if advanced {
 			r.resetProgressTimer()
 			r.checkGap()
+			r.dropStaleFetch()
 		}
 	}()
 	for {
@@ -1161,7 +1177,7 @@ func (r *Replica) executeReady() {
 			}
 			if !r.cfg.ExecCollectors || req.Direct {
 				r.env.Send(req.Client, ReplyMsg{
-					Seq: next, L: i, Replica: r.id,
+					Seq: next, L: i, Replica: r.id, View: r.view,
 					Client: req.Client, Timestamp: req.Timestamp, Val: results[i],
 				})
 			}
@@ -1206,14 +1222,25 @@ func (r *Replica) executeReady() {
 			}
 		}
 
-		// Periodic checkpoint (§V-F). Capture the snapshot envelope NOW,
+		// Periodic checkpoint (§V-F). Capture the certified snapshot NOW,
 		// while application state and reply table are exactly at this
-		// sequence; the stable certificate adopts it when it arrives.
+		// sequence; the π shares sign its Merkle root, which commits to
+		// both, so a single honest snapshot server suffices for verified
+		// state transfer. The stable certificate adopts the capture when
+		// it arrives.
 		if next%r.cfg.checkpointEvery() == 0 {
-			if snap, err := r.app.Snapshot(); err == nil {
-				r.pendingSnap[next] = encodeSnapshot(snap, r.replyCache)
+			cs, err := r.buildSnapshot(next, digest)
+			if err != nil {
+				// The certified root cannot be computed without the
+				// snapshot bytes, so this replica abstains from this
+				// checkpoint (the π quorum needs only f+1 of n; a
+				// deterministic app's Snapshot failing on a quorum of
+				// replicas is an application bug, not a protocol state).
+				r.tracef("checkpoint snapshot at %d failed: %v", next, err)
+			} else {
+				r.pendingSnap[next] = cs
+				r.initiateCheckpoint(next, cs.Root())
 			}
-			r.initiateCheckpoint(next, digest)
 		}
 	}
 }
@@ -1318,7 +1345,7 @@ func (r *Replica) sendExecuteAcks(seq uint64) {
 		}
 		r.env.Send(req.Client, ExecuteAckMsg{
 			Seq: seq, L: i, Val: ent.val,
-			Client: req.Client, Timestamp: req.Timestamp,
+			Client: req.Client, Timestamp: req.Timestamp, View: r.view,
 			Digest: digest, Pi: pi, Proof: proof,
 		})
 	}
@@ -1337,7 +1364,7 @@ func (r *Replica) execFallback(seq uint64) {
 			continue
 		}
 		r.env.Send(req.Client, ReplyMsg{
-			Seq: seq, L: i, Replica: r.id,
+			Seq: seq, L: i, Replica: r.id, View: r.view,
 			Client: req.Client, Timestamp: req.Timestamp, Val: ent.val,
 		})
 	}
@@ -1350,27 +1377,27 @@ func (r *Replica) onFullExecuteProof(_ int, m FullExecuteProofMsg) {
 	if s, ok := r.slots[m.Seq]; ok {
 		s.execCertSeen = true
 	}
-	// The certificate makes the state durable (§V-D); replicas retain it
-	// for state transfer by folding into checkpoint handling.
-	if m.Seq > r.lastStable && m.Seq%r.cfg.checkpointEvery() == 0 && r.lastExecuted >= m.Seq {
-		r.recordStable(m.Seq, m.Digest, m.Pi)
-	}
+	// Execution certificates cover only the application digest; checkpoint
+	// stability now requires the certified execution-state root (which
+	// also commits the last-reply table), carried by checkpoint shares —
+	// the two certificate families are domain-separated and cannot stand
+	// in for each other.
 }
 
 // ---------------------------------------------------------------------------
 // Checkpoints, garbage collection, state transfer.
 
-// initiateCheckpoint broadcasts this replica's π share over the state
-// digest at a checkpoint sequence. Shares go to all replicas so everyone
-// can assemble the stable certificate locally even when collectors are
-// crashed; at one checkpoint per win/2 blocks the quadratic cost is
-// amortized away (§V-F).
-func (r *Replica) initiateCheckpoint(seq uint64, digest []byte) {
-	share, err := r.keys.Pi.Sign(stateSigDigest(seq, digest))
+// initiateCheckpoint broadcasts this replica's π share over the certified
+// execution-state root at a checkpoint sequence. Shares go to all replicas
+// so everyone can assemble the stable certificate locally even when
+// collectors are crashed; at one checkpoint per win/2 blocks the quadratic
+// cost is amortized away (§V-F).
+func (r *Replica) initiateCheckpoint(seq uint64, root []byte) {
+	share, err := r.keys.Pi.Sign(CheckpointSigDigest(seq, root))
 	if err != nil {
 		return
 	}
-	msg := CheckpointShareMsg{Seq: seq, Replica: r.id, Digest: digest, PiSig: share}
+	msg := CheckpointShareMsg{Seq: seq, Replica: r.id, Digest: root, PiSig: share}
 	r.broadcast(msg)
 	r.onCheckpointShare(r.id, msg)
 }
@@ -1392,7 +1419,7 @@ func (r *Replica) onCheckpointShare(_ int, m CheckpointShareMsg) {
 			return
 		}
 	}
-	if r.suite.Pi.VerifyShare(stateSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
+	if r.suite.Pi.VerifyShare(CheckpointSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
 		return
 	}
 	group := byDigest[string(m.Digest)]
@@ -1404,7 +1431,7 @@ func (r *Replica) onCheckpointShare(_ int, m CheckpointShareMsg) {
 	if len(group) < r.cfg.QuorumExec() {
 		return
 	}
-	pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, m.Digest), sharesList(group))
+	pi, err := r.suite.Pi.CombineVerified(CheckpointSigDigest(m.Seq, m.Digest), sharesList(group))
 	if err != nil {
 		return
 	}
@@ -1415,7 +1442,7 @@ func (r *Replica) onCheckpointCert(_ int, m CheckpointCertMsg) {
 	if m.Seq <= r.lastStable {
 		return
 	}
-	if r.suite.Pi.Verify(stateSigDigest(m.Seq, m.Digest), m.Pi) != nil {
+	if r.suite.Pi.Verify(CheckpointSigDigest(m.Seq, m.Digest), m.Pi) != nil {
 		return
 	}
 	r.recordStable(m.Seq, m.Digest, m.Pi)
@@ -1438,22 +1465,26 @@ func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature
 	r.stableDigest = digest
 	r.stablePi = pi
 	if r.lastExecuted >= seq {
-		// Adopt the envelope captured when seq executed; if none exists
-		// (restart, state transfer) capture now — but only when execution
-		// has not pipelined past seq, or current state would be mislabeled
-		// with the older certified digest and rejected by every receiver.
-		env, ok := r.pendingSnap[seq]
-		if !ok && r.lastExecuted == seq {
-			if snap, err := r.app.Snapshot(); err == nil {
-				env = encodeSnapshot(snap, r.replyCache)
-				ok = true
+		// Adopt the certified snapshot captured when seq executed; if none
+		// exists (restart, state transfer) capture now — but only when
+		// execution has not pipelined past seq, or current state would be
+		// mislabeled with the older certified digest and rejected by every
+		// receiver. A capture whose root disagrees with the quorum-proven
+		// digest must not be served: this replica has diverged and its
+		// chunks would (correctly) be blamed by every fetcher.
+		cs, ok := r.pendingSnap[seq]
+		if !ok && r.lastExecuted == seq && (r.snapshot == nil || r.snapshot.Seq < seq) {
+			if built, err := r.buildSnapshot(seq, r.app.Digest()); err == nil {
+				cs, ok = built, true
 			}
 		}
 		if ok {
-			r.snapshotSeq = seq
-			r.snapshotData = env
-			r.snapshotDig = digest
-			r.snapshotPi = pi
+			if bytes.Equal(cs.Root(), digest) {
+				cs.Pi = pi
+				r.adoptSnapshot(cs)
+			} else {
+				r.tracef("checkpoint %d: local root disagrees with certified digest", seq)
+			}
 		}
 		for s := range r.pendingSnap {
 			if s <= seq {
@@ -1490,71 +1521,381 @@ func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature
 	}
 }
 
-func (r *Replica) maybeFetchState(target uint64) {
-	if r.fetching || r.lastExecuted >= target {
+// buildSnapshot captures the certified execution state at seq: the
+// application snapshot plus the canonical last-reply table, chunked and
+// Merkle-committed. Valid only while app state and reply table are exactly
+// at seq.
+func (r *Replica) buildSnapshot(seq uint64, appDigest []byte) (*CertifiedSnapshot, error) {
+	appSnap, err := r.app.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return NewCertifiedSnapshot(seq, appDigest, appSnap, encodeReplyTable(r.replyCache)), nil
+}
+
+// adoptSnapshot installs a stable certified snapshot for serving and, when
+// the block store supports it, persists it (replacing older ones) so a
+// restarted replica can serve state transfer immediately. Persistence is
+// synchronous on the event loop — one encode+write per win/2 executions,
+// the same cadence as the snapshot capture itself; replicas with very
+// large state that need an async store hook: see ROADMAP.
+func (r *Replica) adoptSnapshot(cs *CertifiedSnapshot) {
+	if r.snapshot != nil && r.snapshot.Seq >= cs.Seq {
 		return
 	}
-	r.fetching = true
-	r.Metrics.StateFetches++
-	// Ask a deterministic-but-spread peer.
-	peer := int(target%uint64(r.cfg.N())) + 1
-	if peer == r.id {
-		peer = peer%r.cfg.N() + 1
-	}
-	r.env.Send(peer, FetchStateMsg{Replica: r.id, Seq: target})
-	// Retry with another peer if nothing arrives.
-	r.env.After(4*r.cfg.ViewChangeTimeout/3, func() {
-		if r.fetching {
-			r.fetching = false
-			r.maybeFetchState(target)
+	r.snapshot = cs
+	if ss, ok := r.store.(SnapshotStore); ok && r.store != nil {
+		if err := ss.SaveSnapshot(cs.Seq, cs.Encode()); err != nil {
+			r.tracef("persisting snapshot %d failed: %v", cs.Seq, err)
+		} else if err := ss.PruneSnapshots(cs.Seq); err != nil {
+			r.tracef("pruning snapshots below %d failed: %v", cs.Seq, err)
 		}
+	}
+}
+
+// SnapshotSeq reports the sequence of the certified snapshot this replica
+// can serve (0 when none).
+func (r *Replica) SnapshotSeq() uint64 {
+	if r.snapshot == nil {
+		return 0
+	}
+	return r.snapshot.Seq
+}
+
+// SnapshotBlameCounts reports, per server id, how many pieces of snapshot
+// material from that server failed verification against a certified root.
+func (r *Replica) SnapshotBlameCounts() map[int]int {
+	out := make(map[int]int, len(r.snapshotBlames))
+	for id, n := range r.snapshotBlames {
+		out[id] = n
+	}
+	return out
+}
+
+// stateFetch tracks one in-progress chunked state transfer.
+type stateFetch struct {
+	target uint64 // minimum acceptable snapshot sequence
+	// Filled once a verified SnapshotMetaMsg is accepted:
+	seq     uint64
+	root    []byte
+	pi      threshsig.Signature
+	header  SnapshotHeader
+	chunks  [][]byte
+	missing int
+	// blamed servers are excluded from further requests this transfer.
+	blamed  map[int]bool
+	attempt int
+	cancel  func()
+}
+
+// fetchPeers lists the servers still eligible for this transfer. If every
+// peer has been blamed the set resets: with at most f Byzantine servers a
+// full blame list means transient corruption, not a hostile majority.
+func (r *Replica) fetchPeers(f *stateFetch) []int {
+	peers := make([]int, 0, r.cfg.N()-1)
+	for id := 1; id <= r.cfg.N(); id++ {
+		if id != r.id && !f.blamed[id] {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		f.blamed = make(map[int]bool)
+		for id := 1; id <= r.cfg.N(); id++ {
+			if id != r.id {
+				peers = append(peers, id)
+			}
+		}
+	}
+	return peers
+}
+
+// blameSnapshotServer records a server whose snapshot material failed
+// verification against the certified root (§VIII: any single honest server
+// suffices; a tampering one is excluded and provably at fault, since
+// correct material is Merkle-provable against a threshold-signed root).
+func (r *Replica) blameSnapshotServer(f *stateFetch, id int, why string) {
+	r.tracef("blaming snapshot server %d: %s", id, why)
+	f.blamed[id] = true
+	r.snapshotBlames[id]++
+	r.Metrics.SnapshotBlames++
+}
+
+func (r *Replica) maybeFetchState(target uint64) {
+	if r.lastExecuted >= target {
+		return
+	}
+	if r.fetch != nil {
+		if target > r.fetch.target {
+			r.fetch.target = target
+		}
+		return
+	}
+	r.fetch = &stateFetch{target: target, blamed: make(map[int]bool)}
+	r.Metrics.StateFetches++
+	r.sendFetchState()
+	r.armFetchRetry()
+}
+
+// sendFetchState asks one (rotating) peer for snapshot metadata.
+func (r *Replica) sendFetchState() {
+	f := r.fetch
+	peers := r.fetchPeers(f)
+	peer := peers[(int(f.target)+f.attempt)%len(peers)]
+	r.env.Send(peer, FetchStateMsg{Replica: r.id, Seq: f.target})
+}
+
+// dropStaleFetch cancels an in-progress state transfer that can no longer
+// deliver anything: local execution caught up with both the requested
+// target and (if metadata was already accepted) the transfer's snapshot
+// sequence. Without this, a replica that catches up through gap repair
+// keeps an immortal retry timer and may later re-download a snapshot it
+// does not need.
+func (r *Replica) dropStaleFetch() {
+	f := r.fetch
+	if f == nil || r.lastExecuted < f.target || r.lastExecuted < f.seq {
+		return
+	}
+	if f.cancel != nil {
+		f.cancel()
+	}
+	r.fetch = nil
+}
+
+// armFetchRetry re-drives a stalled transfer: metadata requests rotate to
+// the next peer, missing chunks are re-requested across the eligible set,
+// and every few attempts the metadata request repeats even mid-transfer —
+// servers garbage-collect superseded snapshots, so a transfer locked to a
+// checkpoint the whole cluster has advanced past must discover the newer
+// one and restart rather than re-request dead chunks forever.
+func (r *Replica) armFetchRetry() {
+	f := r.fetch
+	f.cancel = r.env.After(4*r.cfg.ViewChangeTimeout/3, func() {
+		if r.fetch != f {
+			return
+		}
+		r.dropStaleFetch()
+		if r.fetch != f {
+			return
+		}
+		f.attempt++
+		if f.seq == 0 || f.attempt%3 == 0 {
+			r.sendFetchState()
+		}
+		if f.seq != 0 {
+			r.requestMissingChunks()
+		}
+		r.armFetchRetry()
 	})
 }
 
 func (r *Replica) onFetchState(_ int, m FetchStateMsg) {
-	if r.snapshotData == nil || r.snapshotSeq < m.Seq {
+	if r.snapshot == nil || r.snapshot.Seq < m.Seq {
 		return
 	}
-	r.env.Send(m.Replica, StateSnapshotMsg{
-		Seq:      r.snapshotSeq,
-		Digest:   r.snapshotDig,
-		Pi:       r.snapshotPi,
-		Snapshot: r.snapshotData,
+	hp, err := r.snapshot.ProveHeader()
+	if err != nil {
+		return
+	}
+	r.env.Send(m.Replica, SnapshotMetaMsg{
+		Seq:         r.snapshot.Seq,
+		Root:        r.snapshot.Root(),
+		Pi:          r.snapshot.Pi,
+		Header:      r.snapshot.Header,
+		HeaderProof: hp,
 	})
 }
 
-func (r *Replica) onStateSnapshot(_ int, m StateSnapshotMsg) {
-	if m.Seq <= r.lastExecuted {
-		r.fetching = false
+func (r *Replica) onSnapshotMeta(from int, m SnapshotMetaMsg) {
+	r.dropStaleFetch()
+	f := r.fetch
+	if f == nil || m.Seq <= r.lastExecuted || m.Seq < f.target {
 		return
 	}
-	if r.suite.Pi.Verify(stateSigDigest(m.Seq, m.Digest), m.Pi) != nil {
+	// Mid-transfer, only a strictly newer certified snapshot is
+	// interesting: it means servers advanced past (and garbage-collected)
+	// the one being fetched, so the transfer restarts there. Metadata for
+	// the sequence already in flight, or older, is ignored.
+	if f.seq != 0 && m.Seq <= f.seq {
 		return
 	}
-	env, err := decodeSnapshot(m.Snapshot)
+	if from < 1 || from > r.cfg.N() || from == r.id {
+		return
+	}
+	// π over the certified root, then the header's membership proof: after
+	// this every chunk is independently verifiable, from any server.
+	if r.suite.Pi.Verify(CheckpointSigDigest(m.Seq, m.Root), m.Pi) != nil {
+		r.blameSnapshotServer(f, from, "snapshot certificate invalid")
+		return
+	}
+	if err := VerifySnapshotHeader(m.Root, m.Header, m.HeaderProof); err != nil {
+		r.blameSnapshotServer(f, from, err.Error())
+		return
+	}
+	if f.seq != 0 {
+		r.tracef("state transfer restarting at %d (superseded %d)", m.Seq, f.seq)
+	}
+	f.seq = m.Seq
+	f.root = append([]byte(nil), m.Root...)
+	f.pi = m.Pi
+	f.header = m.Header
+	f.chunks = make([][]byte, m.Header.NumChunks())
+	f.missing = len(f.chunks)
+	r.tracef("state transfer to %d: %d chunks", f.seq, f.missing)
+	if f.missing == 0 {
+		r.finishStateFetch()
+		return
+	}
+	r.requestMissingChunks()
+}
+
+// requestMissingChunks spreads requests for the outstanding chunks across
+// the eligible servers (round-robin, rotated by retry attempt), so the
+// transfer parallelizes and survives any minority of tampering servers.
+func (r *Replica) requestMissingChunks() {
+	f := r.fetch
+	peers := r.fetchPeers(f)
+	for i, c := range f.chunks {
+		if c != nil {
+			continue
+		}
+		idx := i + 1
+		peer := peers[(idx+f.attempt)%len(peers)]
+		r.env.Send(peer, FetchSnapshotChunkMsg{Replica: r.id, Seq: f.seq, Index: idx})
+	}
+}
+
+func (r *Replica) onFetchSnapshotChunk(_ int, m FetchSnapshotChunkMsg) {
+	if r.snapshot == nil {
+		return
+	}
+	if r.snapshot.Seq != m.Seq {
+		// A request for a superseded snapshot: its chunks are gone, but
+		// re-offering the current metadata lets the fetcher restart at
+		// the checkpoint this server can actually serve.
+		if r.snapshot.Seq > m.Seq {
+			r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica, Seq: m.Seq})
+		}
+		return
+	}
+	if m.Index < 1 || m.Index > len(r.snapshot.Chunks) {
+		return
+	}
+	proof, err := r.snapshot.ProveChunk(m.Index)
 	if err != nil {
-		r.tracef("snapshot envelope malformed: %v", err)
 		return
 	}
-	if err := r.app.Restore(env.App); err != nil {
-		r.tracef("restore failed: %v", err)
+	r.env.Send(m.Replica, SnapshotChunkMsg{
+		Seq:   m.Seq,
+		Index: m.Index,
+		Data:  r.snapshot.Chunks[m.Index-1],
+		Proof: proof,
+	})
+}
+
+func (r *Replica) onSnapshotChunk(from int, m SnapshotChunkMsg) {
+	f := r.fetch
+	if f == nil || f.seq == 0 || m.Seq != f.seq {
 		return
 	}
-	if !bytes.Equal(r.app.Digest(), m.Digest) {
-		r.tracef("restored digest mismatch; rejecting snapshot")
-		// State is now inconsistent with the certificate — refuse and try
-		// another peer on the retry timer.
+	if from < 1 || from > r.cfg.N() || from == r.id {
 		return
 	}
-	// Merge the last-reply table so the exactly-once execution filter
-	// stays deterministic over the restored span.
-	for client, e := range env.Replies {
-		if ent, ok := r.replyCache[client]; !ok || ent.timestamp < e.Timestamp {
-			r.replyCache[client] = replyCacheEntry{timestamp: e.Timestamp, seq: e.Seq, l: e.L, val: e.Val}
+	if m.Index < 1 || m.Index > len(f.chunks) || f.chunks[m.Index-1] != nil {
+		return
+	}
+	if err := VerifySnapshotChunk(f.root, f.header, m.Index, m.Data, m.Proof); err != nil {
+		// Tampered or corrupt: blame the sender and re-fetch this chunk
+		// from a different server immediately.
+		r.blameSnapshotServer(f, from, fmt.Sprintf("chunk %d: %v", m.Index, err))
+		peers := r.fetchPeers(f)
+		peer := peers[(m.Index+f.attempt)%len(peers)]
+		r.env.Send(peer, FetchSnapshotChunkMsg{Replica: r.id, Seq: f.seq, Index: m.Index})
+		return
+	}
+	f.chunks[m.Index-1] = m.Data
+	f.missing--
+	r.Metrics.SnapshotChunks++
+	if f.missing == 0 {
+		r.finishStateFetch()
+	}
+}
+
+// finishStateFetch installs a fully transferred, chunk-verified snapshot:
+// restore the application, replace the last-reply table with the CERTIFIED
+// one (the exactly-once filter's state is now exactly what the π quorum
+// signed), and resume from the restored frontier.
+func (r *Replica) finishStateFetch() {
+	f := r.fetch
+	if r.lastExecuted >= f.seq {
+		// Execution advanced past the transfer while chunks were in
+		// flight (gap repair): installing now would ROLL BACK application
+		// state and the reply table. Drop the transfer; if a raised
+		// target still lies ahead, start over against it.
+		if f.cancel != nil {
+			f.cancel()
+		}
+		r.fetch = nil
+		r.maybeFetchState(f.target)
+		return
+	}
+	appBytes, tableBytes, err := AssembleSnapshot(f.header, f.chunks)
+	if err != nil {
+		// Unreachable with verified chunks; restart the transfer.
+		r.tracef("state transfer assembly failed: %v", err)
+		r.abortStateFetch()
+		return
+	}
+	table, err := decodeReplyTable(tableBytes)
+	if err != nil {
+		// The certified table itself is malformed: the honest quorum never
+		// signs one, so this replica's decoder and the cluster disagree —
+		// do not install half a snapshot.
+		r.tracef("state transfer reply table malformed: %v", err)
+		r.abortStateFetch()
+		return
+	}
+	if err := r.app.Restore(appBytes); err != nil {
+		r.tracef("state transfer restore failed: %v", err)
+		r.abortStateFetch()
+		return
+	}
+	if !bytes.Equal(r.app.Digest(), f.header.AppDigest) {
+		// Defense in depth: chunks were leaf-verified, so this indicates
+		// local divergence, not a tampering server.
+		r.tracef("state transfer: restored app digest mismatch")
+		r.abortStateFetch()
+		return
+	}
+	r.replyCache = table
+	for client, e := range table {
+		if ts := r.seen[client]; ts < e.timestamp {
+			r.seen[client] = e.timestamp
 		}
 	}
-	r.fetching = false
-	r.lastExecuted = m.Seq
-	r.recordStable(m.Seq, m.Digest, m.Pi)
+	seq, root, pi := f.seq, f.root, f.pi
+	cs := &CertifiedSnapshot{Seq: seq, Header: f.header, Chunks: f.chunks, Pi: pi}
+	cs.build()
+	if f.cancel != nil {
+		f.cancel()
+	}
+	r.fetch = nil
+	r.lastExecuted = seq
+	r.adoptSnapshot(cs)
+	r.tracef("state transfer complete at %d (%d servers blamed)", seq, len(f.blamed))
+	r.recordStable(seq, root, pi)
 	r.executeReady()
+}
+
+// abortStateFetch cancels the current transfer; the protocol will retrigger
+// state transfer from recordStable/maybeFetchState when still behind.
+func (r *Replica) abortStateFetch() {
+	if r.fetch == nil {
+		return
+	}
+	target := r.fetch.target
+	if r.fetch.cancel != nil {
+		r.fetch.cancel()
+	}
+	r.fetch = nil
+	r.maybeFetchState(target)
 }

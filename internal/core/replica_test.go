@@ -369,7 +369,7 @@ type threshSignature = threshSig
 func TestCheckpointShareQuorumAdvancesStable(t *testing.T) {
 	rg := newRig(t, 2, func(c *Config) { c.CheckpointInterval = 1; c.Win = 8 })
 	d := []byte("ckpt-digest")
-	sd := stateSigDigest(4, d)
+	sd := CheckpointSigDigest(4, d)
 	for i := 1; i <= rg.cfg.QuorumExec(); i++ {
 		sh, err := rg.keys[i-1].Pi.Sign(sd)
 		if err != nil {

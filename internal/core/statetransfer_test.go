@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// certifiedAt builds a valid certified snapshot at seq, π-signed by the
+// rig's keys, matching fakeApp's genesis digest (Restore is a no-op and
+// Digest of the untouched fakeApp is [0]).
+func certifiedAt(t *testing.T, rg *rig, seq uint64, table map[int]replyCacheEntry) *CertifiedSnapshot {
+	t.Helper()
+	cs := NewCertifiedSnapshot(seq, rg.app.Digest(), bytes.Repeat([]byte("snap"), 64), encodeReplyTable(table))
+	sd := CheckpointSigDigest(seq, cs.Root())
+	var shares []threshsig.Share
+	for i := 0; i < rg.cfg.QuorumExec(); i++ {
+		sh, err := rg.keys[i].Pi.Sign(sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	pi, err := rg.suite.Pi.Combine(sd, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Pi = pi
+	return cs
+}
+
+func metaOf(t *testing.T, cs *CertifiedSnapshot) SnapshotMetaMsg {
+	t.Helper()
+	hp, err := cs.ProveHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SnapshotMetaMsg{Seq: cs.Seq, Root: cs.Root(), Pi: cs.Pi, Header: cs.Header, HeaderProof: hp}
+}
+
+func chunkOf(t *testing.T, cs *CertifiedSnapshot, i int) SnapshotChunkMsg {
+	t.Helper()
+	p, err := cs.ProveChunk(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SnapshotChunkMsg{Seq: cs.Seq, Index: i, Data: cs.Chunks[i-1], Proof: p}
+}
+
+// deliverAllChunks feeds every chunk from the given peer.
+func deliverAllChunks(t *testing.T, rg *rig, cs *CertifiedSnapshot, from int) {
+	t.Helper()
+	for i := 1; i <= len(cs.Chunks); i++ {
+		rg.r.Deliver(from, chunkOf(t, cs, i))
+	}
+}
+
+func TestChunkedStateTransferCompletes(t *testing.T) {
+	rg := newRig(t, 1, nil)
+	table := map[int]replyCacheEntry{
+		ClientBase: {timestamp: 7, seq: 3, l: 0, val: []byte("certified")},
+	}
+	cs := certifiedAt(t, rg, 4, table)
+
+	rg.r.maybeFetchState(4)
+	if rg.sentOfType(func(m Message) bool { _, ok := m.(FetchStateMsg); return ok }) == 0 {
+		t.Fatal("no FetchState sent")
+	}
+	rg.r.Deliver(2, metaOf(t, cs))
+	if got := rg.sentOfType(func(m Message) bool { _, ok := m.(FetchSnapshotChunkMsg); return ok }); got != len(cs.Chunks) {
+		t.Fatalf("requested %d chunks, want %d", got, len(cs.Chunks))
+	}
+	deliverAllChunks(t, rg, cs, 3)
+
+	if rg.r.LastExecuted() != 4 {
+		t.Fatalf("LastExecuted = %d after transfer, want 4", rg.r.LastExecuted())
+	}
+	if ent, ok := rg.r.replyCache[ClientBase]; !ok || ent.timestamp != 7 || !bytes.Equal(ent.val, []byte("certified")) {
+		t.Fatalf("certified reply table not adopted: %+v", rg.r.replyCache)
+	}
+	if rg.r.SnapshotSeq() != 4 {
+		t.Fatalf("recovered replica does not serve the snapshot (SnapshotSeq=%d)", rg.r.SnapshotSeq())
+	}
+	if rg.r.Metrics.SnapshotBlames != 0 {
+		t.Fatalf("honest transfer recorded %d blames", rg.r.Metrics.SnapshotBlames)
+	}
+}
+
+func TestChunkedStateTransferBlamesTamperedChunk(t *testing.T) {
+	rg := newRig(t, 1, nil)
+	cs := certifiedAt(t, rg, 4, map[int]replyCacheEntry{
+		ClientBase: {timestamp: 1, seq: 1, l: 0, val: []byte("v")},
+	})
+	rg.r.maybeFetchState(4)
+	rg.r.Deliver(2, metaOf(t, cs))
+
+	evil := chunkOf(t, cs, 1)
+	evil.Data = append([]byte(nil), evil.Data...)
+	evil.Data[0] ^= 0xFF
+	before := rg.sentOfType(func(m Message) bool { _, ok := m.(FetchSnapshotChunkMsg); return ok })
+	rg.r.Deliver(2, evil)
+	if rg.r.Metrics.SnapshotBlames != 1 {
+		t.Fatalf("SnapshotBlames = %d after tampered chunk, want 1", rg.r.Metrics.SnapshotBlames)
+	}
+	if rg.r.SnapshotBlameCounts()[2] != 1 {
+		t.Fatalf("blame not attributed to server 2: %v", rg.r.SnapshotBlameCounts())
+	}
+	after := rg.sentOfType(func(m Message) bool { _, ok := m.(FetchSnapshotChunkMsg); return ok })
+	if after != before+1 {
+		t.Fatalf("tampered chunk not re-requested (%d → %d requests)", before, after)
+	}
+	// Honest servers finish the job.
+	deliverAllChunks(t, rg, cs, 3)
+	if rg.r.LastExecuted() != 4 {
+		t.Fatalf("transfer did not complete from honest servers (le=%d)", rg.r.LastExecuted())
+	}
+}
+
+// TestStateTransferRestartsOnNewerSnapshot: a transfer locked to a
+// checkpoint the cluster has advanced past (and garbage-collected) must
+// restart at the newer certified snapshot instead of re-requesting dead
+// chunks forever.
+func TestStateTransferRestartsOnNewerSnapshot(t *testing.T) {
+	rg := newRig(t, 1, nil)
+	old := certifiedAt(t, rg, 4, map[int]replyCacheEntry{})
+	newer := certifiedAt(t, rg, 8, map[int]replyCacheEntry{
+		ClientBase: {timestamp: 2, seq: 8, l: 0, val: []byte("new")},
+	})
+
+	rg.r.maybeFetchState(4)
+	rg.r.Deliver(2, metaOf(t, old))
+	// Servers advance: a strictly newer meta arrives mid-transfer.
+	rg.r.Deliver(3, metaOf(t, newer))
+	// Chunks of the superseded snapshot are ignored...
+	deliverAllChunks(t, rg, old, 3)
+	if rg.r.LastExecuted() == 4 {
+		t.Fatal("superseded transfer completed after restart")
+	}
+	// ...and the newer one completes.
+	deliverAllChunks(t, rg, newer, 4)
+	if rg.r.LastExecuted() != 8 {
+		t.Fatalf("restarted transfer did not complete (le=%d, want 8)", rg.r.LastExecuted())
+	}
+}
+
+// TestStateFetchDroppedWhenCaughtUp: catching up through other means
+// (gap repair) must cancel the in-progress fetch instead of leaving an
+// immortal retry timer re-requesting a snapshot the replica no longer
+// needs.
+func TestStateFetchDroppedWhenCaughtUp(t *testing.T) {
+	rg := newRig(t, 1, func(c *Config) { c.ViewChangeTimeout = time.Second })
+	rg.r.maybeFetchState(4)
+	if rg.r.fetch == nil {
+		t.Fatal("no fetch in progress")
+	}
+	// Simulate catch-up past the target via the normal pipeline.
+	rg.r.lastExecuted = 5
+	before := len(rg.env.sent)
+	rg.env.advance(3 * time.Second) // retry timer fires
+	if rg.r.fetch != nil {
+		t.Fatal("fetch not dropped after catching up")
+	}
+	for _, s := range rg.env.sent[before:] {
+		if _, ok := s.msg.(FetchStateMsg); ok {
+			t.Fatal("caught-up replica still sent FetchState")
+		}
+	}
+}
+
+// TestStateTransferNeverRollsBackExecution: chunks completing AFTER gap
+// repair advanced execution past the transfer's snapshot must be
+// discarded, not installed — installing would roll back application
+// state and the reply table.
+func TestStateTransferNeverRollsBackExecution(t *testing.T) {
+	rg := newRig(t, 1, nil)
+	cs := certifiedAt(t, rg, 4, map[int]replyCacheEntry{
+		ClientBase: {timestamp: 1, seq: 1, l: 0, val: []byte("old")},
+	})
+	rg.r.maybeFetchState(4)
+	rg.r.Deliver(2, metaOf(t, cs))
+	// Gap repair advances execution past the in-flight snapshot.
+	rg.r.lastExecuted = 6
+	rg.r.replyCache[ClientBase] = replyCacheEntry{timestamp: 9, seq: 6, l: 0, val: []byte("newer")}
+	deliverAllChunks(t, rg, cs, 3)
+	if rg.r.LastExecuted() != 6 {
+		t.Fatalf("execution rolled back to %d by a stale transfer", rg.r.LastExecuted())
+	}
+	if ent := rg.r.replyCache[ClientBase]; ent.timestamp != 9 {
+		t.Fatalf("reply table rolled back to ts=%d by a stale transfer", ent.timestamp)
+	}
+	if rg.r.fetch != nil {
+		t.Fatal("stale transfer not dropped")
+	}
+}

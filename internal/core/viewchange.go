@@ -172,7 +172,7 @@ func (r *Replica) validateViewChange(vc *ViewChangeMsg) bool {
 	if vc.LastStable == 0 {
 		return true
 	}
-	return r.suite.Pi.Verify(stateSigDigest(vc.LastStable, vc.StableDigest), vc.StablePi) == nil
+	return r.suite.Pi.Verify(CheckpointSigDigest(vc.LastStable, vc.StableDigest), vc.StablePi) == nil
 }
 
 func (r *Replica) onViewChange(from int, m ViewChangeMsg) {

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"sbft/internal/merkle"
 )
@@ -348,16 +349,38 @@ func (l *Ledger) GarbageCollect(keepFrom uint64) {
 	}
 }
 
+// snapshotEntry is one key-value pair of the canonical snapshot encoding.
+type snapshotEntry struct {
+	Key string
+	Val []byte
+}
+
+// snapshotState is the gob-encoded checkpoint payload. Entries are a
+// key-sorted slice so Snapshot() is canonical — the replication layer
+// Merkle-commits the snapshot byte stream inside the threshold-signed
+// checkpoint digest, which requires identical bytes on every honest
+// replica (gob map encoding follows iteration order and is not).
 type snapshotState struct {
 	LastSeq uint64
 	Digest  []byte
-	Entries map[string][]byte
+	Entries []snapshotEntry
 }
 
-// Snapshot serializes the ledger state for state transfer.
+// Snapshot serializes the ledger state for state transfer. The encoding is
+// canonical: replicas with identical state produce identical bytes.
 func (l *Ledger) Snapshot() ([]byte, error) {
+	m := l.stateMap.Snapshot()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := make([]snapshotEntry, len(keys))
+	for i, k := range keys {
+		entries[i] = snapshotEntry{Key: k, Val: m[k]}
+	}
 	var buf bytes.Buffer
-	snap := snapshotState{LastSeq: l.lastSeq, Digest: l.digest, Entries: l.stateMap.Snapshot()}
+	snap := snapshotState{LastSeq: l.lastSeq, Digest: l.digest, Entries: entries}
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return nil, fmt.Errorf("evm: encoding snapshot: %w", err)
 	}
@@ -370,7 +393,11 @@ func (l *Ledger) Restore(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("evm: decoding snapshot: %w", err)
 	}
-	l.stateMap.Restore(snap.Entries)
+	entries := make(map[string][]byte, len(snap.Entries))
+	for _, e := range snap.Entries {
+		entries[e.Key] = e.Val
+	}
+	l.stateMap.Restore(entries)
 	l.state = NewMapState(l.stateMap)
 	l.lastSeq = snap.LastSeq
 	l.digest = snap.Digest

@@ -219,3 +219,48 @@ func TestLedgerGarbageCollect(t *testing.T) {
 		t.Fatal("retained block results missing")
 	}
 }
+
+// TestLedgerSnapshotCanonical pins the determinism contract the
+// replication layer's chunked checkpoint commitment relies on: two ledgers
+// executing the same blocks must serialize identical snapshot bytes.
+func TestLedgerSnapshotCanonical(t *testing.T) {
+	build := func() *Ledger {
+		l := NewLedger()
+		deployer := addr(0xD0)
+		l.Mint(deployer, 1_000_000_000)
+		token, err := l.GenesisCreate(deployer, TokenDeploy(), 10_000_000)
+		if err != nil {
+			t.Fatalf("genesis deploy: %v", err)
+		}
+		for seq := uint64(1); seq <= 4; seq++ {
+			var ops [][]byte
+			for i := 0; i < 16; i++ {
+				ops = append(ops, Tx{
+					Kind: TxCall, From: deployer, To: token, GasLimit: 1_000_000,
+					Data: TokenCalldata(TokenMint, addr(byte(seq*16+uint64(i))), uint64(i)+1),
+				}.Encode())
+			}
+			l.ExecuteBlock(seq, ops)
+		}
+		return l
+	}
+	a, b := build(), build()
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatal("ledgers with identical state serialized different snapshot bytes")
+	}
+	again, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, again) {
+		t.Fatal("repeated snapshot of the same ledger differs")
+	}
+}

@@ -125,6 +125,30 @@ func AuditCluster(cl *cluster.Cluster, recorders map[int]*Recorder, acks []Ack) 
 		}
 	}
 
+	// (2b) Execution-state agreement at equal frontiers (SBFT engine):
+	// the digest additionally covers the last-reply table, so a replica
+	// whose dedup state was perturbed — e.g. restored from a tampered
+	// snapshot — diverges here even when application state agrees. This is
+	// the post-recovery invariant behind the π-certified checkpoint
+	// digest: dedup state must match what the quorum certified.
+	if cl.Replicas != nil {
+		execByFrontier := make(map[uint64]root)
+		for _, id := range ids {
+			if cl.Replicas[id] == nil {
+				continue
+			}
+			le := frontier[id]
+			d := cl.Replicas[id].ExecutionStateDigest()
+			if prev, ok := execByFrontier[le]; ok {
+				if !bytes.Equal(prev.digest, d) {
+					a.addf("execution-state divergence at frontier %d: replica %d and replica %d disagree on the last-reply table", le, prev.replica, id)
+				}
+			} else {
+				execByFrontier[le] = root{replica: id, digest: d}
+			}
+		}
+	}
+
 	// (3) No lost acks.
 	for _, ack := range acks {
 		opHash := sha256.Sum256(ack.Op)

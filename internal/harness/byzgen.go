@@ -116,7 +116,8 @@ func ValidateBudget(s cluster.Schedule, n, f, c int) error {
 				s.lossy = false
 			}
 		case cluster.FaultByzEquivocate, cluster.FaultByzStaleView,
-			cluster.FaultByzConflictCkpt, cluster.FaultByzSilent:
+			cluster.FaultByzConflictCkpt, cluster.FaultByzSilent,
+			cluster.FaultByzSnapshot:
 			get(st.Node).byz = true
 			everByz[st.Node] = true
 		case cluster.FaultByzRestore:
@@ -148,12 +149,13 @@ var byzWindowKinds = [...]cluster.FaultKind{
 	cluster.FaultByzSilent,
 	cluster.FaultByzConflictCkpt,
 	cluster.FaultByzStaleView,
+	cluster.FaultByzSnapshot,
 }
 
 // ByzantineGen generates a survivable schedule mixing Byzantine windows
 // (equivocating primary, silent-but-alive replica, conflicting-checkpoint
-// sender, stale-view spammer) with the benign fault classes of
-// DefaultGen, allowing windows to OVERLAP whenever the f/c budget admits
+// sender, stale-view spammer, snapshot-chunk tamperer) with the benign
+// fault classes of DefaultGen, allowing windows to OVERLAP whenever the f/c budget admits
 // two concurrent faulty replicas (or the windows share one target). The
 // protocol variant cycles with the seed; every 16th seed runs the
 // paper-scale configuration f=2, c=1 (n = 9) under the scaled crypto cost
@@ -347,7 +349,7 @@ func ByzantineGen(seed int64) Scenario {
 	if paperScale {
 		name += "-paperscale"
 	}
-	return Scenario{
+	s := Scenario{
 		Name:               name,
 		Opts:               opts,
 		Schedule:           sched,
@@ -356,4 +358,10 @@ func ByzantineGen(seed int64) Scenario {
 		Settle:             30 * time.Second,
 		ExpectAllCommitted: true,
 	}
+	// Every fifth seed faces the Byzantine windows with the EVM ledger as
+	// the replicated application.
+	if seed%5 == 2 {
+		s = evmize(s)
+	}
+	return s
 }

@@ -104,7 +104,7 @@ func DefaultGen(seed int64) Scenario {
 		at = end + 100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
 	}
 
-	return Scenario{
+	s := Scenario{
 		Name:               fmt.Sprintf("chaos-%s", proto),
 		Opts:               opts,
 		Schedule:           sched,
@@ -113,6 +113,12 @@ func DefaultGen(seed int64) Scenario {
 		Settle:             30 * time.Second,
 		ExpectAllCommitted: true,
 	}
+	// Every fifth seed runs the same schedule against the EVM ledger
+	// instead of the KV store (the paper's second workload, §IX).
+	if seed%5 == 2 {
+		s = evmize(s)
+	}
+	return s
 }
 
 // SeedRange returns n consecutive seeds from start.

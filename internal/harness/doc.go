@@ -1,0 +1,46 @@
+// Package harness is the deterministic chaos harness: it runs scripted
+// or seeded-random fault scenarios against simulated SBFT/PBFT
+// deployments and audits every outcome for safety.
+//
+// # Scenarios
+//
+// A Scenario is a cluster configuration (any protocol variant, the KV or
+// EVM application), a timed fault Schedule (crash, restart-from-storage,
+// partition, straggler, link-fault and Byzantine windows), and a
+// closed-loop workload. Run builds the cluster with recording
+// applications, applies the schedule, drives the workload, lets the
+// system settle, and audits.
+//
+// # Generators
+//
+// Generators are deterministic seed → Scenario functions, so a failing
+// seed is a complete reproduction recipe:
+//
+//   - DefaultGen: benign fault windows, one impaired replica at a time,
+//     everything heals; safety AND liveness asserted. Cycles the four
+//     protocol variants with the seed; every 5th seed runs the EVM
+//     ledger instead of the KV store.
+//   - ByzantineGen: OVERLAPPING benign + Byzantine windows (equivocating
+//     primary, silent replica, conflicting-checkpoint sender, stale-view
+//     spammer, snapshot-chunk tamperer) under the proven f/c budget —
+//     at most f DISTINCT replicas ever Byzantine (sticky), at most f+c
+//     distinct replicas faulty at any instant (ValidateBudget replays
+//     and checks every schedule). Every 16th seed runs the paper-scale
+//     f=2, c=1 (n=9) configuration.
+//   - EVMGen / EVMByzantineGen: the same generators with the EVM token
+//     ledger on every seed (the CI slice behind `sbft-chaos -gen evm`).
+//
+// # Safety auditor
+//
+// After every scenario AuditCluster cross-checks, over honest replicas
+// only (Byzantine ones are expected to diverge and excluded): identical
+// committed blocks per sequence; identical app state roots at equal
+// execution frontiers; identical execution-state digests (app root ‖
+// last-reply table) at equal frontiers — the certified-dedup invariant
+// behind chunked state transfer; no client ack for work no replica
+// performed; no operation executed at two sequences of one replica; and
+// every scheduled fault step applied.
+//
+// RunChaos sweeps a seed range and reports the minimal failing seed;
+// cmd/sbft-chaos is the CLI.
+package harness

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"sbft/internal/apps"
+	"sbft/internal/cluster"
+	"sbft/internal/evm"
+)
+
+// This file adds the EVM smart-contract ledger to the chaos generators:
+// the same seeded fault schedules DefaultGen and ByzantineGen produce for
+// the key-value app also run against the paper's second workload (§IX), a
+// token contract on the EVM ledger. The genesis is deterministic across
+// replicas, and the workload payloads are globally unique so the safety
+// auditor's re-execution check stays sound.
+
+// evmDeployer funds and deploys the token contract at genesis.
+var evmDeployer = evm.AddressFromBytes([]byte{0xD0})
+
+// EVMTokenAddress is the deterministic address of the genesis token
+// contract every chaos scenario uses.
+var EVMTokenAddress = evm.ContractAddress(evmDeployer, 0)
+
+// evmSenderCount bounds the pre-funded sender accounts (chaos scenarios
+// run at most a handful of clients).
+const evmSenderCount = 16
+
+// evmSender is the funded account a chaos client signs from.
+func evmSender(client int) evm.Address {
+	return evm.AddressFromBytes([]byte{0xA0, byte(client % evmSenderCount)})
+}
+
+// EVMGenesis seeds every replica's ledger identically before the protocol
+// starts: balances for the deployer and the chaos senders, and the token
+// contract at EVMTokenAddress. It panics on failure — genesis is
+// deterministic code, so a failure is a bug, not a scenario.
+func EVMGenesis(app *apps.EVMApp) {
+	app.Ledger.Mint(evmDeployer, 1_000_000_000)
+	addr, err := app.Ledger.GenesisCreate(evmDeployer, evm.TokenDeploy(), 10_000_000)
+	if err != nil {
+		panic(fmt.Sprintf("harness: EVM genesis deploy: %v", err))
+	}
+	if addr != EVMTokenAddress {
+		panic(fmt.Sprintf("harness: EVM genesis address %v, want %v", addr, EVMTokenAddress))
+	}
+	for i := 0; i < evmSenderCount; i++ {
+		app.Ledger.Mint(evmSender(i), 1_000_000)
+	}
+}
+
+// UniqueEVMGen produces the i-th operation of a chaos client: a token
+// mint whose (recipient, amount) pair is unique per (client, i), so no
+// two operations in a run share payload bytes (the auditor's no-
+// re-execution invariant keys on payload hashes).
+func UniqueEVMGen(client, i int) []byte {
+	recipient := evm.AddressFromBytes([]byte{0xB0, byte(client), byte(i >> 8), byte(i)})
+	return evm.Tx{
+		Kind:     evm.TxCall,
+		From:     evmSender(client),
+		To:       EVMTokenAddress,
+		GasLimit: 1_000_000,
+		Data:     evm.TokenCalldata(evm.TokenMint, recipient, uint64(client)*1000+uint64(i)+1),
+	}.Encode()
+}
+
+// evmize switches a generated scenario's application to the EVM ledger
+// (PBFT and all SBFT variants support it; the schedule is untouched).
+// Idempotent: the standard generators self-evmize some seeds, and the
+// dedicated EVM generators wrap them.
+func evmize(s Scenario) Scenario {
+	if s.Opts.App == cluster.AppEVM {
+		return s
+	}
+	s.Name += "-evm"
+	s.Opts.App = cluster.AppEVM
+	s.Opts.GenesisEVM = EVMGenesis
+	s.Gen = UniqueEVMGen
+	return s
+}
+
+// EVMGen is DefaultGen against the EVM ledger for every seed — the
+// dedicated generator behind the CI slice (`sbft-chaos -gen evm`).
+func EVMGen(seed int64) Scenario {
+	return evmize(DefaultGen(seed))
+}
+
+// EVMByzantineGen is ByzantineGen against the EVM ledger for every seed.
+func EVMByzantineGen(seed int64) Scenario {
+	return evmize(ByzantineGen(seed))
+}

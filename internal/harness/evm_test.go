@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sbft/internal/cluster"
+)
+
+// TestEVMChaosSlice is the EVM coverage gate: 50 seeded random fault
+// schedules with the token ledger as the replicated application, audited
+// for safety and liveness like the KV sweeps.
+func TestEVMChaosSlice(t *testing.T) {
+	const runs = 50
+	cr := RunChaos(SeedRange(1, runs), EVMGen)
+	if cr.Runs != runs {
+		t.Fatalf("ran %d scenarios, want %d", cr.Runs, runs)
+	}
+	if !cr.OK() {
+		for seed, err := range cr.Errors {
+			t.Errorf("seed %d errored: %v", seed, err)
+		}
+		for _, rep := range cr.Failures {
+			t.Errorf("%s", rep.Summary())
+			for _, f := range rep.Faults {
+				t.Logf("  fault: %s", f)
+			}
+		}
+		t.Fatalf("%s", cr.Summary())
+	}
+}
+
+// TestEVMByzantineScenario smokes one Byzantine schedule over the EVM
+// ledger end to end (the full Byzantine sweep already includes EVM seeds;
+// this pins the dedicated generator).
+func TestEVMByzantineScenario(t *testing.T) {
+	rep, err := Run(EVMByzantineGen(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("EVM Byzantine scenario failed: %s", rep.Summary())
+	}
+}
+
+// TestGeneratorsIncludeEVMSeeds pins that the standard generators
+// themselves cycle the EVM app in (every fifth seed), for both the benign
+// and the Byzantine generator.
+func TestGeneratorsIncludeEVMSeeds(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		fn   ScenarioGen
+	}{{"DefaultGen", DefaultGen}, {"ByzantineGen", ByzantineGen}} {
+		sawEVM, sawKV := false, false
+		for seed := int64(1); seed <= 10; seed++ {
+			s := gen.fn(seed)
+			if s.Opts.App == cluster.AppEVM {
+				sawEVM = true
+				if s.Opts.GenesisEVM == nil || s.Gen == nil {
+					t.Errorf("%s(%d): EVM scenario missing genesis or op generator", gen.name, seed)
+				}
+				if !strings.HasSuffix(s.Name, "-evm") {
+					t.Errorf("%s(%d): EVM scenario not labeled: %q", gen.name, seed, s.Name)
+				}
+			} else {
+				sawKV = true
+			}
+		}
+		if !sawEVM || !sawKV {
+			t.Errorf("%s: app coverage evm=%v kv=%v over 10 seeds", gen.name, sawEVM, sawKV)
+		}
+	}
+}
+
+// TestUniqueEVMGenPayloadsAreUnique: the auditor's re-execution check
+// keys on payload hashes, so the workload must never repeat bytes.
+func TestUniqueEVMGenPayloadsAreUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for client := 0; client < 4; client++ {
+		for i := 0; i < 50; i++ {
+			op := UniqueEVMGen(client, i)
+			if seen[string(op)] {
+				t.Fatalf("duplicate payload for client %d op %d", client, i)
+			}
+			seen[string(op)] = true
+		}
+	}
+	if bytes.Equal(UniqueEVMGen(0, 1), UniqueEVMGen(1, 0)) {
+		t.Fatal("cross-client payload collision")
+	}
+}
+
+// TestEVMizeIdempotent: dedicated EVM generators wrap generators that
+// self-evmize some seeds; names must not stack "-evm" suffixes.
+func TestEVMizeIdempotent(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		if name := EVMGen(seed).Name; strings.Contains(name, "-evm-evm") {
+			t.Fatalf("EVMGen(%d) double-evmized: %q", seed, name)
+		}
+	}
+}

@@ -1,17 +1,3 @@
-// Package harness is the deterministic chaos harness: it runs scripted or
-// randomly generated fault scenarios against simulated SBFT deployments
-// and audits the outcome for safety. A scenario is a cluster
-// configuration, a timed fault schedule (crash, restart-from-storage,
-// partition, straggler, per-link drop/duplicate/reorder windows — the
-// fault classes behind the paper's evaluation, §VII and §IX), and a
-// closed-loop workload. After every scenario the safety auditor
-// cross-checks per-replica committed logs, application state roots and
-// executed-request sets, and verifies no client holds an ack for work the
-// cluster did not perform.
-//
-// The chaos runner (RunChaos) explores seeded random schedules across all
-// four protocol variants and reports the minimal failing seed, turning
-// "does the protocol survive X?" into a reproducible one-liner.
 package harness
 
 import (

@@ -22,6 +22,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 
 	"sbft/internal/merkle"
 )
@@ -357,23 +358,49 @@ func (s *Store) GarbageCollect(keepFrom uint64) {
 	}
 }
 
-// snapshotState is the gob-encoded checkpoint payload.
+// snapshotEntry is one key-value pair of the canonical snapshot encoding.
+type snapshotEntry struct {
+	Key string
+	Val []byte
+}
+
+// snapshotState is the gob-encoded checkpoint payload. Entries are a
+// key-sorted slice, NOT a map: gob serializes maps in iteration order, so a
+// map here would make Snapshot() bytes differ across replicas holding
+// identical state — and the replication layer Merkle-commits the snapshot
+// byte stream chunk by chunk inside the threshold-signed checkpoint digest,
+// which requires every honest replica to produce the same bytes.
 type snapshotState struct {
 	LastSeq uint64
 	Digest  []byte
-	Entries map[string][]byte
+	Entries []snapshotEntry
 }
 
-// Snapshot serializes the full store state for state transfer (§VIII).
-// Execution records are not part of the snapshot; a restored replica can
-// prove only blocks it executes after restoration, which matches PBFT-style
-// state transfer semantics.
+// sortedEntries flattens a state map into the canonical sorted form.
+func sortedEntries(m map[string][]byte) []snapshotEntry {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]snapshotEntry, len(keys))
+	for i, k := range keys {
+		out[i] = snapshotEntry{Key: k, Val: m[k]}
+	}
+	return out
+}
+
+// Snapshot serializes the full store state for state transfer (§VIII). The
+// encoding is canonical: replicas with identical state produce identical
+// bytes. Execution records are not part of the snapshot; a restored replica
+// can prove only blocks it executes after restoration, which matches
+// PBFT-style state transfer semantics.
 func (s *Store) Snapshot() ([]byte, error) {
 	var buf bytes.Buffer
 	snap := snapshotState{
 		LastSeq: s.lastSeq,
 		Digest:  s.digest,
-		Entries: s.state.Snapshot(),
+		Entries: sortedEntries(s.state.Snapshot()),
 	}
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return nil, fmt.Errorf("kvstore: encoding snapshot: %w", err)
@@ -387,7 +414,11 @@ func (s *Store) Restore(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("kvstore: decoding snapshot: %w", err)
 	}
-	s.state.Restore(snap.Entries)
+	entries := make(map[string][]byte, len(snap.Entries))
+	for _, e := range snap.Entries {
+		entries[e.Key] = e.Val
+	}
+	s.state.Restore(entries)
 	s.lastSeq = snap.LastSeq
 	s.digest = snap.Digest
 	s.executed = make(map[uint64]*execRecord)

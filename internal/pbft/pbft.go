@@ -379,7 +379,7 @@ func (r *Replica) onRequest(from int, m core.RequestMsg) {
 	if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
 		if ent.timestamp == req.Timestamp {
 			r.env.Send(req.Client, core.ReplyMsg{
-				Seq: ent.seq, L: ent.l, Replica: r.id,
+				Seq: ent.seq, L: ent.l, Replica: r.id, View: r.view,
 				Client: req.Client, Timestamp: ent.timestamp, Val: ent.val,
 			})
 		}
@@ -673,7 +673,7 @@ func (r *Replica) executeReady() {
 			// Every replica replies; the client waits for f+1 (§V-A of
 			// the SBFT paper describes this as the classic behavior).
 			r.env.Send(req.Client, core.ReplyMsg{
-				Seq: next, L: i, Replica: r.id,
+				Seq: next, L: i, Replica: r.id, View: r.view,
 				Client: req.Client, Timestamp: req.Timestamp, Val: results[i],
 			})
 		}

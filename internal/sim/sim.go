@@ -1,14 +1,3 @@
-// Package sim is a deterministic discrete-event network simulator standing
-// in for the paper's geo-replicated WAN deployments (§IX; substitution
-// documented in DESIGN.md). Protocol nodes are sans-io event machines; the
-// simulator owns virtual time, delivers messages with region-to-region
-// latency, jitter, bandwidth-proportional serialization delay, crash and
-// straggler injection, and fires timers — all reproducibly from a seed.
-//
-// Figures 2 and 3 of the paper depend on message counts, quorum waiting and
-// latency distributions, which this model reproduces; absolute throughput
-// also depends on crypto CPU cost, which callers model as service time via
-// Config.ComputeDelay.
 package sim
 
 import (

@@ -42,7 +42,9 @@ func init() {
 	gob.Register(core.FetchCommitMsg{})
 	gob.Register(core.CommitInfoMsg{})
 	gob.Register(core.FetchStateMsg{})
-	gob.Register(core.StateSnapshotMsg{})
+	gob.Register(core.SnapshotMetaMsg{})
+	gob.Register(core.FetchSnapshotChunkMsg{})
+	gob.Register(core.SnapshotChunkMsg{})
 	gob.Register(core.ViewChangeMsg{})
 	gob.Register(core.NewViewMsg{})
 	gob.Register(pbft.PrePrepareMsg{})
@@ -207,6 +209,31 @@ func (s *Shell) eventLoop() {
 			return
 		}
 	}
+}
+
+// AnnounceAll eagerly dials every peer in the static book and sends the
+// hello frame. Replicas learn the caller's dial-back address immediately,
+// instead of on the first protocol message that happens to reach them —
+// without this, a client's first reply arrives only after replicas learn
+// its route from a forwarded request, which can cost a full retry timeout
+// (clients are never listed in the replicas' peers files). Dial failures
+// are ignored: the peer will be dialed again on the first real send.
+func (s *Shell) AnnounceAll() {
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.peers))
+	for id := range s.peers {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, _ = s.dial(id)
+		}(id)
+	}
+	wg.Wait()
 }
 
 // dial returns (creating if needed) the encoder for a peer.

@@ -140,3 +140,67 @@ func TestShellSendToUnknownPeerIsSilent(t *testing.T) {
 	sh.Start(nopNode{})
 	sh.Send(42, core.RequestMsg{}) // must not panic
 }
+
+// recordingNode captures delivered messages for assertions.
+type recordingNode struct {
+	mu   sync.Mutex
+	got  []any
+	wake chan struct{}
+}
+
+func newRecordingNode() *recordingNode { return &recordingNode{wake: make(chan struct{}, 16)} }
+
+func (r *recordingNode) Deliver(_ int, msg any) {
+	r.mu.Lock()
+	r.got = append(r.got, msg)
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// TestAnnounceAllEstablishesDialBackRoutes: after a client announces
+// itself, a replica that has the client in neither its peers file nor its
+// learned table can reach it immediately — no protocol message from the
+// client needed first. This is the eager version of the dial-back fix that
+// previously cost the first reply a full retry timeout.
+func TestAnnounceAllEstablishesDialBackRoutes(t *testing.T) {
+	replicaShell, err := NewShell(1, "127.0.0.1:0", map[int]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replicaShell.Close()
+	replicaShell.Start(nopNode{})
+
+	clientID := core.ClientBase
+	clientShell, err := NewShell(clientID, "127.0.0.1:0", map[int]string{1: replicaShell.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientShell.Close()
+	sink := newRecordingNode()
+	clientShell.Start(sink)
+
+	clientShell.AnnounceAll()
+
+	// The replica should now know the client's dial-back address. Allow a
+	// short window for the hello frame to be read.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		replicaShell.Send(clientID, core.ReplyMsg{Client: clientID, Timestamp: 1, Val: []byte("hi")})
+		select {
+		case <-sink.wake:
+		case <-time.After(50 * time.Millisecond):
+		}
+		sink.mu.Lock()
+		n := len(sink.got)
+		sink.mu.Unlock()
+		if n > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica could not reach the announced client")
+		}
+	}
+}
