@@ -9,11 +9,14 @@
 // Byzantine windows — equivocating primaries, silent-but-alive replicas,
 // conflicting-checkpoint senders, stale-view spammers, snapshot-chunk
 // tamperers — within the f/c budget, including an f=2 paper-scale
-// configuration every 16th seed), and "evm" (the benign generator with the
-// EVM token ledger as the replicated application on every seed). "both"
-// splits the seed range across default and byzantine, keeping wall-time
-// flat; both of those also run the EVM ledger themselves on every fifth
-// seed.
+// configuration every 16th seed), "evm" (the benign generator with the
+// EVM token ledger as the replicated application on every seed), and
+// "recovery" (multi-MiB state, a victim crashed across checkpoint
+// intervals, windowed state transfer over lossy/reordering links with
+// chunk-tampering or stale-meta snapshot servers, blame attribution
+// asserted). "both" splits the seed range across default and byzantine,
+// keeping wall-time flat; both of those also run the EVM ledger
+// themselves on every fifth seed.
 //
 // Examples:
 //
@@ -35,7 +38,7 @@ func main() {
 	var (
 		seeds   = flag.Int("seeds", 200, "number of seeded scenarios to run")
 		start   = flag.Int64("start", 1, "first seed")
-		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, or both (seed range split)")
+		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, evm, recovery, or both (seed range split)")
 		verbose = flag.Bool("v", false, "print every scenario outcome")
 	)
 	flag.Parse()
@@ -58,6 +61,8 @@ func main() {
 		sweeps = []sweep{{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, *seeds)}}
 	case "evm":
 		sweeps = []sweep{{"evm", harness.EVMGen, harness.SeedRange(*start, *seeds)}}
+	case "recovery":
+		sweeps = []sweep{{"recovery", harness.RecoveryGen, harness.SeedRange(*start, *seeds)}}
 	case "both":
 		// Split the budget so adding the Byzantine sweep keeps the total
 		// scenario count (and CI wall-time) flat.

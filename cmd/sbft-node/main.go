@@ -31,6 +31,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
 	"sbft/internal/apps"
@@ -38,6 +39,79 @@ import (
 	"sbft/internal/storage"
 	"sbft/internal/transport"
 )
+
+// snapJob is one queued snapshot persistence task.
+type snapJob struct {
+	cs   *core.CertifiedSnapshot
+	done func(error)
+}
+
+// snapSink is the deployment's core.SnapshotSink: certified snapshots are
+// encoded and fsynced by a worker goroutine so the replica's event loop
+// never stalls on checkpoint persistence (the paper's "off the critical
+// path" replica role, applied to the win/2-interval store write).
+// Completions are routed back onto the event loop through Shell.Do, per
+// the SnapshotSink contract.
+type snapSink struct {
+	led  *storage.Ledger
+	do   func(func())
+	jobs chan snapJob
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newSnapSink(led *storage.Ledger, do func(func())) *snapSink {
+	s := &snapSink{led: led, do: do, jobs: make(chan snapJob, 4)}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *snapSink) loop() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		j := j
+		err := core.PersistCertified(s.led, j.cs)
+		s.do(func() { j.done(err) })
+	}
+}
+
+// PersistSnapshot implements core.SnapshotSink. It only enqueues (it is
+// called on the event loop); a saturated worker skips the snapshot — the
+// next checkpoint's supersedes it anyway. The closed guard covers the
+// shutdown window where the shell's event loop still delivers commits
+// after Close ran (defers are LIFO: the sink closes before the shell) —
+// a send on the closed jobs channel would panic, even under select.
+func (s *snapSink) PersistSnapshot(cs *core.CertifiedSnapshot, done func(error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		done(fmt.Errorf("snapshot sink closed"))
+		return
+	}
+	select {
+	case s.jobs <- snapJob{cs: cs, done: done}:
+	default:
+		done(fmt.Errorf("snapshot persist queue full"))
+	}
+}
+
+// Close flushes queued persists (a graceful shutdown keeps the latest
+// stable snapshot; only a hard crash can lose the in-flight write, which
+// restart recovery tolerates by re-arming from the previous one).
+func (s *snapSink) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
 
 func loadPeers(path string) (map[int]string, error) {
 	f, err := os.Open(path)
@@ -73,6 +147,7 @@ func main() {
 		c        = flag.Int("c", 0, "redundant servers c")
 		seed     = flag.String("seed", "sbft-demo", "shared key seed (demo PKI)")
 		dataDir  = flag.String("data", "", "block store directory (empty = no persistence)")
+		syncSnap = flag.Bool("sync-snapshots", false, "persist checkpoint snapshots synchronously on the event loop (default: async worker)")
 	)
 	flag.Parse()
 
@@ -106,8 +181,9 @@ func main() {
 	defer shell.Close()
 
 	var store core.BlockStore
+	var led *storage.Ledger
 	if *dataDir != "" {
-		led, err := storage.Open(*dataDir, storage.Options{Sync: true})
+		led, err = storage.Open(*dataDir, storage.Options{Sync: true})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sbft-node: opening block store: %v\n", err)
 			os.Exit(1)
@@ -120,6 +196,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbft-node: %v\n", err)
 		os.Exit(1)
+	}
+	if led != nil && !*syncSnap {
+		sink := newSnapSink(led, shell.Do)
+		defer sink.Close()
+		rep.SetSnapshotSink(sink)
 	}
 	shell.Start(rep)
 	fmt.Printf("sbft-node: replica %d/%d (f=%d c=%d) listening on %s\n", *id, cfg.N(), *f, *c, shell.Addr())

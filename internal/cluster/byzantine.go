@@ -49,6 +49,8 @@ func (cl *Cluster) InstallByzantine(node int, kind FaultKind) error {
 		c = silencer{}
 	case FaultByzSnapshot:
 		c = snapshotTamperer{}
+	case FaultByzStaleMeta:
+		c = &staleMetaServer{}
 	default:
 		return fmt.Errorf("cluster: %v is not a Byzantine fault kind", kind)
 	}
@@ -270,6 +272,32 @@ type snapshotTamperer struct{}
 func (snapshotTamperer) Corrupt(to sim.NodeID, msg any, size int) []sim.Injection {
 	if m, ok := msg.(core.SnapshotChunkMsg); ok {
 		em := core.SnapshotChunkMsg{Seq: m.Seq, Index: m.Index, Data: TamperSnapshotChunk(m.Data), Proof: m.Proof}
+		return []sim.Injection{{To: to, Msg: em, Size: em.WireSize()}}
+	}
+	return sim.PassThrough(to, msg, size)
+}
+
+// staleMetaServer caches the OLDEST snapshot meta its replica ever served
+// and replays it in place of every later meta answer. The cached meta is
+// authentic — π-certified by the honest quorum at the time — just stale:
+// the exact adversary of the first-accepted-meta race. All other traffic,
+// snapshot chunks included, passes through untouched (the stale
+// snapshot's chunks are eventually garbage-collected by the honest
+// engine, at which point chunk requests for it are answered with a fresh
+// meta re-offer — which this corrupter again rewrites to the stale one,
+// so the fetcher can only learn the real frontier from OTHER servers).
+type staleMetaServer struct {
+	meta *core.SnapshotMetaMsg
+}
+
+// Corrupt implements sim.Corrupter.
+func (s *staleMetaServer) Corrupt(to sim.NodeID, msg any, size int) []sim.Injection {
+	if m, ok := msg.(core.SnapshotMetaMsg); ok {
+		if s.meta == nil || m.Seq < s.meta.Seq {
+			mm := m
+			s.meta = &mm
+		}
+		em := *s.meta
 		return []sim.Injection{{To: to, Msg: em, Size: em.WireSize()}}
 	}
 	return sim.PassThrough(to, msg, size)

@@ -122,6 +122,106 @@ func TestSnapshotTamperFaultKindMarksByzantine(t *testing.T) {
 	}
 }
 
+// TestStaleMetaByzantineServerLosesRace is the cluster-level stale-meta
+// regression scenario: a recovering replica fetches snapshot metadata
+// from all servers, one of which is a FaultByzStaleMeta adversary
+// replaying an old-but-valid certified meta. With first-accepted-meta
+// selection the adversary could pin recovery to a garbage-collected
+// checkpoint; with highest-certified-seq selection recovery must complete
+// at the honest frontier, with no honest server blamed.
+func TestStaleMetaByzantineServerLosesRace(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 81,
+		Tune: func(c *core.Config) {
+			c.Win = 8
+			c.Batch = 1
+			c.CheckpointInterval = 4
+			c.ViewChangeTimeout = 2 * time.Second
+		},
+	})
+	defer cl.Close()
+
+	// The adversary serves metas from the start, so the meta it caches is
+	// from an early checkpoint — stale by the time replica 4 recovers.
+	if err := cl.InstallByzantine(2, FaultByzStaleMeta); err != nil {
+		t.Fatal(err)
+	}
+	cl.Net.Crash(4)
+	res := cl.RunClosedLoop(30, bigKVGen, 5*time.Minute)
+	if res.Completed != 60 {
+		t.Fatalf("completed %d of 60 with one crashed replica", res.Completed)
+	}
+
+	cl.Net.Recover(4)
+	more := cl.RunClosedLoop(10, bigKVGen, 5*time.Minute)
+	if more.Completed != 20 {
+		t.Fatalf("completed %d of 20 after recovery", more.Completed)
+	}
+	cl.Run(time.Minute)
+
+	r4 := cl.Replicas[4]
+	if r4.Metrics.StateFetches == 0 {
+		t.Error("no state fetch despite a deep gap")
+	}
+	// Recovery must land at (or beyond) the honest stable frontier, not
+	// at the adversary's stale checkpoint.
+	honestStable := uint64(0)
+	for id := 1; id <= cl.N; id++ {
+		if id != 4 && !cl.IsByzantine(id) && cl.Replicas[id].LastStable() > honestStable {
+			honestStable = cl.Replicas[id].LastStable()
+		}
+	}
+	if r4.LastExecuted() < honestStable {
+		t.Fatalf("recovery pinned behind the honest frontier: le=%d, honest stable=%d",
+			r4.LastExecuted(), honestStable)
+	}
+	// The stale meta is authentic, so nobody gets blamed for tampering —
+	// and in particular no HONEST server may be blamed.
+	for id, n := range r4.SnapshotBlameCounts() {
+		if !cl.IsByzantine(id) && n > 0 {
+			t.Errorf("honest server %d was blamed %d times", id, n)
+		}
+	}
+	digestsAgree(t, cl)
+}
+
+// TestAsyncSnapshotPersistenceArmsDurable pins the async sink wiring: a
+// persisted cluster replica (async sink by default) arms its durable
+// serving point only via the sink completion, and the durable point
+// converges to the served snapshot once the modeled disk delay passes.
+func TestAsyncSnapshotPersistenceArmsDurable(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 82, Persist: true,
+		Tune: func(c *core.Config) {
+			c.Win = 8
+			c.Batch = 1
+			c.CheckpointInterval = 4
+		},
+	})
+	defer cl.Close()
+
+	res := cl.RunClosedLoop(15, kvGen, 2*time.Minute)
+	if res.Completed != 30 {
+		t.Fatalf("completed %d of 30", res.Completed)
+	}
+	cl.Run(30 * time.Second) // sink completions land (2ms modeled delay)
+	for id := 1; id <= cl.N; id++ {
+		r := cl.Replicas[id]
+		if r.SnapshotSeq() == 0 {
+			t.Fatalf("replica %d never adopted a snapshot", id)
+		}
+		if r.DurableSnapshotSeq() != r.SnapshotSeq() {
+			t.Fatalf("replica %d durable snapshot %d lags served %d after settle",
+				id, r.DurableSnapshotSeq(), r.SnapshotSeq())
+		}
+		if r.Metrics.SnapshotPersists == 0 {
+			t.Fatalf("replica %d recorded no async persists", id)
+		}
+	}
+}
+
 // TestRestartedReplicaServesDurableSnapshot pins the storage leg of
 // certified state transfer: a replica that persisted a stable certified
 // snapshot re-arms serving from disk after restart-from-storage — it can

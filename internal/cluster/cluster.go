@@ -89,6 +89,17 @@ type Options struct {
 	// block store, enabling RestartReplica (restart-from-storage). The
 	// data lives under DataDir, or a temporary directory removed by Close.
 	Persist bool
+	// SyncSnapshots forces the synchronous snapshot-persistence path
+	// (encode+write on the replica's event loop, the pre-async behavior,
+	// kept measurable as a benchmark baseline). By default a persisted
+	// SBFT replica gets an asynchronous core.SnapshotSink: the encode and
+	// disk write land after SnapshotPersistDelay of virtual time, off the
+	// checkpoint critical path, and a crash can race the durable write —
+	// exactly the window the chaos sweeps should exercise.
+	SyncSnapshots bool
+	// SnapshotPersistDelay is the modeled disk hand-off latency of the
+	// async snapshot sink (0 = 2ms of virtual time).
+	SnapshotPersistDelay time.Duration
 	// DataDir is the root directory for persisted replica state; empty
 	// with Persist set means a temp dir owned by the cluster.
 	DataDir string
@@ -170,6 +181,39 @@ func (e *env) After(d time.Duration, fn func()) func() {
 		}
 		fn()
 	})
+}
+
+// ledgerSink is the simulated cluster's core.SnapshotSink: certified
+// snapshots are encoded and written to the replica's storage.Ledger after
+// a modeled disk delay, scheduled on the deterministic event loop. The
+// simulator has no real threads — what matters is that adoption no longer
+// waits for persistence, and that a crash or restart can land between
+// adoption and the durable write (a dead env suppresses the pending
+// write, exactly like a process dying mid-write; the replica then re-serves
+// from its previous durable snapshot).
+type ledgerSink struct {
+	env   *env
+	led   *storage.Ledger
+	delay time.Duration
+}
+
+// PersistSnapshot implements core.SnapshotSink.
+func (s *ledgerSink) PersistSnapshot(cs *core.CertifiedSnapshot, done func(error)) {
+	s.env.After(s.delay, func() {
+		done(core.PersistCertified(s.led, cs))
+	})
+}
+
+// installSink arms the async snapshot sink on a persisted SBFT replica.
+func (cl *Cluster) installSink(rep *core.Replica, e *env, led *storage.Ledger) {
+	if !cl.Opts.Persist || cl.Opts.SyncSnapshots || led == nil {
+		return
+	}
+	delay := cl.Opts.SnapshotPersistDelay
+	if delay <= 0 {
+		delay = 2 * time.Millisecond
+	}
+	rep.SetSnapshotSink(&ledgerSink{env: e, led: led, delay: delay})
 }
 
 // handler adapts Node to sim.Handler.
@@ -300,6 +344,9 @@ func New(opts Options) (*Cluster, error) {
 			rep, err := core.NewReplica(id, cl.Cfg, suite, keys[id-1], app, e, store)
 			if err != nil {
 				return nil, err
+			}
+			if opts.Persist {
+				cl.installSink(rep, e, cl.Stores[id])
 			}
 			cl.Replicas[id] = rep
 			var node Node = rep

@@ -75,6 +75,16 @@ const (
 	// detect the tampering, blame this server, and finish recovery from
 	// the remaining honest servers.
 	FaultByzSnapshot
+	// FaultByzStaleMeta makes Node a stale-snapshot-meta server: it
+	// remembers the OLDEST certified snapshot meta it ever served and
+	// keeps answering FetchState with it — the π certificate stays valid,
+	// only the sequence is stale. Against a fetcher that adopts the first
+	// meta at/above its target, this races the honest servers and can win
+	// the initial choice, pinning recovery to a checkpoint whose chunks
+	// the cluster may already have garbage-collected; the
+	// highest-certified-seq meta selection makes it lose to any honest
+	// answer collected in the same window.
+	FaultByzStaleMeta
 	// FaultByzRestore removes Node's corrupter. The engine was never
 	// corrupted internally, so the replica resumes honest participation;
 	// the audit keeps treating it as Byzantine (sticky mark).
@@ -110,6 +120,8 @@ func (k FaultKind) String() string {
 		return "byz-silent"
 	case FaultByzSnapshot:
 		return "byz-snapshot"
+	case FaultByzStaleMeta:
+		return "byz-stale-meta"
 	case FaultByzRestore:
 		return "byz-restore"
 	default:
@@ -121,7 +133,7 @@ func (k FaultKind) String() string {
 func (k FaultKind) Byzantine() bool {
 	switch k {
 	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt,
-		FaultByzSilent, FaultByzSnapshot, FaultByzRestore:
+		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzRestore:
 		return true
 	}
 	return false
@@ -208,7 +220,7 @@ func (cl *Cluster) applyFault(f Fault) {
 	case FaultLinkClear:
 		cl.Net.ClearLinkFaults()
 	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt,
-		FaultByzSilent, FaultByzSnapshot, FaultByzRestore:
+		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzRestore:
 		if err := cl.InstallByzantine(f.Node, f.Kind); err != nil {
 			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("%s r%d at %v: %w", f.Kind, f.Node, f.At, err))
 		}
@@ -266,6 +278,7 @@ func (cl *Cluster) RestartReplica(id int) error {
 		if err != nil {
 			return fmt.Errorf("cluster: recovering replica %d: %w", id, err)
 		}
+		cl.installSink(rep, e, led)
 		cl.Replicas[id] = rep
 		node = rep
 	}

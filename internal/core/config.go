@@ -52,6 +52,24 @@ type Config struct {
 	// CheckpointInterval is the stable-checkpoint period (paper: win/2).
 	// Zero derives win/2.
 	CheckpointInterval uint64
+	// FetchWindow bounds in-flight snapshot chunk requests during state
+	// transfer (flow control, §VIII): the window refills as verified
+	// chunks land. Zero derives the default 32.
+	FetchWindow int
+	// ChunkRetryTimeout is how long one outstanding snapshot-chunk
+	// request may stay unanswered before it is re-issued to another
+	// server (and the unresponsive server loses scheduler share). Zero
+	// derives 2×GapRepairTimeout; negative disables per-chunk retries,
+	// leaving only the whole-transfer retry — the pre-windowed behavior,
+	// kept configurable as the measurable benchmark baseline.
+	ChunkRetryTimeout time.Duration
+	// SnapshotMetaWait is how long a fetcher collects competing snapshot
+	// metas before committing to the highest certified sequence among
+	// them. Zero derives 40ms; negative adopts the first verified meta
+	// immediately — the old racy behavior a Byzantine stale-meta server
+	// could win, kept configurable so the regression test can demonstrate
+	// the exploit against it.
+	SnapshotMetaWait time.Duration
 }
 
 // DefaultConfig returns the paper's defaults for a given f and c.
@@ -69,6 +87,7 @@ func DefaultConfig(f, c int) Config {
 		GapRepairTimeout:    250 * time.Millisecond,
 		ViewChangeTimeout:   2 * time.Second,
 		CollectorStagger:    50 * time.Millisecond,
+		FetchWindow:         32,
 	}
 }
 
@@ -115,6 +134,35 @@ func (c Config) checkpointEvery() uint64 {
 // fastGateWindow is the §V-F fast-path restriction: a replica only joins
 // the fast path for s ∈ [le, le + win/4].
 func (c Config) fastGateWindow() uint64 { return c.Win / 4 }
+
+// fetchWindow is the effective in-flight chunk window for state transfer.
+func (c Config) fetchWindow() int {
+	if c.FetchWindow > 0 {
+		return c.FetchWindow
+	}
+	return 32
+}
+
+// chunkRetryTimeout is the effective per-chunk retry interval; values
+// ≤ 0 after derivation disable per-chunk retries.
+func (c Config) chunkRetryTimeout() time.Duration {
+	if c.ChunkRetryTimeout != 0 {
+		return c.ChunkRetryTimeout
+	}
+	if c.GapRepairTimeout > 0 {
+		return 2 * c.GapRepairTimeout
+	}
+	return 500 * time.Millisecond
+}
+
+// snapshotMetaWait is the effective meta-collection window; values < 0
+// after derivation mean "adopt the first verified meta immediately".
+func (c Config) snapshotMetaWait() time.Duration {
+	if c.SnapshotMetaWait != 0 {
+		return c.SnapshotMetaWait
+	}
+	return 40 * time.Millisecond
+}
 
 // Primary returns the primary replica id (1-based) for a view, chosen
 // round-robin (§V-B).

@@ -277,7 +277,11 @@ func (m FetchStateMsg) WireSize() int { return msgHeader }
 // its π stable-checkpoint certificate, and the header (leaf 0) with its
 // membership proof. A receiver verifies π over
 // CheckpointSigDigest(Seq, Root) and then the header proof before
-// requesting chunks — everything after that is authenticated leaf by leaf.
+// requesting chunks — everything after that is authenticated leaf by
+// leaf. Fetchers poll every eligible server and briefly collect the
+// competing (verified) metas, adopting the HIGHEST certified sequence:
+// a Byzantine server racing a stale-but-valid meta cannot win the
+// choice by answering first.
 type SnapshotMetaMsg struct {
 	Seq         uint64
 	Root        []byte
@@ -291,9 +295,11 @@ func (m SnapshotMetaMsg) WireSize() int {
 	return msgHeader + 2*hashSize + sigSize + len(m.HeaderProof.Steps)*hashSize
 }
 
-// FetchSnapshotChunkMsg requests one chunk (1-based Merkle leaf index) of
-// the certified snapshot at Seq. A recovering replica spreads chunk
-// requests across peers and re-requests from a different server when a
+// FetchSnapshotChunkMsg requests one chunk (1-based Merkle leaf index)
+// of the certified snapshot at Seq. A recovering replica keeps a bounded
+// window of these in flight (Config.FetchWindow), routes each through a
+// per-server scheduler that prefers lightly-loaded, fast servers, and
+// re-issues a request to a different server when it times out or its
 // chunk fails verification.
 type FetchSnapshotChunkMsg struct {
 	Replica int

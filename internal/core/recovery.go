@@ -66,6 +66,39 @@ type SnapshotStore interface {
 	PruneSnapshots(keepFrom uint64) error
 }
 
+// SnapshotSink is an optional asynchronous persistence hook for stable
+// certified snapshots. When installed (SetSnapshotSink), the replica
+// hands each adopted snapshot to PersistSnapshot instead of encoding and
+// writing it synchronously on the event loop — at large application
+// state the encode+write dominates the win/2-interval checkpoint cost
+// and would stall execution.
+//
+// Contract: PersistSnapshot must not block (hand the work to a worker
+// goroutine, or schedule it); the snapshot is immutable and safe to read
+// off-loop. done(err) reports the outcome and MUST be invoked on the
+// replica's event-loop thread (the transport shell routes it through
+// Shell.Do; the simulated cluster schedules it on the deterministic
+// event loop). In-memory serving arms immediately on adoption; the done
+// callback arms the restart-survivable serving point (DurableSnapshotSeq)
+// once the bytes are actually on disk, and the sink prunes superseded
+// snapshot files after a successful write.
+type SnapshotSink interface {
+	PersistSnapshot(cs *CertifiedSnapshot, done func(error))
+}
+
+// PersistCertified durably saves a stable certified snapshot into a
+// SnapshotStore, pruning superseded ones only after a successful write.
+// The single implementation every persistence path shares — the
+// synchronous adoptSnapshot fallback, the simulator's virtual-disk sink,
+// and the deployment's worker sink — so the save→prune ordering (and any
+// future retention policy) cannot silently diverge between them.
+func PersistCertified(ss SnapshotStore, cs *CertifiedSnapshot) error {
+	if err := ss.SaveSnapshot(cs.Seq, cs.Encode()); err != nil {
+		return err
+	}
+	return ss.PruneSnapshots(cs.Seq)
+}
+
 // RecoverableStore is a BlockStore that can be read back on restart.
 // storage.Ledger satisfies it.
 type RecoverableStore interface {
@@ -146,6 +179,7 @@ func NewRecoveredReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys
 			}
 			if suite.Pi.Verify(CheckpointSigDigest(cs.Seq, cs.Root()), cs.Pi) == nil {
 				r.snapshot = cs
+				r.durableSnap = cs.Seq
 			}
 		}
 	}

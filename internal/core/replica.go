@@ -141,6 +141,17 @@ type Metrics struct {
 	// SnapshotBlames counts snapshot servers blamed for serving metadata
 	// or chunks that failed verification against the certified root.
 	SnapshotBlames uint64
+	// SnapshotChunkRetries counts chunk requests re-issued after their
+	// per-chunk retry timer expired (a lost request or an unresponsive
+	// server) — the windowed transfer's loss-recovery path.
+	SnapshotChunkRetries uint64
+	// SnapshotTimeoutExclusions counts servers excluded from a transfer
+	// for repeated unanswered chunk requests (slow-trickling; distinct
+	// from SnapshotBlames, which counts provable tampering).
+	SnapshotTimeoutExclusions uint64
+	// SnapshotPersists counts certified snapshots durably persisted,
+	// synchronously or through the async SnapshotSink.
+	SnapshotPersists uint64
 }
 
 // BlockStore persists committed decision blocks (the paper persists
@@ -177,6 +188,11 @@ type Replica struct {
 	// serve for state transfer (chunk by chunk, each leaf-provable against
 	// the threshold-signed root).
 	snapshot *CertifiedSnapshot
+	// prevSnap retains the previously served snapshot (in memory only) so
+	// fetchers mid-transfer keep completing against it when a checkpoint
+	// supersedes it — without this, every win/2 blocks of progress would
+	// force large in-flight transfers to restart from scratch.
+	prevSnap *CertifiedSnapshot
 	// pendingSnap holds certified snapshots captured at the moment a
 	// checkpoint sequence executed, keyed by that sequence. Stabilization
 	// (the π quorum) arrives a round-trip later, when execution may have
@@ -188,6 +204,13 @@ type Replica struct {
 	// snapshotBlames accumulates, per server id, how many times that
 	// server was blamed for snapshot material failing verification.
 	snapshotBlames map[int]int
+	// sink, when set, receives adopted snapshots for asynchronous
+	// persistence (see SnapshotSink); nil falls back to the synchronous
+	// SnapshotStore path.
+	sink SnapshotSink
+	// durableSnap is the highest snapshot sequence known persisted (the
+	// restart-survivable serving point, armed by the sink's completion).
+	durableSnap uint64
 
 	// Primary state.
 	pending    []Request
@@ -1533,25 +1556,56 @@ func (r *Replica) buildSnapshot(seq uint64, appDigest []byte) (*CertifiedSnapsho
 	return NewCertifiedSnapshot(seq, appDigest, appSnap, encodeReplyTable(r.replyCache)), nil
 }
 
-// adoptSnapshot installs a stable certified snapshot for serving and, when
-// the block store supports it, persists it (replacing older ones) so a
-// restarted replica can serve state transfer immediately. Persistence is
-// synchronous on the event loop — one encode+write per win/2 executions,
-// the same cadence as the snapshot capture itself; replicas with very
-// large state that need an async store hook: see ROADMAP.
+// adoptSnapshot installs a stable certified snapshot for serving and
+// hands it off for durable persistence so a restarted replica can serve
+// state transfer immediately. In-memory serving arms at once (the capture
+// is already chunked and Merkle-committed); persistence goes through the
+// async SnapshotSink when one is installed — encode+write of a large
+// state would otherwise stall the event loop every win/2 executions —
+// and falls back to the synchronous SnapshotStore path otherwise. The
+// sink's completion callback arms the restart-survivable serving point
+// (durableSnap) once the bytes are actually on disk.
 func (r *Replica) adoptSnapshot(cs *CertifiedSnapshot) {
 	if r.snapshot != nil && r.snapshot.Seq >= cs.Seq {
 		return
 	}
+	// Keep the superseded snapshot servable (memory only): fetchers
+	// mid-transfer finish against it instead of restarting from scratch
+	// every checkpoint interval.
+	r.prevSnap = r.snapshot
 	r.snapshot = cs
+	if r.sink != nil {
+		seq := cs.Seq
+		r.sink.PersistSnapshot(cs, func(err error) {
+			if err != nil {
+				r.tracef("async snapshot persist %d failed: %v", seq, err)
+				return
+			}
+			if seq > r.durableSnap {
+				r.durableSnap = seq
+				r.Metrics.SnapshotPersists++
+			}
+		})
+		return
+	}
 	if ss, ok := r.store.(SnapshotStore); ok && r.store != nil {
-		if err := ss.SaveSnapshot(cs.Seq, cs.Encode()); err != nil {
+		if err := PersistCertified(ss, cs); err != nil {
 			r.tracef("persisting snapshot %d failed: %v", cs.Seq, err)
-		} else if err := ss.PruneSnapshots(cs.Seq); err != nil {
-			r.tracef("pruning snapshots below %d failed: %v", cs.Seq, err)
+		} else if cs.Seq > r.durableSnap {
+			r.durableSnap = cs.Seq
+			r.Metrics.SnapshotPersists++
 		}
 	}
 }
+
+// SetSnapshotSink installs the asynchronous snapshot persistence hook.
+// Call before the replica starts processing messages.
+func (r *Replica) SetSnapshotSink(s SnapshotSink) { r.sink = s }
+
+// DurableSnapshotSeq reports the highest snapshot sequence known to be
+// durably persisted (0 when none): the serving point that survives a
+// restart, as opposed to SnapshotSeq, which arms immediately on adoption.
+func (r *Replica) DurableSnapshotSeq() uint64 { return r.durableSnap }
 
 // SnapshotSeq reports the sequence of the certified snapshot this replica
 // can serve (0 when none).
@@ -1572,25 +1626,126 @@ func (r *Replica) SnapshotBlameCounts() map[int]int {
 	return out
 }
 
+// fetchTimeoutStrikes is how many consecutive unanswered chunk requests
+// exclude a server from the rest of the transfer (soft exclusion — no
+// tamper blame is recorded, but a slow-trickling server stops consuming
+// window slots the way a tampering one stops serving chunks at all).
+const fetchTimeoutStrikes = 3
+
+// fetchStats accumulates one server's observed state-transfer service
+// quality for the window scheduler: outstanding load, consecutive
+// timeouts, and an EWMA of request→verified-chunk latency. Faster
+// servers absorb more of the window; unresponsive ones lose share and
+// are eventually excluded.
+type fetchStats struct {
+	outstanding int
+	timeouts    int // consecutive unanswered requests
+	ewma        time.Duration
+	ewmaSet     bool
+}
+
+// observe folds one request→verified-chunk latency into the EWMA (α=1/4).
+func (st *fetchStats) observe(d time.Duration) {
+	if !st.ewmaSet {
+		st.ewma, st.ewmaSet = d, true
+		return
+	}
+	st.ewma += (d - st.ewma) / 4
+}
+
+// score ranks observed service quality (lower is better). Unknown
+// servers score zero so every peer gets probed; each consecutive timeout
+// doubles the effective latency, steering the window away from
+// slow-trickling servers well before the exclusion threshold.
+func (st *fetchStats) score() time.Duration {
+	s := st.ewma
+	strikes := st.timeouts
+	if strikes > 8 {
+		strikes = 8
+	}
+	for i := 0; i < strikes; i++ {
+		s = 2*s + 10*time.Millisecond
+	}
+	return s
+}
+
+// chunkReq is one in-flight chunk request of the bounded window.
+type chunkReq struct {
+	server int
+	sentAt time.Duration
+}
+
 // stateFetch tracks one in-progress chunked state transfer.
 type stateFetch struct {
 	target uint64 // minimum acceptable snapshot sequence
-	// Filled once a verified SnapshotMetaMsg is accepted:
+	// Meta collection: competing verified metas gathered for a short
+	// window before the transfer commits to the HIGHEST certified
+	// sequence among them — a Byzantine server racing a stale-but-valid
+	// meta can no longer steer the transfer by answering first.
+	bestMeta  *SnapshotMetaMsg
+	metaTimer func() // cancel
+	// Filled once a meta is adopted:
 	seq     uint64
 	root    []byte
 	pi      threshsig.Signature
 	header  SnapshotHeader
 	chunks  [][]byte
 	missing int
+	next    int // refill scan cursor (1-based chunk index)
+	// inflight is the bounded request window: chunk index → outstanding
+	// request. Wiped whole when a newer meta restarts the transfer, so
+	// stale accounting can never leak into the new window.
+	inflight map[int]chunkReq
+	// servers is the per-server accounting the scheduler steers by.
+	servers map[int]*fetchStats
 	// blamed servers are excluded from further requests this transfer.
 	blamed  map[int]bool
 	attempt int
-	cancel  func()
+	// lastProgress is when the transfer last advanced (created, meta
+	// accepted, or a chunk verified): the signal separating a healthy
+	// long transfer from a stalled one.
+	lastProgress time.Duration
+	// svc is the transfer-wide request→verified-chunk latency EWMA: the
+	// retry deadline's fallback before a specific server's own EWMA is
+	// seeded (early in a transfer the queue tail behind a full window
+	// easily exceeds any fixed timeout; expiring it would churn).
+	svc    time.Duration
+	svcSet bool
+	cancel func() // whole-transfer retry timer
+	pacer  func() // per-chunk retry scan timer
+}
+
+// stats returns the accounting entry for a server, creating it lazily.
+func (f *stateFetch) stats(id int) *fetchStats {
+	st, ok := f.servers[id]
+	if !ok {
+		st = &fetchStats{}
+		f.servers[id] = st
+	}
+	return st
+}
+
+// stopTimers cancels every timer owned by the transfer.
+func (f *stateFetch) stopTimers() {
+	if f.cancel != nil {
+		f.cancel()
+		f.cancel = nil
+	}
+	if f.pacer != nil {
+		f.pacer()
+		f.pacer = nil
+	}
+	if f.metaTimer != nil {
+		f.metaTimer()
+		f.metaTimer = nil
+	}
 }
 
 // fetchPeers lists the servers still eligible for this transfer. If every
-// peer has been blamed the set resets: with at most f Byzantine servers a
-// full blame list means transient corruption, not a hostile majority.
+// peer has been excluded the set resets: with at most f Byzantine servers
+// a full exclusion list means transient corruption or loss, not a hostile
+// majority. The reset also forgives timeout strikes so every server gets
+// a fresh probe instead of being instantly re-excluded.
 func (r *Replica) fetchPeers(f *stateFetch) []int {
 	peers := make([]int, 0, r.cfg.N()-1)
 	for id := 1; id <= r.cfg.N(); id++ {
@@ -1600,6 +1755,9 @@ func (r *Replica) fetchPeers(f *stateFetch) []int {
 	}
 	if len(peers) == 0 {
 		f.blamed = make(map[int]bool)
+		for _, st := range f.servers {
+			st.timeouts = 0
+		}
 		for id := 1; id <= r.cfg.N(); id++ {
 			if id != r.id {
 				peers = append(peers, id)
@@ -1630,18 +1788,25 @@ func (r *Replica) maybeFetchState(target uint64) {
 		}
 		return
 	}
-	r.fetch = &stateFetch{target: target, blamed: make(map[int]bool)}
+	r.fetch = &stateFetch{
+		target:       target,
+		blamed:       make(map[int]bool),
+		servers:      make(map[int]*fetchStats),
+		lastProgress: r.env.Now(),
+	}
 	r.Metrics.StateFetches++
 	r.sendFetchState()
 	r.armFetchRetry()
 }
 
-// sendFetchState asks one (rotating) peer for snapshot metadata.
+// sendFetchState asks every eligible peer for snapshot metadata. The
+// request is tiny and the answers compete: the fetcher adopts the highest
+// certified sequence it collects (see onSnapshotMeta).
 func (r *Replica) sendFetchState() {
 	f := r.fetch
-	peers := r.fetchPeers(f)
-	peer := peers[(int(f.target)+f.attempt)%len(peers)]
-	r.env.Send(peer, FetchStateMsg{Replica: r.id, Seq: f.target})
+	for _, peer := range r.fetchPeers(f) {
+		r.env.Send(peer, FetchStateMsg{Replica: r.id, Seq: f.target})
+	}
 }
 
 // dropStaleFetch cancels an in-progress state transfer that can no longer
@@ -1655,18 +1820,19 @@ func (r *Replica) dropStaleFetch() {
 	if f == nil || r.lastExecuted < f.target || r.lastExecuted < f.seq {
 		return
 	}
-	if f.cancel != nil {
-		f.cancel()
-	}
+	f.stopTimers()
 	r.fetch = nil
 }
 
-// armFetchRetry re-drives a stalled transfer: metadata requests rotate to
-// the next peer, missing chunks are re-requested across the eligible set,
-// and every few attempts the metadata request repeats even mid-transfer —
-// servers garbage-collect superseded snapshots, so a transfer locked to a
+// armFetchRetry re-drives a stalled transfer at the whole-transfer level:
+// metadata requests repeat while no meta has been adopted, and every few
+// attempts the metadata request repeats even mid-transfer — servers
+// garbage-collect superseded snapshots, so a transfer locked to a
 // checkpoint the whole cluster has advanced past must discover the newer
-// one and restart rather than re-request dead chunks forever.
+// one and restart rather than re-request dead chunks forever. Individual
+// lost chunk requests recover much sooner through the per-chunk pacer;
+// when that is disabled (ChunkRetryTimeout < 0, the pre-windowed
+// baseline) this timer also expires the whole window.
 func (r *Replica) armFetchRetry() {
 	f := r.fetch
 	f.cancel = r.env.After(4*r.cfg.ViewChangeTimeout/3, func() {
@@ -1678,11 +1844,17 @@ func (r *Replica) armFetchRetry() {
 			return
 		}
 		f.attempt++
+		if f.seq == 0 {
+			r.adoptBestMeta() // a meta under collection beats re-polling
+		}
 		if f.seq == 0 || f.attempt%3 == 0 {
 			r.sendFetchState()
 		}
 		if f.seq != 0 {
-			r.requestMissingChunks()
+			if r.cfg.chunkRetryTimeout() <= 0 {
+				r.expireInflight(f, 0)
+			}
+			r.fillFetchWindow()
 		}
 		r.armFetchRetry()
 	})
@@ -1732,62 +1904,287 @@ func (r *Replica) onSnapshotMeta(from int, m SnapshotMetaMsg) {
 		return
 	}
 	if f.seq != 0 {
-		r.tracef("state transfer restarting at %d (superseded %d)", m.Seq, f.seq)
+		// Mid-transfer supersession. Restarting throws away every chunk
+		// fetched so far, so a transfer that is still advancing ignores
+		// the newer meta and completes (servers retain the previous
+		// snapshot precisely to let it); catching the last few blocks is
+		// then a cheap gap repair or a small follow-up transfer. Only a
+		// STALLED transfer — its snapshot garbage-collected everywhere,
+		// nothing arriving — restarts at the newer certified state.
+		if !r.fetchStalled(f) {
+			return
+		}
+		r.tracef("state transfer restarting at %d (superseded stalled %d)", m.Seq, f.seq)
+		r.adoptMeta(m)
+		return
 	}
+	// Initial choice: collect competing metas briefly and adopt the
+	// highest certified sequence. Taking the first meta at or above the
+	// target instead would let a Byzantine server race a STALE-but-valid
+	// certified snapshot and win — pinning recovery to a checkpoint whose
+	// chunks the honest servers may already have garbage-collected.
+	if f.bestMeta == nil || m.Seq > f.bestMeta.Seq {
+		mm := m
+		f.bestMeta = &mm
+	}
+	if r.cfg.snapshotMetaWait() < 0 {
+		// Legacy first-accepted behavior, kept only as the regression
+		// test's demonstration baseline.
+		r.adoptBestMeta()
+		return
+	}
+	if f.metaTimer == nil {
+		f.metaTimer = r.env.After(r.cfg.snapshotMetaWait(), func() {
+			f.metaTimer = nil
+			if r.fetch == f {
+				r.adoptBestMeta()
+			}
+		})
+	}
+}
+
+// expiryLimit is the adaptive per-request retry deadline: the configured
+// age stretched to cover the observed service latency (the server's own
+// EWMA, falling back to the transfer-wide one before it is seeded),
+// bounded so a dead server still expires.
+func expiryLimit(f *stateFetch, st *fetchStats, age time.Duration) time.Duration {
+	limit := age
+	ewma := f.svc
+	if st != nil && st.ewmaSet && st.ewma > ewma {
+		ewma = st.ewma
+	}
+	if adaptive := 4 * ewma; adaptive > limit {
+		limit = adaptive
+	}
+	if bound := 8 * age; limit > bound {
+		limit = bound
+	}
+	return limit
+}
+
+// fetchStalled reports whether the in-flight transfer has stopped
+// advancing: no verified chunk (or accepted meta) within twice the
+// (adaptive) retry deadline — a transfer merely waiting out slow-server
+// retries is NOT stalled. Used to gate mid-transfer restarts and the
+// progress-timeout suppression.
+func (r *Replica) fetchStalled(f *stateFetch) bool {
+	age := r.cfg.chunkRetryTimeout()
+	if age <= 0 {
+		age = 4 * r.cfg.ViewChangeTimeout / 3 // no pacer: the whole-transfer retry is the cadence
+	}
+	return r.env.Now()-f.lastProgress >= 2*expiryLimit(f, nil, age)
+}
+
+// adoptBestMeta commits the transfer to the highest certified meta
+// collected so far.
+func (r *Replica) adoptBestMeta() {
+	f := r.fetch
+	if f == nil || f.seq != 0 || f.bestMeta == nil {
+		return
+	}
+	m := *f.bestMeta
+	f.bestMeta = nil
+	r.adoptMeta(m)
+}
+
+// adoptMeta (re)starts the transfer at a verified meta. All in-flight
+// accounting from a superseded window is wiped so it cannot leak into the
+// new one: late chunks for the old sequence are dropped by the seq check
+// in onSnapshotChunk, and per-server outstanding counters reset so the
+// new window fills completely (a restart that inherited phantom
+// outstanding requests would under-fill its window forever).
+func (r *Replica) adoptMeta(m SnapshotMetaMsg) {
+	f := r.fetch
+	if f.metaTimer != nil {
+		f.metaTimer()
+		f.metaTimer = nil
+	}
+	f.bestMeta = nil
 	f.seq = m.Seq
 	f.root = append([]byte(nil), m.Root...)
 	f.pi = m.Pi
 	f.header = m.Header
 	f.chunks = make([][]byte, m.Header.NumChunks())
 	f.missing = len(f.chunks)
-	r.tracef("state transfer to %d: %d chunks", f.seq, f.missing)
+	f.next = 1
+	f.inflight = make(map[int]chunkReq)
+	for _, st := range f.servers {
+		st.outstanding = 0
+	}
+	f.lastProgress = r.env.Now()
+	r.tracef("state transfer to %d: %d chunks (window %d)", f.seq, f.missing, r.cfg.fetchWindow())
 	if f.missing == 0 {
 		r.finishStateFetch()
 		return
 	}
-	r.requestMissingChunks()
+	r.fillFetchWindow()
+	r.armChunkPacer()
 }
 
-// requestMissingChunks spreads requests for the outstanding chunks across
-// the eligible servers (round-robin, rotated by retry attempt), so the
-// transfer parallelizes and survives any minority of tampering servers.
-func (r *Replica) requestMissingChunks() {
+// pickFetchServer selects the server for the next chunk request: the
+// non-excluded server with the fewest outstanding requests, ties broken
+// by the better observed service score, then by id (determinism). Fast
+// servers therefore absorb more of the window and slow or unresponsive
+// ones naturally lose share (§VIII needs only one honest server; the
+// scheduler just prefers the good ones).
+func (r *Replica) pickFetchServer(f *stateFetch) int {
+	best := -1
+	var bestSt *fetchStats
+	for _, id := range r.fetchPeers(f) {
+		st := f.stats(id)
+		if best < 0 || st.outstanding < bestSt.outstanding ||
+			(st.outstanding == bestSt.outstanding && st.score() < bestSt.score()) {
+			best, bestSt = id, st
+		}
+	}
+	return best
+}
+
+// fillFetchWindow tops the bounded in-flight window up with requests for
+// missing, not-yet-requested chunks, each routed through the per-server
+// scheduler. This is the only place chunk requests are issued.
+func (r *Replica) fillFetchWindow() {
 	f := r.fetch
-	peers := r.fetchPeers(f)
-	for i, c := range f.chunks {
-		if c != nil {
+	if f == nil || f.seq == 0 || f.missing == 0 {
+		return
+	}
+	win := r.cfg.fetchWindow()
+	n := len(f.chunks)
+	for scanned := 0; len(f.inflight) < win && scanned < n; scanned++ {
+		idx := f.next
+		f.next++
+		if f.next > n {
+			f.next = 1
+		}
+		if f.chunks[idx-1] != nil {
 			continue
 		}
-		idx := i + 1
-		peer := peers[(idx+f.attempt)%len(peers)]
-		r.env.Send(peer, FetchSnapshotChunkMsg{Replica: r.id, Seq: f.seq, Index: idx})
+		if _, ok := f.inflight[idx]; ok {
+			continue
+		}
+		server := r.pickFetchServer(f)
+		if server < 0 {
+			return
+		}
+		f.inflight[idx] = chunkReq{server: server, sentAt: r.env.Now()}
+		f.stats(server).outstanding++
+		r.env.Send(server, FetchSnapshotChunkMsg{Replica: r.id, Seq: f.seq, Index: idx})
 	}
+}
+
+// expireInflight removes in-flight requests older than their deadline,
+// penalizing the assigned servers: consecutive timeouts shrink a
+// server's scheduler share and eventually exclude it from the transfer.
+// The deadline adapts to the assigned server's observed service latency
+// — a loaded-but-honest server answering in 800ms must not be treated
+// like a dead one by a fixed 500ms timer (the spurious retries would
+// more than double the transferred bytes) — but stays bounded so an
+// actually dead server still expires. age 0 expires everything WITHOUT
+// penalties or the per-chunk retry metric: that is the whole-transfer
+// re-blast of the no-pacer baseline (ChunkRetryTimeout < 0), which
+// reproduces the pre-windowed behavior and must not acquire strike
+// bookkeeping that behavior never had. Returns how many requests were
+// expired; indexes are processed in sorted order so simulated runs stay
+// deterministic.
+func (r *Replica) expireInflight(f *stateFetch, age time.Duration) int {
+	now := r.env.Now()
+	var expired []int
+	for idx, req := range f.inflight {
+		limit := age
+		if age > 0 {
+			limit = expiryLimit(f, f.stats(req.server), age)
+		}
+		if now-req.sentAt >= limit {
+			expired = append(expired, idx)
+		}
+	}
+	sort.Ints(expired)
+	struck := make(map[int]bool)
+	for _, idx := range expired {
+		req := f.inflight[idx]
+		delete(f.inflight, idx)
+		st := f.stats(req.server)
+		st.outstanding--
+		if age <= 0 {
+			continue // whole-transfer re-blast: no per-chunk bookkeeping
+		}
+		r.Metrics.SnapshotChunkRetries++
+		// One strike per server per scan: a single tick expiring several
+		// of one server's dropped replies is one observation of
+		// unresponsiveness, not three.
+		if !struck[req.server] {
+			struck[req.server] = true
+			st.timeouts++
+			if st.timeouts >= fetchTimeoutStrikes && !f.blamed[req.server] {
+				r.tracef("snapshot server %d unanswered %d scans; excluding from transfer", req.server, st.timeouts)
+				f.blamed[req.server] = true
+				r.Metrics.SnapshotTimeoutExclusions++
+			}
+		}
+	}
+	return len(expired)
+}
+
+// armChunkPacer runs the per-chunk retry scan: an outstanding request
+// unanswered for ChunkRetryTimeout is treated as lost and its chunk
+// re-enters the window toward a better server. A dropped SnapshotChunkMsg
+// now costs one retry interval instead of a whole-transfer restart.
+func (r *Replica) armChunkPacer() {
+	f := r.fetch
+	timeout := r.cfg.chunkRetryTimeout()
+	if timeout <= 0 || f.pacer != nil {
+		return
+	}
+	tick := timeout / 2
+	if tick <= 0 {
+		tick = timeout
+	}
+	f.pacer = r.env.After(tick, func() {
+		f.pacer = nil
+		if r.fetch != f || f.seq == 0 {
+			return
+		}
+		r.expireInflight(f, timeout)
+		r.fillFetchWindow()
+		if f.missing > 0 {
+			r.armChunkPacer()
+		}
+	})
 }
 
 func (r *Replica) onFetchSnapshotChunk(_ int, m FetchSnapshotChunkMsg) {
 	if r.snapshot == nil {
 		return
 	}
-	if r.snapshot.Seq != m.Seq {
-		// A request for a superseded snapshot: its chunks are gone, but
-		// re-offering the current metadata lets the fetcher restart at
-		// the checkpoint this server can actually serve.
-		if r.snapshot.Seq > m.Seq {
+	cs := r.snapshot
+	if cs.Seq != m.Seq {
+		if r.prevSnap != nil && r.prevSnap.Seq == m.Seq {
+			// The retained previous snapshot: in-flight transfers keep
+			// completing across one checkpoint supersession.
+			cs = r.prevSnap
+		} else if cs.Seq > m.Seq {
+			// Superseded beyond retention: the chunks are gone, but
+			// re-offering the current metadata lets the fetcher restart
+			// at the checkpoint this server can actually serve. (The
+			// fetcher-side stall gate keeps an advancing transfer from
+			// thrashing on this; only a dead one restarts.)
 			r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica, Seq: m.Seq})
+			return
+		} else {
+			return
 		}
+	}
+	if m.Index < 1 || m.Index > len(cs.Chunks) {
 		return
 	}
-	if m.Index < 1 || m.Index > len(r.snapshot.Chunks) {
-		return
-	}
-	proof, err := r.snapshot.ProveChunk(m.Index)
+	proof, err := cs.ProveChunk(m.Index)
 	if err != nil {
 		return
 	}
 	r.env.Send(m.Replica, SnapshotChunkMsg{
 		Seq:   m.Seq,
 		Index: m.Index,
-		Data:  r.snapshot.Chunks[m.Index-1],
+		Data:  cs.Chunks[m.Index-1],
 		Proof: proof,
 	})
 }
@@ -1803,21 +2200,45 @@ func (r *Replica) onSnapshotChunk(from int, m SnapshotChunkMsg) {
 	if m.Index < 1 || m.Index > len(f.chunks) || f.chunks[m.Index-1] != nil {
 		return
 	}
+	req, wasInflight := f.inflight[m.Index]
 	if err := VerifySnapshotChunk(f.root, f.header, m.Index, m.Data, m.Proof); err != nil {
-		// Tampered or corrupt: blame the sender and re-fetch this chunk
-		// from a different server immediately.
+		// Tampered or corrupt: blame the sender, exclude it, and route the
+		// chunk back through the scheduler. (The pre-windowed code
+		// re-derived the retry peer from the PRE-blame rotation — after
+		// fetchPeers shrank, `(index+attempt) % len(peers)` could land on
+		// the very server just excluded, or on the same server again.)
 		r.blameSnapshotServer(f, from, fmt.Sprintf("chunk %d: %v", m.Index, err))
-		peers := r.fetchPeers(f)
-		peer := peers[(m.Index+f.attempt)%len(peers)]
-		r.env.Send(peer, FetchSnapshotChunkMsg{Replica: r.id, Seq: f.seq, Index: m.Index})
+		if wasInflight && req.server == from {
+			delete(f.inflight, m.Index)
+			f.stats(from).outstanding--
+		}
+		r.fillFetchWindow()
 		return
 	}
+	if wasInflight {
+		delete(f.inflight, m.Index)
+		f.stats(req.server).outstanding--
+	}
+	st := f.stats(from)
+	st.timeouts = 0
+	if wasInflight && req.server == from {
+		d := r.env.Now() - req.sentAt
+		st.observe(d)
+		if !f.svcSet {
+			f.svc, f.svcSet = d, true
+		} else {
+			f.svc += (d - f.svc) / 4
+		}
+	}
+	f.lastProgress = r.env.Now()
 	f.chunks[m.Index-1] = m.Data
 	f.missing--
 	r.Metrics.SnapshotChunks++
 	if f.missing == 0 {
 		r.finishStateFetch()
+		return
 	}
+	r.fillFetchWindow()
 }
 
 // finishStateFetch installs a fully transferred, chunk-verified snapshot:
@@ -1831,9 +2252,7 @@ func (r *Replica) finishStateFetch() {
 		// flight (gap repair): installing now would ROLL BACK application
 		// state and the reply table. Drop the transfer; if a raised
 		// target still lies ahead, start over against it.
-		if f.cancel != nil {
-			f.cancel()
-		}
+		f.stopTimers()
 		r.fetch = nil
 		r.maybeFetchState(f.target)
 		return
@@ -1871,15 +2290,37 @@ func (r *Replica) finishStateFetch() {
 		if ts := r.seen[client]; ts < e.timestamp {
 			r.seen[client] = e.timestamp
 		}
+		// Requests the certified table proves executed are no longer
+		// pending: drop their watch entries, or the liveness timer keeps
+		// firing (and spinning view changes) over work that finished
+		// below the snapshot and will never execute locally.
+		if w, ok := r.watch[client]; ok && w.ts <= e.timestamp {
+			delete(r.watch, client)
+		}
 	}
 	seq, root, pi := f.seq, f.root, f.pi
 	cs := &CertifiedSnapshot{Seq: seq, Header: f.header, Chunks: f.chunks, Pi: pi}
 	cs.build()
-	if f.cancel != nil {
-		f.cancel()
-	}
+	f.stopTimers()
 	r.fetch = nil
 	r.lastExecuted = seq
+	// Drop protocol state the snapshot supersedes: slots at or below the
+	// restored frontier can never execute locally (their effects are IN
+	// the snapshot) and an uncommitted one would read as outstanding work
+	// forever, spinning progress-timeout view changes. recordStable has
+	// typically already run for this checkpoint — that is what triggered
+	// the transfer — and stopped its GC at the OLD execution frontier, so
+	// it will not run again below.
+	for s := range r.slots {
+		if s <= seq {
+			delete(r.slots, s)
+		}
+	}
+	for s := range r.directReq {
+		if s <= seq {
+			delete(r.directReq, s)
+		}
+	}
 	r.adoptSnapshot(cs)
 	r.tracef("state transfer complete at %d (%d servers blamed)", seq, len(f.blamed))
 	r.recordStable(seq, root, pi)
@@ -1893,9 +2334,7 @@ func (r *Replica) abortStateFetch() {
 		return
 	}
 	target := r.fetch.target
-	if r.fetch.cancel != nil {
-		r.fetch.cancel()
-	}
+	r.fetch.stopTimers()
 	r.fetch = nil
 	r.maybeFetchState(target)
 }

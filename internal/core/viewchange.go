@@ -48,6 +48,18 @@ func (r *Replica) armProgressTimer() {
 	r.progressTimer = r.env.After(r.vcTimeout(), func() {
 		r.progressTimer = nil
 		if !r.inViewChange && r.hasOutstandingWork() {
+			// A replica catching up through an ADVANCING state transfer is
+			// stalled behind the fetch, not behind a faulty primary: the
+			// certified checkpoints feeding the transfer prove the cluster
+			// is making progress, so a view change would only tear this
+			// replica out of the view everyone else is happily in. A
+			// genuinely cluster-wide stall still reaches it through the
+			// f+1 view-change join rule (§VII); a DEAD transfer falls
+			// through to the normal timeout below.
+			if f := r.fetch; f != nil && !r.fetchStalled(f) {
+				r.armProgressTimer()
+				return
+			}
 			r.tracef("progress timeout → view change")
 			r.startViewChange(r.view + 1)
 		}

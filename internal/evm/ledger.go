@@ -4,13 +4,12 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/big"
-	"sort"
 
 	"sbft/internal/merkle"
+	"sbft/internal/snapcodec"
 )
 
 // TxKind distinguishes the two Ethereum transaction types the paper models
@@ -87,22 +86,63 @@ type Receipt struct {
 }
 
 // Encode serializes the receipt (the per-operation "val" in the paper's
-// execute-ack).
+// execute-ack). The encoding is canonical fixed framing, NOT gob:
+// receipt bytes land in the certified last-reply table and in block
+// records compared across replicas, so they must be identical in every
+// process (gob embeds process-global type ids).
 func (r Receipt) Encode() []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
-		// Receipt is a plain struct; gob cannot fail on it.
-		panic(fmt.Sprintf("evm: encoding receipt: %v", err))
+	var flags byte
+	if r.OK {
+		flags |= 1
 	}
-	return buf.Bytes()
+	if r.Reverted {
+		flags |= 2
+	}
+	buf := make([]byte, 0, 8+1+8+8+len(r.Ret)+len(r.Created)+8+len(r.Err))
+	buf = append(buf, "evmrcpt1"...)
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, r.GasUsed)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(r.Ret)))
+	buf = append(buf, r.Ret...)
+	buf = append(buf, r.Created[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(r.Err)))
+	buf = append(buf, r.Err...)
+	return buf
 }
 
 // DecodeReceipt parses an encoded receipt.
 func DecodeReceipt(data []byte) (Receipt, error) {
-	var r Receipt
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
-		return Receipt{}, fmt.Errorf("evm: decoding receipt: %w", err)
+	const magic = "evmrcpt1"
+	if len(data) < len(magic)+1+8+8 || string(data[:len(magic)]) != magic {
+		return Receipt{}, fmt.Errorf("evm: bad receipt framing")
 	}
+	data = data[len(magic):]
+	var r Receipt
+	flags := data[0]
+	r.OK, r.Reverted = flags&1 != 0, flags&2 != 0
+	data = data[1:]
+	r.GasUsed = binary.BigEndian.Uint64(data)
+	data = data[8:]
+	retLen := binary.BigEndian.Uint64(data)
+	data = data[8:]
+	if retLen > uint64(len(data)) {
+		return Receipt{}, fmt.Errorf("evm: truncated receipt ret")
+	}
+	if retLen > 0 {
+		r.Ret = append([]byte(nil), data[:retLen]...)
+	}
+	data = data[retLen:]
+	if len(data) < len(r.Created)+8 {
+		return Receipt{}, fmt.Errorf("evm: truncated receipt")
+	}
+	copy(r.Created[:], data[:len(r.Created)])
+	data = data[len(r.Created):]
+	errLen := binary.BigEndian.Uint64(data)
+	data = data[8:]
+	if errLen != uint64(len(data)) {
+		return Receipt{}, fmt.Errorf("evm: bad receipt error length")
+	}
+	r.Err = string(data)
 	return r, nil
 }
 
@@ -349,55 +389,21 @@ func (l *Ledger) GarbageCollect(keepFrom uint64) {
 	}
 }
 
-// snapshotEntry is one key-value pair of the canonical snapshot encoding.
-type snapshotEntry struct {
-	Key string
-	Val []byte
-}
-
-// snapshotState is the gob-encoded checkpoint payload. Entries are a
-// key-sorted slice so Snapshot() is canonical — the replication layer
-// Merkle-commits the snapshot byte stream inside the threshold-signed
-// checkpoint digest, which requires identical bytes on every honest
-// replica (gob map encoding follows iteration order and is not).
-type snapshotState struct {
-	LastSeq uint64
-	Digest  []byte
-	Entries []snapshotEntry
-}
-
-// Snapshot serializes the ledger state for state transfer. The encoding is
-// canonical: replicas with identical state produce identical bytes.
+// Snapshot serializes the ledger state for state transfer through the
+// canonical snapcodec framing: replicas with identical state produce
+// identical bytes in every process (gob could not promise that — its
+// wire format embeds process-global type ids).
 func (l *Ledger) Snapshot() ([]byte, error) {
-	m := l.stateMap.Snapshot()
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	entries := make([]snapshotEntry, len(keys))
-	for i, k := range keys {
-		entries[i] = snapshotEntry{Key: k, Val: m[k]}
-	}
-	var buf bytes.Buffer
-	snap := snapshotState{LastSeq: l.lastSeq, Digest: l.digest, Entries: entries}
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return nil, fmt.Errorf("evm: encoding snapshot: %w", err)
-	}
-	return buf.Bytes(), nil
+	return snapcodec.Encode(snapcodec.FromMap(l.lastSeq, l.digest, l.stateMap.Snapshot())), nil
 }
 
 // Restore replaces the ledger state from a snapshot.
 func (l *Ledger) Restore(data []byte) error {
-	var snap snapshotState
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+	snap, err := snapcodec.Decode(data)
+	if err != nil {
 		return fmt.Errorf("evm: decoding snapshot: %w", err)
 	}
-	entries := make(map[string][]byte, len(snap.Entries))
-	for _, e := range snap.Entries {
-		entries[e.Key] = e.Val
-	}
-	l.stateMap.Restore(entries)
+	l.stateMap.Restore(snap.ToMap())
 	l.state = NewMapState(l.stateMap)
 	l.lastSeq = snap.LastSeq
 	l.digest = snap.Digest

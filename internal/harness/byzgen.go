@@ -117,7 +117,7 @@ func ValidateBudget(s cluster.Schedule, n, f, c int) error {
 			}
 		case cluster.FaultByzEquivocate, cluster.FaultByzStaleView,
 			cluster.FaultByzConflictCkpt, cluster.FaultByzSilent,
-			cluster.FaultByzSnapshot:
+			cluster.FaultByzSnapshot, cluster.FaultByzStaleMeta:
 			get(st.Node).byz = true
 			everByz[st.Node] = true
 		case cluster.FaultByzRestore:
@@ -150,6 +150,7 @@ var byzWindowKinds = [...]cluster.FaultKind{
 	cluster.FaultByzConflictCkpt,
 	cluster.FaultByzStaleView,
 	cluster.FaultByzSnapshot,
+	cluster.FaultByzStaleMeta,
 }
 
 // ByzantineGen generates a survivable schedule mixing Byzantine windows

@@ -29,6 +29,13 @@
 //     f=2, c=1 (n=9) configuration.
 //   - EVMGen / EVMByzantineGen: the same generators with the EVM token
 //     ledger on every seed (the CI slice behind `sbft-chaos -gen evm`).
+//   - RecoveryGen: large-state recovery — multi-MiB replicated state, a
+//     victim crashed across several checkpoint intervals (catch-up MUST
+//     run through windowed chunked state transfer), drop/reorder links
+//     while the transfer runs, and chunk-tampering or stale-meta
+//     Byzantine snapshot servers; a per-scenario Check asserts the
+//     victim caught up and blame landed only on faulty servers (the CI
+//     slice behind `sbft-chaos -gen recovery`).
 //
 // # Safety auditor
 //

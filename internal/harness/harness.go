@@ -39,6 +39,11 @@ type Scenario struct {
 	// complete within Horizon. Set it only for schedules that heal all
 	// faults (safety is audited regardless).
 	ExpectAllCommitted bool
+	// Check, when set, runs against the settled cluster before the audit
+	// and returns a failure description ("" = pass) — the hook for
+	// scenario-specific assertions a generic audit cannot express (e.g.
+	// "the recovering replica caught up and blamed only faulty servers").
+	Check func(cl *cluster.Cluster) string
 }
 
 // UniqueKVGen is the default workload: globally unique keys so the
@@ -57,6 +62,8 @@ type Report struct {
 	// LivenessFailure is set when ExpectAllCommitted was requested and
 	// operations were left incomplete.
 	LivenessFailure string
+	// CheckFailure is set when the scenario's Check hook failed.
+	CheckFailure string
 	// Audit is the cross-replica safety audit.
 	Audit *Audit
 	// Result is the workload summary.
@@ -65,10 +72,10 @@ type Report struct {
 	Faults cluster.Schedule
 }
 
-// Failed reports whether the scenario violated safety or (when asserted)
-// liveness.
+// Failed reports whether the scenario violated safety, (when asserted)
+// liveness, or its scenario-specific Check.
 func (r *Report) Failed() bool {
-	return r.LivenessFailure != "" || (r.Audit != nil && !r.Audit.OK())
+	return r.LivenessFailure != "" || r.CheckFailure != "" || (r.Audit != nil && !r.Audit.OK())
 }
 
 // Summary renders a one-line outcome.
@@ -85,6 +92,9 @@ func (r *Report) Summary() string {
 	}
 	if r.LivenessFailure != "" {
 		s += "; " + r.LivenessFailure
+	}
+	if r.CheckFailure != "" {
+		s += "; " + r.CheckFailure
 	}
 	for _, d := range r.Audit.Divergences {
 		s += "; " + d
@@ -154,6 +164,9 @@ func Run(s Scenario) (*Report, error) {
 	if s.ExpectAllCommitted && report.Completed < report.Expected {
 		report.LivenessFailure = fmt.Sprintf("liveness: %d of %d ops completed (live replicas: %d)",
 			report.Completed, report.Expected, liveReplicaCount(cl))
+	}
+	if s.Check != nil {
+		report.CheckFailure = s.Check(cl)
 	}
 	return report, nil
 }

@@ -19,12 +19,11 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"sort"
 
 	"sbft/internal/merkle"
+	"sbft/internal/snapcodec"
 )
 
 // OpKind enumerates the operation types.
@@ -358,67 +357,25 @@ func (s *Store) GarbageCollect(keepFrom uint64) {
 	}
 }
 
-// snapshotEntry is one key-value pair of the canonical snapshot encoding.
-type snapshotEntry struct {
-	Key string
-	Val []byte
-}
-
-// snapshotState is the gob-encoded checkpoint payload. Entries are a
-// key-sorted slice, NOT a map: gob serializes maps in iteration order, so a
-// map here would make Snapshot() bytes differ across replicas holding
-// identical state — and the replication layer Merkle-commits the snapshot
-// byte stream chunk by chunk inside the threshold-signed checkpoint digest,
-// which requires every honest replica to produce the same bytes.
-type snapshotState struct {
-	LastSeq uint64
-	Digest  []byte
-	Entries []snapshotEntry
-}
-
-// sortedEntries flattens a state map into the canonical sorted form.
-func sortedEntries(m map[string][]byte) []snapshotEntry {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]snapshotEntry, len(keys))
-	for i, k := range keys {
-		out[i] = snapshotEntry{Key: k, Val: m[k]}
-	}
-	return out
-}
-
-// Snapshot serializes the full store state for state transfer (§VIII). The
-// encoding is canonical: replicas with identical state produce identical
-// bytes. Execution records are not part of the snapshot; a restored replica
-// can prove only blocks it executes after restoration, which matches
+// Snapshot serializes the full store state for state transfer (§VIII)
+// through the canonical snapcodec framing: replicas with identical state
+// produce identical bytes IN EVERY PROCESS (gob could not promise that —
+// its wire format embeds process-global type ids, which broke checkpoint
+// root agreement between live replicas with different gob histories).
+// Execution records are not part of the snapshot; a restored replica can
+// prove only blocks it executes after restoration, which matches
 // PBFT-style state transfer semantics.
 func (s *Store) Snapshot() ([]byte, error) {
-	var buf bytes.Buffer
-	snap := snapshotState{
-		LastSeq: s.lastSeq,
-		Digest:  s.digest,
-		Entries: sortedEntries(s.state.Snapshot()),
-	}
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return nil, fmt.Errorf("kvstore: encoding snapshot: %w", err)
-	}
-	return buf.Bytes(), nil
+	return snapcodec.Encode(snapcodec.FromMap(s.lastSeq, s.digest, s.state.Snapshot())), nil
 }
 
 // Restore replaces the store contents from a snapshot.
 func (s *Store) Restore(data []byte) error {
-	var snap snapshotState
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+	snap, err := snapcodec.Decode(data)
+	if err != nil {
 		return fmt.Errorf("kvstore: decoding snapshot: %w", err)
 	}
-	entries := make(map[string][]byte, len(snap.Entries))
-	for _, e := range snap.Entries {
-		entries[e.Key] = e.Val
-	}
-	s.state.Restore(entries)
+	s.state.Restore(snap.ToMap())
 	s.lastSeq = snap.LastSeq
 	s.digest = snap.Digest
 	s.executed = make(map[uint64]*execRecord)

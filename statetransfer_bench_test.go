@@ -1,0 +1,128 @@
+// Recovery-latency benchmarks for the windowed state-transfer subsystem:
+// BenchmarkStateTransfer measures (in simulated time) how long a replica
+// that missed several checkpoint intervals takes to catch up through
+// verified chunked state transfer over a lossy link, comparing the
+// pre-windowed baseline (every missing chunk requested at once, loss
+// recovered only by the whole-transfer retry) against the windowed,
+// flow-controlled fetch with per-chunk retries. Together with
+// BenchmarkCheckpointCapture (internal/core) it emits the repo's
+// BENCH_*.json trajectory points: set SBFT_BENCH_JSON to a directory to
+// write BENCH_state_transfer.json there.
+package sbft_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sbft/internal/benchjson"
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+	"sbft/internal/sim"
+)
+
+var stateTransferJSON = benchjson.New("state_transfer", "simulated-recovery-ms")
+
+// recoveryLatency builds a 4-replica SBFT cluster, crashes replica 4
+// through the whole workload (several checkpoint intervals of history),
+// then recovers it behind a lossy inbound link and measures the simulated
+// time until it executes past the pre-recovery stable frontier.
+func recoveryLatency(b *testing.B, valSize, ops int, tune func(*core.Config)) float64 {
+	b.Helper()
+	netCfg := sim.ContinentProfile(7)
+	cl, err := cluster.New(cluster.Options{
+		Protocol: cluster.ProtoSBFT, F: 1, C: 0,
+		App: cluster.AppKV, Clients: 2, NetCfg: &netCfg, Seed: 7,
+		ClientTimeout: time.Second,
+		Tune: func(c *core.Config) {
+			c.Win = 8
+			c.Batch = 1
+			c.CheckpointInterval = 4
+			c.ViewChangeTimeout = 2 * time.Second
+			tune(c)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	gen := func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("c%d/k%d", client, i), val)
+	}
+	cl.Net.Crash(4)
+	res := cl.RunClosedLoop(ops, gen, 10*time.Minute)
+	if res.Completed != uint64(2*ops) {
+		b.Fatalf("workload completed %d of %d", res.Completed, 2*ops)
+	}
+	frontier := cl.Replicas[1].LastStable()
+	if frontier == 0 {
+		b.Fatal("no stable checkpoint built")
+	}
+
+	// Recover behind a lossy inbound link: chunk replies get dropped, so
+	// loss recovery (per-chunk retry vs whole-transfer restart) dominates.
+	cl.Net.SetLinkFault(sim.AnyNode, 4, sim.LinkFault{Drop: 0.15})
+	cl.Net.Recover(4)
+	start := cl.Sched.Now()
+	// Light follow-up traffic keeps checkpoints announcing so the
+	// recovering replica notices its gap.
+	more := cl.RunClosedLoop(4, func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("post/c%d/k%d", client, i), val)
+	}, 10*time.Minute)
+	if more.Completed != 8 {
+		b.Fatalf("follow-up completed %d of 8", more.Completed)
+	}
+	for i := 0; cl.Replicas[4].LastExecuted() < frontier && i < 1200; i++ {
+		cl.Run(100 * time.Millisecond)
+	}
+	if cl.Replicas[4].LastExecuted() < frontier {
+		b.Fatalf("recovery did not complete: le=%d, frontier=%d (chunks=%d retries=%d)",
+			cl.Replicas[4].LastExecuted(), frontier,
+			cl.Replicas[4].Metrics.SnapshotChunks, cl.Replicas[4].Metrics.SnapshotChunkRetries)
+	}
+	return float64(cl.Sched.Now()-start) / float64(time.Millisecond)
+}
+
+// BenchmarkStateTransfer compares recovery latency of the serial
+// request-per-chunk baseline (unbounded blast, whole-transfer retry only
+// — the pre-windowed behavior, reproduced via config) against the
+// windowed fetch, at a small and a large (multi-MiB) application state.
+func BenchmarkStateTransfer(b *testing.B) {
+	serial := func(c *core.Config) {
+		c.FetchWindow = 1 << 20  // effectively unbounded: all chunks at once
+		c.ChunkRetryTimeout = -1 // no per-chunk retry
+		c.SnapshotMetaWait = -1  // first-accepted meta
+	}
+	windowed := func(c *core.Config) {} // defaults: window 32, retries on
+	cases := []struct {
+		name    string
+		valSize int
+		ops     int
+		tune    func(*core.Config)
+	}{
+		{"small/serial", 512, 12, serial},
+		{"small/windowed", 512, 12, windowed},
+		{"large/serial", 32 * 1024, 48, serial},
+		{"large/windowed", 32 * 1024, 48, windowed},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total += recoveryLatency(b, tc.valSize, tc.ops, tc.tune)
+			}
+			ms := total / float64(b.N)
+			b.ReportMetric(ms, "simulated-recovery-ms")
+			if err := stateTransferJSON.Record(tc.name, ms); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
