@@ -10,11 +10,15 @@
 // conflicting-checkpoint senders, stale-view spammers, snapshot-chunk
 // tamperers — within the f/c budget, including an f=2 paper-scale
 // configuration every 16th seed), "evm" (the benign generator with the
-// EVM token ledger as the replicated application on every seed), and
+// EVM token ledger as the replicated application on every seed),
 // "recovery" (multi-MiB state, a victim crashed across checkpoint
 // intervals, windowed state transfer over lossy/reordering links with
 // chunk-tampering or stale-meta snapshot servers, blame attribution
-// asserted). "both" splits the seed range across default and byzantine,
+// asserted), and "colluding" (every seed paper-scale f=2 c=1 under
+// scaled crypto: a key-share colluding pair — always including the
+// view-0 primary — jointly signing partial quorums, conflicting
+// checkpoints or lying snapshot metas, followed by an adaptive
+// role-targeting attack window). "both" splits the seed range across default and byzantine,
 // keeping wall-time flat; both of those also run the EVM ledger
 // themselves on every fifth seed.
 //
@@ -38,7 +42,7 @@ func main() {
 	var (
 		seeds   = flag.Int("seeds", 200, "number of seeded scenarios to run")
 		start   = flag.Int64("start", 1, "first seed")
-		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, evm, recovery, or both (seed range split)")
+		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, evm, recovery, colluding, or both (seed range split)")
 		verbose = flag.Bool("v", false, "print every scenario outcome")
 	)
 	flag.Parse()
@@ -63,6 +67,8 @@ func main() {
 		sweeps = []sweep{{"evm", harness.EVMGen, harness.SeedRange(*start, *seeds)}}
 	case "recovery":
 		sweeps = []sweep{{"recovery", harness.RecoveryGen, harness.SeedRange(*start, *seeds)}}
+	case "colluding":
+		sweeps = []sweep{{"colluding", harness.ColludingGen, harness.SeedRange(*start, *seeds)}}
 	case "both":
 		// Split the budget so adding the Byzantine sweep keeps the total
 		// scenario count (and CI wall-time) flat.
@@ -72,7 +78,7 @@ func main() {
 			{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, half)},
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, evm, or both)\n", *gen)
+		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, evm, recovery, colluding, or both)\n", *gen)
 		os.Exit(2)
 	}
 

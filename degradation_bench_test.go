@@ -1,0 +1,55 @@
+// Graceful-degradation benchmarks for the adaptive role-targeting
+// attacker: BenchmarkDegradation measures closed-loop throughput (in
+// simulated time) healthy and under each adaptive attack — collectors
+// crashed every rotation, the fast path straggled into the §V-E linear
+// fallback, the primary partitioned from its collectors — at n=4 and the
+// paper-scale n=9 (f=2, c=1) under the scaled crypto cost model. It
+// emits the BENCH_degradation.json trajectory points: set SBFT_BENCH_JSON
+// to a directory to write them there.
+package sbft_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sbft/internal/benchjson"
+	"sbft/internal/harness"
+)
+
+var degradationJSON = benchjson.New("degradation", "ops-per-simulated-second")
+
+func BenchmarkDegradation(b *testing.B) {
+	for _, fc := range [][2]int{{1, 0}, {2, 1}} {
+		f, c := fc[0], fc[1]
+		n := 3*f + 2*c + 1
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := harness.MeasureDegradation(f, c, 7, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range rep.Points {
+					p := &rep.Points[j]
+					if !p.SafetyOK {
+						b.Fatalf("n=%d %s: safety violated", n, p.Name)
+					}
+					if !p.LivenessOK() {
+						b.Fatalf("n=%d %s: liveness lost (%d of %d ops)", n, p.Name, p.Completed, p.Expected)
+					}
+					if p.Name != "healthy" && p.Metrics.FastPathDowngrades == 0 {
+						b.Fatalf("n=%d %s: attack never engaged the fallback", n, p.Name)
+					}
+					if i == 0 {
+						point := fmt.Sprintf("n=%d/%s", n, p.Name)
+						if err := degradationJSON.Record(point, p.Throughput); err != nil {
+							b.Fatalf("recording %s: %v", point, err)
+						}
+					}
+				}
+				if i == 0 {
+					b.Logf("%s", rep)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"sbft/internal/core"
+	"sbft/internal/sim"
+)
+
+// These tests pin the adaptive role-targeting attacker: impairments that
+// chase the deterministic role map (§V) instead of fixed replicas. The
+// protocol must degrade — measurably, via the new Metrics counters — but
+// never lose liveness while the attacker respects the f+c at-once budget.
+
+func TestAdaptiveCollectorAttackDegradesGracefully(t *testing.T) {
+	// n=6 (f=1, c=1): the attacker crashes the current slot's collectors
+	// every period, alternating between C-collectors (commit path) and
+	// E-collectors (execution-ack path). Redundant collectors plus the
+	// ExecFallbackTimeout reply path must keep every client op completing.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 1,
+		Clients: 2, Seed: 50,
+		Tune: func(c *core.Config) {
+			c.FastPathTimeout = 50 * time.Millisecond
+			c.ExecFallbackTimeout = 200 * time.Millisecond
+			c.ViewChangeTimeout = 800 * time.Millisecond
+		},
+		ClientTimeout: time.Second,
+	})
+	if err := cl.StartAdaptiveAttack(FaultAttackCollectors, time.Second); err != nil {
+		t.Fatalf("StartAdaptiveAttack: %v", err)
+	}
+	res := cl.RunClosedLoop(10, kvGen, 10*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under collector attack (retries=%d)", res.Completed, res.Retries)
+	}
+	m := cl.Metrics()
+	if m.ExecFallbacks == 0 {
+		t.Error("no exec-fallback replies despite E-collector crashes")
+	}
+	digestsAgree(t, cl)
+}
+
+func TestAdaptiveFastPathAttackForcesLinearFallback(t *testing.T) {
+	// n=6: straggling c+1 non-collector replicas by 8× the fast timeout
+	// kills the σ quorum (tolerates only c missing) while the τ quorum
+	// (tolerates f+c) survives — every block must ride the §V-E linear
+	// fallback, observably.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 1,
+		Clients: 2, Seed: 51,
+		Tune: func(c *core.Config) {
+			c.FastPathTimeout = 50 * time.Millisecond
+			c.ViewChangeTimeout = 2 * time.Second
+		},
+		ClientTimeout: 2 * time.Second,
+	})
+	if err := cl.StartAdaptiveAttack(FaultAttackFastPath, 0); err != nil {
+		t.Fatalf("StartAdaptiveAttack: %v", err)
+	}
+	res := cl.RunClosedLoop(10, kvGen, 10*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under fast-path attack (retries=%d)", res.Completed, res.Retries)
+	}
+	m := cl.Metrics()
+	if m.SlowCommits == 0 {
+		t.Error("no slow-path commits despite a dead σ quorum")
+	}
+	if m.CollectorTimeouts == 0 {
+		t.Error("no collector fast-timer expirations recorded")
+	}
+	if m.FastPathDowngrades == 0 {
+		t.Error("no fast→linear downgrades recorded")
+	}
+	digestsAgree(t, cl)
+}
+
+func TestAdaptivePartitionAttackSurvives(t *testing.T) {
+	// Severing the primary's outbound links to its C-collectors each
+	// rotation: pre-prepares stall into the staggered-collector fallback
+	// and view-change machinery, but f+c lossy links must not cost
+	// liveness.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 52,
+		Tune: func(c *core.Config) {
+			c.FastPathTimeout = 50 * time.Millisecond
+			c.ViewChangeTimeout = 500 * time.Millisecond
+		},
+		ClientTimeout: time.Second,
+	})
+	if err := cl.StartAdaptiveAttack(FaultAttackPartition, 0); err != nil {
+		t.Fatalf("StartAdaptiveAttack: %v", err)
+	}
+	res := cl.RunClosedLoop(10, kvGen, 10*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under partition attack (retries=%d)", res.Completed, res.Retries)
+	}
+	digestsAgree(t, cl)
+}
+
+func TestAdaptiveAttackStopHealsEverything(t *testing.T) {
+	// Stopping the attacker must release every impairment it holds: no
+	// replica left crashed or straggling, fast path restored.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 1,
+		Clients: 2, Seed: 53,
+		Tune: func(c *core.Config) {
+			c.FastPathTimeout = 50 * time.Millisecond
+			c.ViewChangeTimeout = 800 * time.Millisecond
+		},
+		ClientTimeout: time.Second,
+	})
+	if err := cl.StartAdaptiveAttack(FaultAttackCollectors, time.Second); err != nil {
+		t.Fatalf("StartAdaptiveAttack: %v", err)
+	}
+	cl.Apply(Schedule{{At: 2 * time.Second, Kind: FaultAttackStop}})
+	res := cl.RunClosedLoop(20, kvGen, 10*time.Minute)
+	if res.Completed != 40 {
+		t.Fatalf("completed %d of 40 across attack+heal (retries=%d)", res.Completed, res.Retries)
+	}
+	for id := 1; id <= cl.N; id++ {
+		if cl.Net.Crashed(sim.NodeID(id)) {
+			t.Errorf("replica %d left crashed after StopAdaptiveAttack", id)
+		}
+	}
+	if cl.attacker != nil {
+		t.Error("attacker still installed after FaultAttackStop")
+	}
+	digestsAgree(t, cl)
+}
+
+func TestStartAdaptiveAttackRejectsBadKinds(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 1, Seed: 54,
+	})
+	if err := cl.StartAdaptiveAttack(FaultCrash, 0); err == nil {
+		t.Error("non-attack kind accepted")
+	}
+	pb := newKV(t, Options{Protocol: ProtoPBFT, F: 1, Clients: 1, Seed: 54})
+	if err := pb.StartAdaptiveAttack(FaultAttackCollectors, time.Second); err == nil {
+		t.Error("PBFT cluster accepted a role-map attack")
+	}
+}

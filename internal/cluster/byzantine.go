@@ -27,6 +27,7 @@ func (cl *Cluster) InstallByzantine(node int, kind FaultKind) error {
 	}
 	if kind == FaultByzRestore {
 		cl.Net.SetCorrupter(sim.NodeID(node), nil)
+		cl.Net.SetObserver(sim.NodeID(node), nil)
 		return nil
 	}
 	if _, replaced := cl.Opts.Byzantine[node]; replaced {

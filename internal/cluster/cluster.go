@@ -150,6 +150,9 @@ type Cluster struct {
 	// audit must not hold Byzantine replicas to honest-replica invariants
 	// even after a FaultByzRestore.
 	byzantine map[int]bool
+	// attacker is the active adaptive role-targeting attacker, if any
+	// (StartAdaptiveAttack / StopAdaptiveAttack).
+	attacker *roleAttacker
 }
 
 // env adapts one node id to core.Env over the simulator. A replica
@@ -524,6 +527,10 @@ func (cl *Cluster) Metrics() core.Metrics {
 		m.Checkpoints += rm.Checkpoints
 		m.StateFetches += rm.StateFetches
 		m.NullBlocks += rm.NullBlocks
+		m.CollectorTimeouts += rm.CollectorTimeouts
+		m.FastPathDowngrades += rm.FastPathDowngrades
+		m.ExecFallbacks += rm.ExecFallbacks
+		m.ViewRejoins += rm.ViewRejoins
 	}
 	return m
 }

@@ -116,6 +116,14 @@ func TestSBFTFallsBackToSlowPathOnCrashes(t *testing.T) {
 	if m.SlowCommits == 0 {
 		t.Error("no slow-path commits despite fast quorum being unreachable")
 	}
+	// The downgrade must be observable, not inferred: collectors waited
+	// out their fast timers and engaged the linear path.
+	if m.CollectorTimeouts == 0 {
+		t.Error("no collector fast-timer expirations recorded")
+	}
+	if m.FastPathDowngrades == 0 {
+		t.Error("no fast→linear downgrades recorded despite slow commits")
+	}
 	digestsAgree(t, cl)
 }
 

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"sbft/internal/core"
+)
+
+// These tests pin the colluding key-share adversary at and below the
+// paper's fault budget (§IV): with m ≤ f members pooling their σ/τ/π
+// shares the threshold arithmetic must hold — the second equivocation
+// variant falls exactly one τ share short of QuorumSlow, colluding π
+// shares stay one short of the f+1 checkpoint quorum — and the honest
+// majority must keep committing. The m = f+1 over-budget flip is the
+// harness canary (TestColludingCanaryOverBudgetDetected), not a cluster
+// test: safety is EXPECTED to break there.
+
+func colludeTune(c *core.Config) {
+	c.FastPathTimeout = 50 * time.Millisecond
+	c.ViewChangeTimeout = 800 * time.Millisecond
+}
+
+func TestColludingPrimaryAtBudgetStaysSafeAndLive(t *testing.T) {
+	// n=4, f=1: the lone colluder IS the view-0 primary, dealing split
+	// pre-prepares and jointly-signed partial quorums. Variant 0 gets the
+	// QuorumSlow-1 = 2 honest shares it needs; variant 1 is left one
+	// short every slot.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 40,
+		Tune:          colludeTune,
+		ClientTimeout: time.Second,
+	})
+	if err := cl.InstallColluders(FaultByzColludeEquivocate, []int{1}); err != nil {
+		t.Fatalf("InstallColluders: %v", err)
+	}
+	res := cl.RunClosedLoop(10, kvGen, 10*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under colluding primary (retries=%d)", res.Completed, res.Retries)
+	}
+	if !cl.IsByzantine(1) {
+		t.Error("colluding member not marked Byzantine for the audit")
+	}
+	digestsAgree(t, cl)
+}
+
+func TestColludingPairAtBudgetStaysSafeAndLive(t *testing.T) {
+	// f=2 (n=7), members {1,2} — the full budget, including the view-0
+	// primary. QuorumSlow = 5; the pair owns 2 shares per variant and must
+	// source 3 honest ones, leaving variant 1 with at most 2+2 = 4 < 5.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 2, C: 0,
+		Clients: 2, Seed: 41,
+		Tune:          colludeTune,
+		ClientTimeout: time.Second,
+	})
+	if err := cl.InstallColluders(FaultByzColludeEquivocate, []int{1, 2}); err != nil {
+		t.Fatalf("InstallColluders: %v", err)
+	}
+	res := cl.RunClosedLoop(10, kvGen, 10*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 under colluding pair (retries=%d)", res.Completed, res.Retries)
+	}
+	digestsAgree(t, cl)
+}
+
+func TestColludingCheckpointSharesStayBelowPiQuorum(t *testing.T) {
+	// FaultByzColludeCkpt: the member answers every checkpoint round with
+	// an agreed fake digest plus its peers' matching π shares. At m = f = 1
+	// the recipient sees one consistent lying share — one short of the f+1
+	// π quorum — so no fake checkpoint can certify, while honest
+	// checkpoints (f+1 honest replicas remain) still advance the stable
+	// point.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 42,
+		Tune: func(c *core.Config) {
+			colludeTune(c)
+			c.Win = 8
+			c.Batch = 1
+			c.CheckpointInterval = 4
+		},
+		ClientTimeout: time.Second,
+	})
+	if err := cl.InstallColluders(FaultByzColludeCkpt, []int{3}); err != nil {
+		t.Fatalf("InstallColluders: %v", err)
+	}
+	res := cl.RunClosedLoop(20, kvGen, 10*time.Minute)
+	if res.Completed != 40 {
+		t.Fatalf("completed %d of 40 under colluding checkpoints", res.Completed)
+	}
+	for id := 1; id <= cl.N; id++ {
+		if cl.IsByzantine(id) {
+			continue
+		}
+		if ls := cl.Replicas[id].LastStable(); ls == 0 {
+			t.Errorf("honest replica %d never advanced its stable point", id)
+		}
+	}
+	digestsAgree(t, cl)
+}
+
+func TestColluderRestoreDisarmsEveryMember(t *testing.T) {
+	// FaultByzRestore per member must fully disarm the coordinator —
+	// corrupter and observer removed, the cluster back to committing —
+	// while the Byzantine mark stays sticky: the audit must never hold a
+	// once-colluding replica to honest-replica invariants.
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 43,
+		Tune:          colludeTune,
+		ClientTimeout: time.Second,
+	})
+	if err := cl.InstallColluders(FaultByzColludeEquivocate, []int{1}); err != nil {
+		t.Fatalf("InstallColluders: %v", err)
+	}
+	cl.Apply(Schedule{{At: 500 * time.Millisecond, Kind: FaultByzRestore, Node: 1}})
+	res := cl.RunClosedLoop(10, kvGen, 10*time.Minute)
+	if res.Completed != 20 {
+		t.Fatalf("completed %d of 20 after restore (retries=%d)", res.Completed, res.Retries)
+	}
+	if !cl.IsByzantine(1) {
+		t.Error("Byzantine mark must stay sticky after FaultByzRestore")
+	}
+	m := cl.Metrics()
+	if m.FastCommits == 0 {
+		t.Error("no fast-path commits after the colluder was disarmed")
+	}
+	digestsAgree(t, cl)
+}
+
+func TestInstallColludersRejectsBadSets(t *testing.T) {
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 1, Seed: 44,
+	})
+	if err := cl.InstallColluders(FaultByzColludeEquivocate, nil); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if err := cl.InstallColluders(FaultByzColludeEquivocate, []int{0}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if err := cl.InstallColluders(FaultByzColludeEquivocate, []int{5}); err == nil {
+		t.Error("member beyond n accepted")
+	}
+	pb := newKV(t, Options{Protocol: ProtoPBFT, F: 1, Clients: 1, Seed: 44})
+	if err := pb.InstallColluders(FaultByzColludeEquivocate, []int{1}); err == nil {
+		t.Error("PBFT cluster accepted an SBFT collusion kind")
+	}
+}

@@ -89,6 +89,61 @@ const (
 	// corrupted internally, so the replica resumes honest participation;
 	// the audit keeps treating it as Byzantine (sticky mark).
 	FaultByzRestore
+
+	// Colluding key-share adversaries: Node plus Peers form ONE coordinated
+	// adversary whose members pool their σ/τ/π threshold key material (a
+	// real attacker compromising several replicas learns all their shares).
+	// Installing any collude kind marks every member Byzantine, and the
+	// f budget counts the whole set — collusion does not buy extra slots.
+
+	// FaultByzColludeEquivocate is the joint partial-quorum signer: a
+	// member primary deals per-recipient conflicting blocks, every member
+	// re-signs its σ/τ shares to match whatever each recipient was dealt,
+	// and the coordinator pools observed honest shares with all members'
+	// forged shares to combine prepare/commit certificates for whichever
+	// variant reaches the slow quorum. With ≤f members both variants are
+	// mathematically one honest share short of double-certification; with
+	// f+1 members the coordinator forges certified divergence (the
+	// over-budget auditor canary).
+	FaultByzColludeEquivocate
+	// FaultByzColludeCkpt makes the members emit certified-looking
+	// CONFLICTING checkpoint and execution-state shares: all members sign
+	// the same garbage digest per sequence (mutually consistent, unlike
+	// the independent FaultByzConflictCkpt), and each member additionally
+	// injects its peers' matching shares — so honest replicas see the
+	// whole colluding set backing one fake state, exactly one share short
+	// of the f+1 π quorum.
+	FaultByzColludeCkpt
+	// FaultByzColludeSnapshot coordinates stale snapshot metadata: every
+	// member serves the OLDEST certified meta ANY member ever saw, so a
+	// recovering replica polling several servers receives f mutually
+	// consistent lying answers racing the honest ones.
+	FaultByzColludeSnapshot
+
+	// Adaptive role-targeting attacks: instead of corrupting a fixed
+	// replica, the attacker reads the deterministic role map (primary,
+	// C-collectors, E-collectors per rotation — public knowledge) and
+	// retargets benign impairments every period. Node is unused; Extra
+	// optionally overrides the retarget period. These consume at-once
+	// budget slots but never mark anyone Byzantine.
+
+	// FaultAttackCollectors crashes exactly the c+1 collectors of the next
+	// slot each period, alternating between C-collectors (commit path) and
+	// E-collectors (execution path, forcing the ExecFallbackTimeout reply
+	// fallback), releasing previous targets as the roles rotate.
+	FaultAttackCollectors
+	// FaultAttackFastPath delays c+1 non-collector replicas just beyond
+	// the adaptive fast-timer cap, starving the σ quorum while the τ
+	// quorum stays reachable: every block is forced through the §V-E
+	// linear fallback without ever stopping commits.
+	FaultAttackFastPath
+	// FaultAttackPartition drops the directed links from the primary to
+	// its current C-collectors, severing share collection while all other
+	// traffic flows.
+	FaultAttackPartition
+	// FaultAttackStop halts the adaptive attacker and heals everything it
+	// impaired.
+	FaultAttackStop
 )
 
 // String names the fault kind.
@@ -124,6 +179,20 @@ func (k FaultKind) String() string {
 		return "byz-stale-meta"
 	case FaultByzRestore:
 		return "byz-restore"
+	case FaultByzColludeEquivocate:
+		return "byz-collude-equivocate"
+	case FaultByzColludeCkpt:
+		return "byz-collude-ckpt"
+	case FaultByzColludeSnapshot:
+		return "byz-collude-snapshot"
+	case FaultAttackCollectors:
+		return "attack-collectors"
+	case FaultAttackFastPath:
+		return "attack-fastpath"
+	case FaultAttackPartition:
+		return "attack-partition"
+	case FaultAttackStop:
+		return "attack-stop"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -133,7 +202,8 @@ func (k FaultKind) String() string {
 func (k FaultKind) Byzantine() bool {
 	switch k {
 	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt,
-		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzRestore:
+		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzRestore,
+		FaultByzColludeEquivocate, FaultByzColludeCkpt, FaultByzColludeSnapshot:
 		return true
 	}
 	return false
@@ -156,6 +226,9 @@ type Fault struct {
 	From, To int
 	// Link is the injected link behavior for FaultLink.
 	Link sim.LinkFault
+	// Peers lists the accomplice replicas for the FaultByzCollude* kinds:
+	// Node and Peers together form one colluding adversary set.
+	Peers []int
 }
 
 // String renders the step for chaos reports.
@@ -168,8 +241,12 @@ func (f Fault) String() string {
 	case FaultLink:
 		return fmt.Sprintf("%v %s %d→%d drop=%.2f dup=%.2f reorder=%v",
 			f.At, f.Kind, f.From, f.To, f.Link.Drop, f.Link.Duplicate, f.Link.ReorderJitter)
-	case FaultHeal, FaultLinkClear:
+	case FaultHeal, FaultLinkClear, FaultAttackStop:
 		return fmt.Sprintf("%v %s", f.At, f.Kind)
+	case FaultByzColludeEquivocate, FaultByzColludeCkpt, FaultByzColludeSnapshot:
+		return fmt.Sprintf("%v %s r%d+%v", f.At, f.Kind, f.Node, f.Peers)
+	case FaultAttackCollectors, FaultAttackFastPath, FaultAttackPartition:
+		return fmt.Sprintf("%v %s period=%v", f.At, f.Kind, f.Extra)
 	default:
 		return fmt.Sprintf("%v %s r%d", f.At, f.Kind, f.Node)
 	}
@@ -224,6 +301,16 @@ func (cl *Cluster) applyFault(f Fault) {
 		if err := cl.InstallByzantine(f.Node, f.Kind); err != nil {
 			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("%s r%d at %v: %w", f.Kind, f.Node, f.At, err))
 		}
+	case FaultByzColludeEquivocate, FaultByzColludeCkpt, FaultByzColludeSnapshot:
+		if err := cl.InstallColluders(f.Kind, append([]int{f.Node}, f.Peers...)); err != nil {
+			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("%s r%d+%v at %v: %w", f.Kind, f.Node, f.Peers, f.At, err))
+		}
+	case FaultAttackCollectors, FaultAttackFastPath, FaultAttackPartition:
+		if err := cl.StartAdaptiveAttack(f.Kind, f.Extra); err != nil {
+			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("%s at %v: %w", f.Kind, f.At, err))
+		}
+	case FaultAttackStop:
+		cl.StopAdaptiveAttack()
 	default:
 		cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("unknown fault kind %d at %v", f.Kind, f.At))
 	}

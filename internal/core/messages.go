@@ -400,6 +400,15 @@ func (m NewViewMsg) WireSize() int {
 	return n
 }
 
+// TauTauDigest exposes the outer slow-path signing digest for a prepare
+// certificate. Adversarial harnesses use it to let colluding replicas
+// jointly sign commit shares over certificates they assembled from pooled
+// key material (forging with owned keys is within a Byzantine set's power;
+// only quorum intersection protects honest replicas).
+func TauTauDigest(inner threshsig.Signature) []byte {
+	return tauTauDigest(inner)
+}
+
 // tauTauDigest is the digest signed by the outer τ threshold in the slow
 // path: the bytes of the inner certificate τ(h).
 func tauTauDigest(inner threshsig.Signature) []byte {

@@ -152,6 +152,24 @@ type Metrics struct {
 	// SnapshotPersists counts certified snapshots durably persisted,
 	// synchronously or through the async SnapshotSink.
 	SnapshotPersists uint64
+	// CollectorTimeouts counts fast-path collector timer expirations: a
+	// C-collector waited out its adaptive fast timer on a slot that had a
+	// τ quorum but no σ quorum (§V-E). Every expiration is counted, even
+	// when another collector's prepare made this one's redundant.
+	CollectorTimeouts uint64
+	// FastPathDowngrades counts fast→linear downgrades actually engaged:
+	// the collector abandoned the σ fast path and broadcast a prepare,
+	// sending the slot through the two-phase linear path (§V-E).
+	FastPathDowngrades uint64
+	// ExecFallbacks counts execution-fallback activations: no full execute
+	// certificate arrived within ExecFallbackTimeout (crashed or targeted
+	// E-collectors), so this replica answered its clients directly with
+	// f+1-style individual replies (§V).
+	ExecFallbacks uint64
+	// ViewRejoins counts lone-view-changer rejoins: while stuck in a view
+	// change, certified traffic for a lower view proved the cluster live
+	// without this replica, and it stood back down (§VII liveness).
+	ViewRejoins uint64
 }
 
 // BlockStore persists committed decision blocks (the paper persists
@@ -240,6 +258,7 @@ type Replica struct {
 	// View change state.
 	vcMsgs        map[uint64]map[int]*ViewChangeMsg // target view → sender → msg
 	vcSent        map[uint64]bool
+	vcResent      map[uint64]bool // view-change re-unicast to a late primary
 	vcBackoff     uint64
 	progressTimer func()
 	vcTimer       func()
@@ -283,6 +302,7 @@ func NewReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app App
 		ckptShares:     make(map[uint64]map[string]map[int]threshsig.Share),
 		vcMsgs:         make(map[uint64]map[int]*ViewChangeMsg),
 		vcSent:         make(map[uint64]bool),
+		vcResent:       make(map[uint64]bool),
 		ppBuffer:       make(map[uint64][]PrePrepareMsg),
 		pendingSnap:    make(map[uint64]*CertifiedSnapshot),
 		snapshotBlames: make(map[int]int),
@@ -549,6 +569,14 @@ func (r *Replica) onPrePrepare(from int, m PrePrepareMsg) {
 			from == r.cfg.Primary(m.View) {
 			r.bufferPP(m)
 		}
+		// View synchronizer: while escalating alone, keep the recent lower
+		// views' pre-prepares too — paired with a certified commit proof
+		// they are the evidence that lets the loner rejoin (bounded to one
+		// primary rotation below, same anti-exhaustion cap as above).
+		if r.inViewChange && m.View < r.view && m.View+uint64(r.cfg.N()) >= r.view &&
+			from == r.cfg.Primary(m.View) {
+			r.bufferPP(m)
+		}
 		return
 	}
 	if from != r.cfg.Primary(r.view) {
@@ -802,6 +830,9 @@ func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
 				return
 			}
 			s.sentPrepare = true
+			if r.cfg.FastPath {
+				r.Metrics.FastPathDowngrades++
+			}
 			msg := PrepareMsg{Seq: s.seq, View: view, Tau: sig}
 			r.broadcast(msg)
 			r.onPrepare(r.id, msg)
@@ -817,6 +848,9 @@ func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
 			}
 			s.fastTimer = r.env.After(delay, func() {
 				s.fastTimer = nil
+				if r.cfg.FastPath && !s.committed && !s.sentFastProof {
+					r.Metrics.CollectorTimeouts++
+				}
 				fire()
 			})
 		}
@@ -857,11 +891,15 @@ func (r *Replica) onFullCommitProof(_ int, m FullCommitProofMsg) {
 	if !s.hasPrePrepare || s.prePrepareView != m.View {
 		if m.Seq > r.windowBase && m.Seq <= r.windowBase+r.cfg.Win {
 			s.pendingFast = &m
+			r.tryRejoinView(m.Seq, m.View)
 		}
 		return
 	}
 	if r.suite.Sigma.Verify(s.hash[:], m.Sigma) != nil {
 		return
+	}
+	if r.inViewChange && m.View < r.view {
+		r.rejoinView(m.View)
 	}
 	s.commitProof = &m
 	s.commitProofView = m.View
@@ -980,6 +1018,7 @@ func (r *Replica) onFullCommitProofSlow(_ int, m FullCommitProofSlowMsg) {
 	if !s.hasPrePrepare || s.prePrepareView != m.View {
 		if m.Seq > r.windowBase && m.Seq <= r.windowBase+r.cfg.Win {
 			s.pendingSlow = &m
+			r.tryRejoinView(m.Seq, m.View)
 		}
 		return
 	}
@@ -989,6 +1028,9 @@ func (r *Replica) onFullCommitProofSlow(_ int, m FullCommitProofSlowMsg) {
 	}
 	if r.suite.Tau.Verify(tauTauDigest(m.Tau), m.TauTau) != nil {
 		return
+	}
+	if r.inViewChange && m.View < r.view {
+		r.rejoinView(m.View)
 	}
 	s.commitSlow = &m
 	s.commitSlowView = m.View
@@ -1381,6 +1423,7 @@ func (r *Replica) execFallback(seq uint64) {
 	if !ok || !s.executed || s.execCertSeen {
 		return
 	}
+	r.Metrics.ExecFallbacks++
 	for i, req := range s.execReqs {
 		ent, ok := r.replyCache[req.Client]
 		if !ok || ent.seq != seq || ent.timestamp != req.Timestamp {

@@ -205,6 +205,19 @@ func (r *Replica) onViewChange(from int, m ViewChangeMsg) {
 	}
 	r.vcMsgs[m.NewView][m.Replica] = &m
 
+	// A primary that was down while the cohort broadcast its view-change
+	// messages rejoins by escalating on its own: it announces the target
+	// view holding only its own message, and nobody rebroadcasts (vcSent
+	// gates the original broadcast). Seeing the primary of v itself demand
+	// v is the cue to re-unicast our view-change, so the new-view quorum
+	// can assemble at the one replica able to install it. One resend per
+	// target view bounds the overhead at a single extra message.
+	if m.Replica == r.cfg.Primary(m.NewView) && m.Replica != r.id &&
+		r.vcSent[m.NewView] && !r.vcResent[m.NewView] {
+		r.vcResent[m.NewView] = true
+		r.env.Send(m.Replica, r.buildViewChange(m.NewView))
+	}
+
 	// f+1 join rule (§VII): if f+1 distinct replicas demand views above
 	// ours, join the smallest such view.
 	if !r.inViewChange || m.NewView > r.view {
@@ -446,6 +459,11 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 			delete(r.vcSent, tv)
 		}
 	}
+	for tv := range r.vcResent {
+		if tv <= m.View {
+			delete(r.vcResent, tv)
+		}
+	}
 
 	// Advance the stable point if the quorum proved a higher one.
 	if ls > r.lastStable {
@@ -549,4 +567,90 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 		r.maybeFetchState(r.lastStable)
 	}
 	r.resetProgressTimer()
+}
+
+// ---------------------------------------------------------------------------
+// View synchronizer (§VII liveness): a replica that escalated into a view
+// change alone — its progress timer fired on locally-missing traffic the
+// rest of the cluster never lost — would previously keep escalating views
+// forever while the cluster committed happily without it (the carried
+// lone-view-changer hole: fewer than f+1 peers share its suspicion, so the
+// join rule never pulls anyone up, and nothing pulled the loner back
+// down). The synchronizer closes the hole: certified commit traffic for a
+// view LOWER than the loner's own target is cryptographic proof the
+// cluster is live in that view, so the replica stands back down and
+// rejoins it. Only σ/τ certificates over a known pre-prepare count —
+// uncertified chatter (which a Byzantine peer could replay) cannot trigger
+// a rejoin.
+
+// rejoinView stands the replica down from a solo view-change escalation
+// into the certified lower view. Callers have already verified a commit
+// certificate for that view.
+func (r *Replica) rejoinView(view uint64) {
+	if !r.inViewChange || view >= r.view {
+		return
+	}
+	r.tracef("view synchronizer: certified traffic in view %d, rejoining (was escalating to %d)", view, r.view)
+	r.Metrics.ViewRejoins++
+	r.view = view
+	r.inViewChange = false
+	r.vcBackoff = 0
+	if r.vcTimer != nil {
+		r.vcTimer()
+		r.vcTimer = nil
+	}
+	// Allow a genuine future escalation to rebroadcast its view-change
+	// message: the suspicion that produced the abandoned targets is void.
+	for tv := range r.vcSent {
+		if tv > view {
+			delete(r.vcSent, tv)
+		}
+	}
+	for tv := range r.vcResent {
+		if tv > view {
+			delete(r.vcResent, tv)
+		}
+	}
+	r.resetProgressTimer()
+}
+
+// tryRejoinView attempts a rejoin from stashed evidence: a commit proof
+// for (seq, view) arrived while this replica sat in a view change above
+// `view` without having accepted that view's pre-prepare. If the matching
+// pre-prepare is buffered and the stashed certificate verifies against its
+// block hash, the pair proves the lower view live; rejoin and replay.
+func (r *Replica) tryRejoinView(seq, view uint64) {
+	if !r.inViewChange || view >= r.view || seq <= r.lastExecuted {
+		return
+	}
+	var pp *PrePrepareMsg
+	for i := range r.ppBuffer[view] {
+		if r.ppBuffer[view][i].Seq == seq {
+			pp = &r.ppBuffer[view][i]
+			break
+		}
+	}
+	if pp == nil {
+		return
+	}
+	s := r.getSlot(seq)
+	h := BlockHash(seq, view, pp.Reqs)
+	certified := s.pendingFast != nil && s.pendingFast.View == view &&
+		r.suite.Sigma.Verify(h[:], s.pendingFast.Sigma) == nil
+	if !certified {
+		certified = s.pendingSlow != nil && s.pendingSlow.View == view &&
+			r.suite.Tau.Verify(h[:], s.pendingSlow.Tau) == nil &&
+			r.suite.Tau.Verify(tauTauDigest(s.pendingSlow.Tau), s.pendingSlow.TauTau) == nil
+	}
+	if !certified {
+		return
+	}
+	r.rejoinView(view)
+	// Replay the rejoined view's buffered pre-prepares; accepting them
+	// replays the stashed certificates, committing the proven slots.
+	buf := r.ppBuffer[view]
+	delete(r.ppBuffer, view)
+	for _, b := range buf {
+		r.onPrePrepare(r.cfg.Primary(view), b)
+	}
 }

@@ -39,6 +39,26 @@ import (
 // partitioned into a minority group, straggling, or behind a lossy
 // link). Global link faults (both endpoints wildcarded) impair no one:
 // they model the network, not a replica.
+//
+// A FaultByzCollude* step admits its whole member set (Node plus Peers)
+// as ONE adversary, atomically: every member is marked Byzantine at the
+// same instant, so a set larger than f is rejected at the step that
+// installs it, and repeated collusion steps over the same set add
+// nothing (the marks are idempotent). This is deliberately stricter than
+// treating members as coincidentally-overlapping independents: the set
+// either fits the sticky f budget as a unit or the schedule is invalid.
+//
+// The adaptive FaultAttack* kinds name no replicas up front — the
+// attacker chases the role map at run time — so they consume ANONYMOUS
+// at-once slots equal to the most replicas the attacker may impair
+// simultaneously: f+c for the collector-crash attack, c+1 for the
+// fast-path straggle, 1 for the primary-link partition (only the
+// primary's outbound endpoint turns lossy). FaultAttackStop releases the
+// slots. The count is an over-approximation when attacker targets
+// coincide with separately-scheduled faults (the attacker spares
+// already-impaired replicas at run time, the validator cannot know
+// which), which errs on the sound side: a schedule the validator accepts
+// never exceeds the budget.
 func ValidateBudget(s cluster.Schedule, n, f, c int) error {
 	steps := make([]cluster.Fault, len(s))
 	copy(steps, s)
@@ -50,6 +70,7 @@ func ValidateBudget(s cluster.Schedule, n, f, c int) error {
 	}
 	nodes := make(map[int]*state)
 	everByz := make(map[int]bool)
+	attackSlots := 0
 	get := func(id int) *state {
 		st, ok := nodes[id]
 		if !ok {
@@ -74,7 +95,7 @@ func ValidateBudget(s cluster.Schedule, n, f, c int) error {
 				major, majorSize = g, size
 			}
 		}
-		faulty := 0
+		faulty := attackSlots
 		for _, st := range nodes {
 			if st.byz || st.crashed || st.straggling || st.lossy ||
 				(st.group != 0 && st.group != major) {
@@ -122,6 +143,23 @@ func ValidateBudget(s cluster.Schedule, n, f, c int) error {
 			everByz[st.Node] = true
 		case cluster.FaultByzRestore:
 			get(st.Node).byz = false
+		case cluster.FaultByzColludeEquivocate, cluster.FaultByzColludeCkpt,
+			cluster.FaultByzColludeSnapshot:
+			// The whole member set is one adversary, admitted atomically.
+			get(st.Node).byz = true
+			everByz[st.Node] = true
+			for _, p := range st.Peers {
+				get(p).byz = true
+				everByz[p] = true
+			}
+		case cluster.FaultAttackCollectors:
+			attackSlots = f + c
+		case cluster.FaultAttackFastPath:
+			attackSlots = c + 1
+		case cluster.FaultAttackPartition:
+			attackSlots = 1
+		case cluster.FaultAttackStop:
+			attackSlots = 0
 		}
 		// Steps sharing a timestamp apply atomically (a partition pattern
 		// is several same-instant steps): check once per instant.

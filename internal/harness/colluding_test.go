@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+)
+
+// TestValidateBudgetColludingSets pins the budget arithmetic for the
+// collusion and adaptive-attack kinds: a colluding set is one adversary
+// admitted atomically, attack kinds hold anonymous at-once slots.
+func TestValidateBudgetColludingSets(t *testing.T) {
+	ms := time.Millisecond
+	cases := []struct {
+		name    string
+		sched   cluster.Schedule
+		n, f, c int
+		ok      bool
+	}{
+		{
+			name: "set of f members fits",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3}},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "set of f+1 members rejected at the installing step",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3, 5}},
+			},
+			n: 9, f: 2, c: 1, ok: false,
+		},
+		{
+			name: "repeated collusion over the same set is idempotent",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3}},
+				{At: ms, Kind: cluster.FaultByzColludeCkpt, Node: 1, Peers: []int{3}},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "second set sharing no members breaks the sticky f budget",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3}},
+				{At: ms, Kind: cluster.FaultByzRestore, Node: 1},
+				{At: ms, Kind: cluster.FaultByzRestore, Node: 3},
+				{At: 2 * ms, Kind: cluster.FaultByzColludeEquivocate, Node: 5, Peers: []int{7}},
+			},
+			n: 9, f: 2, c: 1, ok: false,
+		},
+		{
+			name: "benign crash of a bystander fits beside the set",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3}},
+				{At: ms, Kind: cluster.FaultCrash, Node: 5},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "two bystander crashes beside the set exceed f+c",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3}},
+				{At: ms, Kind: cluster.FaultCrash, Node: 5},
+				{At: 2 * ms, Kind: cluster.FaultCrash, Node: 7},
+			},
+			n: 9, f: 2, c: 1, ok: false,
+		},
+		{
+			name: "crash overlapping a member consumes no extra slot",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3}},
+				{At: ms, Kind: cluster.FaultCrash, Node: 3},
+				{At: 2 * ms, Kind: cluster.FaultCrash, Node: 5},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "collector attack holds the full f+c budget alone",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultAttackCollectors},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "collector attack plus any crash is over budget",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultAttackCollectors},
+				{At: ms, Kind: cluster.FaultCrash, Node: 5},
+			},
+			n: 9, f: 2, c: 1, ok: false,
+		},
+		{
+			name: "fast-path attack (c+1 slots) leaves room for one crash",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultAttackFastPath},
+				{At: ms, Kind: cluster.FaultCrash, Node: 5},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "fast-path attack plus two crashes is over budget",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultAttackFastPath},
+				{At: ms, Kind: cluster.FaultCrash, Node: 5},
+				{At: 2 * ms, Kind: cluster.FaultCrash, Node: 7},
+			},
+			n: 9, f: 2, c: 1, ok: false,
+		},
+		{
+			name: "attack slots release on stop",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultAttackCollectors},
+				{At: ms, Kind: cluster.FaultAttackStop},
+				{At: 2 * ms, Kind: cluster.FaultCrash, Node: 5},
+				{At: 3 * ms, Kind: cluster.FaultCrash, Node: 7},
+				{At: 4 * ms, Kind: cluster.FaultCrash, Node: 8},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "partition attack holds one slot",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultAttackPartition},
+				{At: ms, Kind: cluster.FaultCrash, Node: 5},
+				{At: 2 * ms, Kind: cluster.FaultCrash, Node: 7},
+			},
+			n: 9, f: 2, c: 1, ok: true,
+		},
+		{
+			name: "attack concurrent with an armed colluding set is over budget",
+			sched: cluster.Schedule{
+				{At: 0, Kind: cluster.FaultByzColludeEquivocate, Node: 1, Peers: []int{3}},
+				{At: ms, Kind: cluster.FaultAttackFastPath},
+			},
+			n: 9, f: 2, c: 1, ok: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateBudget(tc.sched, tc.n, tc.f, tc.c)
+			if tc.ok && err != nil {
+				t.Fatalf("schedule rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("over-budget schedule accepted")
+			}
+		})
+	}
+}
+
+// TestColludingGenShape pins the generator's fixed frame: paper scale,
+// scaled crypto, a two-member set including the view-0 primary, and a
+// schedule its own validator accepts.
+func TestColludingGenShape(t *testing.T) {
+	kindsSeen := map[string]bool{}
+	for seed := int64(1); seed <= 9; seed++ {
+		s := ColludingGen(seed)
+		if s.Opts.F != 2 || s.Opts.C != 1 || s.Opts.Protocol != cluster.ProtoSBFT {
+			t.Fatalf("seed %d: %s f=%d c=%d, want paper-scale SBFT f=2 c=1", seed, s.Opts.Protocol, s.Opts.F, s.Opts.C)
+		}
+		if s.Opts.Costs == nil {
+			t.Errorf("seed %d: not under the scaled cost model", seed)
+		}
+		kindsSeen[s.Name] = true
+		var sawCollude, sawRestore, sawAttack, sawStop bool
+		for _, fl := range s.Schedule {
+			switch fl.Kind {
+			case cluster.FaultByzColludeEquivocate, cluster.FaultByzColludeCkpt, cluster.FaultByzColludeSnapshot:
+				sawCollude = true
+				if fl.Node != 1 {
+					t.Errorf("seed %d: member[0] = %d, want the view-0 primary", seed, fl.Node)
+				}
+				if len(fl.Peers) != 1 || fl.Peers[0] < 2 || fl.Peers[0] > 9 {
+					t.Errorf("seed %d: peers %v, want one replica in [2,9]", seed, fl.Peers)
+				}
+			case cluster.FaultByzRestore:
+				sawRestore = true
+			case cluster.FaultAttackCollectors, cluster.FaultAttackFastPath, cluster.FaultAttackPartition:
+				sawAttack = true
+			case cluster.FaultAttackStop:
+				sawStop = true
+			}
+		}
+		if !sawCollude || !sawRestore || !sawAttack || !sawStop {
+			t.Fatalf("seed %d: schedule misses a phase (collude=%v restore=%v attack=%v stop=%v)",
+				seed, sawCollude, sawRestore, sawAttack, sawStop)
+		}
+	}
+	// Nine consecutive seeds cover all 3 collusion kinds × 3 attack kinds.
+	if len(kindsSeen) != 9 {
+		t.Errorf("9 seeds produced %d distinct kind pairings, want 9: %v", len(kindsSeen), kindsSeen)
+	}
+}
+
+// TestColludingChaosSweep is the acceptance gate for the collusion
+// subsystem: ≥ 200 paper-scale seeds arming an at-budget colluding pair
+// (always including the view-0 primary) followed by an adaptive
+// role-targeting attack window — zero safety divergences, zero liveness
+// failures.
+func TestColludingChaosSweep(t *testing.T) {
+	const runs = 200
+	cr := RunChaos(SeedRange(1, runs), ColludingGen)
+	if cr.Runs != runs {
+		t.Fatalf("ran %d scenarios, want %d", cr.Runs, runs)
+	}
+	if !cr.OK() {
+		for seed, err := range cr.Errors {
+			t.Errorf("seed %d errored: %v", seed, err)
+		}
+		for _, rep := range cr.Failures {
+			t.Errorf("%s", rep.Summary())
+			for _, f := range rep.Faults {
+				t.Logf("  fault: %s", f)
+			}
+		}
+		t.Fatalf("%s", cr.Summary())
+	}
+}
+
+// TestColludingCanaryOverBudgetDetected is the auditor canary for the
+// key-share colluder: at m = f+1 members the threshold arithmetic flips —
+// an even honest split hands BOTH equivocation variants a jointly-signed
+// slow quorum and honest replicas commit conflicting blocks. The audit
+// MUST report the divergence; if this test fails, the green colluding
+// sweep proves nothing.
+func TestColludingCanaryOverBudgetDetected(t *testing.T) {
+	rep, err := Run(Scenario{
+		Name: "collude-canary-over-budget",
+		Opts: cluster.Options{
+			Protocol: cluster.ProtoSBFT, F: 1, C: 0,
+			Clients: 2, Seed: 99,
+			ClientTimeout: time.Second,
+			Tune: func(cc *core.Config) {
+				cc.Batch = 1
+				cc.FastPathTimeout = 50 * time.Millisecond
+				cc.ViewChangeTimeout = time.Second
+			},
+		},
+		Arm: func(cl *cluster.Cluster) {
+			// n=4, QuorumSlow=3: members {1,2} own two shares per variant
+			// and need ONE honest share each — honest replicas 3 and 4
+			// split evenly, certifying both sides.
+			if err := cl.InstallColluders(cluster.FaultByzColludeEquivocate, []int{1, 2}); err != nil {
+				t.Fatalf("arming colluders: %v", err)
+			}
+		},
+		OpsPerClient: 5,
+		Horizon:      5 * time.Minute,
+		Settle:       10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Audit.OK() {
+		t.Fatal("auditor missed the divergence caused by f+1 colluding key-share members")
+	}
+	foundDivergence := false
+	for _, d := range rep.Audit.Divergences {
+		if strings.Contains(d, "divergence") {
+			foundDivergence = true
+		}
+	}
+	if !foundDivergence {
+		t.Fatalf("no log/state divergence among honest replicas reported; got: %v", rep.Audit.Divergences)
+	}
+	if rep.Audit.ByzantineExcluded != 2 {
+		t.Errorf("ByzantineExcluded = %d, want 2", rep.Audit.ByzantineExcluded)
+	}
+}

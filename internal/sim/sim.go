@@ -223,6 +223,7 @@ type Network struct {
 	busy     map[NodeID]time.Duration // CPU-busy horizon per node
 	faults   map[[2]NodeID]LinkFault  // directed link → injected fault
 	corrupt  map[NodeID]Corrupter     // Byzantine outbound interception
+	observe  map[NodeID]Observer      // compromised-process inbound taps
 
 	// Stats.
 	MsgsSent      uint64
@@ -256,6 +257,7 @@ func NewNetwork(sched *Scheduler, cfg Config) (*Network, error) {
 		busy:     make(map[NodeID]time.Duration),
 		faults:   make(map[[2]NodeID]LinkFault),
 		corrupt:  make(map[NodeID]Corrupter),
+		observe:  make(map[NodeID]Observer),
 	}, nil
 }
 
@@ -375,6 +377,37 @@ func (n *Network) SetCorrupter(id NodeID, c Corrupter) {
 // Corrupted reports whether a node currently has a corrupter installed.
 func (n *Network) Corrupted(id NodeID) bool { return n.corrupt[id] != nil }
 
+// Observer is a read-only inbound wiretap on a node: it sees every message
+// the node receives, at arrival time, before the node's handler runs.
+// Corrupters model a compromised process at its outbound boundary; the
+// observer is the inbound half of the same compromise — a colluding
+// adversary that extracts what the victim process learns (e.g. threshold
+// signature shares addressed to a corrupted collector). Observers must not
+// mutate the message.
+type Observer func(from NodeID, msg any)
+
+// SetObserver installs (or, with nil, clears) the inbound wiretap on a
+// node. Observation runs at delivery time even while the message is still
+// queued behind the receiver's CPU — the wire is tapped, not the handler.
+func (n *Network) SetObserver(id NodeID, o Observer) {
+	if o == nil {
+		delete(n.observe, id)
+		return
+	}
+	n.observe[id] = o
+}
+
+// Inject sends a fabricated message from → to through the physical network
+// model, bypassing any corrupter on the sender. It is the adversary's raw
+// transmit path: a colluder coordinator uses it to emit jointly-forged
+// artifacts (combined threshold signatures) as one of its members. The
+// injection is still subject to crash, partition, link-fault, CPU-cost and
+// latency modeling, so forged traffic competes with honest traffic on
+// equal footing.
+func (n *Network) Inject(from, to NodeID, msg any, size int) {
+	n.sendRaw(from, to, msg, size, 0)
+}
+
 // Send schedules delivery of msg from → to. size is the wire size estimate
 // used for bandwidth modeling and statistics. If the sender has a
 // Corrupter installed, the corrupter's injections are sent instead (each
@@ -461,6 +494,9 @@ func (n *Network) scheduleDelivery(from, to NodeID, msg any, size int, d time.Du
 		h, ok := n.handlers[to]
 		if !ok {
 			return
+		}
+		if o := n.observe[to]; o != nil {
+			o(from, msg)
 		}
 		if n.cfg.RecvCost == nil {
 			h.Deliver(from, msg)
