@@ -11,6 +11,7 @@
 //	sbft-bench -exp contract-continent   # §IX contract benchmark
 //	sbft-bench -exp contract-world
 //	sbft-bench -exp single-node
+//	sbft-bench -exp load                 # open- vs closed-loop saturation curves
 //	sbft-bench -exp ablation
 //	sbft-bench -exp viewchange
 //	sbft-bench -exp switch
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: fig2|contract-continent|contract-world|single-node|ablation|viewchange|switch|all")
+		exp  = flag.String("exp", "all", "experiment: fig2|contract-continent|contract-world|single-node|ablation|viewchange|switch|load|all")
 		full = flag.Bool("full", false, "paper-scale parameters (f=64; hours of CPU)")
 		f    = flag.Int("f", 0, "override fault threshold f")
 		ops  = flag.Int("ops", 0, "override operations per client")
@@ -90,5 +91,18 @@ func main() {
 		return err
 	})
 	run("viewchange", func() error { return bench.RunViewChange(grid) })
+	run("load", func() error {
+		// Open- vs closed-loop throughput curves, inline baseline vs the
+		// parallel verification pool, at n=4 and the paper-scale n=9.
+		for _, fc := range [][2]int{{1, 0}, {2, 1}} {
+			for _, pool := range []int{0, 4} {
+				cfg := bench.DefaultLoadCurve(fc[0], fc[1], pool, grid.Seed, os.Stdout)
+				if _, err := bench.RunLoadCurve(cfg); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
 	run("switch", func() error { return bench.RunSeamlessSwitch(grid, os.Stdout) })
 }

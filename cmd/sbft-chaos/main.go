@@ -18,7 +18,10 @@
 // scaled crypto: a key-share colluding pair — always including the
 // view-0 primary — jointly signing partial quorums, conflicting
 // checkpoints or lying snapshot metas, followed by an adaptive
-// role-targeting attack window). "both" splits the seed range across default and byzantine,
+// role-targeting attack window), and "openloop" (Poisson open-loop
+// arrivals multiplexed over a client pool with the verification pool
+// armed, a third of the seeds saturating the §V-C admission gate while
+// a benign fault window runs). "both" splits the seed range across default and byzantine,
 // keeping wall-time flat; both of those also run the EVM ledger
 // themselves on every fifth seed.
 //
@@ -42,7 +45,7 @@ func main() {
 	var (
 		seeds   = flag.Int("seeds", 200, "number of seeded scenarios to run")
 		start   = flag.Int64("start", 1, "first seed")
-		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, evm, recovery, colluding, or both (seed range split)")
+		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, evm, recovery, colluding, openloop, or both (seed range split)")
 		verbose = flag.Bool("v", false, "print every scenario outcome")
 	)
 	flag.Parse()
@@ -69,6 +72,8 @@ func main() {
 		sweeps = []sweep{{"recovery", harness.RecoveryGen, harness.SeedRange(*start, *seeds)}}
 	case "colluding":
 		sweeps = []sweep{{"colluding", harness.ColludingGen, harness.SeedRange(*start, *seeds)}}
+	case "openloop":
+		sweeps = []sweep{{"openloop", harness.OpenLoopGen, harness.SeedRange(*start, *seeds)}}
 	case "both":
 		// Split the budget so adding the Byzantine sweep keeps the total
 		// scenario count (and CI wall-time) flat.
@@ -78,7 +83,7 @@ func main() {
 			{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, half)},
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, evm, recovery, colluding, or both)\n", *gen)
+		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, evm, recovery, colluding, openloop, or both)\n", *gen)
 		os.Exit(2)
 	}
 

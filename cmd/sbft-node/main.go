@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -36,6 +37,7 @@ import (
 
 	"sbft/internal/apps"
 	"sbft/internal/core"
+	"sbft/internal/cryptopool"
 	"sbft/internal/storage"
 	"sbft/internal/transport"
 )
@@ -141,13 +143,14 @@ func loadPeers(path string) (map[int]string, error) {
 
 func main() {
 	var (
-		id       = flag.Int("id", 0, "replica id (1..n)")
-		peerFile = flag.String("peers", "peers.txt", "peers file: one 'id host:port' per line")
-		f        = flag.Int("f", 1, "fault threshold f")
-		c        = flag.Int("c", 0, "redundant servers c")
-		seed     = flag.String("seed", "sbft-demo", "shared key seed (demo PKI)")
-		dataDir  = flag.String("data", "", "block store directory (empty = no persistence)")
-		syncSnap = flag.Bool("sync-snapshots", false, "persist checkpoint snapshots synchronously on the event loop (default: async worker)")
+		id            = flag.Int("id", 0, "replica id (1..n)")
+		peerFile      = flag.String("peers", "peers.txt", "peers file: one 'id host:port' per line")
+		f             = flag.Int("f", 1, "fault threshold f")
+		c             = flag.Int("c", 0, "redundant servers c")
+		seed          = flag.String("seed", "sbft-demo", "shared key seed (demo PKI)")
+		dataDir       = flag.String("data", "", "block store directory (empty = no persistence)")
+		syncSnap      = flag.Bool("sync-snapshots", false, "persist checkpoint snapshots synchronously on the event loop (default: async worker)")
+		cryptoWorkers = flag.Int("crypto-workers", runtime.NumCPU(), "threshold-crypto verification pool width (0 = verify inline on the event loop)")
 	)
 	flag.Parse()
 
@@ -201,6 +204,11 @@ func main() {
 		sink := newSnapSink(led, shell.Do)
 		defer sink.Close()
 		rep.SetSnapshotSink(sink)
+	}
+	if *cryptoWorkers > 0 {
+		pool := cryptopool.New(suite, *cryptoWorkers, shell.Do)
+		defer pool.Close()
+		rep.SetCryptoSink(pool)
 	}
 	shell.Start(rep)
 	fmt.Printf("sbft-node: replica %d/%d (f=%d c=%d) listening on %s\n", *id, cfg.N(), *f, *c, shell.Addr())

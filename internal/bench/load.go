@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+	"sbft/internal/load"
+	"sbft/internal/sim"
+)
+
+// LoadConfig parameterizes the open- vs closed-loop throughput curve for
+// one (f, c) deployment. The closed loop (every client waits for its
+// reply) measures unsaturated latency; the open loop (Poisson arrivals
+// at a configured offered rate, multiplexed over Slots simulated
+// clients) finds the saturation knee — the measurement the paper's
+// throughput claims rest on, impossible to produce closed-loop because
+// a waiting client self-limits offered load.
+type LoadConfig struct {
+	F, C int
+	// Slots is the multiplexing client pool for the open loop (and the
+	// closed-loop client count).
+	Slots int
+	// Rates are the open-loop offered loads (requests/s) to sweep.
+	Rates []float64
+	// OpsPerClient sizes the closed-loop reference run.
+	OpsPerClient int
+	// CryptoPool arms the parallel verification pool on every replica
+	// (0 = inline event-loop verification, the baseline).
+	CryptoPool int
+	// CryptoScale multiplies signature costs (see CostModel.ScaledCrypto).
+	CryptoScale int
+	Seed        int64
+	Warmup      time.Duration
+	Window      time.Duration
+	Drain       time.Duration
+	Out         io.Writer
+}
+
+// LoadPoint is one measured cell of the curve.
+type LoadPoint struct {
+	Mode         string  // "closed" or "open"
+	Rate         float64 // offered req/s (open loop only)
+	Throughput   float64 // completed ops per simulated second
+	MeanMs       float64
+	P95Ms        float64
+	Dropped      uint64 // open loop: arrivals shed at the generator
+	Rejects      uint64 // §V-C admission rejects across replicas
+	Backpressure uint64 // BusyMsg backoffs absorbed by clients
+}
+
+// newLoadCluster builds one deterministic deployment for a curve cell.
+func (cfg LoadConfig) newCluster() (*cluster.Cluster, error) {
+	netCfg := sim.ContinentProfile(cfg.Seed)
+	costs := cluster.DefaultCosts()
+	if cfg.CryptoScale > 1 {
+		costs = costs.ScaledCrypto(cfg.CryptoScale)
+	}
+	return cluster.New(cluster.Options{
+		Protocol:      cluster.ProtoSBFT,
+		F:             cfg.F,
+		C:             cfg.C,
+		App:           cluster.AppKV,
+		Clients:       cfg.Slots,
+		NetCfg:        &netCfg,
+		Seed:          cfg.Seed,
+		Costs:         &costs,
+		CryptoPool:    cfg.CryptoPool,
+		ClientTimeout: 10 * time.Second,
+		Tune: func(c *core.Config) {
+			c.FastPathTimeout = 100 * time.Millisecond
+			c.ViewChangeTimeout = 30 * time.Second
+		},
+	})
+}
+
+// RunLoadCurve measures the closed-loop reference point and the open-loop
+// sweep. Each cell runs on a fresh cluster with the same seed, so cells
+// differ only in offered load.
+func RunLoadCurve(cfg LoadConfig) ([]LoadPoint, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 2 * time.Second
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 500 * time.Millisecond
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 2 * time.Second
+	}
+	var points []LoadPoint
+
+	// Closed-loop reference.
+	cl, err := cfg.newCluster()
+	if err != nil {
+		return nil, err
+	}
+	res := cl.RunClosedLoop(cfg.OpsPerClient, KVGen(cfg.Seed), 10*time.Minute)
+	points = append(points, LoadPoint{
+		Mode:       "closed",
+		Throughput: res.Throughput,
+		MeanMs:     ms(res.MeanLatency),
+		P95Ms:      ms(res.P95Latency),
+	})
+	cl.Close()
+
+	// Open-loop sweep.
+	for _, rate := range cfg.Rates {
+		cl, err := cfg.newCluster()
+		if err != nil {
+			return nil, err
+		}
+		olRes := load.Run(cl, load.Config{
+			Rate:   rate,
+			Warmup: cfg.Warmup,
+			Window: cfg.Window,
+			Drain:  cfg.Drain,
+			Seed:   cfg.Seed,
+		})
+		var rejects uint64
+		for _, r := range cl.Replicas {
+			if r != nil {
+				rejects += r.Metrics.AdmissionRejects
+			}
+		}
+		points = append(points, LoadPoint{
+			Mode:         "open",
+			Rate:         rate,
+			Throughput:   olRes.Throughput,
+			MeanMs:       ms(olRes.MeanLatency),
+			P95Ms:        ms(olRes.P95Latency),
+			Dropped:      olRes.Dropped,
+			Rejects:      rejects,
+			Backpressure: olRes.Backpressure,
+		})
+		cl.Close()
+	}
+
+	if cfg.Out != nil {
+		n := 3*cfg.F + 2*cfg.C + 1
+		fmt.Fprintf(cfg.Out, "\n== Throughput curve: n=%d (f=%d c=%d) pool=%d slots=%d ==\n",
+			n, cfg.F, cfg.C, cfg.CryptoPool, cfg.Slots)
+		fmt.Fprintf(cfg.Out, "%-8s %10s %12s %9s %8s %8s %8s %10s\n",
+			"mode", "rate(r/s)", "tput(op/s)", "mean(ms)", "p95(ms)", "dropped", "rejects", "backpress")
+		for _, p := range points {
+			rate := "-"
+			if p.Mode == "open" {
+				rate = fmt.Sprintf("%.0f", p.Rate)
+			}
+			fmt.Fprintf(cfg.Out, "%-8s %10s %12.1f %9.1f %8.1f %8d %8d %10d\n",
+				p.Mode, rate, p.Throughput, p.MeanMs, p.P95Ms, p.Dropped, p.Rejects, p.Backpressure)
+		}
+	}
+	return points, nil
+}
+
+// PeakThroughput reports the best open-loop cell of a curve.
+func PeakThroughput(points []LoadPoint) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.Mode == "open" && p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	return best
+}
+
+// DefaultLoadCurve is the scaled curve behind `sbft-bench -exp load` and
+// BenchmarkThroughput: n=4 or n=9 under 3× crypto cost, a thousand
+// multiplexed client slots, offered loads bracketing the saturation knee
+// of both the inline and pooled configurations.
+func DefaultLoadCurve(f, c int, pool int, seed int64, out io.Writer) LoadConfig {
+	return LoadConfig{
+		F: f, C: c,
+		Slots:        1000,
+		Rates:        []float64{250, 500, 1000, 2000, 4000, 8000},
+		OpsPerClient: 2,
+		CryptoPool:   pool,
+		CryptoScale:  3,
+		Seed:         seed,
+		Out:          out,
+	}
+}

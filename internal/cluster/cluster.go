@@ -100,6 +100,14 @@ type Options struct {
 	// SnapshotPersistDelay is the modeled disk hand-off latency of the
 	// async snapshot sink (0 = 2ms of virtual time).
 	SnapshotPersistDelay time.Duration
+	// CryptoPool, when positive, gives every SBFT-variant replica a
+	// modeled pool of that many crypto workers (a deterministic
+	// core.CryptoSink advancing in virtual time): share verification and
+	// signature combination move off the replica's event loop onto
+	// per-worker busy horizons, and the cost model stops charging them
+	// on message receipt. 0 keeps the synchronous inline path — the
+	// baseline the throughput benchmarks compare against.
+	CryptoPool int
 	// DataDir is the root directory for persisted replica state; empty
 	// with Persist set means a temp dir owned by the cluster.
 	DataDir string
@@ -144,6 +152,9 @@ type Cluster struct {
 	ownsDataDir bool
 	keys        []core.ReplicaKeys
 	envs        []*env
+	// costs is the effective CPU model (zero-valued under FreeCPU); the
+	// crypto-pool sinks price their work from it.
+	costs CostModel
 	// byzantine marks replicas whose behavior has been adversarial at any
 	// point (replaced nodes via Options.Byzantine, or corrupter-equipped
 	// nodes via the Byzantine fault kinds). The mark is sticky: the safety
@@ -285,8 +296,11 @@ func New(opts Options) (*Cluster, error) {
 		}
 		cm.n = cl.N
 		cm.collectors = opts.C + 2
+		cm.offload = opts.CryptoPool > 0 && opts.Protocol != ProtoPBFT
+		cm.workers = opts.CryptoPool
 		netCfg.SendCost = cm.SendCost
 		netCfg.RecvCost = cm.RecvCost
+		cl.costs = cm
 	}
 	var err error
 	cl.Net, err = sim.NewNetwork(cl.Sched, netCfg)
@@ -351,6 +365,7 @@ func New(opts Options) (*Cluster, error) {
 			if opts.Persist {
 				cl.installSink(rep, e, cl.Stores[id])
 			}
+			cl.installCryptoPool(rep, e)
 			cl.Replicas[id] = rep
 			var node Node = rep
 			if mk, ok := opts.Byzantine[id]; ok {

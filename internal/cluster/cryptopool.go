@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"time"
+
+	"sbft/internal/core"
+	"sbft/internal/crypto/threshsig"
+)
+
+// poolSink is the simulated cluster's core.CryptoSink: a modeled pool of
+// crypto workers advancing in VIRTUAL time. Each worker has a busy
+// horizon; a job runs on the earliest-free worker, paying the cost-model
+// price for its share batch, and its continuation fires on the
+// deterministic event loop when that worker finishes. There are no real
+// threads — determinism is exactly the point: the seeded chaos sweeps
+// must reproduce bit-for-bit with the pool enabled, while the model
+// still captures what a real pool buys (verification overlaps the event
+// loop, and per-slot batches ride the cheap RLC path).
+//
+// The sink is scheduled through the replica's env, so a restart (dead
+// env) suppresses in-flight completions the same way it suppresses the
+// dead process's timers.
+type poolSink struct {
+	env   *env
+	suite core.CryptoSuite
+	costs CostModel // zero-valued under FreeCPU: the pool is then free too
+	// horizon[i] is the virtual time worker i becomes free.
+	horizon []time.Duration
+}
+
+// newPoolSink builds a pool of `workers` modeled crypto workers.
+func newPoolSink(e *env, suite core.CryptoSuite, costs CostModel, workers int) *poolSink {
+	if workers < 1 {
+		workers = 1
+	}
+	return &poolSink{env: e, suite: suite, costs: costs, horizon: make([]time.Duration, workers)}
+}
+
+// schedule books cost on the earliest-free worker and runs fn on the
+// event loop when that worker finishes.
+func (p *poolSink) schedule(cost time.Duration, fn func()) {
+	now := p.env.sched.Now()
+	w := 0
+	for i := 1; i < len(p.horizon); i++ {
+		if p.horizon[i] < p.horizon[w] {
+			w = i
+		}
+	}
+	start := p.horizon[w]
+	if start < now {
+		start = now
+	}
+	end := start + cost
+	p.horizon[w] = end
+	p.env.After(end-now, fn)
+}
+
+// VerifyShares implements core.CryptoSink.
+func (p *poolSink) VerifyShares(jobs []core.VerifyJob, done func(ok [][]threshsig.Share)) {
+	var cost time.Duration
+	for _, j := range jobs {
+		cost += p.costs.ShareVerifyCost(len(j.Shares))
+	}
+	p.schedule(cost, func() {
+		ok := make([][]threshsig.Share, len(jobs))
+		for i, j := range jobs {
+			ok[i] = core.VerifyJobShares(p.suite, j)
+		}
+		done(ok)
+	})
+}
+
+// Combine implements core.CryptoSink.
+func (p *poolSink) Combine(kind core.ShareKind, digest []byte, shares []threshsig.Share, done func(threshsig.Signature, error)) {
+	p.schedule(p.costs.CombineVerified, func() {
+		sig, err := core.SchemeFor(p.suite, kind).CombineVerified(digest, shares)
+		done(sig, err)
+	})
+}
+
+// installCryptoPool arms the modeled verification pool on an SBFT
+// replica when Options.CryptoPool asks for one.
+func (cl *Cluster) installCryptoPool(rep *core.Replica, e *env) {
+	if cl.Opts.CryptoPool <= 0 {
+		return
+	}
+	rep.SetCryptoSink(newPoolSink(e, cl.Suite, cl.costs, cl.Opts.CryptoPool))
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sbft/internal/core"
+)
+
+// shareMsgs lists the share-carrying messages whose verification the
+// pool takes over.
+func shareMsgs() []any {
+	return []any{
+		core.SignShareMsg{},
+		core.CommitMsg{},
+		core.SignStateMsg{},
+		core.CheckpointShareMsg{},
+	}
+}
+
+func poolWorkload(t *testing.T, pool int, seed int64) WorkloadResult {
+	t.Helper()
+	cl, err := New(Options{
+		Protocol:   ProtoSBFT,
+		F:          1,
+		Clients:    8,
+		Seed:       seed,
+		CryptoPool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	gen := func(client, i int) []byte {
+		return []byte(fmt.Sprintf("SET k%d-%d v", client, i))
+	}
+	res := cl.RunClosedLoop(30, gen, 60*time.Second)
+	if res.Completed != 8*30 {
+		t.Fatalf("pool=%d completed %d/240 ops", pool, res.Completed)
+	}
+	return res
+}
+
+func TestCryptoPoolCommitsAndIsDeterministic(t *testing.T) {
+	a := poolWorkload(t, 2, 42)
+	b := poolWorkload(t, 2, 42)
+	// The modeled pool runs entirely in virtual time: identical seeds must
+	// reproduce the run bit-for-bit, or the chaos sweeps lose their
+	// replay-from-seed property.
+	if a != b {
+		t.Fatalf("pool run not deterministic:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+func TestCryptoPoolSingleWorkerStaysLive(t *testing.T) {
+	// CryptoPool=1 is the configuration the chaos generators run with:
+	// every verification serializes through one modeled worker, which
+	// maximizes queueing and batch aggregation. It must still complete a
+	// full closed-loop workload.
+	poolWorkload(t, 1, 7)
+}
+
+func TestCryptoPoolOffloadCosts(t *testing.T) {
+	// With offload on, the event loop no longer pays share verification
+	// on receipt; the pool prices batches through ShareVerifyCost.
+	cm := DefaultCosts()
+	base := cm
+	cm.offload = true
+	cm.workers = 4
+
+	for _, msg := range shareMsgs() {
+		if got := cm.RecvCost(msg, 100); got != cm.Base {
+			t.Fatalf("offloaded RecvCost(%T) = %v, want handling floor %v", msg, got, cm.Base)
+		}
+		if got := base.RecvCost(msg, 100); got <= base.Base {
+			t.Fatalf("inline RecvCost(%T) = %v, want > %v", msg, got, base.Base)
+		}
+	}
+	if one, batch := cm.ShareVerifyCost(1), cm.ShareVerifyCost(8); batch >= 8*one {
+		t.Fatalf("batch of 8 costs %v, not cheaper than 8 singles (%v)", batch, 8*one)
+	}
+	if cm.ShareVerifyCost(0) != 0 {
+		t.Fatal("empty batch should be free")
+	}
+}

@@ -366,6 +366,7 @@ func (cl *Cluster) RestartReplica(id int) error {
 			return fmt.Errorf("cluster: recovering replica %d: %w", id, err)
 		}
 		cl.installSink(rep, e, led)
+		cl.installCryptoPool(rep, e)
 		cl.Replicas[id] = rep
 		node = rep
 	}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Tests for the §V-C throughput satellites: adaptive-batch block sizing,
+// batch-timer re-arming, the requeue client index, seen GC, and
+// admission control.
+
+// fillPending stuffs the queue directly through notePending (one request
+// per distinct client), without triggering proposals.
+func fillPending(rg *rig, n int) {
+	for i := 0; i < n; i++ {
+		rg.r.notePending(Request{Client: ClientBase + i, Timestamp: 1, Op: []byte("op")})
+	}
+}
+
+// proposedSizes returns the block size of each distinct proposed
+// sequence, in proposal order.
+func proposedSizes(rg *rig) []int {
+	seen := map[uint64]bool{}
+	var sizes []int
+	for _, s := range rg.env.sent {
+		if pp, ok := s.msg.(PrePrepareMsg); ok && !seen[pp.Seq] {
+			seen[pp.Seq] = true
+			sizes = append(sizes, len(pp.Reqs))
+		}
+	}
+	return sizes
+}
+
+func TestAdaptiveBatchSizing(t *testing.T) {
+	// f=2, c=1: n=9, activeWindow = ⌊8/2⌋ = 4, half = 2, Batch = 64.
+	// The §V-C heuristic must shape every cut block to pending/half — not
+	// just gate the proposal and then cut up to cfg.Batch (the bug this
+	// pins): with the bug, the first block of every case would be
+	// min(depth, 64).
+	cases := []struct {
+		name  string
+		depth int
+		want  []int
+	}{
+		// Timer-fired proposals may go under-sized: whatever is pending
+		// goes out.
+		{"single", 1, []int{1}},
+		// Partial load: sizes track pending/half and shrink as the queue
+		// drains; all strictly below cfg.Batch.
+		{"partial", 10, []int{5, 2, 1, 1}},
+		// Entering saturation: first block exactly cfg.Batch, then the
+		// heuristic backs off with the queue.
+		{"saturating", 128, []int{64, 32, 16, 8}},
+		// Saturated: max-sized blocks until the window fills.
+		{"saturated", 256, []int{64, 64, 64, 32}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rg := newRig(t, 1, func(c *Config) { c.F = 2; c.C = 1 })
+			fillPending(rg, tc.depth)
+			rg.r.proposeIfReady(true)
+			got := proposedSizes(rg)
+			if len(got) != len(tc.want) {
+				t.Fatalf("proposed %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("proposed %v, want %v", got, tc.want)
+				}
+			}
+			if tc.depth < 128 {
+				for _, sz := range got {
+					if sz >= rg.cfg.Batch {
+						t.Fatalf("partial load proposed a max-sized block: %v", got)
+					}
+				}
+			} else if got[0] != rg.cfg.Batch {
+				t.Fatalf("saturated first block = %d, want cfg.Batch = %d", got[0], rg.cfg.Batch)
+			}
+		})
+	}
+}
+
+func TestBatchTimerReArmsWhenWindowFull(t *testing.T) {
+	rg := newRig(t, 1, func(c *Config) { c.BatchTimeout = 20 * time.Millisecond })
+	// n=4, c=0: activeWindow = 3. Fill it with three size-1 blocks.
+	for i := 0; i < 3; i++ {
+		rg.r.Deliver(ClientBase+i, RequestMsg{Req: Request{Client: ClientBase + i, Timestamp: 1, Op: []byte("op")}})
+	}
+	if got := len(proposedSizes(rg)); got != 3 {
+		t.Fatalf("window fill proposed %d blocks, want 3", got)
+	}
+	// More arrivals queue up behind the full window; the batch timer must
+	// be armed so they cannot starve.
+	for i := 3; i < 5; i++ {
+		rg.r.Deliver(ClientBase+i, RequestMsg{Req: Request{Client: ClientBase + i, Timestamp: 1, Op: []byte("op")}})
+	}
+	if got := len(proposedSizes(rg)); got != 3 {
+		t.Fatalf("proposed %d blocks through a full window", got)
+	}
+	if rg.r.batchTimer == nil {
+		t.Fatal("no batch timer with pending requests behind a full window")
+	}
+	// The timer firing into a still-full window must consume the fire and
+	// re-arm — every early return of proposeIfReady re-arms (starvation
+	// pin).
+	rg.env.advance(20 * time.Millisecond)
+	if got := len(proposedSizes(rg)); got != 3 {
+		t.Fatalf("timer proposed %d blocks through a full window", got)
+	}
+	if rg.r.batchTimer == nil {
+		t.Fatal("batch timer not re-armed after firing into a full window")
+	}
+	// Commit the three outstanding blocks; the next timer fire must flush
+	// the queued requests.
+	for seq := uint64(1); seq <= 3; seq++ {
+		var reqs []Request
+		for _, s := range rg.env.sent {
+			if pp, ok := s.msg.(PrePrepareMsg); ok && pp.Seq == seq {
+				reqs = pp.Reqs
+				break
+			}
+		}
+		h := BlockHash(seq, 0, reqs)
+		var shares []threshShare
+		for i := 1; i <= rg.cfg.QuorumFast(); i++ {
+			sh, err := rg.keys[i-1].Sigma.Sign(h[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			shares = append(shares, sh)
+		}
+		sigma, err := rg.suite.Sigma.Combine(h[:], shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg.r.Deliver(2, FullCommitProofMsg{Seq: seq, View: 0, Sigma: sigma})
+	}
+	rg.env.advance(20 * time.Millisecond)
+	if got := len(proposedSizes(rg)); got != 4 {
+		t.Fatalf("queued requests not flushed after the window drained: %d blocks", got)
+	}
+	if len(rg.r.pending) != 0 {
+		t.Fatalf("%d requests still pending", len(rg.r.pending))
+	}
+}
+
+func TestRequeueSupersession(t *testing.T) {
+	rg := newRig(t, 2, nil) // backup: the queue is not drained by proposals
+	x, y, z := ClientBase, ClientBase+1, ClientBase+2
+	rg.r.notePending(Request{Client: x, Timestamp: 5, Op: []byte("a")})
+
+	// Exact duplicate: skipped.
+	rg.r.requeue(Request{Client: x, Timestamp: 5, Op: []byte("a")})
+	if len(rg.r.pending) != 1 {
+		t.Fatalf("duplicate requeued: %d pending", len(rg.r.pending))
+	}
+	// Superseded by a queued LATER op of the same client (clients are
+	// sequential; the queued ts=5 proves ts=3 completed): skipped.
+	rg.r.requeue(Request{Client: x, Timestamp: 3, Op: []byte("old")})
+	if len(rg.r.pending) != 1 {
+		t.Fatalf("superseded op requeued: %d pending", len(rg.r.pending))
+	}
+	// A later op of the same client: added.
+	rg.r.requeue(Request{Client: x, Timestamp: 7, Op: []byte("b")})
+	if len(rg.r.pending) != 2 {
+		t.Fatalf("later op not requeued: %d pending", len(rg.r.pending))
+	}
+	// A DIFFERENT client's queued high timestamp must never count as
+	// supersession for this client's op.
+	rg.r.requeue(Request{Client: y, Timestamp: 1, Op: []byte("c")})
+	if len(rg.r.pending) != 3 {
+		t.Fatalf("other client's timestamp blocked a requeue: %d pending", len(rg.r.pending))
+	}
+	// Already executed (reply cache covers it): skipped.
+	rg.r.replyCache[z] = replyCacheEntry{timestamp: 4, seq: 1, l: 0, val: []byte("ok")}
+	rg.r.requeue(Request{Client: z, Timestamp: 4, Op: []byte("d")})
+	if len(rg.r.pending) != 3 {
+		t.Fatalf("executed op requeued: %d pending", len(rg.r.pending))
+	}
+	rg.r.requeue(Request{Client: z, Timestamp: 5, Op: []byte("e")})
+	if len(rg.r.pending) != 4 {
+		t.Fatalf("fresh op of executed client not requeued: %d pending", len(rg.r.pending))
+	}
+}
+
+func TestRequeueDeepQueue(t *testing.T) {
+	// Regression: requeue used to scan all of pending per re-added request
+	// — O(n²) at view installation. 10k queued + 10k requeued (plus a
+	// duplicate pass) finishes instantly with the client index and took
+	// whole seconds with the scan.
+	rg := newRig(t, 2, nil)
+	const depth = 10_000
+	fillPending(rg, depth)
+	start := time.Now()
+	for i := 0; i < depth; i++ {
+		rg.r.requeue(Request{Client: ClientBase + depth + i, Timestamp: 1, Op: []byte("op")})
+	}
+	for i := 0; i < depth; i++ { // duplicates: all index hits, no growth
+		rg.r.requeue(Request{Client: ClientBase + depth + i, Timestamp: 1, Op: []byte("op")})
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("requeue of %d requests into a %d-deep queue took %v", depth, depth, elapsed)
+	}
+	if len(rg.r.pending) != 2*depth {
+		t.Fatalf("pending = %d, want %d", len(rg.r.pending), 2*depth)
+	}
+	if len(rg.r.pendingIdx) != 2*depth {
+		t.Fatalf("pendingIdx tracks %d clients, want %d", len(rg.r.pendingIdx), 2*depth)
+	}
+}
+
+func TestSeenGCAfterExecution(t *testing.T) {
+	// `seen` must only hold in-flight clients: once a request executes its
+	// reply-cache entry takes over dedup, and the seen entry is dropped —
+	// otherwise churning client populations grow the map forever.
+	rg := newRig(t, 2, nil)
+	req := Request{Client: ClientBase, Timestamp: 1, Op: []byte("x")}
+	rg.r.Deliver(ClientBase, RequestMsg{Req: req})
+	if _, ok := rg.r.seen[ClientBase]; !ok {
+		t.Fatal("in-flight request not tracked in seen")
+	}
+	reqs := []Request{req}
+	rg.r.Deliver(1, PrePrepareMsg{Seq: 1, View: 0, Reqs: reqs})
+	h := BlockHash(1, 0, reqs)
+	var shares []threshShare
+	for i := 1; i <= rg.cfg.QuorumFast(); i++ {
+		sh, err := rg.keys[i-1].Sigma.Sign(h[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	sigma, err := rg.suite.Sigma.Combine(h[:], shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.r.Deliver(3, FullCommitProofMsg{Seq: 1, View: 0, Sigma: sigma})
+	if rg.r.LastExecuted() != 1 {
+		t.Fatalf("LastExecuted = %d", rg.r.LastExecuted())
+	}
+	if _, ok := rg.r.seen[ClientBase]; ok {
+		t.Fatal("seen entry survived execution (unbounded growth under client churn)")
+	}
+	if _, ok := rg.r.replyCache[ClientBase]; !ok {
+		t.Fatal("reply cache does not cover the executed request")
+	}
+	if len(rg.r.pending) != 0 || len(rg.r.pendingIdx) != 0 {
+		t.Fatalf("executed request still queued: pending=%d idx=%d", len(rg.r.pending), len(rg.r.pendingIdx))
+	}
+}
+
+func TestAdmissionRejectAtPrimary(t *testing.T) {
+	rg := newRig(t, 1, func(c *Config) { c.MaxPending = 2 })
+	// Fill the window (activeWindow = 3 at n=4) so proposals stop and the
+	// queue can actually fill.
+	for i := 0; i < 3; i++ {
+		rg.r.Deliver(ClientBase+i, RequestMsg{Req: Request{Client: ClientBase + i, Timestamp: 1, Op: []byte("op")}})
+	}
+	// Two more are admitted into the bounded queue.
+	for i := 3; i < 5; i++ {
+		rg.r.Deliver(ClientBase+i, RequestMsg{Req: Request{Client: ClientBase + i, Timestamp: 1, Op: []byte("op")}})
+	}
+	if len(rg.r.pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(rg.r.pending))
+	}
+	// The sixth client hits the bound: BusyMsg with a positive retry hint,
+	// and no replica state retained for the rejected request.
+	rejected := ClientBase + 5
+	rg.r.Deliver(rejected, RequestMsg{Req: Request{Client: rejected, Timestamp: 1, Op: []byte("op")}})
+	var busy *BusyMsg
+	for _, s := range rg.env.sent {
+		if b, ok := s.msg.(BusyMsg); ok && s.to == rejected {
+			busy = &b
+		}
+	}
+	if busy == nil {
+		t.Fatal("no BusyMsg sent for a rejected request")
+	}
+	if busy.Client != rejected || busy.Timestamp != 1 || busy.RetryAfter <= 0 {
+		t.Fatalf("bad BusyMsg %+v", busy)
+	}
+	if rg.r.Metrics.AdmissionRejects != 1 {
+		t.Fatalf("AdmissionRejects = %d", rg.r.Metrics.AdmissionRejects)
+	}
+	if _, ok := rg.r.seen[rejected]; ok {
+		t.Fatal("rejected request leaked into seen")
+	}
+	// The watch map arms progress timers: a leaked entry for a rejected
+	// (dropped) request would fire spurious view changes.
+	if _, ok := rg.r.watch[rejected]; ok {
+		t.Fatal("rejected request leaked a watch entry")
+	}
+	if len(rg.r.pending) != 2 {
+		t.Fatalf("rejected request queued: pending = %d", len(rg.r.pending))
+	}
+	// A retry of an ALREADY-ADMITTED request passes the gate and hits the
+	// normal dedup paths — no spurious reject.
+	rg.r.Deliver(ClientBase+4, RequestMsg{Req: Request{Client: ClientBase + 4, Timestamp: 1, Op: []byte("op")}})
+	if rg.r.Metrics.AdmissionRejects != 1 {
+		t.Fatalf("admitted request's retry rejected: AdmissionRejects = %d", rg.r.Metrics.AdmissionRejects)
+	}
+}
+
+func TestAdmissionFullBackupForwards(t *testing.T) {
+	// A full backup declines to retain the request but forwards it: the
+	// primary runs its own admission and may have room. No BusyMsg — only
+	// the primary's queue state should drive client backoff.
+	rg := newRig(t, 2, func(c *Config) { c.MaxPending = 1 })
+	rg.r.Deliver(ClientBase, RequestMsg{Req: Request{Client: ClientBase, Timestamp: 1, Op: []byte("a")}})
+	before := len(rg.env.sent)
+	over := ClientBase + 1
+	rg.r.Deliver(over, RequestMsg{Req: Request{Client: over, Timestamp: 1, Op: []byte("b")}})
+	forwarded := false
+	for _, s := range rg.env.sent[before:] {
+		if _, ok := s.msg.(BusyMsg); ok {
+			t.Fatal("backup sent a BusyMsg")
+		}
+		if rm, ok := s.msg.(RequestMsg); ok && s.to == 1 && rm.Req.Client == over {
+			forwarded = true
+		}
+	}
+	if !forwarded {
+		t.Fatal("full backup did not forward the request to the primary")
+	}
+	if rg.r.Metrics.AdmissionRejects != 1 {
+		t.Fatalf("AdmissionRejects = %d", rg.r.Metrics.AdmissionRejects)
+	}
+	if len(rg.r.pending) != 1 {
+		t.Fatalf("full backup retained the request: pending = %d", len(rg.r.pending))
+	}
+}
+
+func TestClientBusyBackoff(t *testing.T) {
+	c, env, _, _ := newTestClient(t)
+	c.RequestTimeout = 100 * time.Millisecond
+	if err := c.Submit([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.sent) != 1 {
+		t.Fatalf("sent %d messages", len(env.sent))
+	}
+	// A stale BusyMsg (wrong timestamp) is ignored.
+	c.Deliver(1, BusyMsg{Client: c.ID(), Timestamp: 99, RetryAfter: 30 * time.Millisecond})
+	if c.Backpressure != 0 {
+		t.Fatal("stale BusyMsg counted")
+	}
+	c.Deliver(1, BusyMsg{Client: c.ID(), Timestamp: 1, RetryAfter: 30 * time.Millisecond})
+	if c.Backpressure != 1 {
+		t.Fatalf("Backpressure = %d", c.Backpressure)
+	}
+	// After the hint elapses: one resubmission to the primary alone — the
+	// request was dropped, not lost, so no broadcast.
+	env.advance(30 * time.Millisecond)
+	if len(env.sent) != 2 {
+		t.Fatalf("sent %d messages after backoff, want 2", len(env.sent))
+	}
+	if env.sent[1].to != 1 {
+		t.Fatalf("backoff resubmission went to %d, want primary 1", env.sent[1].to)
+	}
+	rm := env.sent[1].msg.(RequestMsg)
+	if rm.Req.Timestamp != 1 || rm.Req.Direct {
+		t.Fatalf("bad resubmission %+v", rm)
+	}
+	// The normal §V-A retry ladder resumes after the resubmission.
+	env.advance(100 * time.Millisecond)
+	if c.Retries != 1 {
+		t.Fatalf("Retries = %d after backoff + timeout", c.Retries)
+	}
+	if len(env.sent) != 2+4 { // broadcast to all n=4 replicas
+		t.Fatalf("sent %d messages after retry", len(env.sent))
+	}
+}
+
+func TestClientBusyHintClamped(t *testing.T) {
+	// A lying primary cannot park a client beyond its request timeout.
+	c, env, _, _ := newTestClient(t)
+	c.RequestTimeout = 50 * time.Millisecond
+	if err := c.Submit([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	c.Deliver(1, BusyMsg{Client: c.ID(), Timestamp: 1, RetryAfter: time.Hour})
+	env.advance(50 * time.Millisecond)
+	if len(env.sent) < 2 {
+		t.Fatal("hour-long busy hint parked the client past its request timeout")
+	}
+}

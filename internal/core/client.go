@@ -49,6 +49,9 @@ type Client struct {
 	// Stats.
 	Completed uint64
 	Retries   uint64
+	// Backpressure counts BusyMsg rejections received (§V-C admission
+	// control): each one delayed a request by the primary's retry hint.
+	Backpressure uint64
 }
 
 type pendingOp struct {
@@ -138,7 +141,41 @@ func (c *Client) Deliver(from int, msg any) {
 		c.onExecuteAck(from, m)
 	case ReplyMsg:
 		c.onReply(from, m)
+	case BusyMsg:
+		c.onBusy(from, m)
 	}
+}
+
+// onBusy backs off after a §V-C admission reject: the request was
+// dropped, not lost in transit, so re-broadcasting immediately would
+// only add load. Resubmit to the primary alone once the advertised
+// backlog has drained, then fall back to the normal retry ladder. The
+// hint is clamped to the request timeout so a lying primary cannot
+// stall the client beyond one ordinary retry period.
+func (c *Client) onBusy(_ int, m BusyMsg) {
+	p := c.cur
+	if p == nil || m.Client != c.id || m.Timestamp != p.ts {
+		return
+	}
+	c.Backpressure++
+	wait := m.RetryAfter
+	if c.RequestTimeout > 0 && (wait <= 0 || wait > c.RequestTimeout) {
+		wait = c.RequestTimeout
+	}
+	if wait <= 0 {
+		return // retries disabled; the op stays parked (test configs)
+	}
+	if p.cancelTo != nil {
+		p.cancelTo()
+	}
+	p.cancelTo = c.env.After(wait, func() {
+		if c.cur != p {
+			return
+		}
+		req := RequestMsg{Req: Request{Client: c.id, Timestamp: p.ts, Op: p.op, Direct: p.direct}}
+		c.env.Send(c.cfg.Primary(c.view), req)
+		c.armRetry(p)
+	})
 }
 
 func (c *Client) onExecuteAck(_ int, m ExecuteAckMsg) {

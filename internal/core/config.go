@@ -24,6 +24,12 @@ type Config struct {
 	Batch int
 	// BatchTimeout bounds how long the primary waits to fill a batch.
 	BatchTimeout time.Duration
+	// MaxPending bounds the admission queue (§V-C backpressure): a request
+	// arriving while len(pending) ≥ MaxPending is rejected with a BusyMsg
+	// retry hint instead of growing the queue without bound under
+	// open-loop overload. 0 derives 4 × Batch × activeWindow; negative
+	// disables the bound entirely.
+	MaxPending int
 	// FastPath enables the σ fast path (ingredient 2).
 	FastPath bool
 	// FastPathTimeout is how long a collector waits for 3f+c+1 σ shares

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"sbft/internal/crypto/threshsig"
+)
+
+// This file moves the threshold-crypto heavy lifting — share verification
+// and signature combination — behind a sans-io sink, the same shape as
+// SnapshotSink: the replica hands work over with a completion callback
+// and the runtime decides where it runs. On one event loop, share
+// verification dominates the collector cost (§V-E: a C-collector pays
+// 3f+c+1 pairing checks per block) and caps throughput; a worker-pool
+// sink parallelizes it without the replica itself growing threads.
+
+// ShareKind names the threshold scheme a verification or combination
+// belongs to: σ (3f+c+1), τ (2f+c+1) or π (f+1).
+type ShareKind int
+
+const (
+	ShareSigma ShareKind = iota
+	ShareTau
+	SharePi
+)
+
+// VerifyJob is one batch of shares claimed to sign one digest under one
+// scheme. Batching per (slot, kind, digest) is what lets the RLC
+// BatchVerifyShares path amortize pairings: k shares cost ~2 pairings
+// instead of 2k when the batch is clean.
+type VerifyJob struct {
+	Kind   ShareKind
+	Digest []byte
+	Shares []threshsig.Share
+}
+
+// CryptoSink runs threshold-crypto work off the replica event loop.
+//
+// Contract (mirrors SnapshotSink): calls must not block — hand the work
+// to workers or run it inline. done MUST be invoked on the replica's
+// event-loop thread (the transport shell routes it through Shell.Do; the
+// simulated cluster schedules it on the deterministic event loop), and
+// may be invoked synchronously from within the call — the inline
+// fallback used when no sink is installed does exactly that. Inputs are
+// immutable once handed over and safe to read off-loop.
+//
+// VerifyShares reports, per job, the subset of shares that verified
+// (order-preserving). Combine combines already-verified shares.
+type CryptoSink interface {
+	VerifyShares(jobs []VerifyJob, done func(ok [][]threshsig.Share))
+	Combine(kind ShareKind, digest []byte, shares []threshsig.Share, done func(sig threshsig.Signature, err error))
+}
+
+// SetCryptoSink installs the crypto sink; nil restores the inline
+// synchronous path.
+func (r *Replica) SetCryptoSink(cs CryptoSink) {
+	if cs == nil {
+		cs = syncSink{r.suite}
+	}
+	r.csink = cs
+}
+
+// SchemeFor selects the scheme a kind refers to.
+func SchemeFor(suite CryptoSuite, kind ShareKind) threshsig.Scheme {
+	switch kind {
+	case ShareSigma:
+		return suite.Sigma
+	case SharePi:
+		return suite.Pi
+	default:
+		return suite.Tau
+	}
+}
+
+// VerifyJobShares runs one job synchronously and returns the verified
+// subset. Shared by the inline fallback and the worker-pool sinks so the
+// verification policy cannot diverge: multi-share jobs go through the
+// scheme's randomized-linear-combination batch check when it offers one,
+// falling back to per-share verification to blame the culprits only when
+// the batch fails (§III robustness).
+func VerifyJobShares(suite CryptoSuite, job VerifyJob) []threshsig.Share {
+	scheme := SchemeFor(suite, job.Kind)
+	if len(job.Shares) > 1 {
+		type rlcBatcher interface {
+			BatchVerifyShares(digest []byte, shares []threshsig.Share) error
+		}
+		if bv, ok := scheme.(rlcBatcher); ok && bv.BatchVerifyShares(job.Digest, job.Shares) == nil {
+			return job.Shares
+		}
+	}
+	ok := make([]threshsig.Share, 0, len(job.Shares))
+	for _, sh := range job.Shares {
+		if scheme.VerifyShare(job.Digest, sh) == nil {
+			ok = append(ok, sh)
+		}
+	}
+	return ok
+}
+
+// syncSink is the inline fallback installed when no CryptoSink is set:
+// everything runs synchronously on the event loop, preserving the
+// original single-threaded semantics exactly.
+type syncSink struct{ suite CryptoSuite }
+
+func (s syncSink) VerifyShares(jobs []VerifyJob, done func([][]threshsig.Share)) {
+	ok := make([][]threshsig.Share, len(jobs))
+	for i, j := range jobs {
+		ok[i] = VerifyJobShares(s.suite, j)
+	}
+	done(ok)
+}
+
+func (s syncSink) Combine(kind ShareKind, digest []byte, shares []threshsig.Share, done func(threshsig.Signature, error)) {
+	sig, err := SchemeFor(s.suite, kind).CombineVerified(digest, shares)
+	done(sig, err)
+}
+
+// ---------------------------------------------------------------------------
+// Per-slot share staging.
+
+// pendingVerify is one share staged for off-loop verification, with the
+// continuation to run on the event loop if it verifies.
+type pendingVerify struct {
+	kind   ShareKind
+	digest []byte
+	share  threshsig.Share
+	apply  func()
+}
+
+// enqueueShare stages one share of a slot for verification WITHOUT
+// flushing, so a handler can stage several shares of one message into
+// the same batch. apply runs on the event loop after the share verifies;
+// it must re-check its own preconditions (view, duplicates) because the
+// replica may have moved on while the batch was in flight.
+func (r *Replica) enqueueShare(s *slot, kind ShareKind, digest []byte, share threshsig.Share, apply func()) {
+	s.verifyQ = append(s.verifyQ, pendingVerify{kind: kind, digest: digest, share: share, apply: apply})
+}
+
+// stageShare enqueues one share and flushes immediately.
+func (r *Replica) stageShare(s *slot, kind ShareKind, digest []byte, share threshsig.Share, apply func()) {
+	r.enqueueShare(s, kind, digest, share, apply)
+	r.flushVerifyQ(s)
+}
+
+// flushVerifyQ hands the slot's staged shares to the sink as one batch.
+// At most one batch per slot is in flight: while workers verify it,
+// newly arriving shares pile into the next batch — under load this is
+// what aggregates shares for the RLC path without adding any latency
+// when the slot is idle. The continuation is guarded by slot identity
+// and verifyEpoch (bumped by resetCollector), so work verified for a
+// dead collector round is dropped, never applied.
+func (r *Replica) flushVerifyQ(s *slot) {
+	if s.verifying || len(s.verifyQ) == 0 {
+		return
+	}
+	batch := s.verifyQ
+	s.verifyQ = nil
+	s.verifying = true
+	epoch := s.verifyEpoch
+	seq := s.seq
+
+	// Group entries into (kind, digest) jobs, preserving arrival order.
+	var jobs []VerifyJob
+	var members [][]int // job index → batch entry indexes
+	pos := make(map[string]int, 2)
+	for i, pv := range batch {
+		key := fmt.Sprintf("%d/%s", pv.kind, pv.digest)
+		j, ok := pos[key]
+		if !ok {
+			j = len(jobs)
+			pos[key] = j
+			jobs = append(jobs, VerifyJob{Kind: pv.kind, Digest: pv.digest})
+			members = append(members, nil)
+		}
+		jobs[j].Shares = append(jobs[j].Shares, pv.share)
+		members[j] = append(members[j], i)
+	}
+
+	r.csink.VerifyShares(jobs, func(ok [][]threshsig.Share) {
+		cur, live := r.slots[seq]
+		if !live || cur != s || s.verifyEpoch != epoch {
+			return // slot reset for a new view, or GC'd past a checkpoint
+		}
+		s.verifying = false
+		for j := range jobs {
+			passed := make(map[int]bool, len(ok[j]))
+			for _, sh := range ok[j] {
+				passed[sh.Signer] = true
+			}
+			for _, i := range members[j] {
+				pv := batch[i]
+				if passed[pv.share.Signer] {
+					pv.apply()
+				} else {
+					r.Metrics.BadShares++
+				}
+			}
+		}
+		r.flushVerifyQ(s)
+	})
+}
+
+// resetVerifyQ invalidates all staged and in-flight verification of a
+// slot (called when the collector state resets for a new view).
+func (s *slot) resetVerifyQ() {
+	s.verifyEpoch++
+	s.verifyQ = nil
+	s.verifying = false
+}

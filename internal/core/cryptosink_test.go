@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"sbft/internal/crypto/threshbls"
+	"sbft/internal/crypto/threshsig"
+)
+
+// deferredSink queues every sink call so tests control exactly when the
+// off-loop work "completes", exercising the staging pipeline's guards.
+type deferredSink struct {
+	suite    CryptoSuite
+	verifies []deferredVerify
+	combines []deferredCombine
+}
+
+type deferredVerify struct {
+	jobs []VerifyJob
+	done func([][]threshsig.Share)
+}
+
+type deferredCombine struct {
+	kind   ShareKind
+	digest []byte
+	shares []threshsig.Share
+	done   func(threshsig.Signature, error)
+}
+
+func (d *deferredSink) VerifyShares(jobs []VerifyJob, done func([][]threshsig.Share)) {
+	d.verifies = append(d.verifies, deferredVerify{jobs, done})
+}
+
+func (d *deferredSink) Combine(kind ShareKind, digest []byte, shares []threshsig.Share, done func(threshsig.Signature, error)) {
+	d.combines = append(d.combines, deferredCombine{kind, digest, shares, done})
+}
+
+// releaseVerify completes the oldest queued verification.
+func (d *deferredSink) releaseVerify() {
+	v := d.verifies[0]
+	d.verifies = d.verifies[1:]
+	ok := make([][]threshsig.Share, len(v.jobs))
+	for i, j := range v.jobs {
+		ok[i] = VerifyJobShares(d.suite, j)
+	}
+	v.done(ok)
+}
+
+// releaseCombine completes the oldest queued combination.
+func (d *deferredSink) releaseCombine() {
+	c := d.combines[0]
+	d.combines = d.combines[1:]
+	sig, err := SchemeFor(d.suite, c.kind).CombineVerified(c.digest, c.shares)
+	c.done(sig, err)
+}
+
+func TestCryptoSinkBatchesPerSlot(t *testing.T) {
+	seq := collectorSeqFor(DefaultConfig(1, 0), 2, 0)
+	rg := newRig(t, 2, nil)
+	sink := &deferredSink{suite: rg.suite}
+	rg.r.SetCryptoSink(sink)
+
+	reqs := []Request{{Client: ClientBase, Timestamp: 1, Op: []byte("x")}}
+	// The pre-prepare stages this collector's OWN σ+τ shares: one
+	// in-flight batch.
+	rg.r.Deliver(1, PrePrepareMsg{Seq: seq, View: 0, Reqs: reqs})
+	if len(sink.verifies) != 1 {
+		t.Fatalf("%d verify batches in flight, want 1", len(sink.verifies))
+	}
+	// While that batch is held, the peers' shares pile into the next
+	// batch instead of going to the sink one by one.
+	for i := 1; i <= rg.cfg.QuorumFast(); i++ {
+		if i == 2 {
+			continue
+		}
+		rg.r.Deliver(i, rg.signShare(i, seq, 0, reqs, true))
+	}
+	if len(sink.verifies) != 1 {
+		t.Fatalf("shares bypassed the per-slot queue: %d batches", len(sink.verifies))
+	}
+	sink.releaseVerify() // own shares apply; queued shares flush as batch #2
+	if len(sink.verifies) != 1 {
+		t.Fatalf("queued shares did not flush: %d batches", len(sink.verifies))
+	}
+	// Batch #2 must aggregate the three waiting messages into per-kind
+	// jobs of three shares each — the RLC amortization unit.
+	for _, job := range sink.verifies[0].jobs {
+		if len(job.Shares) != 3 {
+			t.Fatalf("job kind=%d has %d shares, want 3 (not batched)", job.Kind, len(job.Shares))
+		}
+	}
+	sink.releaseVerify()
+	// σ quorum reached → the combine is staged, not run inline.
+	if len(sink.combines) != 1 || sink.combines[0].kind != ShareSigma {
+		t.Fatalf("combines = %+v", sink.combines)
+	}
+	if rg.sentOfType(func(m Message) bool { _, ok := m.(FullCommitProofMsg); return ok }) != 0 {
+		t.Fatal("proof sent before the combine completed")
+	}
+	sink.releaseCombine()
+	if rg.sentOfType(func(m Message) bool { _, ok := m.(FullCommitProofMsg); return ok }) == 0 {
+		t.Fatal("no full-commit-proof after the async combine")
+	}
+}
+
+func TestCryptoSinkBlamesBadShare(t *testing.T) {
+	seq := collectorSeqFor(DefaultConfig(1, 0), 2, 0)
+	rg := newRig(t, 2, nil)
+	sink := &deferredSink{suite: rg.suite}
+	rg.r.SetCryptoSink(sink)
+
+	reqs := []Request{{Client: ClientBase, Timestamp: 1, Op: []byte("x")}}
+	rg.r.Deliver(1, PrePrepareMsg{Seq: seq, View: 0, Reqs: reqs})
+	sink.releaseVerify() // own shares
+
+	// Replica 3 sends a valid τ share but a garbage σ share.
+	m := rg.signShare(3, seq, 0, reqs, false)
+	m.SigmaSig = threshsig.Share{Signer: 3, Data: []byte("garbage")}
+	rg.r.Deliver(3, m)
+	sink.releaseVerify()
+
+	s := rg.r.slots[seq]
+	if _, ok := s.tauShares[3]; !ok {
+		t.Fatal("valid τ share not counted")
+	}
+	if _, ok := s.sigmaShares[3]; ok {
+		t.Fatal("garbage σ share counted")
+	}
+	if rg.r.Metrics.BadShares != 1 {
+		t.Fatalf("BadShares = %d, want 1", rg.r.Metrics.BadShares)
+	}
+}
+
+func TestCryptoSinkEpochInvalidation(t *testing.T) {
+	seq := collectorSeqFor(DefaultConfig(1, 0), 2, 0)
+	rg := newRig(t, 2, nil)
+	sink := &deferredSink{suite: rg.suite}
+	rg.r.SetCryptoSink(sink)
+
+	reqs := []Request{{Client: ClientBase, Timestamp: 1, Op: []byte("x")}}
+	rg.r.Deliver(1, PrePrepareMsg{Seq: seq, View: 0, Reqs: reqs})
+	rg.r.Deliver(1, rg.signShare(1, seq, 0, reqs, true))
+
+	// The collector state resets (as a new view would) while the batch is
+	// in flight: the completion must be dropped, not applied to the fresh
+	// maps.
+	s := rg.r.slots[seq]
+	s.resetCollector(0)
+	for len(sink.verifies) > 0 {
+		sink.releaseVerify()
+	}
+	if len(s.tauShares) != 0 || len(s.sigmaShares) != 0 {
+		t.Fatalf("stale verification applied after reset: τ=%d σ=%d", len(s.tauShares), len(s.sigmaShares))
+	}
+	// The pipeline must not be wedged: fresh shares still verify.
+	rg.r.Deliver(3, rg.signShare(3, seq, 0, reqs, true))
+	if len(sink.verifies) != 1 {
+		t.Fatal("verify pipeline wedged after epoch bump")
+	}
+	sink.releaseVerify()
+	if _, ok := s.tauShares[3]; !ok {
+		t.Fatal("fresh share not applied after reset")
+	}
+}
+
+func TestVerifyJobSharesRLCBlame(t *testing.T) {
+	// Against the real BLS scheme: a clean batch passes through the RLC
+	// check whole; a poisoned batch falls back to per-share verification
+	// and blames exactly the culprit.
+	cfg := DefaultConfig(1, 0)
+	suite, keys, err := DealSuite(cfg, threshbls.Dealer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := []byte("batch-digest")
+	var shares []threshsig.Share
+	for i := 0; i < 3; i++ {
+		sh, err := keys[i].Tau.Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	ok := VerifyJobShares(suite, VerifyJob{Kind: ShareTau, Digest: digest, Shares: shares})
+	if len(ok) != 3 {
+		t.Fatalf("clean batch verified %d/3", len(ok))
+	}
+	// Corrupt the middle share: the batch check fails, the fallback must
+	// keep the two honest shares and drop the culprit.
+	poisoned := append([]threshsig.Share(nil), shares...)
+	bad, err := keys[1].Tau.Sign([]byte("some-other-digest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Signer = shares[1].Signer
+	poisoned[1] = bad
+	ok = VerifyJobShares(suite, VerifyJob{Kind: ShareTau, Digest: digest, Shares: poisoned})
+	if len(ok) != 2 {
+		t.Fatalf("poisoned batch verified %d shares, want 2", len(ok))
+	}
+	for _, sh := range ok {
+		if sh.Signer == shares[1].Signer {
+			t.Fatal("culprit share survived the blame fallback")
+		}
+	}
+}

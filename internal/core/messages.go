@@ -3,6 +3,7 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"time"
 
 	"sbft/internal/crypto/threshsig"
 	"sbft/internal/merkle"
@@ -209,6 +210,23 @@ type ReplyMsg struct {
 
 // WireSize implements Message.
 func (m ReplyMsg) WireSize() int { return msgHeader + len(m.Val) + sigSize }
+
+// BusyMsg is the §V-C backpressure reject: the primary's admission
+// queue is full (len(pending) ≥ MaxPending), so the request was dropped
+// instead of growing the queue without bound under open-loop overload.
+// RetryAfter is a load-derived hint — roughly how long the queued
+// backlog takes to drain — after which the client resubmits to the
+// primary. The hint is unauthenticated advice: a lying primary can only
+// delay one client's retry (bounded by its request timeout), never
+// safety.
+type BusyMsg struct {
+	Client     int
+	Timestamp  uint64
+	RetryAfter time.Duration
+}
+
+// WireSize implements Message.
+func (m BusyMsg) WireSize() int { return msgHeader + 16 }
 
 // CheckpointShareMsg carries a replica's π share over the certified
 // execution-state root at a checkpoint sequence (every win/2 executions,

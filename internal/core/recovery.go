@@ -149,13 +149,13 @@ func NewRecoveredReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys
 			r.replyCache[req.Client] = replyCacheEntry{
 				timestamp: req.Timestamp, seq: seq, l: i, val: results[i],
 			}
-			if ts := r.seen[req.Client]; ts < req.Timestamp {
-				r.seen[req.Client] = req.Timestamp
-			}
 		}
 		r.lastExecuted = seq
 		r.Metrics.Executions++
 	}
+	// Every replayed request is executed, so the reply cache alone dedups
+	// retries of them; `seen` stays reserved for in-flight requests (it is
+	// GC'd against the reply cache at execution for exactly this reason).
 	// Anchor the protocol window at the durable frontier: pre-prepares at
 	// or below it are stale, and a primary role resumed here must propose
 	// above it. The stable checkpoint (lastStable) stays at 0 — stability

@@ -74,6 +74,13 @@ type slot struct {
 	fastTimer     func() // cancel
 	staggerTimer  func() // cancel
 
+	// Crypto-sink staging (cryptosink.go): shares queued for off-loop
+	// verification, the in-flight-batch flag, and the epoch guard that
+	// invalidates continuations when the collector state resets.
+	verifyQ     []pendingVerify
+	verifying   bool
+	verifyEpoch uint64
+
 	// E-collector state. π shares are grouped by the digest they sign: a
 	// Byzantine replica may send correctly-signed shares over a garbage
 	// digest, and first-write-wins bookkeeping would let one such share
@@ -104,6 +111,7 @@ func (s *slot) resetCollector(view uint64) {
 		s.staggerTimer()
 		s.staggerTimer = nil
 	}
+	s.resetVerifyQ()
 }
 
 // watchEntry records the highest pending timestamp of a client and when
@@ -170,6 +178,14 @@ type Metrics struct {
 	// change, certified traffic for a lower view proved the cluster live
 	// without this replica, and it stood back down (§VII liveness).
 	ViewRejoins uint64
+	// AdmissionRejects counts requests refused because the pending queue
+	// was at its MaxPending bound (§V-C backpressure): the client got a
+	// BusyMsg retry hint instead of a queue slot.
+	AdmissionRejects uint64
+	// BadShares counts threshold-signature shares that failed
+	// verification (individually, or blamed by the batch-verification
+	// fallback after an RLC batch check failed).
+	BadShares uint64
 }
 
 // BlockStore persists committed decision blocks (the paper persists
@@ -229,10 +245,20 @@ type Replica struct {
 	// durableSnap is the highest snapshot sequence known persisted (the
 	// restart-survivable serving point, armed by the sink's completion).
 	durableSnap uint64
+	// csink runs threshold-share verification and combination, inline by
+	// default or on a worker pool when SetCryptoSink installs one (see
+	// cryptosink.go). Never nil.
+	csink CryptoSink
 
 	// Primary state.
-	pending    []Request
-	seen       map[int]uint64 // client → highest pending/proposed timestamp
+	pending []Request
+	// pendingIdx indexes pending by client → set of queued timestamps, so
+	// requeue's already-queued check is O(1) instead of a full scan per
+	// re-added request (O(n²) at view installation with a deep queue).
+	// Inner sets are tiny: a client has at most a couple of in-flight
+	// timestamps at once.
+	pendingIdx map[int]map[uint64]bool
+	seen       map[int]uint64 // client → highest in-flight (unexecuted) timestamp
 	nextSeq    uint64
 	batchTimer func()
 
@@ -294,6 +320,7 @@ func NewReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app App
 		env:            env,
 		store:          store,
 		slots:          make(map[uint64]*slot),
+		pendingIdx:     make(map[int]map[uint64]bool),
 		seen:           make(map[int]uint64),
 		nextSeq:        1,
 		replyCache:     make(map[int]replyCacheEntry),
@@ -307,6 +334,7 @@ func NewReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys, app App
 		pendingSnap:    make(map[uint64]*CertifiedSnapshot),
 		snapshotBlames: make(map[int]int),
 	}
+	r.csink = syncSink{suite}
 	return r, nil
 }
 
@@ -415,6 +443,28 @@ func (r *Replica) onRequest(from int, m RequestMsg) {
 		}
 		return
 	}
+	// Admission control (§V-C backpressure): a full pending queue rejects
+	// new work instead of queueing it — under open-loop overload an
+	// unbounded queue (and the seen/watch maps that shadow it) trades
+	// memory and tail latency for zero extra throughput. The primary
+	// answers with a retry hint; a backup just declines to retain the
+	// request (its copy only matters if it becomes primary, by which time
+	// the client will have retried). Requests already admitted (covered by
+	// `seen`) fall through to the normal dedup paths.
+	if limit := r.maxPending(); len(r.pending) >= limit {
+		if known, ok := r.seen[req.Client]; !ok || known < req.Timestamp {
+			r.Metrics.AdmissionRejects++
+			if r.isPrimary() && IsClient(from) {
+				r.env.Send(req.Client, BusyMsg{
+					Client: req.Client, Timestamp: req.Timestamp, RetryAfter: r.retryHint(),
+				})
+			} else if !r.isPrimary() && IsClient(from) {
+				// The primary runs its own admission and may have room.
+				r.env.Send(r.cfg.Primary(r.view), m)
+			}
+			return
+		}
+	}
 	if w, ok := r.watch[req.Client]; !ok || w.ts < req.Timestamp {
 		r.watch[req.Client] = watchEntry{ts: req.Timestamp, since: r.env.Now()}
 	}
@@ -433,6 +483,28 @@ func (r *Replica) onRequest(from int, m RequestMsg) {
 	r.proposeIfReady(false)
 }
 
+// pendingIdxAdd records a queued request in the client index.
+func (r *Replica) pendingIdxAdd(req Request) {
+	set := r.pendingIdx[req.Client]
+	if set == nil {
+		set = make(map[uint64]bool, 1)
+		r.pendingIdx[req.Client] = set
+	}
+	set[req.Timestamp] = true
+}
+
+// pendingIdxDel removes a dequeued request from the client index.
+func (r *Replica) pendingIdxDel(req Request) {
+	set := r.pendingIdx[req.Client]
+	if set == nil {
+		return
+	}
+	delete(set, req.Timestamp)
+	if len(set) == 0 {
+		delete(r.pendingIdx, req.Client)
+	}
+}
+
 // notePending enqueues a request if it is new.
 func (r *Replica) notePending(req Request) {
 	if ts, ok := r.seen[req.Client]; ok && ts >= req.Timestamp {
@@ -440,25 +512,33 @@ func (r *Replica) notePending(req Request) {
 	}
 	r.seen[req.Client] = req.Timestamp
 	r.pending = append(r.pending, req)
+	r.pendingIdxAdd(req)
 	r.armBatchTimer()
 }
 
 // requeue re-adds a request to the pending queue unless it has already
-// executed or is already queued, bypassing the `seen` dedup (which tracks
-// proposed-but-possibly-lost requests). Used at view installation so
-// requests stuck in slots the new view did not adopt are proposed again;
-// the exactly-once execution filter makes a redundant re-proposal
-// harmless.
+// executed or is already covered by the queue, bypassing the `seen` dedup
+// (which tracks proposed-but-possibly-lost requests). Used at view
+// installation so requests stuck in slots the new view did not adopt are
+// proposed again; the exactly-once execution filter makes a redundant
+// re-proposal harmless.
 func (r *Replica) requeue(req Request) {
 	if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
 		return
 	}
-	for _, p := range r.pending {
-		if p.Client == req.Client && p.Timestamp >= req.Timestamp {
+	// Already queued (same timestamp), or superseded by a LATER queued
+	// operation of the same client: clients are sequential, so a queued
+	// higher timestamp proves the client saw this operation complete —
+	// re-proposing it could only be deduplicated again at execution.
+	// Checked against the client index instead of scanning the whole
+	// queue (a 10k-deep queue at view installation made this O(n²)).
+	for ts := range r.pendingIdx[req.Client] {
+		if ts >= req.Timestamp {
 			return
 		}
 	}
 	r.pending = append(r.pending, req)
+	r.pendingIdxAdd(req)
 	if ts := r.seen[req.Client]; ts < req.Timestamp {
 		r.seen[req.Client] = req.Timestamp
 	}
@@ -506,6 +586,36 @@ func (r *Replica) adaptiveBatch() int {
 	return b
 }
 
+// maxPending is the admission bound on the pending queue (§V-C
+// backpressure). The derived default keeps several full windows of
+// max-sized blocks queued — enough to ride out proposal bursts without
+// letting queueing delay dominate client latency.
+func (r *Replica) maxPending() int {
+	if r.cfg.MaxPending > 0 {
+		return r.cfg.MaxPending
+	}
+	if r.cfg.MaxPending < 0 {
+		return int(^uint(0) >> 1) // unbounded (legacy behavior)
+	}
+	return 4 * r.cfg.Batch * int(r.activeWindow())
+}
+
+// retryHint estimates when a rejected client should retry: the time to
+// drain about half the queue at the batch cadence, clamped to keep a
+// momentarily deep queue from parking clients for long.
+func (r *Replica) retryHint() time.Duration {
+	per := r.cfg.BatchTimeout
+	if per <= 0 {
+		per = 10 * time.Millisecond
+	}
+	blocks := len(r.pending) / (2 * r.cfg.Batch)
+	d := time.Duration(blocks+1) * per
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
 // outstanding counts proposed-but-uncommitted sequence numbers.
 func (r *Replica) outstanding() uint64 {
 	var n uint64
@@ -537,12 +647,20 @@ func (r *Replica) proposeIfReady(timerFired bool) {
 		if r.nextSeq > r.windowBase+r.cfg.Win {
 			return
 		}
-		batch := r.cfg.Batch
+		// §V-C: the adaptive heuristic sizes the block, not just the
+		// proposal gate — cutting cfg.Batch here would propose max-sized
+		// blocks whenever enough requests piled up, and the pending/(aw/2)
+		// shaping would never reach the wire. Timer-fired proposals may
+		// still cut below the heuristic (whatever is pending goes out).
+		batch := r.adaptiveBatch()
 		if len(r.pending) < batch {
 			batch = len(r.pending)
 		}
 		reqs := make([]Request, batch)
 		copy(reqs, r.pending[:batch])
+		for _, req := range reqs {
+			r.pendingIdxDel(req)
+		}
 		r.pending = r.pending[batch:]
 		seq := r.nextSeq
 		r.nextSeq++
@@ -734,17 +852,34 @@ func (r *Replica) onSignShare(from int, m SignShareMsg) {
 		}
 		return
 	}
-	// Robustness: verify shares before counting them (§III).
-	if r.suite.Tau.VerifyShare(s.hash[:], m.TauSig) != nil {
-		return
-	}
-	s.tauShares[m.Replica] = m.TauSig
-	if len(m.SigmaSig.Data) > 0 {
-		if r.suite.Sigma.VerifyShare(s.hash[:], m.SigmaSig) == nil {
-			s.sigmaShares[m.Replica] = m.SigmaSig
+	// Robustness: verify shares before counting them (§III). Verification
+	// is staged through the crypto sink — inline when none is installed,
+	// batched per slot onto workers when one is — so the apply
+	// continuations re-check view and duplicate state.
+	digest := append([]byte(nil), s.hash[:]...)
+	r.enqueueShare(s, ShareTau, digest, m.TauSig, func() {
+		if m.View != r.view || r.inViewChange {
+			return
 		}
+		if _, dup := s.tauShares[m.Replica]; dup {
+			return
+		}
+		s.tauShares[m.Replica] = m.TauSig
+		r.collectorTryProgress(s, m.View, idx)
+	})
+	if len(m.SigmaSig.Data) > 0 {
+		r.enqueueShare(s, ShareSigma, digest, m.SigmaSig, func() {
+			if m.View != r.view || r.inViewChange {
+				return
+			}
+			if _, dup := s.sigmaShares[m.Replica]; dup {
+				return
+			}
+			s.sigmaShares[m.Replica] = m.SigmaSig
+			r.collectorTryProgress(s, m.View, idx)
+		})
 	}
-	r.collectorTryProgress(s, m.View, idx)
+	r.flushVerifyQ(s)
 }
 
 // observeFastSpread feeds the adaptive fast-path timer: collectors learn
@@ -787,25 +922,38 @@ func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
 	if s.tauQuorumSeen && len(s.sigmaShares) >= r.cfg.QuorumFast() {
 		r.observeFastSpread(r.env.Now() - s.tauQuorumAt)
 	}
-	// Fast path: combine σ(h) once 3f+c+1 shares arrive.
+	// Fast path: combine σ(h) once 3f+c+1 shares arrive. The flag is set
+	// before the (possibly asynchronous) combination so re-entrant
+	// progress calls cannot double-combine; shares in sigmaShares were
+	// pairing-checked on arrival, so CombineVerified only fails on
+	// internal errors, where the flag rolls back.
 	if r.cfg.FastPath && !s.sentFastProof && len(s.sigmaShares) >= r.cfg.QuorumFast() {
 		shares := sharesList(s.sigmaShares)
-		// Shares in sigmaShares were pairing-checked on arrival in
-		// onSignShare, so combination skips re-verification (§III).
-		sig, err := r.suite.Sigma.CombineVerified(s.hash[:], shares)
-		if err == nil {
-			s.sentFastProof = true
-			if s.fastTimer != nil {
-				s.fastTimer()
-				s.fastTimer = nil
+		s.sentFastProof = true
+		if s.fastTimer != nil {
+			s.fastTimer()
+			s.fastTimer = nil
+		}
+		epoch := s.verifyEpoch
+		r.csink.Combine(ShareSigma, append([]byte(nil), s.hash[:]...), shares, func(sig threshsig.Signature, err error) {
+			cur, live := r.slots[s.seq]
+			if !live || cur != s || s.verifyEpoch != epoch {
+				return
+			}
+			if err != nil {
+				s.sentFastProof = false
+				return
+			}
+			if r.view != view || r.inViewChange {
+				return
 			}
 			r.sendStaggered(s, idx, func() {
 				msg := FullCommitProofMsg{Seq: s.seq, View: view, Sigma: sig}
 				r.broadcast(msg)
 				r.onFullCommitProof(r.id, msg)
 			})
-			return
-		}
+		})
+		return
 	}
 	// Slow-path trigger: τ quorum but no σ quorum → wait for the fast
 	// timer (skipped when the fast path is disabled), then send prepare,
@@ -825,17 +973,27 @@ func (r *Replica) collectorTryProgress(s *slot, view uint64, idx int) {
 				return
 			}
 			shares := sharesList(s.tauShares)
-			sig, err := r.suite.Tau.CombineVerified(s.hash[:], shares)
-			if err != nil {
-				return
-			}
-			s.sentPrepare = true
-			if r.cfg.FastPath {
-				r.Metrics.FastPathDowngrades++
-			}
-			msg := PrepareMsg{Seq: s.seq, View: view, Tau: sig}
-			r.broadcast(msg)
-			r.onPrepare(r.id, msg)
+			s.sentPrepare = true // optimistic; rolled back on combine error
+			epoch := s.verifyEpoch
+			r.csink.Combine(ShareTau, append([]byte(nil), s.hash[:]...), shares, func(sig threshsig.Signature, err error) {
+				cur, live := r.slots[s.seq]
+				if !live || cur != s || s.verifyEpoch != epoch {
+					return
+				}
+				if err != nil {
+					s.sentPrepare = false
+					return
+				}
+				if r.view != view || r.inViewChange || s.committed {
+					return
+				}
+				if r.cfg.FastPath {
+					r.Metrics.FastPathDowngrades++
+				}
+				msg := PrepareMsg{Seq: s.seq, View: view, Tau: sig}
+				r.broadcast(msg)
+				r.onPrepare(r.id, msg)
+			})
 		}
 		delay := time.Duration(idx) * r.cfg.CollectorStagger
 		if r.cfg.FastPath {
@@ -983,31 +1141,50 @@ func (r *Replica) onCommit(_ int, m CommitMsg) {
 	if _, dup := s.tautauShares[m.Replica]; dup {
 		return
 	}
-	if r.suite.Tau.VerifyShare(tauTauDigest(s.prepareTau), m.TauTau) != nil {
-		return
-	}
-	s.tautauShares[m.Replica] = m.TauTau
-	if len(s.tautauShares) >= r.cfg.QuorumSlow() && !s.sentSlowProof {
-		s.sentSlowProof = true
-		fire := func() {
-			if s.committed || s.commitSlow != nil {
-				return // another collector's proof already landed
-			}
-			sig, err := r.suite.Tau.CombineVerified(tauTauDigest(s.prepareTau), sharesList(s.tautauShares))
-			if err != nil {
-				return
-			}
-			msg := FullCommitProofSlowMsg{Seq: m.Seq, View: m.View, Tau: s.prepareTau, TauTau: sig}
-			r.broadcast(msg)
-			r.onFullCommitProofSlow(r.id, msg)
-		}
-		idx := r.collectorIndex(m.Seq, m.View)
-		if idx <= 0 || r.cfg.CollectorStagger <= 0 {
-			fire()
+	r.stageShare(s, ShareTau, tauTauDigest(s.prepareTau), m.TauTau, func() {
+		if m.View != r.view || r.inViewChange {
 			return
 		}
-		r.env.After(time.Duration(idx)*r.cfg.CollectorStagger, fire)
+		if _, dup := s.tautauShares[m.Replica]; dup {
+			return
+		}
+		s.tautauShares[m.Replica] = m.TauTau
+		r.trySlowProof(s, m.View)
+	})
+}
+
+// trySlowProof combines and broadcasts the slow-path commit certificate
+// τ(τ(h)) once 2f+c+1 commit shares are in (§V-E), staggered across the
+// redundant collectors.
+func (r *Replica) trySlowProof(s *slot, view uint64) {
+	if len(s.tautauShares) < r.cfg.QuorumSlow() || s.sentSlowProof {
+		return
 	}
+	s.sentSlowProof = true
+	fire := func() {
+		if s.committed || s.commitSlow != nil {
+			return // another collector's proof already landed
+		}
+		epoch := s.verifyEpoch
+		r.csink.Combine(ShareTau, tauTauDigest(s.prepareTau), sharesList(s.tautauShares), func(sig threshsig.Signature, err error) {
+			cur, live := r.slots[s.seq]
+			if !live || cur != s || s.verifyEpoch != epoch || err != nil {
+				return
+			}
+			if s.committed || s.commitSlow != nil || r.view != view || r.inViewChange {
+				return
+			}
+			msg := FullCommitProofSlowMsg{Seq: s.seq, View: view, Tau: s.prepareTau, TauTau: sig}
+			r.broadcast(msg)
+			r.onFullCommitProofSlow(r.id, msg)
+		})
+	}
+	idx := r.collectorIndex(s.seq, view)
+	if idx <= 0 || r.cfg.CollectorStagger <= 0 {
+		fire()
+		return
+	}
+	r.env.After(time.Duration(idx)*r.cfg.CollectorStagger, fire)
 }
 
 func (r *Replica) onFullCommitProofSlow(_ int, m FullCommitProofSlowMsg) {
@@ -1237,6 +1414,14 @@ func (r *Replica) executeReady() {
 			r.replyCache[req.Client] = replyCacheEntry{
 				timestamp: req.Timestamp, seq: next, l: i, val: results[i],
 			}
+			// The reply cache now covers every timestamp ≤ this one, so the
+			// `seen` dedup entry is redundant — drop it. Without this GC,
+			// seen grows one entry per client forever (unbounded memory
+			// under churning client populations); with it, seen holds only
+			// clients with genuinely in-flight requests.
+			if ts, ok := r.seen[req.Client]; ok && ts <= req.Timestamp {
+				delete(r.seen, req.Client)
+			}
 			if w, ok := r.watch[req.Client]; ok && w.ts <= req.Timestamp {
 				delete(r.watch, req.Client)
 			}
@@ -1252,6 +1437,7 @@ func (r *Replica) executeReady() {
 			kept := r.pending[:0]
 			for _, req := range r.pending {
 				if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+					r.pendingIdxDel(req)
 					continue
 				}
 				kept = append(kept, req)
@@ -1342,36 +1528,50 @@ func (r *Replica) onSignState(_ int, m SignStateMsg) {
 			return
 		}
 	}
-	if r.suite.Pi.VerifyShare(stateSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
-		return
-	}
-	group := s.piShares[string(m.Digest)]
-	if group == nil {
-		group = make(map[int]threshsig.Share)
-		s.piShares[string(m.Digest)] = group
-	}
-	group[m.Replica] = m.PiSig
-	if len(group) < r.cfg.QuorumExec() {
-		return
-	}
+	r.stageShare(s, SharePi, stateSigDigest(m.Seq, m.Digest), m.PiSig, func() {
+		if s.sentExecCert {
+			return
+		}
+		for _, g := range s.piShares {
+			if _, dup := g[m.Replica]; dup {
+				return
+			}
+		}
+		group := s.piShares[string(m.Digest)]
+		if group == nil {
+			group = make(map[int]threshsig.Share)
+			s.piShares[string(m.Digest)] = group
+		}
+		group[m.Replica] = m.PiSig
+		if len(group) >= r.cfg.QuorumExec() {
+			r.tryExecCert(s, m.Seq, m.Digest, sharesList(group))
+		}
+	})
+}
+
+// tryExecCert combines and broadcasts the f+1 execution certificate π(d)
+// for an executed sequence (§V-D), staggered across redundant
+// E-collectors.
+func (r *Replica) tryExecCert(s *slot, seq uint64, digest []byte, quorum []threshsig.Share) {
 	s.sentExecCert = true
-	s.execDigest = m.Digest
-	quorum := sharesList(group)
+	s.execDigest = digest
 	fire := func() {
 		if s.execCertSeen {
 			return // another E-collector already certified this sequence
 		}
-		pi, err := r.suite.Pi.CombineVerified(stateSigDigest(m.Seq, s.execDigest), quorum)
-		if err != nil {
-			return
-		}
-		s.execPi = pi
-		r.broadcast(FullExecuteProofMsg{Seq: m.Seq, Digest: s.execDigest, Pi: pi})
-		r.sendExecuteAcks(m.Seq)
+		r.csink.Combine(SharePi, stateSigDigest(seq, digest), quorum, func(pi threshsig.Signature, err error) {
+			cur, live := r.slots[seq]
+			if !live || cur != s || err != nil || s.execCertSeen {
+				return
+			}
+			s.execPi = pi
+			r.broadcast(FullExecuteProofMsg{Seq: seq, Digest: digest, Pi: pi})
+			r.sendExecuteAcks(seq)
+		})
 	}
 	// Stagger redundant E-collectors like C-collectors (§V).
 	idx := -1
-	for i, c := range r.cfg.ECollectors(m.Seq, 0) {
+	for i, c := range r.cfg.ECollectors(seq, 0) {
 		if c == r.id {
 			idx = i
 			break
@@ -1485,23 +1685,45 @@ func (r *Replica) onCheckpointShare(_ int, m CheckpointShareMsg) {
 			return
 		}
 	}
-	if r.suite.Pi.VerifyShare(CheckpointSigDigest(m.Seq, m.Digest), m.PiSig) != nil {
-		return
-	}
-	group := byDigest[string(m.Digest)]
-	if group == nil {
-		group = make(map[int]threshsig.Share)
-		byDigest[string(m.Digest)] = group
-	}
-	group[m.Replica] = m.PiSig
-	if len(group) < r.cfg.QuorumExec() {
-		return
-	}
-	pi, err := r.suite.Pi.CombineVerified(CheckpointSigDigest(m.Seq, m.Digest), sharesList(group))
-	if err != nil {
-		return
-	}
-	r.recordStable(m.Seq, m.Digest, pi)
+	// Checkpoint shares are replica-level state (slots may already be
+	// GC'd at the checkpoint sequence), so they stage one message at a
+	// time through the sink rather than the per-slot batch queue; at one
+	// checkpoint per win/2 blocks the volume is negligible.
+	job := VerifyJob{Kind: SharePi, Digest: CheckpointSigDigest(m.Seq, m.Digest), Shares: []threshsig.Share{m.PiSig}}
+	r.csink.VerifyShares([]VerifyJob{job}, func(ok [][]threshsig.Share) {
+		if len(ok[0]) == 0 {
+			r.Metrics.BadShares++
+			return
+		}
+		if m.Seq <= r.lastStable {
+			return // stabilized while the share was in flight
+		}
+		byDigest := r.ckptShares[m.Seq]
+		if byDigest == nil {
+			byDigest = make(map[string]map[int]threshsig.Share)
+			r.ckptShares[m.Seq] = byDigest
+		}
+		for _, g := range byDigest {
+			if _, dup := g[m.Replica]; dup {
+				return
+			}
+		}
+		group := byDigest[string(m.Digest)]
+		if group == nil {
+			group = make(map[int]threshsig.Share)
+			byDigest[string(m.Digest)] = group
+		}
+		group[m.Replica] = m.PiSig
+		if len(group) < r.cfg.QuorumExec() {
+			return
+		}
+		r.csink.Combine(SharePi, CheckpointSigDigest(m.Seq, m.Digest), sharesList(group), func(pi threshsig.Signature, err error) {
+			if err != nil || m.Seq <= r.lastStable {
+				return
+			}
+			r.recordStable(m.Seq, m.Digest, pi)
+		})
+	})
 }
 
 func (r *Replica) onCheckpointCert(_ int, m CheckpointCertMsg) {

@@ -537,9 +537,11 @@ func (r *Replica) onNewView(from int, m NewViewMsg) {
 		kept := r.pending[:0]
 		for _, req := range r.pending {
 			if ts, ok := inFlight[req.Client]; ok && ts >= req.Timestamp {
+				r.pendingIdxDel(req)
 				continue
 			}
 			if ent, ok := r.replyCache[req.Client]; ok && ent.timestamp >= req.Timestamp {
+				r.pendingIdxDel(req)
 				continue
 			}
 			kept = append(kept, req)

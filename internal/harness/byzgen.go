@@ -211,6 +211,7 @@ func ByzantineGen(seed int64) Scenario {
 		Seed:          seed,
 		ClientTimeout: time.Second,
 		Persist:       true,
+		CryptoPool:    1, // async verification under every Byzantine seed
 		Tune: func(cc *core.Config) {
 			cc.ViewChangeTimeout = time.Second
 		},

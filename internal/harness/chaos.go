@@ -42,6 +42,9 @@ func DefaultGen(seed int64) Scenario {
 		Seed:          seed,
 		ClientTimeout: time.Second,
 		Persist:       true, // every engine restarts from storage now
+		// One modeled crypto worker: the CryptoSink staging/epoch machinery
+		// runs under every chaos seed while the sweep stays deterministic.
+		CryptoPool: 1,
 		Tune: func(c *core.Config) {
 			c.ViewChangeTimeout = time.Second
 		},

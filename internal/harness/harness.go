@@ -7,6 +7,7 @@ import (
 	"sbft/internal/cluster"
 	"sbft/internal/core"
 	"sbft/internal/kvstore"
+	"sbft/internal/load"
 )
 
 // Scenario describes one harness run.
@@ -26,6 +27,13 @@ type Scenario struct {
 	Arm func(cl *cluster.Cluster)
 	// OpsPerClient sizes the closed-loop workload.
 	OpsPerClient int
+	// OpenLoop, when set, replaces the closed-loop workload with an
+	// open-loop Poisson arrival process (see internal/load): requests
+	// keep arriving at OpenLoop.Rate regardless of completions, so the
+	// run exercises saturation, admission-control rejects and client
+	// backoff under the fault schedule. Gen still supplies operations;
+	// OpsPerClient is ignored.
+	OpenLoop *load.Config
 	// Gen produces the i-th operation of a client. Nil uses a unique-key
 	// KV workload (required by the auditor's re-execution check: operation
 	// payloads must be unique).
@@ -147,16 +155,36 @@ func Run(s Scenario) (*Report, error) {
 	if horizon <= 0 {
 		horizon = 10 * time.Minute
 	}
-	res := cl.RunClosedLoop(s.OpsPerClient, gen, horizon)
+	var res cluster.WorkloadResult
+	var completed, expected uint64
+	if s.OpenLoop != nil {
+		olCfg := *s.OpenLoop
+		if olCfg.Gen == nil {
+			olCfg.Gen = gen
+		}
+		ol := load.Run(cl, olCfg)
+		res = ol.Workload(olCfg.Window)
+		// Open loop: liveness covers what was actually admitted into a
+		// client slot, not the unbounded arrival process. Completions are
+		// counted from the ack log AFTER the settle phase, so in-flight
+		// operations finishing late still satisfy the ledger.
+		expected = ol.Submitted
+	} else {
+		res = cl.RunClosedLoop(s.OpsPerClient, gen, horizon)
+		completed, expected = res.Completed, uint64(opts.Clients*s.OpsPerClient)
+	}
 	if s.Settle > 0 {
 		cl.Run(s.Settle)
+	}
+	if s.OpenLoop != nil {
+		completed = uint64(len(acks))
 	}
 
 	report := &Report{
 		Scenario:  s.Name,
 		Seed:      opts.Seed,
-		Completed: res.Completed,
-		Expected:  uint64(opts.Clients * s.OpsPerClient),
+		Completed: completed,
+		Expected:  expected,
 		Audit:     AuditCluster(cl, recorders, acks),
 		Result:    res,
 		Faults:    s.Schedule,

@@ -52,6 +52,7 @@ func RecoveryGen(seed int64) Scenario {
 		Seed:          seed,
 		ClientTimeout: time.Second,
 		Persist:       true,
+		CryptoPool:    1, // restarts must re-install the pool sink
 		Tune: func(c *core.Config) {
 			c.Win = 8
 			c.Batch = 1

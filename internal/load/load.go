@@ -1,0 +1,238 @@
+// Package load drives a simulated cluster with OPEN-loop request
+// arrivals: a Poisson process of independent requests multiplexed over a
+// pool of simulated clients, the standard methodology for measuring a
+// server's saturation point. The closed loop (cluster.RunClosedLoop)
+// can never overload the system — each client waits for its reply, so
+// offered load self-limits to clients/latency. An open-loop generator
+// keeps arriving at the configured rate regardless of completions, which
+// is what exposes the event-loop verification bottleneck, exercises the
+// §V-C admission-control rejects, and produces the paper-style
+// throughput-vs-offered-load curves.
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+)
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Rate is the mean arrival rate in requests per second of virtual
+	// time (Poisson: exponential inter-arrival gaps).
+	Rate float64
+	// Warmup precedes measurement: arrivals flow, nothing is recorded.
+	Warmup time.Duration
+	// Window is the measurement interval. Offered/Completed/latency
+	// statistics cover arrivals inside it.
+	Window time.Duration
+	// Drain runs after arrivals stop so in-flight measured requests can
+	// complete (their latencies still count).
+	Drain time.Duration
+	// Seed drives the arrival process (independent of the cluster seed).
+	Seed int64
+	// Gen produces the i-th operation of a client slot; nil uses a
+	// globally unique KV-put workload (audit-safe).
+	Gen cluster.OpGen
+}
+
+// Result summarizes one open-loop run.
+type Result struct {
+	// Offered counts arrivals inside the measurement window.
+	Offered uint64
+	// Submitted counts arrivals (any phase) handed to an idle client.
+	Submitted uint64
+	// Dropped counts window arrivals that found every client slot busy —
+	// the generator's own saturation signal: once the system falls
+	// behind, the finite multiplexing pool fills and arrivals shed.
+	Dropped uint64
+	// Completed counts window arrivals that finished (including during
+	// the drain phase); CompletedAll counts completions from every
+	// phase — the liveness ledger against Submitted.
+	Completed    uint64
+	CompletedAll uint64
+	// Backpressure counts §V-C BusyMsg backoffs the clients absorbed.
+	Backpressure uint64
+	// FastAcks and Retries classify the completed operations.
+	FastAcks uint64
+	Retries  uint64
+	// Throughput is Completed per second of measurement window.
+	Throughput  float64
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	P99Latency  time.Duration
+}
+
+// Workload converts to the closed-loop result shape used by harness
+// reports.
+func (r Result) Workload(window time.Duration) cluster.WorkloadResult {
+	return cluster.WorkloadResult{
+		Completed:   r.Completed,
+		Duration:    window,
+		Throughput:  r.Throughput,
+		MeanLatency: r.MeanLatency,
+		P50Latency:  r.P50Latency,
+		P95Latency:  r.P95Latency,
+		FastAcks:    r.FastAcks,
+		Retries:     r.Retries,
+	}
+}
+
+// uniqueGen is the default audit-safe workload: every operation payload
+// is globally unique (client slot × per-slot counter).
+func uniqueGen(client, i int) []byte {
+	return kvstore.Put(
+		"ol/c"+itoa(client)+"/k"+itoa(i),
+		[]byte("v"+itoa(i)))
+}
+
+// itoa avoids fmt in the arrival hot path.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Run drives the cluster open-loop. The cluster's clients are a free
+// list: an arrival claims an idle client and submits through it; with no
+// idle client the arrival is dropped (counted). cl.OnResult keeps firing
+// for every completion, so the harness safety audit works unchanged.
+// Everything runs in virtual time on the cluster's deterministic
+// scheduler — same seed, same run.
+func Run(cl *cluster.Cluster, cfg Config) Result {
+	gen := cfg.Gen
+	if gen == nil {
+		gen = uniqueGen
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed*0x9e3779b97f4a7c + 0x2545f4914f6cdd1d))
+	sched := cl.Sched
+
+	start := sched.Now()
+	measureFrom := start + cfg.Warmup
+	measureTo := measureFrom + cfg.Window
+	deadline := measureTo + cfg.Drain
+
+	var (
+		res       Result
+		latencies []time.Duration
+		busyBase  uint64
+	)
+
+	// Free list of idle client slots, plus per-slot bookkeeping.
+	free := make([]int, len(cl.Clients))
+	counts := make([]int, len(cl.Clients))
+	measured := make([]bool, len(cl.Clients))
+	for i := range free {
+		free[i] = i
+	}
+	for ci, c := range cl.Clients {
+		ci, c := ci, c
+		busyBase += c.Backpressure
+		c.SetOnResult(func(r core.Result) {
+			res.CompletedAll++
+			if measured[ci] {
+				res.Completed++
+				latencies = append(latencies, r.Latency)
+				if r.FastAck {
+					res.FastAcks++
+				}
+				if r.Retried {
+					res.Retries++
+				}
+			}
+			if cl.OnResult != nil {
+				cl.OnResult(c.ID(), r)
+			}
+			free = append(free, ci)
+		})
+	}
+
+	// The Poisson arrival chain: each arrival schedules the next.
+	var arrive func()
+	scheduleNext := func() {
+		gap := time.Duration(rng.ExpFloat64() * float64(time.Second) / cfg.Rate)
+		if sched.Now()+gap >= measureTo {
+			return // arrivals stop at the window's end
+		}
+		sched.Schedule(gap, arrive)
+	}
+	arrive = func() {
+		now := sched.Now()
+		inWindow := now >= measureFrom
+		if inWindow {
+			res.Offered++
+		}
+		if len(free) == 0 {
+			if inWindow {
+				res.Dropped++
+			}
+		} else {
+			ci := free[len(free)-1]
+			free = free[:len(free)-1]
+			measured[ci] = inWindow
+			op := gen(ci, counts[ci])
+			counts[ci]++
+			if err := cl.Clients[ci].Submit(op); err != nil {
+				free = append(free, ci)
+			} else {
+				res.Submitted++
+			}
+		}
+		scheduleNext()
+	}
+	if cfg.Rate > 0 && len(cl.Clients) > 0 {
+		scheduleNext()
+	}
+
+	for sched.Now() < deadline {
+		if sched.Run(deadline, 50_000) == 0 {
+			break
+		}
+	}
+
+	for _, c := range cl.Clients {
+		res.Backpressure += c.Backpressure
+	}
+	res.Backpressure -= busyBase
+
+	if cfg.Window > 0 {
+		res.Throughput = float64(res.Completed) / cfg.Window.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / time.Duration(len(latencies))
+		res.P50Latency = latencies[len(latencies)/2]
+		res.P95Latency = latencies[pct(len(latencies), 0.95)]
+		res.P99Latency = latencies[pct(len(latencies), 0.99)]
+	}
+	return res
+}
+
+// pct maps a percentile to the last index at or below it.
+func pct(n int, p float64) int {
+	i := int(float64(n)*p+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -1,0 +1,101 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+)
+
+func buildCluster(t *testing.T, clients int, tune func(*core.Config)) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(cluster.Options{
+		Protocol:   cluster.ProtoSBFT,
+		F:          1,
+		Clients:    clients,
+		Seed:       11,
+		CryptoPool: 2,
+		Tune:       tune,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	run := func() Result {
+		cl := buildCluster(t, 16, nil)
+		return Run(cl, Config{
+			Rate:   400,
+			Warmup: 200 * time.Millisecond,
+			Window: 2 * time.Second,
+			Drain:  time.Second,
+			Seed:   5,
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("open-loop run not deterministic:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.Completed == 0 || a.Offered == 0 {
+		t.Fatalf("no progress: %+v", a)
+	}
+	if a.Completed > a.Offered {
+		t.Fatalf("completed %d > offered %d", a.Completed, a.Offered)
+	}
+}
+
+func TestOpenLoopShedsWhenPoolExhausted(t *testing.T) {
+	// 2 client slots cannot carry 2000 req/s at WAN latencies: the free
+	// list runs dry and arrivals shed instead of queueing unboundedly —
+	// the open-loop generator must keep its own boundary finite.
+	cl := buildCluster(t, 2, nil)
+	res := Run(cl, Config{
+		Rate:   2000,
+		Warmup: 100 * time.Millisecond,
+		Window: time.Second,
+		Drain:  time.Second,
+		Seed:   3,
+	})
+	if res.Dropped == 0 {
+		t.Fatalf("no drops under 1000x overload: %+v", res)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("no completions under overload: %+v", res)
+	}
+}
+
+func TestOpenLoopTriggersAdmissionControl(t *testing.T) {
+	// A tiny pending cap under heavy open-loop load must produce BusyMsg
+	// rejects at the primary and client backoffs — the §V-C admission
+	// path exercised end-to-end rather than by unit injection.
+	cl := buildCluster(t, 32, func(c *core.Config) {
+		c.MaxPending = 2
+		c.Batch = 2
+	})
+	res := Run(cl, Config{
+		Rate:   800,
+		Warmup: 100 * time.Millisecond,
+		Window: 2 * time.Second,
+		Drain:  2 * time.Second,
+		Seed:   9,
+	})
+	var rejects uint64
+	for _, r := range cl.Replicas {
+		if r != nil {
+			rejects += r.Metrics.AdmissionRejects
+		}
+	}
+	if rejects == 0 {
+		t.Fatalf("no admission rejects with MaxPending=2: %+v", res)
+	}
+	if res.Backpressure == 0 {
+		t.Fatalf("clients saw no backpressure: %+v", res)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("no completions despite backpressure: %+v", res)
+	}
+}

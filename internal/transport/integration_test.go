@@ -10,6 +10,7 @@ import (
 
 	"sbft/internal/apps"
 	"sbft/internal/core"
+	"sbft/internal/cryptopool"
 	"sbft/internal/kvstore"
 	"sbft/internal/storage"
 )
@@ -65,6 +66,12 @@ func TestTCPClusterEndToEndConvergence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// The sbft-node -crypto-workers path: real worker goroutines
+		// verifying shares off the shell's event loop, completions routed
+		// back through Shell.Do.
+		pool := cryptopool.New(suite, 2, shells[id].Do)
+		t.Cleanup(pool.Close)
+		rep.SetCryptoSink(pool)
 		replicas[id] = rep
 		shells[id].Start(rep)
 	}

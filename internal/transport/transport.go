@@ -37,6 +37,7 @@ func init() {
 	gob.Register(core.FullExecuteProofMsg{})
 	gob.Register(core.ExecuteAckMsg{})
 	gob.Register(core.ReplyMsg{})
+	gob.Register(core.BusyMsg{})
 	gob.Register(core.CheckpointShareMsg{})
 	gob.Register(core.CheckpointCertMsg{})
 	gob.Register(core.FetchCommitMsg{})

@@ -1,0 +1,62 @@
+// Saturation benchmarks for the fast path: BenchmarkThroughput measures
+// the closed-loop reference point and the open-loop offered-load sweep
+// (internal/load) at n=4 and the paper-scale n=9 (f=2, c=1) under the
+// scaled crypto cost model, with event-loop-inline verification and with
+// the parallel verification pool. The pooled configuration must beat the
+// inline peak — that is the regression gate for the CryptoSink offload.
+// It emits the BENCH_throughput.json curve points: set SBFT_BENCH_JSON to
+// a directory to write them there.
+package sbft_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sbft/internal/bench"
+	"sbft/internal/benchjson"
+)
+
+var throughputJSON = benchjson.New("throughput", "ops-per-simulated-second")
+
+func BenchmarkThroughput(b *testing.B) {
+	for _, fc := range [][2]int{{1, 0}, {2, 1}} {
+		f, c := fc[0], fc[1]
+		n := 3*f + 2*c + 1
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				peak := map[int]float64{}
+				for _, pool := range []int{0, 4} {
+					cfg := bench.DefaultLoadCurve(f, c, pool, 7, nil)
+					points, err := bench.RunLoadCurve(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					peak[pool] = bench.PeakThroughput(points)
+					if i == 0 {
+						variant := "pool=off"
+						if pool > 0 {
+							variant = "pool=on"
+						}
+						for _, p := range points {
+							point := fmt.Sprintf("n=%d/closed/%s", n, variant)
+							if p.Mode == "open" {
+								point = fmt.Sprintf("n=%d/open/rate=%.0f/%s", n, p.Rate, variant)
+							}
+							if err := throughputJSON.Record(point, p.Throughput); err != nil {
+								b.Fatalf("recording %s: %v", point, err)
+							}
+						}
+					}
+				}
+				if peak[4] <= peak[0] {
+					b.Fatalf("n=%d: verification pool did not raise peak throughput (inline %.0f, pooled %.0f op/s)",
+						n, peak[0], peak[4])
+				}
+				if i == 0 {
+					b.Logf("n=%d peak: inline %.0f op/s, pooled %.0f op/s (+%.0f%%)",
+						n, peak[0], peak[4], 100*(peak[4]-peak[0])/peak[0])
+				}
+			}
+		})
+	}
+}
