@@ -44,8 +44,9 @@ import (
 
 // snapJob is one queued snapshot persistence task.
 type snapJob struct {
-	cs   *core.CertifiedSnapshot
-	done func(error)
+	cs       *core.CertifiedSnapshot
+	keepFrom uint64
+	done     func(error)
 }
 
 // snapSink is the deployment's core.SnapshotSink: certified snapshots are
@@ -75,7 +76,7 @@ func (s *snapSink) loop() {
 	defer s.wg.Done()
 	for j := range s.jobs {
 		j := j
-		err := core.PersistCertified(s.led, j.cs)
+		err := core.PersistCertified(s.led, j.cs, j.keepFrom)
 		s.do(func() { j.done(err) })
 	}
 }
@@ -86,7 +87,7 @@ func (s *snapSink) loop() {
 // shutdown window where the shell's event loop still delivers commits
 // after Close ran (defers are LIFO: the sink closes before the shell) —
 // a send on the closed jobs channel would panic, even under select.
-func (s *snapSink) PersistSnapshot(cs *core.CertifiedSnapshot, done func(error)) {
+func (s *snapSink) PersistSnapshot(cs *core.CertifiedSnapshot, keepFrom uint64, done func(error)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -94,7 +95,7 @@ func (s *snapSink) PersistSnapshot(cs *core.CertifiedSnapshot, done func(error))
 		return
 	}
 	select {
-	case s.jobs <- snapJob{cs: cs, done: done}:
+	case s.jobs <- snapJob{cs: cs, keepFrom: keepFrom, done: done}:
 	default:
 		done(fmt.Errorf("snapshot persist queue full"))
 	}

@@ -49,6 +49,10 @@ func (a *KVApp) ProveOperation(seq uint64, l int) ([]byte, error) {
 // Snapshot implements core.Application.
 func (a *KVApp) Snapshot() ([]byte, error) { return a.Store.Snapshot() }
 
+// SnapshotChunks implements core.ChunkedSnapshotter, forwarding the
+// store's incremental bucketed capture.
+func (a *KVApp) SnapshotChunks() ([][]byte, bool, error) { return a.Store.SnapshotChunks() }
+
 // Restore implements core.Application.
 func (a *KVApp) Restore(data []byte) error { return a.Store.Restore(data) }
 
@@ -97,6 +101,10 @@ func (a *EVMApp) ProveOperation(seq uint64, l int) ([]byte, error) {
 
 // Snapshot implements core.Application.
 func (a *EVMApp) Snapshot() ([]byte, error) { return a.Ledger.Snapshot() }
+
+// SnapshotChunks implements core.ChunkedSnapshotter, forwarding the
+// ledger's incremental bucketed capture.
+func (a *EVMApp) SnapshotChunks() ([][]byte, bool, error) { return a.Ledger.SnapshotChunks() }
 
 // Restore implements core.Application.
 func (a *EVMApp) Restore(data []byte) error { return a.Ledger.Restore(data) }

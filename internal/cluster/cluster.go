@@ -212,9 +212,9 @@ type ledgerSink struct {
 }
 
 // PersistSnapshot implements core.SnapshotSink.
-func (s *ledgerSink) PersistSnapshot(cs *core.CertifiedSnapshot, done func(error)) {
+func (s *ledgerSink) PersistSnapshot(cs *core.CertifiedSnapshot, keepFrom uint64, done func(error)) {
 	s.env.After(s.delay, func() {
-		done(core.PersistCertified(s.led, cs))
+		done(core.PersistCertified(s.led, cs, keepFrom))
 	})
 }
 

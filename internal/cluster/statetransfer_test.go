@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
 	"sbft/internal/core"
+	"sbft/internal/kvstore"
 	"sbft/internal/sim"
 )
 
@@ -64,6 +66,99 @@ func TestRecoveredReplicaCatchesUpViaStateTransfer(t *testing.T) {
 				t.Fatalf("recovered replica digest differs from replica %d at same frontier", id)
 			}
 		}
+	}
+	digestsAgree(t, cl)
+}
+
+// TestMultiIntervalTransferCompletesWithoutRestart pins the carried
+// ROADMAP item 3 bug: a state transfer that spans multiple checkpoint
+// intervals — the serving snapshot is superseded while the fetch is in
+// flight, and a full-drop stall window lets the cluster advance ≥2 more
+// stable checkpoints mid-transfer — must retarget via delta supersession
+// and complete WITHOUT ever discarding fetched chunks. Before the
+// generation chain, every supersession restarted the transfer from
+// scratch; under sustained load a laggard could chase checkpoints
+// forever.
+func TestMultiIntervalTransferCompletesWithoutRestart(t *testing.T) {
+	bigVal := bytes.Repeat([]byte{0x77, 0x5a, 0x33}, 32*1024/3)
+	bigGen := func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("c%d/k%d", client, i), bigVal)
+	}
+	cl := newKV(t, Options{
+		Protocol: ProtoSBFT, F: 1, C: 0,
+		Clients: 2, Seed: 33,
+		ClientTimeout: time.Second,
+		Tune: func(c *core.Config) {
+			c.Win = 8
+			c.Batch = 1
+			c.CheckpointInterval = 4
+			c.ViewChangeTimeout = 2 * time.Second
+			c.SnapshotRetain = 8 // deep chain: every mid-transfer base stays servable
+		},
+	})
+	// Deep history while the victim is down: its catch-up must go through
+	// chunked state transfer (the slots are GC'd below the stable point).
+	cl.Net.Crash(4)
+	res := cl.RunClosedLoop(24, bigGen, 10*time.Minute)
+	if res.Completed != 48 {
+		t.Fatalf("completed %d of 48 with the victim down", res.Completed)
+	}
+	frontier0 := cl.Replicas[1].LastStable()
+	if frontier0 == 0 {
+		t.Fatal("no stable checkpoint before recovery")
+	}
+
+	// Recover behind a lossy inbound link, then stall the transfer
+	// completely for a stretch during which the live replicas keep
+	// committing — the stable frontier crosses ≥2 checkpoint intervals
+	// while the victim's fetch hangs mid-flight.
+	cl.Net.SetLinkFault(sim.AnyNode, 4, sim.LinkFault{Drop: 0.15})
+	cl.Net.Recover(4)
+	cl.Sched.Schedule(300*time.Millisecond, func() {
+		cl.Net.SetLinkFault(sim.AnyNode, 4, sim.LinkFault{Drop: 1})
+	})
+	cl.Sched.Schedule(2300*time.Millisecond, func() {
+		cl.Net.SetLinkFault(sim.AnyNode, 4, sim.LinkFault{Drop: 0.15})
+	})
+	more := cl.RunClosedLoop(16, func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("mid/c%d/k%d", client, i), bigVal)
+	}, 10*time.Minute)
+	if more.Completed != 32 {
+		t.Fatalf("completed %d of 32 through the stall window", more.Completed)
+	}
+	cl.Net.SetLinkFault(sim.AnyNode, 4, sim.LinkFault{})
+	// Fresh traffic after the stall keeps checkpoints announcing until
+	// the victim converges.
+	post := cl.RunClosedLoop(4, func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("post/c%d/k%d", client, i), bigVal)
+	}, 10*time.Minute)
+	if post.Completed != 8 {
+		t.Fatalf("completed %d of 8 after the stall", post.Completed)
+	}
+	cl.Run(2 * time.Minute)
+
+	frontier1 := cl.Replicas[1].LastStable()
+	if frontier1 < frontier0+8 {
+		t.Fatalf("stable frontier advanced only %d→%d; need ≥2 checkpoint intervals mid-transfer",
+			frontier0, frontier1)
+	}
+	m := cl.Replicas[4].Metrics
+	if cl.Replicas[4].LastExecuted() < frontier1 {
+		t.Fatalf("victim did not catch up: le=%d, stable=%d (fetches=%d chunks=%d restarts=%d)",
+			cl.Replicas[4].LastExecuted(), frontier1, m.StateFetches,
+			m.SnapshotChunks, m.SnapshotTransferRestarts)
+	}
+	if m.StateFetches == 0 || m.SnapshotChunks == 0 {
+		t.Fatalf("catch-up bypassed state transfer (fetches=%d chunks=%d)", m.StateFetches, m.SnapshotChunks)
+	}
+	// The heart of the fix: the transfer was superseded mid-flight (the
+	// target moved across intervals) yet NEVER restarted — progress was
+	// carried forward through delta retargeting.
+	if m.SnapshotTransferRestarts != 0 {
+		t.Fatalf("transfer restarted %d times across the multi-interval window", m.SnapshotTransferRestarts)
+	}
+	if m.SnapshotDeltaTransfers == 0 {
+		t.Fatal("no delta supersession recorded: the transfer never spanned an interval boundary")
 	}
 	digestsAgree(t, cl)
 }

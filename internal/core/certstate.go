@@ -53,7 +53,17 @@ type SnapshotHeader struct {
 	AppLen    uint64
 	TableLen  uint64
 	ChunkSize uint32
+	// AppChunks, when non-zero, declares the app snapshot as a list of
+	// VARIABLE-length chunks (the incremental bucketed capture: one chunk
+	// per bucket, sizes set by the application) instead of the legacy
+	// fixed ChunkSize split. Table chunks always use the fixed split.
+	AppChunks uint32
 }
+
+// maxAppChunks bounds a header's declared variable chunk count; a sanity
+// guard against allocation bombs from malformed (never certified)
+// metadata.
+const maxAppChunks = 1 << 20
 
 // chunkCount is ceil(n / size).
 func chunkCount(n uint64, size uint32) int {
@@ -63,15 +73,29 @@ func chunkCount(n uint64, size uint32) int {
 	return int((n + uint64(size) - 1) / uint64(size))
 }
 
+// appChunkCount reports the number of app chunks: declared for the
+// variable-length capture, derived from AppLen for the legacy fixed split.
+func (h SnapshotHeader) appChunkCount() int {
+	if h.AppChunks > 0 {
+		return int(h.AppChunks)
+	}
+	return chunkCount(h.AppLen, h.ChunkSize)
+}
+
 // NumChunks reports the number of data chunks (Merkle leaves past the
 // header) the certified snapshot carries.
 func (h SnapshotHeader) NumChunks() int {
-	return chunkCount(h.AppLen, h.ChunkSize) + chunkCount(h.TableLen, h.ChunkSize)
+	return h.appChunkCount() + chunkCount(h.TableLen, h.ChunkSize)
 }
 
-// chunkLen reports the exact byte length of 1-based chunk index i.
+// chunkLen reports the exact byte length of 1-based chunk index i, or -1
+// for variable-length app chunks (whose exact content only the leaf hash
+// authenticates).
 func (h SnapshotHeader) chunkLen(i int) int {
-	na := chunkCount(h.AppLen, h.ChunkSize)
+	na := h.appChunkCount()
+	if i <= na && h.AppChunks > 0 {
+		return -1
+	}
 	lenOf := func(total uint64, pos int, count int) int {
 		if pos < count-1 {
 			return int(h.ChunkSize)
@@ -93,16 +117,18 @@ func (h SnapshotHeader) chunkLen(i int) int {
 func (h SnapshotHeader) valid() bool {
 	return h.ChunkSize > 0 && h.ChunkSize <= 1<<20 &&
 		h.AppLen <= maxSnapshotLen && h.TableLen <= maxSnapshotLen &&
+		h.AppChunks <= maxAppChunks &&
 		len(h.AppDigest) <= 64
 }
 
 // headerLeaf is the canonical leaf-0 encoding.
 func headerLeaf(h SnapshotHeader) []byte {
-	buf := make([]byte, 0, 32+len(h.AppDigest))
+	buf := make([]byte, 0, 40+len(h.AppDigest))
 	buf = append(buf, []byte("sbft:snap-hdr")...)
 	buf = binary.BigEndian.AppendUint64(buf, h.AppLen)
 	buf = binary.BigEndian.AppendUint64(buf, h.TableLen)
 	buf = binary.BigEndian.AppendUint32(buf, h.ChunkSize)
+	buf = binary.BigEndian.AppendUint32(buf, h.AppChunks)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(len(h.AppDigest)))
 	buf = append(buf, h.AppDigest...)
 	return buf
@@ -165,6 +191,78 @@ func NewCertifiedSnapshot(seq uint64, appDigest, appSnap, tableBytes []byte) *Ce
 	return cs
 }
 
+// CaptureCache carries the app-chunk leaf hashes of one replica's latest
+// capture across checkpoints. Clean chunks are recognized by slice
+// identity (the incremental capture contract: an unchanged chunk is
+// returned as the identical byte slice), so their leaf hashes are reused
+// and the per-checkpoint hashing cost follows the write rate, not the
+// state size.
+type CaptureCache struct {
+	chunks [][]byte
+	leaves []merkle.Digest
+	dirty  int
+}
+
+// DirtyChunks reports how many app chunks were re-hashed at the most
+// recent capture through this cache.
+func (c *CaptureCache) DirtyChunks() int { return c.dirty }
+
+// sameSlice reports whether two slices are the identical memory region.
+func sameSlice(a, b []byte) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// NewCertifiedSnapshotChunked commits a pre-chunked app snapshot (the
+// incremental capture path: variable-length chunks, one per bucket) plus
+// the canonical reply-table bytes. With a cache from the previous capture,
+// only chunks whose slices changed are re-hashed.
+func NewCertifiedSnapshotChunked(seq uint64, appDigest []byte, appChunks [][]byte, tableBytes []byte, cache *CaptureCache) *CertifiedSnapshot {
+	var appLen uint64
+	for _, c := range appChunks {
+		appLen += uint64(len(c))
+	}
+	cs := &CertifiedSnapshot{
+		Seq: seq,
+		Header: SnapshotHeader{
+			AppDigest: append([]byte(nil), appDigest...),
+			AppLen:    appLen,
+			TableLen:  uint64(len(tableBytes)),
+			ChunkSize: SnapshotChunkSize,
+			AppChunks: uint32(len(appChunks)),
+		},
+	}
+	tableChunks := splitChunks(tableBytes, SnapshotChunkSize)
+	cs.Chunks = make([][]byte, 0, len(appChunks)+len(tableChunks))
+	cs.Chunks = append(cs.Chunks, appChunks...)
+	cs.Chunks = append(cs.Chunks, tableChunks...)
+
+	leaves := make([]merkle.Digest, 1+len(cs.Chunks))
+	leaves[0] = merkle.LeafHash(headerLeaf(cs.Header))
+	appLeaves := make([]merkle.Digest, len(appChunks))
+	dirty := 0
+	for i, c := range appChunks {
+		if cache != nil && i < len(cache.chunks) && sameSlice(cache.chunks[i], c) {
+			appLeaves[i] = cache.leaves[i]
+		} else {
+			appLeaves[i] = merkle.LeafHash(chunkLeaf(i+1, c))
+			dirty++
+		}
+		leaves[1+i] = appLeaves[i]
+	}
+	for j, c := range tableChunks {
+		leaves[1+len(appChunks)+j] = merkle.LeafHash(chunkLeaf(len(appChunks)+j+1, c))
+	}
+	cs.tree = merkle.NewTreeFromHashes(leaves)
+	root := cs.tree.Root()
+	cs.root = root[:]
+	if cache != nil {
+		cache.chunks = append([][]byte(nil), appChunks...)
+		cache.leaves = appLeaves
+		cache.dirty = dirty
+	}
+	return cs
+}
+
 // build computes the commitment tree from Header and Chunks.
 func (cs *CertifiedSnapshot) build() {
 	leaves := make([][]byte, 1+len(cs.Chunks))
@@ -186,6 +284,11 @@ func (cs *CertifiedSnapshot) ProveHeader() (merkle.Proof, error) { return cs.tre
 
 // ProveChunk returns the membership proof of 1-based chunk index i.
 func (cs *CertifiedSnapshot) ProveChunk(i int) (merkle.Proof, error) { return cs.tree.Prove(i) }
+
+// LeafHashAt returns the commitment-tree leaf hash at position i (0 is
+// the header; data chunks are 1-based). The checkpoint layer diffs two
+// generations leaf-by-leaf with it to compute delta sets.
+func (cs *CertifiedSnapshot) LeafHashAt(i int) (merkle.Digest, error) { return cs.tree.LeafHashAt(i) }
 
 // VerifySnapshotHeader checks a header against a certified root.
 func VerifySnapshotHeader(root []byte, h SnapshotHeader, p merkle.Proof) error {
@@ -209,8 +312,14 @@ func VerifySnapshotChunk(root []byte, h SnapshotHeader, i int, data []byte, p me
 	if i < 1 || i > h.NumChunks() {
 		return fmt.Errorf("core: snapshot chunk index %d of %d", i, h.NumChunks())
 	}
-	if len(data) != h.chunkLen(i) {
-		return fmt.Errorf("core: snapshot chunk %d has %d bytes, want %d", i, len(data), h.chunkLen(i))
+	if want := h.chunkLen(i); want < 0 {
+		// Variable-length app chunk: the leaf hash authenticates the exact
+		// bytes; only bound the allocation.
+		if uint64(len(data)) > h.AppLen {
+			return fmt.Errorf("core: snapshot chunk %d has %d bytes, app total %d", i, len(data), h.AppLen)
+		}
+	} else if len(data) != want {
+		return fmt.Errorf("core: snapshot chunk %d has %d bytes, want %d", i, len(data), want)
 	}
 	if p.Index != i {
 		return fmt.Errorf("core: snapshot chunk proof at index %d, want %d", p.Index, i)
@@ -342,10 +451,16 @@ func DecodeCertifiedSnapshot(data []byte) (*CertifiedSnapshot, error) {
 	if !st.Header.valid() || len(st.Chunks) != st.Header.NumChunks() {
 		return nil, fmt.Errorf("core: stored snapshot shape mismatch")
 	}
+	var appSum uint64
 	for i, c := range st.Chunks {
-		if len(c) != st.Header.chunkLen(i+1) {
+		if want := st.Header.chunkLen(i + 1); want < 0 {
+			appSum += uint64(len(c))
+		} else if len(c) != want {
 			return nil, fmt.Errorf("core: stored snapshot chunk %d length mismatch", i+1)
 		}
+	}
+	if st.Header.AppChunks > 0 && appSum != st.Header.AppLen {
+		return nil, fmt.Errorf("core: stored snapshot app chunks sum %d, want %d", appSum, st.Header.AppLen)
 	}
 	cs := &CertifiedSnapshot{Seq: st.Seq, Header: st.Header, Chunks: st.Chunks, Pi: st.Pi}
 	cs.build()

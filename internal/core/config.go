@@ -76,6 +76,14 @@ type Config struct {
 	// could win, kept configurable so the regression test can demonstrate
 	// the exploit against it.
 	SnapshotMetaWait time.Duration
+	// SnapshotRetain bounds the chain of certified snapshot generations a
+	// replica keeps for serving state transfer (plus the delta sets
+	// between consecutive generations). A deeper chain lets a transfer
+	// spanning several checkpoint intervals finish against its original
+	// generation instead of restarting, and lets laggards holding any
+	// retained generation fetch deltas only. Zero derives 4; 1 reproduces
+	// single-generation retention.
+	SnapshotRetain int
 }
 
 // DefaultConfig returns the paper's defaults for a given f and c.
@@ -168,6 +176,14 @@ func (c Config) snapshotMetaWait() time.Duration {
 		return c.SnapshotMetaWait
 	}
 	return 40 * time.Millisecond
+}
+
+// snapshotRetain is the effective generation-retention depth (≥ 1).
+func (c Config) snapshotRetain() int {
+	if c.SnapshotRetain > 0 {
+		return c.SnapshotRetain
+	}
+	return 4
 }
 
 // Primary returns the primary replica id (1-based) for a view, chosen
@@ -294,4 +310,21 @@ type Application interface {
 	Restore([]byte) error
 	// GarbageCollect drops proof material below keepFrom.
 	GarbageCollect(keepFrom uint64)
+}
+
+// ChunkedSnapshotter is the optional incremental-capture extension of
+// Application. SnapshotChunks returns the snapshot as a chunk list whose
+// concatenation Restore accepts, with ok=false meaning "not supported
+// here" (wrappers forward the call statically and report their inner
+// app's answer, so all replicas of a deployment take the same capture
+// path — mixing paths would diverge the certified chunk layout).
+//
+// Incremental contract: a chunk whose content is unchanged since the
+// previous SnapshotChunks call MUST be returned as the identical byte
+// slice (same memory), and returned slices are never mutated afterwards.
+// The capture layer detects clean chunks by slice identity and reuses
+// their cached leaf hashes, making the per-checkpoint commitment cost
+// O(writes-since-last-checkpoint + chunks) instead of O(state).
+type ChunkedSnapshotter interface {
+	SnapshotChunks() (chunks [][]byte, ok bool, err error)
 }

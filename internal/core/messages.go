@@ -286,10 +286,15 @@ func (m CommitInfoMsg) WireSize() int { return msgHeader + reqsSize(m.Reqs) + 3*
 type FetchStateMsg struct {
 	Replica int
 	Seq     uint64
+	// HaveSeq names the newest certified snapshot generation the fetcher
+	// already fully holds (0 = none): a server retaining that generation
+	// answers with a delta chunk list against it, so the fetcher transfers
+	// only chunks that changed since.
+	HaveSeq uint64
 }
 
 // WireSize implements Message.
-func (m FetchStateMsg) WireSize() int { return msgHeader }
+func (m FetchStateMsg) WireSize() int { return msgHeader + 8 }
 
 // SnapshotMetaMsg answers FetchStateMsg: the certified snapshot's root,
 // its π stable-checkpoint certificate, and the header (leaf 0) with its
@@ -306,11 +311,21 @@ type SnapshotMetaMsg struct {
 	Pi          threshsig.Signature
 	Header      SnapshotHeader
 	HeaderProof merkle.Proof
+	// DeltaBase (when non-zero) names a generation the fetcher claimed to
+	// hold, and DeltaChunks lists the 1-based chunk indexes whose content
+	// changed between that base and Seq — the fetcher may reuse its local
+	// chunks for every other index. The delta fields are ADVISORY, not
+	// certified: the fetcher re-derives the assembled root and falls back
+	// to refetching reused chunks (blaming the meta sender) on mismatch,
+	// so a lying delta list can waste bandwidth but never corrupt state.
+	DeltaBase   uint64
+	DeltaChunks []int
 }
 
 // WireSize implements Message.
 func (m SnapshotMetaMsg) WireSize() int {
-	return msgHeader + 2*hashSize + sigSize + len(m.HeaderProof.Steps)*hashSize
+	return msgHeader + 2*hashSize + sigSize + len(m.HeaderProof.Steps)*hashSize +
+		8 + 4*len(m.DeltaChunks)
 }
 
 // FetchSnapshotChunkMsg requests one chunk (1-based Merkle leaf index)

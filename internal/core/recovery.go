@@ -80,23 +80,27 @@ type SnapshotStore interface {
 // Shell.Do; the simulated cluster schedules it on the deterministic
 // event loop). In-memory serving arms immediately on adoption; the done
 // callback arms the restart-survivable serving point (DurableSnapshotSeq)
-// once the bytes are actually on disk, and the sink prunes superseded
-// snapshot files after a successful write.
+// once the bytes are actually on disk. keepFrom is the oldest snapshot
+// sequence the replica's retention chain still holds at hand-off: the
+// sink prunes durable snapshots BELOW it after a successful write, so
+// the on-disk set mirrors the servable in-memory generations instead of
+// collapsing to a single newest snapshot.
 type SnapshotSink interface {
-	PersistSnapshot(cs *CertifiedSnapshot, done func(error))
+	PersistSnapshot(cs *CertifiedSnapshot, keepFrom uint64, done func(error))
 }
 
 // PersistCertified durably saves a stable certified snapshot into a
-// SnapshotStore, pruning superseded ones only after a successful write.
-// The single implementation every persistence path shares — the
-// synchronous adoptSnapshot fallback, the simulator's virtual-disk sink,
-// and the deployment's worker sink — so the save→prune ordering (and any
-// future retention policy) cannot silently diverge between them.
-func PersistCertified(ss SnapshotStore, cs *CertifiedSnapshot) error {
+// SnapshotStore, pruning generations below keepFrom only after a
+// successful write. The single implementation every persistence path
+// shares — the synchronous adoptSnapshot fallback, the simulator's
+// virtual-disk sink, and the deployment's worker sink — so the
+// save→prune ordering (and the retention policy) cannot silently diverge
+// between them.
+func PersistCertified(ss SnapshotStore, cs *CertifiedSnapshot, keepFrom uint64) error {
 	if err := ss.SaveSnapshot(cs.Seq, cs.Encode()); err != nil {
 		return err
 	}
-	return ss.PruneSnapshots(cs.Seq)
+	return ss.PruneSnapshots(keepFrom)
 }
 
 // RecoverableStore is a BlockStore that can be read back on restart.
@@ -178,7 +182,12 @@ func NewRecoveredReplica(id int, cfg Config, suite CryptoSuite, keys ReplicaKeys
 				return nil, fmt.Errorf("core: durable snapshot %d corrupt: %v", seq, err)
 			}
 			if suite.Pi.Verify(CheckpointSigDigest(cs.Seq, cs.Root()), cs.Pi) == nil {
-				r.snapshot = cs
+				// Re-arm a single-generation retention chain: the durable
+				// store held only this snapshot's predecessors-by-prune,
+				// and cross-restart delta continuity is not reconstructed
+				// (deltaKnown=false). The chain regrows — and deltas with
+				// it — from the next stable checkpoint.
+				r.snapGens = []*snapGeneration{{cs: cs}}
 				r.durableSnap = cs.Seq
 			}
 		}

@@ -186,6 +186,26 @@ type Metrics struct {
 	// verification (individually, or blamed by the batch-verification
 	// fallback after an RLC batch check failed).
 	BadShares uint64
+	// SnapshotTransferRestarts counts mid-transfer supersessions that
+	// DISCARDED verified chunk progress. A supersession whose delta
+	// prefill carried the already-fetched chunks forward is not a
+	// restart (it counts under SnapshotDeltaTransfers), and neither is
+	// a completed transfer followed by a fresh fetch for the remaining
+	// gap.
+	SnapshotTransferRestarts uint64
+	// SnapshotDeltaTransfers counts transfers (including mid-transfer
+	// supersessions) that seeded chunks from a base this replica
+	// already held instead of fetching the full state.
+	SnapshotDeltaTransfers uint64
+	// SnapshotChunksReused counts chunks satisfied from a local base
+	// during delta transfers — bytes that never crossed the wire.
+	SnapshotChunksReused uint64
+	// CheckpointDirtyChunks accumulates, across incremental checkpoint
+	// captures, how many app chunk leaves had to be re-hashed because
+	// their chunk changed since the previous capture. The complement
+	// (total capture leaves minus this) is work the incremental path
+	// skipped.
+	CheckpointDirtyChunks uint64
 }
 
 // BlockStore persists committed decision blocks (the paper persists
@@ -218,15 +238,20 @@ type Replica struct {
 	stableDigest []byte
 	stablePi     threshsig.Signature
 	slots        map[uint64]*slot
-	// snapshot is the highest stable certified snapshot this replica can
-	// serve for state transfer (chunk by chunk, each leaf-provable against
-	// the threshold-signed root).
-	snapshot *CertifiedSnapshot
-	// prevSnap retains the previously served snapshot (in memory only) so
-	// fetchers mid-transfer keep completing against it when a checkpoint
-	// supersedes it — without this, every win/2 blocks of progress would
-	// force large in-flight transfers to restart from scratch.
-	prevSnap *CertifiedSnapshot
+	// snapGens is the bounded chain of retained stable certified
+	// snapshot generations, oldest first; the newest entry is the one
+	// advertised to fetchers. Older generations stay servable (in
+	// memory) so fetchers mid-transfer keep completing across
+	// checkpoint supersessions, and each generation records which chunk
+	// leaves changed from its chain predecessor so a laggard holding an
+	// older retained generation fetches one base plus deltas instead of
+	// the full state. Depth is Config.SnapshotRetain.
+	snapGens []*snapGeneration
+	// capCache carries chunk identities and leaf hashes between
+	// consecutive checkpoint captures, so an application with an
+	// incremental capture path (ChunkedSnapshotter) costs
+	// O(chunks-changed) per checkpoint rather than O(state).
+	capCache *CaptureCache
 	// pendingSnap holds certified snapshots captured at the moment a
 	// checkpoint sequence executed, keyed by that sequence. Stabilization
 	// (the π quorum) arrives a round-trip later, when execution may have
@@ -1291,7 +1316,7 @@ func (r *Replica) onFetchCommit(_ int, m FetchCommitMsg) {
 	s, ok := r.slots[m.Seq]
 	if !ok || !s.committed {
 		// Possibly garbage-collected: offer the snapshot instead.
-		if r.snapshot != nil && r.snapshot.Seq >= m.Seq {
+		if r.SnapshotSeq() >= m.Seq {
 			r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica, Seq: m.Seq})
 		}
 		return
@@ -1743,6 +1768,14 @@ func (r *Replica) onCheckpointCert(_ int, m CheckpointCertMsg) {
 
 func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature) {
 	if seq <= r.lastStable && r.stableDigest != nil {
+		// Even when the checkpoint itself is old news, pending captures
+		// at or below the stable frontier are dead. A checkpoint whose
+		// sequence was skipped by state-transfer catch-up re-enters here
+		// (finishStateFetch → recordStable at the transferred seq) and
+		// used to leak its captured snapshot forever: the GC below only
+		// ran on the first recording, which had returned early while the
+		// replica was still behind.
+		r.gcPendingSnap(r.lastStable)
 		return
 	}
 	r.Metrics.Checkpoints++
@@ -1761,7 +1794,7 @@ func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature
 		// digest must not be served: this replica has diverged and its
 		// chunks would (correctly) be blamed by every fetcher.
 		cs, ok := r.pendingSnap[seq]
-		if !ok && r.lastExecuted == seq && (r.snapshot == nil || r.snapshot.Seq < seq) {
+		if !ok && r.lastExecuted == seq && r.SnapshotSeq() < seq {
 			if built, err := r.buildSnapshot(seq, r.app.Digest()); err == nil {
 				cs, ok = built, true
 			}
@@ -1774,13 +1807,13 @@ func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature
 				r.tracef("checkpoint %d: local root disagrees with certified digest", seq)
 			}
 		}
-		for s := range r.pendingSnap {
-			if s <= seq {
-				delete(r.pendingSnap, s)
-			}
-		}
 		r.app.GarbageCollect(seq)
 	}
+	// Captures at or below the stable point are dead regardless of whether
+	// this replica adopted one: unconditional, or a capture whose
+	// stabilization is learned while the replica is behind (and whose
+	// sequence is then skipped by catch-up) is never collected.
+	r.gcPendingSnap(seq)
 	// Drop slot state below the stable point — but never ahead of local
 	// execution, or committed-but-unexecuted blocks would be lost.
 	gcTo := seq
@@ -1812,8 +1845,26 @@ func (r *Replica) recordStable(seq uint64, digest []byte, pi threshsig.Signature
 // buildSnapshot captures the certified execution state at seq: the
 // application snapshot plus the canonical last-reply table, chunked and
 // Merkle-committed. Valid only while app state and reply table are exactly
-// at seq.
+// at seq. Applications exposing the incremental capture path
+// (ChunkedSnapshotter) are captured chunk-by-chunk through the capture
+// cache: clean chunks (recognized by slice identity, per the interface
+// contract) reuse their previous leaf hashes, so the capture stall is
+// proportional to writes since the last checkpoint, not to state size.
 func (r *Replica) buildSnapshot(seq uint64, appDigest []byte) (*CertifiedSnapshot, error) {
+	if ca, ok := r.app.(ChunkedSnapshotter); ok {
+		chunks, supported, err := ca.SnapshotChunks()
+		if err != nil {
+			return nil, err
+		}
+		if supported {
+			if r.capCache == nil {
+				r.capCache = &CaptureCache{}
+			}
+			cs := NewCertifiedSnapshotChunked(seq, appDigest, chunks, encodeReplyTable(r.replyCache), r.capCache)
+			r.Metrics.CheckpointDirtyChunks += uint64(r.capCache.DirtyChunks())
+			return cs, nil
+		}
+	}
 	appSnap, err := r.app.Snapshot()
 	if err != nil {
 		return nil, err
@@ -1821,32 +1872,161 @@ func (r *Replica) buildSnapshot(seq uint64, appDigest []byte) (*CertifiedSnapsho
 	return NewCertifiedSnapshot(seq, appDigest, appSnap, encodeReplyTable(r.replyCache)), nil
 }
 
-// adoptSnapshot installs a stable certified snapshot for serving and
-// hands it off for durable persistence so a restarted replica can serve
-// state transfer immediately. In-memory serving arms at once (the capture
-// is already chunked and Merkle-committed); persistence goes through the
-// async SnapshotSink when one is installed — encode+write of a large
-// state would otherwise stall the event loop every win/2 executions —
-// and falls back to the synchronous SnapshotStore path otherwise. The
-// sink's completion callback arms the restart-survivable serving point
-// (durableSnap) once the bytes are actually on disk.
+// snapGeneration is one retained certified snapshot plus the delta that
+// produced it: the 1-based chunk indexes whose commitment leaves differ
+// from the chain predecessor's. deltaKnown is false when the predecessor
+// was unknown at adoption (first checkpoint, restart, state transfer) —
+// such a generation still serves chunks and acts as a delta BASE, but
+// cannot appear in the middle of a delta computation.
+type snapGeneration struct {
+	cs         *CertifiedSnapshot
+	delta      []int
+	deltaKnown bool
+}
+
+// curSnap returns the newest retained certified snapshot (nil when none):
+// the snapshot advertised to fetchers.
+func (r *Replica) curSnap() *CertifiedSnapshot {
+	if len(r.snapGens) == 0 {
+		return nil
+	}
+	return r.snapGens[len(r.snapGens)-1].cs
+}
+
+// genAt returns the retained generation at exactly seq, or nil.
+func (r *Replica) genAt(seq uint64) *snapGeneration {
+	for _, g := range r.snapGens {
+		if g.cs.Seq == seq {
+			return g
+		}
+	}
+	return nil
+}
+
+// retainsSnapshot reports whether the generation at seq is still within
+// the retention chain.
+func (r *Replica) retainsSnapshot(seq uint64) bool { return r.genAt(seq) != nil }
+
+// deltaSince returns the chunk indexes (1-based, in the CURRENT
+// snapshot's numbering, sorted) a fetcher holding the complete retained
+// generation at base must fetch to reach the current snapshot: the union
+// of every later generation's delta, clipped to the current chunk count
+// (indexes past it no longer exist). ok is false when base is not
+// retained or an intermediate delta is unknown — the fetcher then needs
+// a full transfer. Chunk indexes are stable across generations (leaf i
+// commits chunk i), so an index absent from every delta has an unchanged
+// leaf, and the base's copy of that chunk is bit-identical to the
+// current one.
+func (r *Replica) deltaSince(base uint64) ([]int, bool) {
+	bi := -1
+	for i, g := range r.snapGens {
+		if g.cs.Seq == base {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return nil, false
+	}
+	cur := r.curSnap()
+	n := cur.Header.NumChunks()
+	set := make(map[int]bool)
+	for _, g := range r.snapGens[bi+1:] {
+		if !g.deltaKnown {
+			return nil, false
+		}
+		for _, idx := range g.delta {
+			if idx >= 1 && idx <= n {
+				set[idx] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for idx := range set {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, true
+}
+
+// snapshotDelta lists the 1-based chunk indexes whose commitment leaves
+// differ between a snapshot and its successor: common indexes whose leaf
+// hashes changed, plus every index the successor grew past the
+// predecessor. O(chunks) hash comparisons; no chunk bytes are touched.
+func snapshotDelta(prev, cur *CertifiedSnapshot) []int {
+	np, nc := prev.Header.NumChunks(), cur.Header.NumChunks()
+	common := np
+	if nc < common {
+		common = nc
+	}
+	var delta []int
+	for i := 1; i <= common; i++ {
+		ph, perr := prev.LeafHashAt(i)
+		ch, cerr := cur.LeafHashAt(i)
+		if perr != nil || cerr != nil || ph != ch {
+			delta = append(delta, i)
+		}
+	}
+	for i := common + 1; i <= nc; i++ {
+		delta = append(delta, i)
+	}
+	return delta
+}
+
+// gcPendingSnap drops pending checkpoint captures at or below the stable
+// frontier. Must run on EVERY stability recording — including re-entries
+// for already-stable sequences — so captures whose checkpoint was skipped
+// by state-transfer catch-up cannot leak.
+func (r *Replica) gcPendingSnap(stable uint64) {
+	for s := range r.pendingSnap {
+		if s <= stable {
+			delete(r.pendingSnap, s)
+		}
+	}
+}
+
+// adoptSnapshot appends a stable certified snapshot to the retention
+// chain and hands it off for durable persistence so a restarted replica
+// can serve state transfer immediately. In-memory serving arms at once
+// (the capture is already chunked and Merkle-committed); the delta
+// against the previous generation is computed here (leaf-hash diff) so
+// laggards can fetch increments. Persistence goes through the async
+// SnapshotSink when one is installed — encode+write of a large state
+// would otherwise stall the event loop every win/2 executions — and
+// falls back to the synchronous SnapshotStore path otherwise. The sink's
+// completion callback arms the restart-survivable serving point
+// (durableSnap) once the bytes are actually on disk, but only while the
+// persisted generation is still retained: a slow persist completing
+// after retention evicted its generation must not advertise a serving
+// point whose chunks (and, after a later prune, whose durable file) are
+// gone.
 func (r *Replica) adoptSnapshot(cs *CertifiedSnapshot) {
-	if r.snapshot != nil && r.snapshot.Seq >= cs.Seq {
+	cur := r.curSnap()
+	if cur != nil && cur.Seq >= cs.Seq {
 		return
 	}
-	// Keep the superseded snapshot servable (memory only): fetchers
-	// mid-transfer finish against it instead of restarting from scratch
-	// every checkpoint interval.
-	r.prevSnap = r.snapshot
-	r.snapshot = cs
+	gen := &snapGeneration{cs: cs}
+	if cur != nil {
+		gen.delta = snapshotDelta(cur, cs)
+		gen.deltaKnown = true
+	}
+	r.snapGens = append(r.snapGens, gen)
+	if keep := r.cfg.snapshotRetain(); len(r.snapGens) > keep {
+		// Copy into a fresh slice so the shrinking window cannot pin
+		// evicted generations through the old backing array.
+		trimmed := make([]*snapGeneration, keep)
+		copy(trimmed, r.snapGens[len(r.snapGens)-keep:])
+		r.snapGens = trimmed
+	}
+	keepFrom := r.snapGens[0].cs.Seq
 	if r.sink != nil {
 		seq := cs.Seq
-		r.sink.PersistSnapshot(cs, func(err error) {
+		r.sink.PersistSnapshot(cs, keepFrom, func(err error) {
 			if err != nil {
 				r.tracef("async snapshot persist %d failed: %v", seq, err)
 				return
 			}
-			if seq > r.durableSnap {
+			if seq > r.durableSnap && r.retainsSnapshot(seq) {
 				r.durableSnap = seq
 				r.Metrics.SnapshotPersists++
 			}
@@ -1854,7 +2034,7 @@ func (r *Replica) adoptSnapshot(cs *CertifiedSnapshot) {
 		return
 	}
 	if ss, ok := r.store.(SnapshotStore); ok && r.store != nil {
-		if err := PersistCertified(ss, cs); err != nil {
+		if err := PersistCertified(ss, cs, keepFrom); err != nil {
 			r.tracef("persisting snapshot %d failed: %v", cs.Seq, err)
 		} else if cs.Seq > r.durableSnap {
 			r.durableSnap = cs.Seq
@@ -1872,13 +2052,24 @@ func (r *Replica) SetSnapshotSink(s SnapshotSink) { r.sink = s }
 // restart, as opposed to SnapshotSeq, which arms immediately on adoption.
 func (r *Replica) DurableSnapshotSeq() uint64 { return r.durableSnap }
 
-// SnapshotSeq reports the sequence of the certified snapshot this replica
-// can serve (0 when none).
+// SnapshotSeq reports the sequence of the newest certified snapshot this
+// replica can serve (0 when none).
 func (r *Replica) SnapshotSeq() uint64 {
-	if r.snapshot == nil {
+	cs := r.curSnap()
+	if cs == nil {
 		return 0
 	}
-	return r.snapshot.Seq
+	return cs.Seq
+}
+
+// RetainedSnapshotSeqs lists the sequences of every retained snapshot
+// generation, oldest first — observability for tests and operators.
+func (r *Replica) RetainedSnapshotSeqs() []uint64 {
+	out := make([]uint64, len(r.snapGens))
+	for i, g := range r.snapGens {
+		out[i] = g.cs.Seq
+	}
+	return out
 }
 
 // SnapshotBlameCounts reports, per server id, how many pieces of snapshot
@@ -1957,6 +2148,21 @@ type stateFetch struct {
 	chunks  [][]byte
 	missing int
 	next    int // refill scan cursor (1-based chunk index)
+	// Delta-transfer state. prefilled lists the chunk indexes seeded
+	// from a locally held base instead of fetched; deltaBase is that
+	// base's sequence (0 = full transfer). The delta fields of a meta
+	// ride OUTSIDE the π-certified root, so prefilled chunks are only
+	// trusted once the fully assembled snapshot reproduces the certified
+	// root (finishStateFetch); metaFrom remembers who supplied the delta
+	// list so a mismatch blames the right server. fetched counts chunks
+	// verified over the wire this transfer — the progress a restart
+	// would discard.
+	prefilled []int
+	deltaBase uint64
+	metaFrom  int
+	fetched   int
+	// bestFrom is the sender of bestMeta (meta under collection).
+	bestFrom int
 	// inflight is the bounded request window: chunk index → outstanding
 	// request. Wiped whole when a newer meta restarts the transfer, so
 	// stale accounting can never leak into the new window.
@@ -2066,11 +2272,21 @@ func (r *Replica) maybeFetchState(target uint64) {
 
 // sendFetchState asks every eligible peer for snapshot metadata. The
 // request is tiny and the answers compete: the fetcher adopts the highest
-// certified sequence it collects (see onSnapshotMeta).
+// certified sequence it collects (see onSnapshotMeta). HaveSeq advertises
+// the newest base this fetcher could apply a delta against: mid-transfer
+// that is the snapshot being fetched (a delta against it carries the
+// verified chunks forward through a supersession), otherwise the newest
+// retained generation.
 func (r *Replica) sendFetchState() {
 	f := r.fetch
+	have := uint64(0)
+	if f.seq != 0 {
+		have = f.seq
+	} else if cs := r.curSnap(); cs != nil {
+		have = cs.Seq
+	}
 	for _, peer := range r.fetchPeers(f) {
-		r.env.Send(peer, FetchStateMsg{Replica: r.id, Seq: f.target})
+		r.env.Send(peer, FetchStateMsg{Replica: r.id, Seq: f.target, HaveSeq: have})
 	}
 }
 
@@ -2126,36 +2342,60 @@ func (r *Replica) armFetchRetry() {
 }
 
 func (r *Replica) onFetchState(_ int, m FetchStateMsg) {
-	if r.snapshot == nil || r.snapshot.Seq < m.Seq {
+	cs := r.curSnap()
+	if cs == nil || cs.Seq < m.Seq {
 		return
 	}
-	hp, err := r.snapshot.ProveHeader()
+	hp, err := cs.ProveHeader()
 	if err != nil {
 		return
 	}
-	r.env.Send(m.Replica, SnapshotMetaMsg{
-		Seq:         r.snapshot.Seq,
-		Root:        r.snapshot.Root(),
-		Pi:          r.snapshot.Pi,
-		Header:      r.snapshot.Header,
+	meta := SnapshotMetaMsg{
+		Seq:         cs.Seq,
+		Root:        cs.Root(),
+		Pi:          cs.Pi,
+		Header:      cs.Header,
 		HeaderProof: hp,
-	})
+	}
+	// Delta advertisement: when the fetcher already holds a generation
+	// this server retains, list the chunks that changed since — the
+	// fetcher seeds the rest locally. Advisory only: the fetcher verifies
+	// the reassembled root and falls back to refetching on any mismatch.
+	if m.HaveSeq > 0 && m.HaveSeq < cs.Seq {
+		if delta, ok := r.deltaSince(m.HaveSeq); ok {
+			meta.DeltaBase = m.HaveSeq
+			meta.DeltaChunks = delta
+		}
+	}
+	r.env.Send(m.Replica, meta)
 }
 
 func (r *Replica) onSnapshotMeta(from int, m SnapshotMetaMsg) {
 	r.dropStaleFetch()
 	f := r.fetch
-	if f == nil || m.Seq <= r.lastExecuted || m.Seq < f.target {
-		return
-	}
-	// Mid-transfer, only a strictly newer certified snapshot is
-	// interesting: it means servers advanced past (and garbage-collected)
-	// the one being fetched, so the transfer restarts there. Metadata for
-	// the sequence already in flight, or older, is ignored.
-	if f.seq != 0 && m.Seq <= f.seq {
+	if f == nil {
 		return
 	}
 	if from < 1 || from > r.cfg.N() || from == r.id {
+		return
+	}
+	if m.Seq <= r.lastExecuted || m.Seq < f.target || (f.seq != 0 && m.Seq < f.seq) {
+		// Metadata BELOW what the transfer needs. The sender is a laggard
+		// — an honest server behind the adopted checkpoint (say, freshly
+		// restarted) answering chunk requests with the only snapshot it
+		// has. It cannot serve this transfer's chunks, so demote it:
+		// expire its in-flight requests and let the scheduler shift its
+		// window share elsewhere immediately, instead of burning a full
+		// retry timeout per request routed to it. Staleness is not
+		// tampering — no blame — and a server can only demote itself, so
+		// acting before certificate verification is safe.
+		r.demoteLaggardServer(f, from, m.Seq)
+		return
+	}
+	// Mid-transfer, only a strictly newer certified snapshot is
+	// interesting: it means servers advanced past the one being fetched.
+	// Metadata for the sequence already in flight is ignored.
+	if f.seq != 0 && m.Seq == f.seq {
 		return
 	}
 	// π over the certified root, then the header's membership proof: after
@@ -2168,19 +2408,47 @@ func (r *Replica) onSnapshotMeta(from int, m SnapshotMetaMsg) {
 		r.blameSnapshotServer(f, from, err.Error())
 		return
 	}
+	// Sanitize the ADVISORY delta fields before they can influence the
+	// transfer: indexes must name real chunks of THIS meta's snapshot and
+	// the base must be one this fetcher can actually seed from. A lying
+	// list that survives this (wrongly claiming chunks clean) is caught
+	// by the whole-snapshot root check in finishStateFetch.
+	if m.DeltaBase != 0 {
+		ok := m.DeltaBase == f.seq || r.retainsSnapshot(m.DeltaBase)
+		n := m.Header.NumChunks()
+		if len(m.DeltaChunks) > n {
+			ok = false
+		}
+		for _, idx := range m.DeltaChunks {
+			if idx < 1 || idx > n {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			m.DeltaBase, m.DeltaChunks = 0, nil
+		}
+	}
 	if f.seq != 0 {
-		// Mid-transfer supersession. Restarting throws away every chunk
-		// fetched so far, so a transfer that is still advancing ignores
-		// the newer meta and completes (servers retain the previous
-		// snapshot precisely to let it); catching the last few blocks is
-		// then a cheap gap repair or a small follow-up transfer. Only a
-		// STALLED transfer — its snapshot garbage-collected everywhere,
-		// nothing arriving — restarts at the newer certified state.
+		// Mid-transfer supersession. A delta against the in-flight base
+		// carries every verified chunk forward, so adopting the newer
+		// meta costs nothing and skips re-fetching state the transfer
+		// already proved — take it immediately. Without that delta,
+		// restarting throws away every chunk fetched so far, so an
+		// advancing transfer ignores the newer meta and completes
+		// (servers retain superseded generations precisely to let it);
+		// only a STALLED transfer — its snapshot garbage-collected
+		// everywhere, nothing arriving — restarts at the newer state.
+		if m.DeltaBase == f.seq {
+			r.tracef("state transfer advancing %d → %d via delta (%d changed chunks)", f.seq, m.Seq, len(m.DeltaChunks))
+			r.adoptMeta(from, m)
+			return
+		}
 		if !r.fetchStalled(f) {
 			return
 		}
 		r.tracef("state transfer restarting at %d (superseded stalled %d)", m.Seq, f.seq)
-		r.adoptMeta(m)
+		r.adoptMeta(from, m)
 		return
 	}
 	// Initial choice: collect competing metas briefly and adopt the
@@ -2191,6 +2459,7 @@ func (r *Replica) onSnapshotMeta(from int, m SnapshotMetaMsg) {
 	if f.bestMeta == nil || m.Seq > f.bestMeta.Seq {
 		mm := m
 		f.bestMeta = &mm
+		f.bestFrom = from
 	}
 	if r.cfg.snapshotMetaWait() < 0 {
 		// Legacy first-accepted behavior, kept only as the regression
@@ -2240,6 +2509,40 @@ func (r *Replica) fetchStalled(f *stateFetch) bool {
 	return r.env.Now()-f.lastProgress >= 2*expiryLimit(f, nil, age)
 }
 
+// demoteLaggardServer reacts to snapshot metadata OLDER than the
+// transfer in flight: the sender cannot serve the in-flight chunks (it
+// does not have them), so its outstanding requests are expired at once
+// and it takes a timeout strike, shifting its window share to servers
+// with current material. Repeated stale answers accumulate strikes into
+// a soft exclusion, exactly like unresponsiveness — and like
+// unresponsiveness it is forgiven if the peer set resets.
+func (r *Replica) demoteLaggardServer(f *stateFetch, from int, seq uint64) {
+	if f.seq == 0 || seq >= f.seq {
+		return
+	}
+	st := f.stats(from)
+	var expired []int
+	for idx, req := range f.inflight {
+		if req.server == from {
+			expired = append(expired, idx)
+		}
+	}
+	sort.Ints(expired)
+	for _, idx := range expired {
+		delete(f.inflight, idx)
+		st.outstanding--
+	}
+	st.timeouts++
+	if st.timeouts >= fetchTimeoutStrikes && !f.blamed[from] {
+		r.tracef("snapshot server %d serves only %d < %d; excluding from transfer", from, seq, f.seq)
+		f.blamed[from] = true
+		r.Metrics.SnapshotTimeoutExclusions++
+	}
+	if len(expired) > 0 {
+		r.fillFetchWindow()
+	}
+}
+
 // adoptBestMeta commits the transfer to the highest certified meta
 // collected so far.
 func (r *Replica) adoptBestMeta() {
@@ -2248,8 +2551,24 @@ func (r *Replica) adoptBestMeta() {
 		return
 	}
 	m := *f.bestMeta
+	from := f.bestFrom
 	f.bestMeta = nil
-	r.adoptMeta(m)
+	r.adoptMeta(from, m)
+}
+
+// deltaBaseChunks resolves the chunk source for a delta prefill: a
+// complete retained generation at base, or — when the delta is against
+// the very snapshot this transfer was fetching (mid-transfer
+// supersession) — the superseded window's verified chunks, so fetched
+// progress carries over instead of being discarded.
+func (r *Replica) deltaBaseChunks(base, prevSeq uint64, prevChunks [][]byte) [][]byte {
+	if g := r.genAt(base); g != nil {
+		return g.cs.Chunks
+	}
+	if base != 0 && base == prevSeq {
+		return prevChunks
+	}
+	return nil
 }
 
 // adoptMeta (re)starts the transfer at a verified meta. All in-flight
@@ -2257,14 +2576,20 @@ func (r *Replica) adoptBestMeta() {
 // new one: late chunks for the old sequence are dropped by the seq check
 // in onSnapshotChunk, and per-server outstanding counters reset so the
 // new window fills completely (a restart that inherited phantom
-// outstanding requests would under-fill its window forever).
-func (r *Replica) adoptMeta(m SnapshotMetaMsg) {
+// outstanding requests would under-fill its window forever). When the
+// meta carries a usable delta, the chunks it marks clean are seeded from
+// the base this replica already holds — a laggard several checkpoint
+// intervals behind then moves base + deltas over the wire instead of
+// base × intervals, and a transfer superseded mid-flight keeps its
+// verified chunks rather than restarting.
+func (r *Replica) adoptMeta(from int, m SnapshotMetaMsg) {
 	f := r.fetch
 	if f.metaTimer != nil {
 		f.metaTimer()
 		f.metaTimer = nil
 	}
 	f.bestMeta = nil
+	prevSeq, prevChunks, prevFetched := f.seq, f.chunks, f.fetched
 	f.seq = m.Seq
 	f.root = append([]byte(nil), m.Root...)
 	f.pi = m.Pi
@@ -2273,11 +2598,44 @@ func (r *Replica) adoptMeta(m SnapshotMetaMsg) {
 	f.missing = len(f.chunks)
 	f.next = 1
 	f.inflight = make(map[int]chunkReq)
+	f.prefilled = nil
+	f.deltaBase = 0
+	f.metaFrom = 0
+	f.fetched = 0
 	for _, st := range f.servers {
 		st.outstanding = 0
 	}
 	f.lastProgress = r.env.Now()
-	r.tracef("state transfer to %d: %d chunks (window %d)", f.seq, f.missing, r.cfg.fetchWindow())
+	if m.DeltaBase != 0 {
+		if base := r.deltaBaseChunks(m.DeltaBase, prevSeq, prevChunks); base != nil {
+			inDelta := make(map[int]bool, len(m.DeltaChunks))
+			for _, idx := range m.DeltaChunks {
+				inDelta[idx] = true
+			}
+			for i := 1; i <= len(f.chunks) && i <= len(base); i++ {
+				if inDelta[i] || base[i-1] == nil {
+					continue
+				}
+				f.chunks[i-1] = base[i-1]
+				f.missing--
+				f.prefilled = append(f.prefilled, i)
+			}
+			if len(f.prefilled) > 0 {
+				f.deltaBase = m.DeltaBase
+				f.metaFrom = from
+				r.Metrics.SnapshotDeltaTransfers++
+				r.Metrics.SnapshotChunksReused += uint64(len(f.prefilled))
+			}
+		}
+	}
+	if prevSeq != 0 && prevFetched > 0 && !(f.deltaBase == prevSeq && f.deltaBase != 0) {
+		// This supersession discarded chunks already verified over the
+		// wire — the restart the retention chain and delta path exist to
+		// avoid. (Supersessions that carried progress forward, or hit
+		// before anything was fetched, do not count.)
+		r.Metrics.SnapshotTransferRestarts++
+	}
+	r.tracef("state transfer to %d: %d chunks to fetch, %d reused (window %d)", f.seq, f.missing, len(f.prefilled), r.cfg.fetchWindow())
 	if f.missing == 0 {
 		r.finishStateFetch()
 		return
@@ -2418,26 +2776,34 @@ func (r *Replica) armChunkPacer() {
 }
 
 func (r *Replica) onFetchSnapshotChunk(_ int, m FetchSnapshotChunkMsg) {
-	if r.snapshot == nil {
+	cur := r.curSnap()
+	if cur == nil {
 		return
 	}
-	cs := r.snapshot
-	if cs.Seq != m.Seq {
-		if r.prevSnap != nil && r.prevSnap.Seq == m.Seq {
-			// The retained previous snapshot: in-flight transfers keep
-			// completing across one checkpoint supersession.
-			cs = r.prevSnap
-		} else if cs.Seq > m.Seq {
-			// Superseded beyond retention: the chunks are gone, but
-			// re-offering the current metadata lets the fetcher restart
-			// at the checkpoint this server can actually serve. (The
-			// fetcher-side stall gate keeps an advancing transfer from
-			// thrashing on this; only a dead one restarts.)
-			r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica, Seq: m.Seq})
-			return
-		} else {
-			return
-		}
+	var cs *CertifiedSnapshot
+	if g := r.genAt(m.Seq); g != nil {
+		// Any retained generation serves: in-flight transfers keep
+		// completing across checkpoint supersessions for the whole
+		// retention depth.
+		cs = g.cs
+	} else if cur.Seq > m.Seq {
+		// Superseded beyond retention: the chunks are gone, but
+		// re-offering the current metadata lets the fetcher restart
+		// at the checkpoint this server can actually serve. (The
+		// fetcher-side stall gate keeps an advancing transfer from
+		// thrashing on this; only a dead one restarts.)
+		r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica, Seq: m.Seq})
+		return
+	} else {
+		// The fetcher wants a NEWER snapshot than this server holds —
+		// this server is the laggard (say, freshly restarted while the
+		// fetcher adopted a later certified checkpoint). Dropping the
+		// request silently would leave the fetcher burning a retry
+		// timeout per request routed here; answering with current
+		// metadata (below the requested sequence) lets the fetcher's
+		// scheduler demote this server immediately instead.
+		r.onFetchState(m.Replica, FetchStateMsg{Replica: m.Replica})
+		return
 	}
 	if m.Index < 1 || m.Index > len(cs.Chunks) {
 		return
@@ -2498,6 +2864,7 @@ func (r *Replica) onSnapshotChunk(from int, m SnapshotChunkMsg) {
 	f.lastProgress = r.env.Now()
 	f.chunks[m.Index-1] = m.Data
 	f.missing--
+	f.fetched++
 	r.Metrics.SnapshotChunks++
 	if f.missing == 0 {
 		r.finishStateFetch()
@@ -2520,6 +2887,37 @@ func (r *Replica) finishStateFetch() {
 		f.stopTimers()
 		r.fetch = nil
 		r.maybeFetchState(f.target)
+		return
+	}
+	// Rebuild the commitment over the assembled chunks and require the
+	// certified root before installing anything. Chunks fetched over the
+	// wire were leaf-verified individually, but chunks seeded from a
+	// local base were vouched for only by the meta's ADVISORY delta list
+	// — this whole-snapshot check is what makes that list safe to act on.
+	cs := &CertifiedSnapshot{Seq: f.seq, Header: f.header, Chunks: f.chunks, Pi: f.pi}
+	cs.build()
+	if !bytes.Equal(cs.Root(), f.root) {
+		if len(f.prefilled) > 0 {
+			// A lying delta list claimed changed chunks clean. Blame its
+			// sender, drop ONLY the seeded chunks, and fetch them over
+			// the wire — every individually verified chunk is kept, so
+			// the lie costs the liar its service, not this transfer its
+			// progress.
+			r.blameSnapshotServer(f, f.metaFrom, "delta prefill mismatched certified root")
+			for _, idx := range f.prefilled {
+				f.chunks[idx-1] = nil
+				f.missing++
+			}
+			f.prefilled = nil
+			f.deltaBase = 0
+			f.lastProgress = r.env.Now()
+			r.fillFetchWindow()
+			r.armChunkPacer()
+			return
+		}
+		// Unreachable with leaf-verified chunks and no prefill.
+		r.tracef("state transfer root mismatch at %d", f.seq)
+		r.abortStateFetch()
 		return
 	}
 	appBytes, tableBytes, err := AssembleSnapshot(f.header, f.chunks)
@@ -2550,6 +2948,10 @@ func (r *Replica) finishStateFetch() {
 		r.abortStateFetch()
 		return
 	}
+	// The restore replaced application state wholesale; cached capture
+	// identities no longer describe it. The next checkpoint re-hashes
+	// every chunk and re-seeds the cache.
+	r.capCache = nil
 	r.replyCache = table
 	for client, e := range table {
 		if ts := r.seen[client]; ts < e.timestamp {
@@ -2564,8 +2966,6 @@ func (r *Replica) finishStateFetch() {
 		}
 	}
 	seq, root, pi := f.seq, f.root, f.pi
-	cs := &CertifiedSnapshot{Seq: seq, Header: f.header, Chunks: f.chunks, Pi: pi}
-	cs.build()
 	f.stopTimers()
 	r.fetch = nil
 	r.lastExecuted = seq

@@ -391,12 +391,12 @@ func TestAdvancingTransferIgnoresNewerMeta(t *testing.T) {
 	}
 }
 
-// TestServerServesPreviousSnapshotAfterSupersession: one checkpoint of
-// retention on the serving side — chunk requests for the immediately
-// superseded snapshot are still answered; older ones get the current
-// meta re-offered.
+// TestServerServesPreviousSnapshotAfterSupersession: bounded retention on
+// the serving side (depth 2 here) — chunk requests for retained
+// superseded snapshots are still answered; requests beyond the retention
+// depth get the current meta re-offered.
 func TestServerServesPreviousSnapshotAfterSupersession(t *testing.T) {
-	rg := newRig(t, 1, nil)
+	rg := newRig(t, 1, func(c *Config) { c.SnapshotRetain = 2 })
 	older := certifiedAt(t, rg, 2, nil)
 	mid := certifiedAt(t, rg, 4, nil)
 	cur := certifiedAt(t, rg, 8, nil)
@@ -522,7 +522,7 @@ type recordingSink struct {
 	done []func(error)
 }
 
-func (s *recordingSink) PersistSnapshot(cs *CertifiedSnapshot, done func(error)) {
+func (s *recordingSink) PersistSnapshot(cs *CertifiedSnapshot, _ uint64, done func(error)) {
 	s.seqs = append(s.seqs, cs.Seq)
 	s.done = append(s.done, done)
 }

@@ -153,6 +153,7 @@ func DecodeReceipt(data []byte) (Receipt, error) {
 type Ledger struct {
 	stateMap *merkle.Map
 	state    *MapState
+	tracker  *snapcodec.Tracker
 	lastSeq  uint64
 	digest   []byte
 	executed map[uint64]*execRecord
@@ -171,10 +172,22 @@ func NewLedger() *Ledger {
 	l := &Ledger{
 		stateMap: m,
 		state:    NewMapState(m),
+		tracker:  snapcodec.NewTracker(snapcodec.DefaultBuckets),
 		executed: make(map[uint64]*execRecord),
 	}
+	l.state.SetWriteHook(l.trackWrite)
 	l.digest = stateDigest(0, m.Digest(), merkle.NewTree(nil).Root())
 	return l
+}
+
+// trackWrite mirrors every world-state mutation (genesis, execution, and
+// journal rollbacks alike) into the incremental snapshot tracker.
+func (l *Ledger) trackWrite(key string, val []byte, deleted bool) {
+	if deleted {
+		l.tracker.Delete(key)
+		return
+	}
+	l.tracker.Set(key, val)
 }
 
 func stateDigest(seq uint64, kvRoot, execRoot merkle.Digest) []byte {
@@ -397,14 +410,42 @@ func (l *Ledger) Snapshot() ([]byte, error) {
 	return snapcodec.Encode(snapcodec.FromMap(l.lastSeq, l.digest, l.stateMap.Snapshot())), nil
 }
 
-// Restore replaces the ledger state from a snapshot.
+// SnapshotChunks is the incremental capture path: the bucketed canonical
+// snapshot as a chunk list, re-encoding only buckets the write hook saw
+// mutate since the previous capture.
+func (l *Ledger) SnapshotChunks() ([][]byte, bool, error) {
+	chunks, _ := l.tracker.EncodeChunks(l.lastSeq, l.digest)
+	return chunks, true, nil
+}
+
+// Restore replaces the ledger state from a snapshot (either framing). A
+// bucketed snapshot also seeds the tracker's encoding cache.
 func (l *Ledger) Restore(data []byte) error {
+	if snapcodec.IsBucketed(data) {
+		snap, chunks, err := snapcodec.DecodeBucketed(data)
+		if err != nil {
+			return fmt.Errorf("evm: decoding snapshot: %w", err)
+		}
+		l.stateMap.Restore(snap.ToMap())
+		l.state = NewMapState(l.stateMap)
+		l.state.SetWriteHook(l.trackWrite)
+		l.tracker.Restore(snap, len(chunks)-1, chunks)
+		l.lastSeq = snap.LastSeq
+		l.digest = snap.Digest
+		l.executed = make(map[uint64]*execRecord)
+		return nil
+	}
 	snap, err := snapcodec.Decode(data)
 	if err != nil {
 		return fmt.Errorf("evm: decoding snapshot: %w", err)
 	}
 	l.stateMap.Restore(snap.ToMap())
 	l.state = NewMapState(l.stateMap)
+	l.state.SetWriteHook(l.trackWrite)
+	l.tracker = snapcodec.NewTracker(l.tracker.Buckets())
+	for _, e := range snap.Entries {
+		l.tracker.Set(e.Key, e.Val)
+	}
 	l.lastSeq = snap.LastSeq
 	l.digest = snap.Digest
 	l.executed = make(map[uint64]*execRecord)

@@ -82,6 +82,10 @@ type State interface {
 type MapState struct {
 	m       *merkle.Map
 	journal []journalEntry
+	// onWrite observes every map mutation (writes, deletions, and journal
+	// rollbacks alike) so the ledger's incremental snapshot tracker stays
+	// an exact mirror of the authenticated map.
+	onWrite func(key string, val []byte, deleted bool)
 }
 
 type journalEntry struct {
@@ -92,6 +96,19 @@ type journalEntry struct {
 
 // NewMapState wraps an authenticated map as EVM world state.
 func NewMapState(m *merkle.Map) *MapState { return &MapState{m: m} }
+
+// SetWriteHook registers fn to observe every subsequent mutation of the
+// underlying map, including RevertTo rollbacks (which bypass the normal
+// set/del funnel on purpose — they must not re-journal).
+func (s *MapState) SetWriteHook(fn func(key string, val []byte, deleted bool)) {
+	s.onWrite = fn
+}
+
+func (s *MapState) notify(key string, val []byte, deleted bool) {
+	if s.onWrite != nil {
+		s.onWrite(key, val, deleted)
+	}
+}
 
 var _ State = (*MapState)(nil)
 
@@ -119,6 +136,7 @@ func (s *MapState) set(key string, val []byte) {
 	prev, existed := s.m.Get(key)
 	s.journal = append(s.journal, journalEntry{key: key, prev: prev, existed: existed})
 	s.m.Set(key, val)
+	s.notify(key, val, false)
 }
 
 func (s *MapState) del(key string) {
@@ -128,6 +146,7 @@ func (s *MapState) del(key string) {
 	}
 	s.journal = append(s.journal, journalEntry{key: key, prev: prev, existed: true})
 	s.m.Delete(key)
+	s.notify(key, nil, true)
 }
 
 // GetBalance implements State.
@@ -211,8 +230,10 @@ func (s *MapState) RevertTo(mark int) {
 		e := s.journal[i]
 		if e.existed {
 			s.m.Set(e.key, e.prev)
+			s.notify(e.key, e.prev, false)
 		} else {
 			s.m.Delete(e.key)
+			s.notify(e.key, nil, true)
 		}
 	}
 	s.journal = s.journal[:mark]

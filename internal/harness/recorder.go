@@ -73,6 +73,19 @@ func (r *Recorder) ProveOperation(seq uint64, l int) ([]byte, error) {
 // Snapshot implements core.Application.
 func (r *Recorder) Snapshot() ([]byte, error) { return r.inner.Snapshot() }
 
+// SnapshotChunks implements core.ChunkedSnapshotter by delegation. The
+// wrapper must forward this statically: if it swallowed the interface,
+// wrapped replicas would fall back to full captures with a DIFFERENT
+// chunk layout than unwrapped ones and checkpoint roots would diverge.
+// The ok=false return keeps delegation safe over apps without the
+// incremental path.
+func (r *Recorder) SnapshotChunks() ([][]byte, bool, error) {
+	if ca, ok := r.inner.(core.ChunkedSnapshotter); ok {
+		return ca.SnapshotChunks()
+	}
+	return nil, false, nil
+}
+
 // Restore implements core.Application. The restored span was not executed
 // locally, so no records are added for it.
 func (r *Recorder) Restore(data []byte) error { return r.inner.Restore(data) }

@@ -37,8 +37,12 @@ func RecoveryValue(client, i int) []byte {
 // victim replica (4) crashes twice: the first episode seeds the durable
 // history (and teaches a stale-meta adversary an old certified meta),
 // the second forces a deep catch-up over impaired links. Variants cycle
-// with the seed: honest servers, a FaultByzSnapshot chunk tamperer, or a
-// FaultByzStaleMeta racer serving old-but-valid metas.
+// with the seed: honest servers, a FaultByzSnapshot chunk-and-delta
+// tamperer, a FaultByzStaleMeta racer serving old-but-valid metas, or a
+// multi-interval stall — the victim's inbound fully drops mid-transfer
+// while the cluster advances ≥2 stable checkpoints, and the Check pins
+// that the superseded transfer completed with ZERO restarts (the carried
+// ROADMAP item 3 bug).
 func RecoveryGen(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed*0x51_7c_c1_b7_27_22_0a_95 + 0x1234_5678))
 	const (
@@ -58,10 +62,11 @@ func RecoveryGen(seed int64) Scenario {
 			c.Batch = 1
 			c.CheckpointInterval = 4
 			c.ViewChangeTimeout = time.Second
+			c.SnapshotRetain = 8 // deep chain: mid-transfer bases stay servable
 		},
 	}
 
-	variant := ((seed % 3) + 3) % 3 // Euclidean: negative seeds must not panic the index below
+	variant := ((seed % 4) + 4) % 4 // Euclidean: negative seeds must not panic the index below
 	var sched cluster.Schedule
 	switch variant {
 	case 1:
@@ -98,7 +103,23 @@ func RecoveryGen(seed int64) Scenario {
 			}},
 		cluster.Fault{At: rec2 + 6*time.Second, Kind: cluster.FaultLinkClear})
 
-	name := fmt.Sprintf("recovery-%s", [...]string{"honest", "tamper", "stalemeta"}[variant])
+	if variant == 3 {
+		// Multi-interval stall: shortly into the transfer the victim's
+		// inbound drops EVERYTHING for a stretch during which the live
+		// replicas keep committing — the stable frontier crosses ≥2
+		// checkpoint intervals while the fetch hangs mid-flight. The
+		// FaultLinkClear above lifts the stall together with the ambient
+		// impairment; the superseded transfer must finish by retargeting
+		// through deltas, never by restarting.
+		stall := rec2 + 300*time.Millisecond
+		sched = append(sched,
+			cluster.Fault{At: stall, Kind: cluster.FaultLink, From: 0, To: victim,
+				Link: sim.LinkFault{Drop: 1}},
+			cluster.Fault{At: stall + 2*time.Second, Kind: cluster.FaultLink, From: 0, To: victim,
+				Link: sim.LinkFault{Drop: 0.1}})
+	}
+
+	name := fmt.Sprintf("recovery-%s", [...]string{"honest", "tamper", "stalemeta", "multiinterval"}[variant])
 	return Scenario{
 		Name:     name,
 		Opts:     opts,
@@ -135,6 +156,15 @@ func RecoveryGen(seed int64) Scenario {
 			for id, n := range lag.SnapshotBlameCounts() {
 				if n > 0 && !cl.IsByzantine(id) {
 					return fmt.Sprintf("honest server %d blamed %d times", id, n)
+				}
+			}
+			if variant == 3 {
+				if lag.Metrics.SnapshotTransferRestarts != 0 {
+					return fmt.Sprintf("transfer restarted %d times across the multi-interval stall",
+						lag.Metrics.SnapshotTransferRestarts)
+				}
+				if lag.Metrics.SnapshotDeltaTransfers == 0 {
+					return "no delta supersession recorded: the stalled transfer never spanned an interval boundary"
 				}
 			}
 			return ""

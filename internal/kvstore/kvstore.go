@@ -166,6 +166,7 @@ type execRecord struct {
 // for concurrent use; the replica event loop owns it.
 type Store struct {
 	state    *merkle.Map
+	tracker  *snapcodec.Tracker
 	lastSeq  uint64
 	digest   []byte
 	executed map[uint64]*execRecord
@@ -173,8 +174,18 @@ type Store struct {
 
 // New returns an empty store at sequence 0.
 func New() *Store {
+	return NewWithBuckets(snapcodec.DefaultBuckets)
+}
+
+// NewWithBuckets returns an empty store whose incremental snapshot uses
+// the given bucket count. All replicas of a deployment must agree on it:
+// the bucket layout is part of the certified chunk commitment. Large-state
+// deployments raise it so the dirty fraction of a checkpoint interval
+// resolves into proportionally few re-encoded chunks.
+func NewWithBuckets(buckets int) *Store {
 	s := &Store{
 		state:    merkle.NewMap(),
+		tracker:  snapcodec.NewTracker(buckets),
 		executed: make(map[uint64]*execRecord),
 	}
 	s.digest = stateDigest(0, s.state.Digest(), merkle.NewTree(nil).Root())
@@ -209,6 +220,7 @@ func (s *Store) apply(op Op) []byte {
 	switch op.Kind {
 	case OpPut:
 		s.state.Set(op.Key, op.Value)
+		s.tracker.Set(op.Key, op.Value)
 		return []byte("OK")
 	case OpGet:
 		v, ok := s.state.Get(op.Key)
@@ -218,6 +230,7 @@ func (s *Store) apply(op Op) []byte {
 		return v
 	case OpDelete:
 		s.state.Delete(op.Key)
+		s.tracker.Delete(op.Key)
 		return []byte("OK")
 	case OpBundle:
 		subs, err := BundleOps(op.Value)
@@ -369,13 +382,42 @@ func (s *Store) Snapshot() ([]byte, error) {
 	return snapcodec.Encode(snapcodec.FromMap(s.lastSeq, s.digest, s.state.Snapshot())), nil
 }
 
-// Restore replaces the store contents from a snapshot.
+// SnapshotChunks is the incremental capture path: the bucketed canonical
+// snapshot as a chunk list, re-encoding only buckets written since the
+// previous capture (clean chunks are the identical byte slices of the
+// previous call, so the checkpoint layer reuses their leaf hashes). The
+// replication layer prefers this over Snapshot when available.
+func (s *Store) SnapshotChunks() ([][]byte, bool, error) {
+	chunks, _ := s.tracker.EncodeChunks(s.lastSeq, s.digest)
+	return chunks, true, nil
+}
+
+// Restore replaces the store contents from a snapshot (either framing;
+// state transfer hands over whatever the serving replica captured). A
+// bucketed snapshot also seeds the tracker's encoding cache, so the first
+// capture after a transfer is already incremental.
 func (s *Store) Restore(data []byte) error {
+	if snapcodec.IsBucketed(data) {
+		snap, chunks, err := snapcodec.DecodeBucketed(data)
+		if err != nil {
+			return fmt.Errorf("kvstore: decoding snapshot: %w", err)
+		}
+		s.state.Restore(snap.ToMap())
+		s.tracker.Restore(snap, len(chunks)-1, chunks)
+		s.lastSeq = snap.LastSeq
+		s.digest = snap.Digest
+		s.executed = make(map[uint64]*execRecord)
+		return nil
+	}
 	snap, err := snapcodec.Decode(data)
 	if err != nil {
 		return fmt.Errorf("kvstore: decoding snapshot: %w", err)
 	}
 	s.state.Restore(snap.ToMap())
+	s.tracker = snapcodec.NewTracker(s.tracker.Buckets())
+	for _, e := range snap.Entries {
+		s.tracker.Set(e.Key, e.Val)
+	}
 	s.lastSeq = snap.LastSeq
 	s.digest = snap.Digest
 	s.executed = make(map[uint64]*execRecord)

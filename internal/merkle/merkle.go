@@ -101,6 +101,17 @@ func NewTreeFromHashes(hashes []Digest) *Tree {
 // Len reports the number of leaves.
 func (t *Tree) Len() int { return len(t.levels[0]) }
 
+// LeafHashAt returns the stored hash of leaf i. The checkpoint layer uses
+// it to diff two snapshot commitments leaf-by-leaf (delta sets between
+// retained generations) and to carry leaf hashes across incremental
+// captures without re-hashing clean chunks.
+func (t *Tree) LeafHashAt(i int) (Digest, error) {
+	if i < 0 || i >= t.Len() {
+		return Digest{}, fmt.Errorf("%w: %d of %d", ErrIndexRange, i, t.Len())
+	}
+	return t.levels[0][i], nil
+}
+
 // Root returns the root digest. The root of an empty tree is LeafHash(nil)
 // of the empty list sentinel.
 func (t *Tree) Root() Digest {

@@ -1,0 +1,180 @@
+package snapcodec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// concat assembles a chunk list the way state transfer does before
+// handing the blob to Application.Restore.
+func concat(chunks [][]byte) []byte {
+	var buf bytes.Buffer
+	for _, c := range chunks {
+		buf.Write(c)
+	}
+	return buf.Bytes()
+}
+
+func TestTrackerEncodeDecodeRoundTrip(t *testing.T) {
+	tr := NewTracker(8)
+	want := map[string][]byte{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := []byte(fmt.Sprintf("val-%d", i*i))
+		tr.Set(k, v)
+		want[k] = v
+	}
+	tr.Set("key-007", []byte("overwritten"))
+	want["key-007"] = []byte("overwritten")
+	tr.Delete("key-013")
+	delete(want, "key-013")
+
+	digest := []byte{0xAA, 0xBB}
+	chunks, reenc := tr.EncodeChunks(42, digest)
+	if len(chunks) != 1+8 {
+		t.Fatalf("chunk count = %d, want 9", len(chunks))
+	}
+	if reenc != 8 {
+		t.Fatalf("first capture re-encoded %d buckets, want all 8", reenc)
+	}
+	st, split, err := DecodeBucketed(concat(chunks))
+	if err != nil {
+		t.Fatalf("DecodeBucketed: %v", err)
+	}
+	if st.LastSeq != 42 || !bytes.Equal(st.Digest, digest) {
+		t.Fatalf("prelude mismatch: seq=%d digest=%x", st.LastSeq, st.Digest)
+	}
+	got := st.ToMap()
+	if len(got) != len(want) {
+		t.Fatalf("entry count = %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+	if len(split) != len(chunks) {
+		t.Fatalf("re-split chunk count = %d, want %d", len(split), len(chunks))
+	}
+	for i := range chunks {
+		if !bytes.Equal(split[i], chunks[i]) {
+			t.Fatalf("re-split chunk %d differs from encoded chunk", i)
+		}
+	}
+}
+
+// sameSlice reports whether two byte slices share identity (same backing
+// pointer and length) — the clean-chunk contract the checkpoint layer's
+// leaf-hash cache relies on.
+func sameSlice(a, b []byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func TestTrackerIncrementalReencode(t *testing.T) {
+	tr := NewTracker(16)
+	for i := 0; i < 64; i++ {
+		tr.Set(fmt.Sprintf("k%02d", i), []byte{byte(i)})
+	}
+	first, _ := tr.EncodeChunks(1, nil)
+
+	// No writes: nothing re-encoded, every chunk slice-identical.
+	second, reenc := tr.EncodeChunks(1, nil)
+	if reenc != 0 {
+		t.Fatalf("clean capture re-encoded %d buckets, want 0", reenc)
+	}
+	for b := 1; b < len(first); b++ {
+		if !sameSlice(first[b], second[b]) {
+			t.Fatalf("clean bucket chunk %d lost slice identity", b)
+		}
+	}
+
+	// One write: exactly that key's bucket re-encodes; all others keep
+	// their identical slices.
+	tr.Set("k05", []byte("new"))
+	dirty := BucketOf("k05", 16)
+	third, reenc := tr.EncodeChunks(2, nil)
+	if reenc != 1 {
+		t.Fatalf("single-write capture re-encoded %d buckets, want 1", reenc)
+	}
+	for b := 1; b < len(second); b++ {
+		if b == 1+dirty {
+			if sameSlice(second[b], third[b]) {
+				t.Fatalf("dirty bucket %d kept its stale slice", b)
+			}
+			continue
+		}
+		if !sameSlice(second[b], third[b]) {
+			t.Fatalf("clean bucket chunk %d lost slice identity", b)
+		}
+	}
+
+	// A delete dirties its bucket the same way.
+	tr.Delete("k05")
+	_, reenc = tr.EncodeChunks(3, nil)
+	if reenc != 1 {
+		t.Fatalf("delete capture re-encoded %d buckets, want 1", reenc)
+	}
+}
+
+func TestTrackerRestoreSeedsEncodingCache(t *testing.T) {
+	src := NewTracker(4)
+	for i := 0; i < 20; i++ {
+		src.Set(fmt.Sprintf("key-%d", i), []byte{byte(i), byte(i)})
+	}
+	chunks, _ := src.EncodeChunks(9, []byte{1})
+	st, split, err := DecodeBucketed(concat(chunks))
+	if err != nil {
+		t.Fatalf("DecodeBucketed: %v", err)
+	}
+
+	dst := NewTracker(DefaultBuckets) // bucket count adopted from blob
+	dst.Restore(st, len(split)-1, split)
+	if dst.Buckets() != 4 {
+		t.Fatalf("restored bucket count = %d, want 4", dst.Buckets())
+	}
+	reChunks, reenc := dst.EncodeChunks(9, []byte{1})
+	if reenc != 0 {
+		t.Fatalf("first post-restore capture re-encoded %d buckets, want 0 (cache seeded)", reenc)
+	}
+	for b := 1; b < len(reChunks); b++ {
+		if !sameSlice(reChunks[b], split[b]) {
+			t.Fatalf("post-restore chunk %d not aliased to restored blob", b)
+		}
+	}
+	if !bytes.Equal(concat(reChunks), concat(chunks)) {
+		t.Fatalf("post-restore encoding differs from source")
+	}
+}
+
+func TestDecodeBucketedRejectsMalformed(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Set("a", []byte("b"))
+	chunks, _ := tr.EncodeChunks(1, []byte{7})
+	valid := concat(chunks)
+
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("notbucketed-----rest")},
+		{"truncated prelude", valid[:10]},
+		{"truncated bucket", valid[:len(valid)-1]},
+		{"zero buckets", func() []byte {
+			d := append([]byte(nil), valid...)
+			// bucket count u32 sits after magic+seq+dlen+digest
+			off := len(bucketMagic) + 8 + 8 + 1
+			d[off], d[off+1], d[off+2], d[off+3] = 0, 0, 0, 0
+			return d[:off+4]
+		}()},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xFF)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := DecodeBucketed(tt.data); err == nil {
+				t.Fatalf("DecodeBucketed accepted malformed input")
+			}
+		})
+	}
+}

@@ -89,10 +89,92 @@ func recoveryLatency(b *testing.B, valSize, ops int, tune func(*core.Config)) fl
 	return float64(cl.Sched.Now()-start) / float64(time.Millisecond)
 }
 
+// deltaRecoveryLatency measures catch-up of a replica that crashes
+// AFTER adopting a stable snapshot: while it is down the live replicas
+// overwrite dirtyFrac of the key space across several checkpoint
+// intervals, and on recovery the victim fetches the new snapshot as a
+// delta against the base generation it still holds. retain tunes
+// Config.SnapshotRetain — 1 disables the generation chain, forcing a
+// full transfer of the same workload (the no-delta baseline). Returns
+// the simulated recovery time plus the victim's reuse/restart counters.
+func deltaRecoveryLatency(b *testing.B, valSize int, dirtyFrac float64, retain int) (float64, core.Metrics) {
+	b.Helper()
+	netCfg := sim.ContinentProfile(7)
+	cl, err := cluster.New(cluster.Options{
+		Protocol: cluster.ProtoSBFT, F: 1, C: 0,
+		App: cluster.AppKV, Clients: 2, NetCfg: &netCfg, Seed: 11,
+		ClientTimeout: time.Second,
+		Tune: func(c *core.Config) {
+			c.Win = 8
+			c.Batch = 1
+			c.CheckpointInterval = 4
+			c.ViewChangeTimeout = 2 * time.Second
+			c.SnapshotRetain = retain
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	const perClient = 12 // phase-1 key space: 2 clients × 12 keys
+	res := cl.RunClosedLoop(perClient, func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("c%d/k%d", client, i), val)
+	}, 10*time.Minute)
+	if res.Completed != 2*perClient {
+		b.Fatalf("phase-1 completed %d of %d", res.Completed, 2*perClient)
+	}
+	base := cl.Replicas[4].SnapshotSeq()
+	if base == 0 {
+		b.Fatal("victim adopted no snapshot before crash")
+	}
+
+	// Down window: 2 clients × 8 = 16 blocks = 4 checkpoint intervals,
+	// rewriting only dirtyFrac of the phase-1 keys.
+	cl.Net.Crash(4)
+	span := int(float64(perClient) * dirtyFrac)
+	if span < 1 {
+		span = 1
+	}
+	gone := cl.RunClosedLoop(8, func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("c%d/k%d", client, i%span), val)
+	}, 10*time.Minute)
+	if gone.Completed != 16 {
+		b.Fatalf("down-window completed %d of 16", gone.Completed)
+	}
+	frontier := cl.Replicas[1].LastStable()
+
+	cl.Net.SetLinkFault(sim.AnyNode, 4, sim.LinkFault{Drop: 0.15})
+	cl.Net.Recover(4)
+	start := cl.Sched.Now()
+	more := cl.RunClosedLoop(4, func(client, i int) []byte {
+		return kvstore.Put(fmt.Sprintf("post/c%d/k%d", client, i), val)
+	}, 10*time.Minute)
+	if more.Completed != 8 {
+		b.Fatalf("follow-up completed %d of 8", more.Completed)
+	}
+	for i := 0; cl.Replicas[4].LastExecuted() < frontier && i < 1200; i++ {
+		cl.Run(100 * time.Millisecond)
+	}
+	if cl.Replicas[4].LastExecuted() < frontier {
+		b.Fatalf("recovery did not complete: le=%d, frontier=%d",
+			cl.Replicas[4].LastExecuted(), frontier)
+	}
+	return float64(cl.Sched.Now()-start) / float64(time.Millisecond), cl.Replicas[4].Metrics
+}
+
 // BenchmarkStateTransfer compares recovery latency of the serial
 // request-per-chunk baseline (unbounded blast, whole-transfer retry only
 // — the pre-windowed behavior, reproduced via config) against the
-// windowed fetch, at a small and a large (multi-MiB) application state.
+// windowed fetch, at a small and a large (multi-MiB) application state;
+// the delta/* points then compare delta transfer against a base the
+// victim already holds (dirty fraction of the key space rewritten while
+// it was down) with the full transfer the same workload costs when the
+// generation chain is disabled (SnapshotRetain=1).
 func BenchmarkStateTransfer(b *testing.B) {
 	serial := func(c *core.Config) {
 		c.FetchWindow = 1 << 20  // effectively unbounded: all chunks at once
@@ -120,6 +202,49 @@ func BenchmarkStateTransfer(b *testing.B) {
 			}
 			ms := total / float64(b.N)
 			b.ReportMetric(ms, "simulated-recovery-ms")
+			if err := stateTransferJSON.Record(tc.name, ms); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+
+	deltaCases := []struct {
+		name      string
+		dirtyFrac float64
+		retain    int
+	}{
+		{"delta/dirty1", 0.01, 8},
+		{"delta/dirty10", 0.10, 8},
+		{"delta/dirty100", 1.00, 8},
+		{"delta/fullbase", 0.01, 1}, // chain disabled: full transfer baseline
+	}
+	for _, tc := range deltaCases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var total float64
+			var m core.Metrics
+			for i := 0; i < b.N; i++ {
+				ms, vm := deltaRecoveryLatency(b, 32*1024, tc.dirtyFrac, tc.retain)
+				total += ms
+				m = vm
+			}
+			// A transfer against a held base must reuse chunks and never
+			// restart; the no-chain baseline must not claim reuse (it is
+			// allowed to restart — that is the pre-delta behavior it
+			// demonstrates).
+			if tc.retain > 1 {
+				if m.SnapshotChunksReused == 0 {
+					b.Fatalf("delta transfer reused no chunks (fetched=%d)", m.SnapshotChunks)
+				}
+				if m.SnapshotTransferRestarts != 0 {
+					b.Fatalf("delta transfer restarted %d times", m.SnapshotTransferRestarts)
+				}
+			} else if m.SnapshotChunksReused != 0 {
+				b.Fatalf("baseline without a generation chain reused %d chunks", m.SnapshotChunksReused)
+			}
+			ms := total / float64(b.N)
+			b.ReportMetric(ms, "simulated-recovery-ms")
+			b.ReportMetric(float64(m.SnapshotChunksReused), "chunks-reused")
 			if err := stateTransferJSON.Record(tc.name, ms); err != nil {
 				b.Fatal(err)
 			}
