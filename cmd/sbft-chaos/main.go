@@ -21,7 +21,11 @@
 // role-targeting attack window), and "openloop" (Poisson open-loop
 // arrivals multiplexed over a client pool with the verification pool
 // armed, a third of the seeds saturating the §V-C admission gate while
-// a benign fault window runs). "both" splits the seed range across default and byzantine,
+// a benign fault window runs), and "reads" (an open-loop mix of
+// certified single-replica reads and writes under crash windows,
+// whole-run forged-proof replicas, and partitioned laggards; every
+// forged reply must be rejected client-side and every verified read
+// audited against the certified frontier). "both" splits the seed range across default and byzantine,
 // keeping wall-time flat; both of those also run the EVM ledger
 // themselves on every fifth seed.
 //
@@ -45,7 +49,7 @@ func main() {
 	var (
 		seeds   = flag.Int("seeds", 200, "number of seeded scenarios to run")
 		start   = flag.Int64("start", 1, "first seed")
-		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, evm, recovery, colluding, openloop, or both (seed range split)")
+		gen     = flag.String("gen", "both", "scenario generator: default, byzantine, evm, recovery, colluding, openloop, reads, or both (seed range split)")
 		verbose = flag.Bool("v", false, "print every scenario outcome")
 	)
 	flag.Parse()
@@ -74,6 +78,8 @@ func main() {
 		sweeps = []sweep{{"colluding", harness.ColludingGen, harness.SeedRange(*start, *seeds)}}
 	case "openloop":
 		sweeps = []sweep{{"openloop", harness.OpenLoopGen, harness.SeedRange(*start, *seeds)}}
+	case "reads":
+		sweeps = []sweep{{"reads", harness.ReadGen, harness.SeedRange(*start, *seeds)}}
 	case "both":
 		// Split the budget so adding the Byzantine sweep keeps the total
 		// scenario count (and CI wall-time) flat.
@@ -83,7 +89,7 @@ func main() {
 			{"byzantine", harness.ByzantineGen, harness.SeedRange(*start, half)},
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, evm, recovery, colluding, openloop, or both)\n", *gen)
+		fmt.Fprintf(os.Stderr, "sbft-chaos: unknown generator %q (want default, byzantine, evm, recovery, colluding, openloop, reads, or both)\n", *gen)
 		os.Exit(2)
 	}
 

@@ -52,6 +52,7 @@ func main() {
 		c        = flag.Int("c", 0, "redundant servers c")
 		seed     = flag.String("seed", "sbft-demo", "shared key seed (must match nodes)")
 		n        = flag.Int("n", 100, "operations to send")
+		reads    = flag.Int("reads", 0, "certified single-replica reads to issue after the writes")
 		listen   = flag.String("listen", "127.0.0.1:0", "client listen address")
 	)
 	flag.Parse()
@@ -82,6 +83,7 @@ func main() {
 		os.Exit(1)
 	}
 	client.RequestTimeout = 4 * time.Second
+	client.SetReadKey(kvstore.ReadKey)
 
 	done := make(chan struct{})
 	var latencies []time.Duration
@@ -132,5 +134,63 @@ func main() {
 			latencies[count/2].Round(time.Microsecond),
 			latencies[count*95/100].Round(time.Microsecond),
 			fastAcks, count)
+	}
+
+	if *reads > 0 {
+		runReads(client, shell, *reads, *n)
+	}
+}
+
+// runReads issues a closed loop of certified reads over the keys the
+// write phase populated and reports how many completed on the
+// consensus-free path (verified value + Merkle proof from one replica)
+// versus falling back to ordering.
+func runReads(client *core.Client, shell *transport.Shell, reads, keys int) {
+	done := make(chan struct{})
+	var latencies []time.Duration
+	var failovers, ordered int
+	count := 0
+	salt := uint64(0)
+	next := func() error {
+		salt++
+		return client.SubmitRead(kvstore.GetUnique(fmt.Sprintf("bench/%d", count%keys), salt))
+	}
+	client.SetOnReadResult(func(res core.ReadResult) {
+		latencies = append(latencies, res.Latency)
+		failovers += res.Failovers
+		if res.Ordered {
+			ordered++
+		}
+		count++
+		if count >= reads {
+			close(done)
+			return
+		}
+		if err := next(); err != nil {
+			fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+			close(done)
+		}
+	})
+	start := time.Now()
+	shell.Do(func() {
+		if err := next(); err != nil {
+			fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+		}
+	})
+	<-done
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	fmt.Printf("completed %d certified reads in %v: %.1f op/s (%d ordered fallbacks, %d failovers)\n",
+		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds(), ordered, failovers)
+	if count > 0 {
+		fmt.Printf("read latency: mean=%v p50=%v p95=%v\n",
+			(sum / time.Duration(count)).Round(time.Microsecond),
+			latencies[count/2].Round(time.Microsecond),
+			latencies[count*95/100].Round(time.Microsecond))
 	}
 }

@@ -53,6 +53,10 @@ func (a *KVApp) Snapshot() ([]byte, error) { return a.Store.Snapshot() }
 // store's incremental bucketed capture.
 func (a *KVApp) SnapshotChunks() ([][]byte, bool, error) { return a.Store.SnapshotChunks() }
 
+// ReadKey implements core.KeyReader: the op→key mapping of the certified
+// read path.
+func (a *KVApp) ReadKey(op []byte) (string, error) { return kvstore.ReadKey(op) }
+
 // Restore implements core.Application.
 func (a *KVApp) Restore(data []byte) error { return a.Store.Restore(data) }
 
@@ -105,6 +109,10 @@ func (a *EVMApp) Snapshot() ([]byte, error) { return a.Ledger.Snapshot() }
 // SnapshotChunks implements core.ChunkedSnapshotter, forwarding the
 // ledger's incremental bucketed capture.
 func (a *EVMApp) SnapshotChunks() ([][]byte, bool, error) { return a.Ledger.SnapshotChunks() }
+
+// ReadKey implements core.KeyReader: the op→key mapping of the certified
+// read path (balance queries).
+func (a *EVMApp) ReadKey(op []byte) (string, error) { return evm.ReadKey(op) }
 
 // Restore implements core.Application.
 func (a *EVMApp) Restore(data []byte) error { return a.Ledger.Restore(data) }

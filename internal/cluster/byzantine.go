@@ -6,6 +6,7 @@ import (
 
 	"sbft/internal/core"
 	"sbft/internal/crypto/threshsig"
+	"sbft/internal/merkle"
 	"sbft/internal/pbft"
 	"sbft/internal/sim"
 )
@@ -52,6 +53,8 @@ func (cl *Cluster) InstallByzantine(node int, kind FaultKind) error {
 		c = snapshotTamperer{}
 	case FaultByzStaleMeta:
 		c = &staleMetaServer{}
+	case FaultByzForgedProof:
+		c = &forgedProofServer{rng: rng}
 	default:
 		return fmt.Errorf("cluster: %v is not a Byzantine fault kind", kind)
 	}
@@ -310,6 +313,54 @@ func (s *staleMetaServer) Corrupt(to sim.NodeID, msg any, size int) []sim.Inject
 		return []sim.Injection{{To: to, Msg: em, Size: em.WireSize()}}
 	}
 	return sim.PassThrough(to, msg, size)
+}
+
+// forgedProofServer attacks the certified read path: every outbound
+// ReadOK reply is rewritten into one of four forgery variants before it
+// leaves the node — flipped chunk bytes under the honest proof, a
+// corrupted proof step, an inflated certified sequence (stale-read
+// laundering: honest payload relabeled as fresher than it is), or a
+// replay of a cached older valid reply re-addressed to the current
+// nonce. Refusals and all non-read traffic pass through: the replica
+// stays honest in consensus and lies only to readers. Every variant
+// must be rejected CLIENT-SIDE by VerifyReadReply — a forged reply that
+// a client accepts is a safety violation the read auditor flags, not a
+// liveness blip the failover path absorbs.
+type forgedProofServer struct {
+	rng    *rand.Rand
+	cached *core.ReadReplyMsg // oldest ReadOK reply seen, for replays
+}
+
+// Corrupt implements sim.Corrupter.
+func (f *forgedProofServer) Corrupt(to sim.NodeID, msg any, size int) []sim.Injection {
+	m, ok := msg.(core.ReadReplyMsg)
+	if !ok || m.Status != core.ReadOK {
+		return sim.PassThrough(to, msg, size)
+	}
+	if f.cached == nil || m.Seq < f.cached.Seq {
+		mm := m
+		f.cached = &mm
+	}
+	em := m
+	em.Chunk = append([]byte(nil), m.Chunk...)
+	em.ChunkProof.Steps = append([]merkle.ProofStep(nil), m.ChunkProof.Steps...)
+	switch f.rng.Intn(4) {
+	case 0: // tamper the value bytes under the honest proof
+		em.Chunk = TamperSnapshotChunk(em.Chunk)
+	case 1: // corrupt one inclusion-proof step
+		if len(em.ChunkProof.Steps) > 0 {
+			i := f.rng.Intn(len(em.ChunkProof.Steps))
+			em.ChunkProof.Steps[i].Hash[0] ^= 0x40
+		} else {
+			em.ChunkProof.Index++
+		}
+	case 2: // inflate the certified sequence past the real frontier
+		em.Seq += uint64(1 + f.rng.Intn(64))
+	case 3: // replay the oldest cached valid reply under the live nonce
+		em = *f.cached
+		em.Client, em.Nonce = m.Client, m.Nonce
+	}
+	return []sim.Injection{{To: to, Msg: em, Size: em.WireSize()}}
 }
 
 // ---------------------------------------------------------------------------

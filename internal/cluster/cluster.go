@@ -10,6 +10,8 @@ import (
 
 	"sbft/internal/apps"
 	"sbft/internal/core"
+	"sbft/internal/evm"
+	"sbft/internal/kvstore"
 	"sbft/internal/pbft"
 	"sbft/internal/sim"
 	"sbft/internal/storage"
@@ -417,8 +419,10 @@ func New(opts Options) (*Cluster, error) {
 
 	// Clients.
 	verifier := core.ProofVerifier(apps.VerifyKV)
+	readKey := kvstore.ReadKey
 	if opts.App == AppEVM {
 		verifier = apps.VerifyEVM
+		readKey = evm.ReadKey
 	}
 	clientCfg := cl.Cfg
 	if opts.Protocol == ProtoPBFT {
@@ -439,6 +443,7 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		c.RequestTimeout = timeout
+		c.SetReadKey(readKey)
 		cl.Clients = append(cl.Clients, c)
 		if err := cl.Net.Register(sim.NodeID(id), i%netCfg.Regions, handler{c}); err != nil {
 			return nil, err
@@ -546,6 +551,10 @@ func (cl *Cluster) Metrics() core.Metrics {
 		m.FastPathDowngrades += rm.FastPathDowngrades
 		m.ExecFallbacks += rm.ExecFallbacks
 		m.ViewRejoins += rm.ViewRejoins
+		m.ReadsServed += rm.ReadsServed
+		m.ReadsBehind += rm.ReadsBehind
+		m.ReadsUnavailable += rm.ReadsUnavailable
+		m.ReadBatches += rm.ReadBatches
 	}
 	return m
 }

@@ -150,6 +150,12 @@ func (cm CostModel) RecvCost(msg any, size int) time.Duration {
 		d += cm.Verify // π certificate + header proof
 	case core.SnapshotChunkMsg:
 		d += time.Duration(1+size/4096) * cm.PerOp // leaf hash chain
+	case core.ReadMsg:
+		// Queueing only; proof generation is charged on the reply send.
+	case core.ReadReplyMsg:
+		// Client-side acceptance: π certificate check plus the header and
+		// chunk proof folds with the bucket decode.
+		d += cm.Verify + cm.PerOp
 
 	// --- PBFT baseline (all messages carry a signature, §IX) ---
 	case pbft.PrePrepareMsg:
@@ -206,6 +212,12 @@ func (cm CostModel) SendCost(msg any, size int) time.Duration {
 		d += cm.PerOp // per-client Merkle proof; π(d) was already combined
 	case core.ReplyMsg:
 		d += cm.Sign // per-client signed reply (ingredient 3's bottleneck)
+	case core.ReadReplyMsg:
+		// Per-reply Merkle proof assembly against the retained commitment
+		// tree; batching shares the proofs, so no signing and no combine —
+		// the asymmetry versus ReplyMsg's cm.Sign is exactly why certified
+		// reads beat ordered reads (the BENCH_reads gate).
+		d += cm.PerOp
 	case core.ViewChangeMsg:
 		d += amortized(cm.Sign, n)
 

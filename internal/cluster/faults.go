@@ -85,6 +85,14 @@ const (
 	// highest-certified-seq meta selection makes it lose to any honest
 	// answer collected in the same window.
 	FaultByzStaleMeta
+	// FaultByzForgedProof makes Node a forged-proof read server: outbound
+	// certified-read replies (core.ReadReplyMsg) are tampered per reply,
+	// rotating between flipped chunk bytes, corrupted Merkle proof steps,
+	// an inflated certified sequence (breaking the π binding) and
+	// replaying a cached stale-but-valid reply below the client's floor.
+	// Clients must reject every variant through local verification — the
+	// chaos check asserts the catches land client-side, never post-hoc.
+	FaultByzForgedProof
 	// FaultByzRestore removes Node's corrupter. The engine was never
 	// corrupted internally, so the replica resumes honest participation;
 	// the audit keeps treating it as Byzantine (sticky mark).
@@ -177,6 +185,8 @@ func (k FaultKind) String() string {
 		return "byz-snapshot"
 	case FaultByzStaleMeta:
 		return "byz-stale-meta"
+	case FaultByzForgedProof:
+		return "byz-forged-proof"
 	case FaultByzRestore:
 		return "byz-restore"
 	case FaultByzColludeEquivocate:
@@ -202,7 +212,8 @@ func (k FaultKind) String() string {
 func (k FaultKind) Byzantine() bool {
 	switch k {
 	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt,
-		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzRestore,
+		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzForgedProof,
+		FaultByzRestore,
 		FaultByzColludeEquivocate, FaultByzColludeCkpt, FaultByzColludeSnapshot:
 		return true
 	}
@@ -297,7 +308,8 @@ func (cl *Cluster) applyFault(f Fault) {
 	case FaultLinkClear:
 		cl.Net.ClearLinkFaults()
 	case FaultByzEquivocate, FaultByzStaleView, FaultByzConflictCkpt,
-		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzRestore:
+		FaultByzSilent, FaultByzSnapshot, FaultByzStaleMeta, FaultByzForgedProof,
+		FaultByzRestore:
 		if err := cl.InstallByzantine(f.Node, f.Kind); err != nil {
 			cl.FaultErrors = append(cl.FaultErrors, fmt.Errorf("%s r%d at %v: %w", f.Kind, f.Node, f.At, err))
 		}

@@ -303,7 +303,10 @@ func VerifySnapshotHeader(root []byte, h SnapshotHeader, p merkle.Proof) error {
 		return fmt.Errorf("core: snapshot root length %d", len(root))
 	}
 	copy(rd[:], root)
-	return merkle.VerifyLeaf(rd, headerLeaf(h), p)
+	// Index-binding verification: the proof must have the exact shape of
+	// leaf 0 in the 1+NumChunks()-leaf commitment tree, so a proof for a
+	// different leaf cannot be replayed as the header's.
+	return merkle.VerifyLeafAt(rd, headerLeaf(h), p, 1+h.NumChunks())
 }
 
 // VerifySnapshotChunk checks a data chunk at 1-based index i against a
@@ -329,7 +332,8 @@ func VerifySnapshotChunk(root []byte, h SnapshotHeader, i int, data []byte, p me
 		return fmt.Errorf("core: snapshot root length %d", len(root))
 	}
 	copy(rd[:], root)
-	return merkle.VerifyLeaf(rd, chunkLeaf(i, data), p)
+	// Index-binding verification (see VerifySnapshotHeader).
+	return merkle.VerifyLeafAt(rd, chunkLeaf(i, data), p, 1+h.NumChunks())
 }
 
 // AssembleSnapshot reassembles (app snapshot bytes, reply-table bytes)

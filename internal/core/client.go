@@ -40,11 +40,24 @@ type Client struct {
 	// RequestTimeout is how long to wait before the §V-A retry. The zero
 	// value disables retries (useful in deterministic tests).
 	RequestTimeout time.Duration
+	// ReadTimeout is the per-replica attempt timeout of the certified
+	// read path (read.go); zero falls back to RequestTimeout.
+	ReadTimeout time.Duration
 
 	ts       uint64
 	view     uint64 // best guess of the current view
 	cur      *pendingOp
 	onResult func(Result)
+
+	// Certified-read state (read.go). seqFloor is the freshness floor:
+	// the highest sequence observed completing (writes and reads), so
+	// reads are read-your-writes and monotonic without consensus.
+	readKey      func(op []byte) (string, error)
+	curRead      *pendingRead
+	readFallback *pendingRead // read being completed through the ordering path
+	readNonce    uint64
+	seqFloor     uint64
+	onReadResult func(ReadResult)
 
 	// Stats.
 	Completed uint64
@@ -52,6 +65,15 @@ type Client struct {
 	// Backpressure counts BusyMsg rejections received (§V-C admission
 	// control): each one delayed a request by the primary's retry hint.
 	Backpressure uint64
+	// ReadsCompleted counts certified reads accepted after full local
+	// verification (Ordered fallbacks count under Completed instead).
+	ReadsCompleted uint64
+	// ReadProofFailures counts read replies rejected by client-side
+	// verification — the forged-proof detections.
+	ReadProofFailures uint64
+	// ReadFallbacks counts reads that exhausted the replica rotation and
+	// completed through the ordering path.
+	ReadFallbacks uint64
 }
 
 type pendingOp struct {
@@ -88,8 +110,9 @@ func (c *Client) View() uint64 { return c.view }
 // Submit.
 func (c *Client) SetOnResult(fn func(Result)) { c.onResult = fn }
 
-// Busy reports whether an operation is outstanding.
-func (c *Client) Busy() bool { return c.cur != nil }
+// Busy reports whether an operation (write or certified read) is
+// outstanding.
+func (c *Client) Busy() bool { return c.cur != nil || c.curRead != nil }
 
 // Submit sends one operation. Clients are sequential (one outstanding
 // operation), matching the paper's measurement clients (§IX).
@@ -143,6 +166,8 @@ func (c *Client) Deliver(from int, msg any) {
 		c.onReply(from, m)
 	case BusyMsg:
 		c.onBusy(from, m)
+	case ReadReplyMsg:
+		c.onReadReply(from, m)
 	}
 }
 
@@ -261,6 +286,28 @@ func (c *Client) complete(p *pendingOp, val []byte, seq uint64, fast bool, viewH
 	}
 	c.cur = nil
 	c.Completed++
+	// Freshness floor (read.go): every completed operation raises the
+	// floor certified reads must meet — read-your-writes without leases.
+	if seq > c.seqFloor {
+		c.seqFloor = seq
+	}
+	// A read that exhausted the certified rotation completes here through
+	// the ordering path: surface it as a ReadResult, not a write result.
+	if fb := c.readFallback; fb != nil {
+		c.readFallback = nil
+		if c.onReadResult != nil {
+			c.onReadResult(ReadResult{
+				Op:        fb.op,
+				Key:       fb.key,
+				Val:       append([]byte(nil), val...),
+				Found:     len(val) > 0,
+				Latency:   c.env.Now() - fb.started,
+				Failovers: fb.failovers,
+				Ordered:   true,
+			})
+		}
+		return
+	}
 	if c.onResult != nil {
 		c.onResult(Result{
 			Op:        p.op,

@@ -84,6 +84,16 @@ type Config struct {
 	// retained generation fetch deltas only. Zero derives 4; 1 reproduces
 	// single-generation retention.
 	SnapshotRetain int
+	// ReadBatch bounds the certified-read queue (ROADMAP item 2): a
+	// replica serves queued reads as one batch when the queue reaches
+	// this size, amortizing Merkle proof generation (the header proof and
+	// per-bucket chunk proofs are computed once per batch). Zero derives
+	// 16; 1 serves every read immediately.
+	ReadBatch int
+	// ReadBatchWait bounds how long a queued read may wait for its batch
+	// to fill. Zero derives 2ms; negative serves immediately (no
+	// batching), the measurable baseline for the batching benchmark.
+	ReadBatchWait time.Duration
 }
 
 // DefaultConfig returns the paper's defaults for a given f and c.
@@ -184,6 +194,23 @@ func (c Config) snapshotRetain() int {
 		return c.SnapshotRetain
 	}
 	return 4
+}
+
+// readBatch is the effective read-batch size (≥ 1).
+func (c Config) readBatch() int {
+	if c.ReadBatch > 0 {
+		return c.ReadBatch
+	}
+	return 16
+}
+
+// readBatchWait is the effective read-batch wait; values < 0 after
+// derivation mean "serve every read immediately".
+func (c Config) readBatchWait() time.Duration {
+	if c.ReadBatchWait != 0 {
+		return c.ReadBatchWait
+	}
+	return 2 * time.Millisecond
 }
 
 // Primary returns the primary replica id (1-based) for a view, chosen
@@ -327,4 +354,16 @@ type Application interface {
 // O(writes-since-last-checkpoint + chunks) instead of O(state).
 type ChunkedSnapshotter interface {
 	SnapshotChunks() (chunks [][]byte, ok bool, err error)
+}
+
+// KeyReader is the optional read-path extension of Application (ROADMAP
+// item 2). ReadKey maps an application-encoded read operation to the
+// state key it would read, so a replica can serve it from its certified
+// snapshot's bucketed chunk layout without ordering. Operations with side
+// effects, or apps without a stable key mapping, return an error — the
+// replica then answers ReadUnavailable and the client falls back to the
+// ordering path. Wrappers forward the call statically, like
+// ChunkedSnapshotter.
+type KeyReader interface {
+	ReadKey(op []byte) (string, error)
 }

@@ -331,6 +331,9 @@ func TestLaggardServerDemotedOnStaleMeta(t *testing.T) {
 	if rg.r.Metrics.SnapshotBlames != 0 {
 		t.Fatal("stale metadata blamed as tampering")
 	}
+	if rg.r.Metrics.SnapshotTimeoutExclusions != 1 {
+		t.Fatalf("exclusion counter = %d, want 1", rg.r.Metrics.SnapshotTimeoutExclusions)
+	}
 	if after := chunkReqCount(rg, 8); after <= before {
 		t.Fatal("expired requests not re-routed to other servers")
 	}

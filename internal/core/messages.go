@@ -433,6 +433,73 @@ func (m NewViewMsg) WireSize() int {
 	return n
 }
 
+// ReadMsg asks one replica for a consensus-free certified read (ROADMAP
+// item 2): the value of a key under the replica's latest π-certified
+// snapshot root, proven by Merkle inclusion. Op is an application-encoded
+// read operation (the replica maps it to a key via the KeyReader hook);
+// MinSeq is the client's freshness floor — a replica whose certified
+// frontier is below it answers ReadBehind instead of serving stale state
+// (read-your-writes without consensus). Nonce matches replies to the
+// in-flight read across failovers.
+type ReadMsg struct {
+	Client int
+	Nonce  uint64
+	Op     []byte
+	MinSeq uint64
+}
+
+// WireSize implements Message.
+func (m ReadMsg) WireSize() int { return msgHeader + 16 + len(m.Op) }
+
+// Read reply statuses.
+const (
+	// ReadOK: the reply carries the certified snapshot evidence.
+	ReadOK byte = iota + 1
+	// ReadBehind: the replica's certified frontier is below the client's
+	// MinSeq floor; Seq reports the frontier so the client can fail over.
+	ReadBehind
+	// ReadUnavailable: the replica cannot serve certified reads (no
+	// certified snapshot yet, no bucketed layout, or the application has
+	// no key mapping for the operation).
+	ReadUnavailable
+)
+
+// ReadReplyMsg answers ReadMsg with everything the client needs to verify
+// the read locally against the threshold-certified state:
+//
+//   - Root, Pi: the latest certified snapshot root and its π
+//     stable-checkpoint certificate over CheckpointSigDigest(Seq, Root);
+//   - Header, HeaderProof: the snapshot header (leaf 0) with its
+//     inclusion proof, establishing the chunk layout under Root;
+//   - ChunkIndex, Chunk, ChunkProof: the bucket chunk covering the key,
+//     with its inclusion proof.
+//
+// The reply deliberately has NO separate value field: the client extracts
+// the value from the verified bucket chunk itself, which authenticates
+// both presence and absence of the key — a lying replica cannot drop a
+// key from a chunk without breaking the inclusion proof.
+type ReadReplyMsg struct {
+	Client  int
+	Nonce   uint64
+	Replica int
+	Status  byte
+	Seq     uint64
+
+	Root        []byte
+	Pi          threshsig.Signature
+	Header      SnapshotHeader
+	HeaderProof merkle.Proof
+	ChunkIndex  int
+	Chunk       []byte
+	ChunkProof  merkle.Proof
+}
+
+// WireSize implements Message.
+func (m ReadReplyMsg) WireSize() int {
+	return msgHeader + 16 + hashSize + sigSize + len(m.Chunk) +
+		(len(m.HeaderProof.Steps)+len(m.ChunkProof.Steps))*hashSize
+}
+
 // TauTauDigest exposes the outer slow-path signing digest for a prepare
 // certificate. Adversarial harnesses use it to let colluding replicas
 // jointly sign commit shares over certificates they assembled from pooled

@@ -206,6 +206,18 @@ type Metrics struct {
 	// (total capture leaves minus this) is work the incremental path
 	// skipped.
 	CheckpointDirtyChunks uint64
+	// ReadsServed counts certified reads answered ReadOK: value + Merkle
+	// proofs against the latest π-certified snapshot root (read.go).
+	ReadsServed uint64
+	// ReadsBehind counts reads refused because the certified frontier was
+	// below the client's freshness floor (the read-your-writes refusal).
+	ReadsBehind uint64
+	// ReadsUnavailable counts reads refused for lack of a certified
+	// bucketed snapshot or an op→key mapping.
+	ReadsUnavailable uint64
+	// ReadBatches counts read-batch flushes; ReadsServed/ReadBatches is
+	// the realized proof-generation amortization factor.
+	ReadBatches uint64
 }
 
 // BlockStore persists committed decision blocks (the paper persists
@@ -315,6 +327,11 @@ type Replica struct {
 	vcTimer       func()
 	gapTimer      func()
 	gapAttempt    int
+
+	// Certified-read batching (read.go): queued reads and the flush timer
+	// that bounds their wait.
+	readQueue []readRequest
+	readTimer func()
 
 	// fastSpread is an EWMA of the observed τ-quorum → σ-quorum share
 	// arrival gap, driving the adaptive fast-path timer (§V-E).
@@ -450,6 +467,8 @@ func (r *Replica) Deliver(from int, msg any) {
 		r.onViewChange(from, m)
 	case NewViewMsg:
 		r.onNewView(from, m)
+	case ReadMsg:
+		r.onRead(from, m)
 	}
 }
 

@@ -20,6 +20,11 @@ type TxKind uint8
 const (
 	TxCreate TxKind = iota + 1
 	TxCall
+	// TxBalance is a read-only balance query: executed through the
+	// ordering path it returns the balance bytes in the receipt, and
+	// being side-effect-free it is also servable as a certified
+	// single-replica read (ReadKey maps it to the balance state key).
+	TxBalance
 )
 
 // Tx is one ledger transaction.
@@ -60,7 +65,7 @@ func DecodeTx(data []byte) (Tx, error) {
 	}
 	var tx Tx
 	tx.Kind = TxKind(data[0])
-	if tx.Kind != TxCreate && tx.Kind != TxCall {
+	if tx.Kind != TxCreate && tx.Kind != TxCall && tx.Kind != TxBalance {
 		return Tx{}, fmt.Errorf("%w: kind %d", ErrBadTx, tx.Kind)
 	}
 	copy(tx.From[:], data[1:21])
@@ -282,10 +287,39 @@ func (l *Ledger) applyTx(seq uint64, raw []byte) Receipt {
 			return Receipt{GasUsed: res.GasUsed, Reverted: true, Ret: res.Ret}
 		}
 		return Receipt{OK: true, GasUsed: res.GasUsed, Ret: res.Ret}
+	case TxBalance:
+		// Side-effect-free: the receipt returns the raw big-endian balance
+		// bytes of To — the same bytes the balance state key holds, so the
+		// ordering path and the certified read path agree on the value.
+		return Receipt{OK: true, Ret: l.state.GetBalance(tx.To).Bytes()}
 	default:
 		return Receipt{Err: "malformed"}
 	}
 }
+
+// BalanceQuery encodes a TxBalance read of an account.
+func BalanceQuery(addr Address) []byte {
+	return Tx{Kind: TxBalance, To: addr}.Encode()
+}
+
+// ReadKey maps an encoded transaction to the state key a certified read
+// serves (core.KeyReader): defined only for the side-effect-free
+// TxBalance. The key is the ledger's balance slot for the queried
+// account; a zero balance is stored as an absent key, which the verified
+// bucket chunk authenticates as such.
+func ReadKey(op []byte) (string, error) {
+	tx, err := DecodeTx(op)
+	if err != nil {
+		return "", err
+	}
+	if tx.Kind != TxBalance {
+		return "", fmt.Errorf("evm: tx kind %d is not a certified read", tx.Kind)
+	}
+	return addrKey("b", tx.To), nil
+}
+
+// ReadKey implements core.KeyReader for direct Ledger embedding.
+func (l *Ledger) ReadKey(op []byte) (string, error) { return ReadKey(op) }
 
 // errClass maps VM errors to deterministic receipt strings (error text must
 // be identical across replicas; we never embed addresses or values).

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"sbft/internal/cluster"
+	"sbft/internal/core"
 	"sbft/internal/sim"
 )
 
@@ -197,6 +198,64 @@ func AuditCluster(cl *cluster.Cluster, recorders map[int]*Recorder, acks []Ack) 
 	}
 
 	return a
+}
+
+// ReadAck is one completed certified read as a client observed it.
+type ReadAck struct {
+	Client int
+	core.ReadResult
+}
+
+// AuditReads cross-checks a certified-read ledger against the settled
+// cluster. Client-side verification is the primary defense (a forged
+// reply must die in VerifyReadReply); this audit is the backstop that
+// would catch a verification bug:
+//
+//  1. No read beyond the certified frontier: a verified read's sequence
+//     can never exceed the highest execution frontier any honest replica
+//     reached — certifying seq s requires at least one honest π share,
+//     and that signer executed to s.
+//  2. Monotonic reads per client: the client raises its freshness floor
+//     on every completion, so later verified reads may never observe an
+//     older certified sequence.
+//
+// Ordered fallbacks went through consensus and are covered by the main
+// audit's ack checks.
+func AuditReads(cl *cluster.Cluster, reads []ReadAck) []string {
+	var divs []string
+	if cl.Replicas == nil {
+		for _, r := range reads {
+			if !r.Ordered {
+				divs = append(divs, fmt.Sprintf("client %d holds a certified read but the cluster runs no SBFT replicas", r.Client))
+			}
+		}
+		return divs
+	}
+	var frontier uint64
+	for id := 1; id <= cl.N; id++ {
+		if cl.IsByzantine(id) || cl.Replicas[id] == nil {
+			continue
+		}
+		if le := cl.Replicas[id].LastExecuted(); le > frontier {
+			frontier = le
+		}
+	}
+	lastSeq := make(map[int]uint64)
+	for _, r := range reads {
+		if r.Ordered {
+			continue
+		}
+		if r.Seq > frontier {
+			divs = append(divs, fmt.Sprintf("read beyond certified frontier: client %d read %q at seq %d, honest frontier %d",
+				r.Client, r.Key, r.Seq, frontier))
+		}
+		if prev := lastSeq[r.Client]; r.Seq < prev {
+			divs = append(divs, fmt.Sprintf("non-monotonic reads: client %d observed seq %d after seq %d",
+				r.Client, r.Seq, prev))
+		}
+		lastSeq[r.Client] = r.Seq
+	}
+	return divs
 }
 
 // liveReplicaCount reports how many honest replicas are not crashed.

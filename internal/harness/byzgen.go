@@ -138,7 +138,8 @@ func ValidateBudget(s cluster.Schedule, n, f, c int) error {
 			}
 		case cluster.FaultByzEquivocate, cluster.FaultByzStaleView,
 			cluster.FaultByzConflictCkpt, cluster.FaultByzSilent,
-			cluster.FaultByzSnapshot, cluster.FaultByzStaleMeta:
+			cluster.FaultByzSnapshot, cluster.FaultByzStaleMeta,
+			cluster.FaultByzForgedProof:
 			get(st.Node).byz = true
 			everByz[st.Node] = true
 		case cluster.FaultByzRestore:

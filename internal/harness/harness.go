@@ -27,6 +27,12 @@ type Scenario struct {
 	Arm func(cl *cluster.Cluster)
 	// OpsPerClient sizes the closed-loop workload.
 	OpsPerClient int
+	// Workload, when set, replaces both built-in drivers with a custom
+	// one (e.g. the mixed certified-read/write generator in readgen.go).
+	// It drives the cluster itself and returns the workload summary plus
+	// the completed/expected operation counts for the liveness ledger;
+	// OpenLoop and OpsPerClient are ignored.
+	Workload func(cl *cluster.Cluster) (cluster.WorkloadResult, uint64, uint64)
 	// OpenLoop, when set, replaces the closed-loop workload with an
 	// open-loop Poisson arrival process (see internal/load): requests
 	// keep arriving at OpenLoop.Rate regardless of completions, so the
@@ -157,7 +163,9 @@ func Run(s Scenario) (*Report, error) {
 	}
 	var res cluster.WorkloadResult
 	var completed, expected uint64
-	if s.OpenLoop != nil {
+	if s.Workload != nil {
+		res, completed, expected = s.Workload(cl)
+	} else if s.OpenLoop != nil {
 		olCfg := *s.OpenLoop
 		if olCfg.Gen == nil {
 			olCfg.Gen = gen
@@ -176,7 +184,7 @@ func Run(s Scenario) (*Report, error) {
 	if s.Settle > 0 {
 		cl.Run(s.Settle)
 	}
-	if s.OpenLoop != nil {
+	if s.Workload == nil && s.OpenLoop != nil {
 		completed = uint64(len(acks))
 	}
 

@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+)
+
+// ReadGen generates read-path chaos scenarios: an open-loop Poisson mix
+// of certified single-replica reads and unique-key writes multiplexed
+// over a client pool, against an SBFT cluster checkpointing frequently
+// enough that the certified frontier chases the workload. Seeds rotate
+// the adversary:
+//
+//   - benign: a crash/restart window while reads are in flight;
+//   - forged: one replica runs FaultByzForgedProof for the whole run,
+//     rewriting every ReadOK reply it sends into a forgery — tampered
+//     chunk, corrupted proof, inflated sequence, or stale replay;
+//   - laggard: one replica is partitioned away from the other replicas
+//     (clients still reach it), so its certified frontier freezes and
+//     reads aimed at it must come back ReadBehind and fail over.
+//
+// Every read is checked: clients only read keys they themselves wrote,
+// so a verified read must find the exact written value (read-your-
+// writes); forged proofs must be rejected CLIENT-SIDE — the sweep pins
+// that property by requiring ReadProofFailures > 0 on forged seeds
+// while the read audit and value checks stay clean (a forgery that
+// survived to the ledger would fail those, post-hoc, which is exactly
+// what must never be the only line of defense).
+func ReadGen(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed*0x51afd6ed5a5c3f + 0x6b79a3f1d0c2e5))
+
+	f := 1
+	n := 3*f + 1
+	ckpt := uint64(4 + rng.Intn(5))
+	opts := cluster.Options{
+		Protocol:      cluster.ProtoSBFT,
+		F:             f,
+		Clients:       8 + rng.Intn(9), // 8..16 multiplexed slots
+		Seed:          seed,
+		ClientTimeout: time.Second,
+		Persist:       true,
+		CryptoPool:    1,
+		Tune: func(c *core.Config) {
+			c.ViewChangeTimeout = time.Second
+			c.CheckpointInterval = ckpt
+			c.Batch = 4
+		},
+	}
+
+	variant := int(uint64(seed) % 3)
+	node := 1 + rng.Intn(n)
+	var sched cluster.Schedule
+	name := "reads"
+	switch variant {
+	case 0:
+		name += "-crash"
+		at := 400*time.Millisecond + time.Duration(rng.Int63n(int64(500*time.Millisecond)))
+		dur := 200*time.Millisecond + time.Duration(rng.Int63n(int64(400*time.Millisecond)))
+		sched = append(sched,
+			cluster.Fault{At: at, Kind: cluster.FaultCrash, Node: node},
+			cluster.Fault{At: at + dur, Kind: cluster.FaultRestart, Node: node})
+	case 1:
+		name += "-forged"
+		// Whole-run forger: installed before the first checkpoint, never
+		// restored, so every certified read aimed at it meets a forgery.
+		sched = append(sched,
+			cluster.Fault{At: 50 * time.Millisecond, Kind: cluster.FaultByzForgedProof, Node: node})
+	default:
+		name += "-laggard"
+		// Replica-only partition: clients stay connected to every group,
+		// so reads keep reaching the frozen replica.
+		at := 400*time.Millisecond + time.Duration(rng.Int63n(int64(400*time.Millisecond)))
+		dur := 500*time.Millisecond + time.Duration(rng.Int63n(int64(600*time.Millisecond)))
+		for id := 1; id <= n; id++ {
+			g := 2
+			if id == node {
+				g = 1
+			}
+			sched = append(sched, cluster.Fault{At: at, Kind: cluster.FaultPartition, Node: id, Group: g})
+		}
+		sched = append(sched, cluster.Fault{At: at + dur, Kind: cluster.FaultHeal})
+	}
+
+	mix := readMix{
+		seed:     seed*0x9e3779b97f4a7c + 0x2545f4914f6cdd1d,
+		rate:     150 + float64(rng.Intn(250)), // 150..400 req/s
+		readFrac: 0.5 + 0.2*rng.Float64(),
+		warmup:   200 * time.Millisecond,
+		window:   2 * time.Second,
+		drain:    4 * time.Second,
+	}
+	var reads []ReadAck
+	var mismatches []string
+
+	return Scenario{
+		Name:     name,
+		Opts:     opts,
+		Schedule: sched,
+		Workload: func(cl *cluster.Cluster) (cluster.WorkloadResult, uint64, uint64) {
+			return runReadMix(cl, mix, &reads, &mismatches)
+		},
+		Horizon:            30 * time.Second,
+		Settle:             2 * time.Second,
+		ExpectAllCommitted: true,
+		Check: func(cl *cluster.Cluster) string {
+			if divs := AuditReads(cl, reads); len(divs) > 0 {
+				return strings.Join(divs, "; ")
+			}
+			if len(mismatches) > 0 {
+				return strings.Join(mismatches, "; ")
+			}
+			if len(reads) == 0 {
+				return "no reads completed"
+			}
+			m := cl.Metrics()
+			if m.ReadsServed == 0 {
+				return "no certified reads served (frontier never reached the workload)"
+			}
+			if variant == 1 {
+				var rejected uint64
+				for _, c := range cl.Clients {
+					rejected += c.ReadProofFailures
+				}
+				if rejected == 0 {
+					return "forged-proof replica ran all run yet no client rejected a reply"
+				}
+			}
+			return ""
+		},
+	}
+}
+
+// readMix parameterizes one open-loop read/write run.
+type readMix struct {
+	seed     int64
+	rate     float64 // Poisson arrivals per second of virtual time
+	readFrac float64 // fraction of arrivals issued as certified reads
+	warmup   time.Duration
+	window   time.Duration // measurement interval
+	drain    time.Duration
+}
+
+// runReadMix drives the cluster with an open-loop mixed workload. Each
+// arrival claims an idle client slot and issues either a unique-key
+// write or a certified read of a key THAT SLOT already wrote — own-key
+// reads make the strongest check available: the client's freshness
+// floor covers the write, so a verified read must find the exact value
+// (a cross-client read may legitimately see a certified snapshot
+// predating another client's write). Reads use salted Get payloads so
+// ordered fallbacks stay unique under the auditor's no-re-execution
+// invariant. After the drain the driver keeps running until every
+// submitted operation completed (or a hard cap), so the returned
+// liveness ledger is settled.
+func runReadMix(cl *cluster.Cluster, mix readMix, ledger *[]ReadAck, mismatches *[]string) (cluster.WorkloadResult, uint64, uint64) {
+	rng := rand.New(rand.NewSource(mix.seed))
+	sched := cl.Sched
+
+	start := sched.Now()
+	measureFrom := start + mix.warmup
+	measureTo := measureFrom + mix.window
+	deadline := measureTo + mix.drain
+
+	var (
+		submitted, completed uint64
+		measuredDone         uint64
+		latencies            []time.Duration
+		fastAcks, retries    uint64
+	)
+	free := make([]int, len(cl.Clients))
+	for i := range free {
+		free[i] = i
+	}
+	counts := make([]int, len(cl.Clients))
+	measured := make([]bool, len(cl.Clients))
+	pendingWrite := make([]string, len(cl.Clients))
+	writtenKeys := make([][]string, len(cl.Clients))
+	writtenVals := make([]map[string][]byte, len(cl.Clients))
+	pendingVal := make([][]byte, len(cl.Clients))
+
+	for ci, c := range cl.Clients {
+		ci, c := ci, c
+		c.ReadTimeout = 150 * time.Millisecond // fast rotation: 4 failovers + fallback fit the drain
+		writtenVals[ci] = make(map[string][]byte)
+		c.SetOnResult(func(r core.Result) {
+			completed++
+			if measured[ci] {
+				measuredDone++
+				latencies = append(latencies, r.Latency)
+				if r.FastAck {
+					fastAcks++
+				}
+				if r.Retried {
+					retries++
+				}
+			}
+			if k := pendingWrite[ci]; k != "" {
+				writtenKeys[ci] = append(writtenKeys[ci], k)
+				writtenVals[ci][k] = pendingVal[ci]
+				pendingWrite[ci] = ""
+			}
+			if cl.OnResult != nil {
+				cl.OnResult(c.ID(), r)
+			}
+			free = append(free, ci)
+		})
+		c.SetOnReadResult(func(rr core.ReadResult) {
+			completed++
+			if measured[ci] {
+				measuredDone++
+				latencies = append(latencies, rr.Latency)
+			}
+			*ledger = append(*ledger, ReadAck{Client: c.ID(), ReadResult: rr})
+			// Read-your-writes: the slot read its own completed write.
+			want, wrote := writtenVals[ci][rr.Key]
+			switch {
+			case !wrote:
+				*mismatches = append(*mismatches,
+					fmt.Sprintf("client %d read unplanned key %q", c.ID(), rr.Key))
+			case !rr.Found:
+				*mismatches = append(*mismatches,
+					fmt.Sprintf("read-your-writes violation: client %d wrote %q, read found nothing (seq %d, ordered=%v)",
+						c.ID(), rr.Key, rr.Seq, rr.Ordered))
+			case string(rr.Val) != string(want):
+				*mismatches = append(*mismatches,
+					fmt.Sprintf("read value mismatch: client %d key %q wrote %q, read %q (seq %d, ordered=%v)",
+						c.ID(), rr.Key, want, rr.Val, rr.Seq, rr.Ordered))
+			}
+			free = append(free, ci)
+		})
+	}
+
+	salt := uint64(0)
+	var arrive func()
+	scheduleNext := func() {
+		gap := time.Duration(rng.ExpFloat64() * float64(time.Second) / mix.rate)
+		if sched.Now()+gap >= measureTo {
+			return // arrivals stop at the window's end
+		}
+		sched.Schedule(gap, arrive)
+	}
+	arrive = func() {
+		if len(free) > 0 {
+			ci := free[len(free)-1]
+			free = free[:len(free)-1]
+			measured[ci] = sched.Now() >= measureFrom
+			c := cl.Clients[ci]
+			var err error
+			if rng.Float64() < mix.readFrac && len(writtenKeys[ci]) > 0 {
+				key := writtenKeys[ci][rng.Intn(len(writtenKeys[ci]))]
+				salt++
+				err = c.SubmitRead(kvstore.GetUnique(key, salt))
+			} else {
+				k := fmt.Sprintf("rg/c%d/k%d", c.ID(), counts[ci])
+				v := []byte(fmt.Sprintf("v%d.%d", c.ID(), counts[ci]))
+				counts[ci]++
+				pendingWrite[ci], pendingVal[ci] = k, v
+				err = c.Submit(kvstore.Put(k, v))
+			}
+			if err != nil {
+				pendingWrite[ci] = ""
+				free = append(free, ci)
+			} else {
+				submitted++
+			}
+		}
+		scheduleNext()
+	}
+	if mix.rate > 0 && len(cl.Clients) > 0 {
+		scheduleNext()
+	}
+
+	for sched.Now() < deadline {
+		if sched.Run(deadline, 50_000) == 0 {
+			break
+		}
+	}
+	// Settle the ledger: in-flight stragglers (a read mid-rotation when the
+	// drain ended) get a bounded grace period before counts are frozen.
+	hardEnd := deadline + 10*time.Second
+	for sched.Now() < hardEnd && completed < submitted {
+		if sched.Run(hardEnd, 50_000) == 0 {
+			break
+		}
+	}
+
+	res := cluster.WorkloadResult{
+		Completed:  completed,
+		Duration:   mix.window,
+		Throughput: float64(measuredDone) / mix.window.Seconds(),
+		FastAcks:   fastAcks,
+		Retries:    retries,
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / time.Duration(len(latencies))
+		res.P50Latency = latencies[len(latencies)/2]
+		p95 := int(float64(len(latencies))*0.95+0.5) - 1
+		if p95 < 0 {
+			p95 = 0
+		}
+		if p95 >= len(latencies) {
+			p95 = len(latencies) - 1
+		}
+		res.P95Latency = latencies[p95]
+	}
+	return res, completed, submitted
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"crypto/sha256"
+	"fmt"
 
 	"sbft/internal/core"
 )
@@ -84,6 +85,16 @@ func (r *Recorder) SnapshotChunks() ([][]byte, bool, error) {
 		return ca.SnapshotChunks()
 	}
 	return nil, false, nil
+}
+
+// ReadKey implements core.KeyReader by delegation, like SnapshotChunks:
+// if the wrapper swallowed the interface, wrapped replicas would answer
+// every certified read ReadUnavailable.
+func (r *Recorder) ReadKey(op []byte) (string, error) {
+	if kr, ok := r.inner.(core.KeyReader); ok {
+		return kr.ReadKey(op)
+	}
+	return "", fmt.Errorf("harness: application has no read-key mapping")
 }
 
 // Restore implements core.Application. The restored span was not executed

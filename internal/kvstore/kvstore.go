@@ -97,6 +97,17 @@ func Put(key string, value []byte) []byte { return Op{Kind: OpPut, Key: key, Val
 // Get returns an encoded get operation.
 func Get(key string) []byte { return Op{Kind: OpGet, Key: key}.Encode() }
 
+// GetUnique returns a get operation carrying a salt in the (ignored)
+// value field. Execution and ReadKey treat it exactly like Get; the salt
+// only makes the encoded payload globally unique, so certified reads
+// that fall back to the ordered path stay distinguishable under the
+// harness auditor's no-re-execution invariant.
+func GetUnique(key string, salt uint64) []byte {
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], salt)
+	return Op{Kind: OpGet, Key: key, Value: v[:]}.Encode()
+}
+
 // Delete returns an encoded delete operation.
 func Delete(key string) []byte { return Op{Kind: OpDelete, Key: key}.Encode() }
 
@@ -423,6 +434,25 @@ func (s *Store) Restore(data []byte) error {
 	s.executed = make(map[uint64]*execRecord)
 	return nil
 }
+
+// ReadKey maps an encoded operation to the state key a certified read
+// serves (core.KeyReader): defined only for the side-effect-free OpGet.
+// Both replicas (routing the read to its snapshot bucket) and clients
+// (checking the routing and extracting the value from the verified
+// chunk) use the same mapping.
+func ReadKey(op []byte) (string, error) {
+	o, err := DecodeOp(op)
+	if err != nil {
+		return "", err
+	}
+	if o.Kind != OpGet {
+		return "", fmt.Errorf("kvstore: op kind %d is not a certified read", o.Kind)
+	}
+	return o.Key, nil
+}
+
+// ReadKey implements core.KeyReader for direct Store embedding.
+func (s *Store) ReadKey(op []byte) (string, error) { return ReadKey(op) }
 
 // Value reads a key directly (local queries; not authenticated).
 func (s *Store) Value(key string) ([]byte, bool) { return s.state.Get(key) }

@@ -177,6 +177,50 @@ func VerifyLeafHash(root Digest, leaf Digest, p Proof) error {
 	return nil
 }
 
+// CheckProofShape verifies that a proof's step count and step
+// orientations are exactly what leaf p.Index of a leafCount-leaf tree
+// requires. VerifyLeafHash alone folds whatever steps the prover supplied
+// — sound for binding data to the root, but a malicious prover could
+// shift a valid proof to a different claimed Index without failing it.
+// Verifiers that act on the index (the certified read path routes a key
+// to its bucket leaf by index) must pin the shape first.
+func CheckProofShape(p Proof, leafCount int) error {
+	if p.Index < 0 || p.Index >= leafCount {
+		return fmt.Errorf("%w: %d of %d", ErrIndexRange, p.Index, leafCount)
+	}
+	idx, n, used := p.Index, leafCount, 0
+	for n > 1 {
+		if idx%2 == 1 {
+			if used >= len(p.Steps) || p.Steps[used].Right {
+				return fmt.Errorf("%w: proof shape mismatch at step %d", ErrProofInvalid, used)
+			}
+			used++
+		} else if idx+1 < n {
+			if used >= len(p.Steps) || !p.Steps[used].Right {
+				return fmt.Errorf("%w: proof shape mismatch at step %d", ErrProofInvalid, used)
+			}
+			used++
+		}
+		// else: odd promoted node, no step at this level.
+		idx /= 2
+		n = (n + 1) / 2
+	}
+	if used != len(p.Steps) {
+		return fmt.Errorf("%w: %d trailing proof steps", ErrProofInvalid, len(p.Steps)-used)
+	}
+	return nil
+}
+
+// VerifyLeafAt checks both that the proof has the exact shape of leaf
+// p.Index in a leafCount-leaf tree and that data folds to root through
+// it: index-binding membership verification.
+func VerifyLeafAt(root Digest, data []byte, p Proof, leafCount int) error {
+	if err := CheckProofShape(p, leafCount); err != nil {
+		return err
+	}
+	return VerifyLeafHash(root, LeafHash(data), p)
+}
+
 // Equal reports whether two byte slices match (constant-time not required;
 // digests are public).
 func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -174,6 +174,63 @@ func (t *Tracker) Restore(st State, buckets int, chunks [][]byte) {
 	}
 }
 
+// BucketLookup searches one bucket chunk (the canonical per-bucket
+// framing: count u64, then count × (klen u64, key, vlen u64, value)) for
+// a key. It returns the value and whether the key is present, and errors
+// only on malformed framing — so a VERIFIED chunk authenticates both the
+// presence and the absence of the key. The certified read path uses this
+// client-side: the chunk's Merkle leaf binds these exact bytes, so a
+// replica cannot hide or invent an entry without breaking the proof.
+func BucketLookup(chunk []byte, key string) ([]byte, bool, error) {
+	rest := chunk
+	readU64 := func() (uint64, error) {
+		if len(rest) < 8 {
+			return 0, fmt.Errorf("snapcodec: truncated bucket chunk")
+		}
+		v := binary.BigEndian.Uint64(rest)
+		rest = rest[8:]
+		return v, nil
+	}
+	count, err := readU64()
+	if err != nil {
+		return nil, false, err
+	}
+	if count > maxLen/16 || count > uint64(len(rest))/16 {
+		return nil, false, fmt.Errorf("snapcodec: %d entries in %d bytes", count, len(rest))
+	}
+	var val []byte
+	found := false
+	for i := uint64(0); i < count; i++ {
+		klen, err := readU64()
+		if err != nil {
+			return nil, false, err
+		}
+		if klen > maxLen || uint64(len(rest)) < klen {
+			return nil, false, fmt.Errorf("snapcodec: bad key length %d", klen)
+		}
+		k := string(rest[:klen])
+		rest = rest[klen:]
+		vlen, err := readU64()
+		if err != nil {
+			return nil, false, err
+		}
+		if vlen > maxLen || uint64(len(rest)) < vlen {
+			return nil, false, fmt.Errorf("snapcodec: bad value length %d", vlen)
+		}
+		if k == key {
+			found = true
+			if vlen > 0 {
+				val = append([]byte(nil), rest[:vlen]...)
+			}
+		}
+		rest = rest[vlen:]
+	}
+	if len(rest) != 0 {
+		return nil, false, fmt.Errorf("snapcodec: %d trailing bucket bytes", len(rest))
+	}
+	return val, found, nil
+}
+
 // DecodeBucketed parses an assembled bucketed snapshot, returning the
 // state and the re-split chunk list (prelude + one slice per bucket,
 // aliasing data) for seeding a Tracker.

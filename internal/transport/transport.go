@@ -46,6 +46,8 @@ func init() {
 	gob.Register(core.SnapshotMetaMsg{})
 	gob.Register(core.FetchSnapshotChunkMsg{})
 	gob.Register(core.SnapshotChunkMsg{})
+	gob.Register(core.ReadMsg{})
+	gob.Register(core.ReadReplyMsg{})
 	gob.Register(core.ViewChangeMsg{})
 	gob.Register(core.NewViewMsg{})
 	gob.Register(pbft.PrePrepareMsg{})
