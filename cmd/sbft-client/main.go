@@ -1,6 +1,10 @@
 // Command sbft-client drives a TCP SBFT deployment with key-value
-// operations and reports latency/throughput. See cmd/sbft-node for a
-// complete local deployment walkthrough.
+// operations and reports latency/throughput. The default mode is a
+// closed loop (-n sequential operations); -openloop <rate> switches to
+// real-time Poisson arrivals multiplexed over -slots TCP clients,
+// sharing internal/load's shed accounting so live runs can find the
+// saturation knee. See cmd/sbft-node for a complete local deployment
+// walkthrough.
 package main
 
 import (
@@ -54,6 +58,10 @@ func main() {
 		n        = flag.Int("n", 100, "operations to send")
 		reads    = flag.Int("reads", 0, "certified single-replica reads to issue after the writes")
 		listen   = flag.String("listen", "127.0.0.1:0", "client listen address")
+		openloop = flag.Float64("openloop", 0, "open-loop mode: Poisson arrivals at this rate (req/s) over a slot pool instead of the closed loop")
+		slots    = flag.Int("slots", 8, "open-loop client slot pool size")
+		duration = flag.Duration("duration", 10*time.Second, "open-loop measurement window")
+		warmup   = flag.Duration("warmup", time.Second, "open-loop warmup before measurement")
 	)
 	flag.Parse()
 
@@ -63,6 +71,13 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := core.DefaultConfig(*f, *c)
+	if *openloop > 0 {
+		if err := runOpenLoop(peers, cfg, *seed, *openloop, *slots, *warmup, *duration, 5*time.Second, *listen); err != nil {
+			fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	suite, _, err := core.InsecureSuite(cfg, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbft-client: %v\n", err)

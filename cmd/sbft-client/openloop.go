@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"sbft/internal/apps"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+	"sbft/internal/load"
+	"sbft/internal/transport"
+)
+
+// runOpenLoop drives the deployment with real-time Poisson arrivals
+// multiplexed over a pool of TCP client slots — the live counterpart of
+// internal/load.Run, sharing its Book slot/shed/latency ledger. A live
+// run at increasing -openloop rates finds the deployment's saturation
+// knee: the rate where Dropped turns nonzero is where the system stopped
+// keeping up with offered load.
+func runOpenLoop(peers map[int]string, cfg core.Config, seed string, rate float64, slots int, warmup, window, drain time.Duration, listen string) error {
+	suite, _, err := core.InsecureSuite(cfg, seed)
+	if err != nil {
+		return err
+	}
+
+	shells := make([]*transport.Shell, slots)
+	clients := make([]*core.Client, slots)
+	var mu sync.Mutex
+	book := load.NewBook(slots)
+	for s := 0; s < slots; s++ {
+		s := s
+		shell, err := transport.NewShell(core.ClientBase+s, listen, peers)
+		if err != nil {
+			return err
+		}
+		defer shell.Close()
+		client, err := core.NewClient(core.ClientBase+s, cfg, suite, shell, apps.VerifyKV)
+		if err != nil {
+			return err
+		}
+		client.RequestTimeout = 4 * time.Second
+		client.SetOnResult(func(res core.Result) {
+			mu.Lock()
+			book.Complete(s, res.Latency, res.FastAck, res.Retried)
+			mu.Unlock()
+		})
+		shell.Start(client)
+		shell.AnnounceAll()
+		shells[s], clients[s] = shell, client
+	}
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	start := time.Now()
+	measureFrom := start.Add(warmup)
+	measureTo := measureFrom.Add(window)
+	fmt.Printf("open loop: %.0f req/s over %d slots (%v warmup, %v window)\n", rate, slots, warmup, window)
+
+	for {
+		gap := time.Duration(rng.ExpFloat64() * float64(time.Second) / rate)
+		time.Sleep(gap)
+		now := time.Now()
+		if now.After(measureTo) {
+			break
+		}
+		mu.Lock()
+		slot, i, ok := book.Arrive(now.After(measureFrom))
+		mu.Unlock()
+		if !ok {
+			continue // shed: every slot busy
+		}
+		op := kvstore.Put(fmt.Sprintf("ol/c%d/k%d", slot, i), []byte("v"))
+		shells[slot].Do(func() {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := clients[slot].Submit(op); err != nil {
+				book.Requeue(slot)
+			} else {
+				book.Submitted()
+			}
+		})
+	}
+
+	// Drain: let measured in-flight requests finish.
+	drainEnd := time.Now().Add(drain)
+	for time.Now().Before(drainEnd) {
+		mu.Lock()
+		inflight := book.InFlight()
+		mu.Unlock()
+		if inflight == 0 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	mu.Lock()
+	res := book.Finalize(window)
+	mu.Unlock()
+	fmt.Printf("offered %d, submitted %d, shed %d, completed %d (%d total): %.1f op/s\n",
+		res.Offered, res.Submitted, res.Dropped, res.Completed, res.CompletedAll, res.Throughput)
+	if res.Completed > 0 {
+		fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v  single-message acks: %d/%d, retries %d\n",
+			res.MeanLatency.Round(time.Microsecond), res.P50Latency.Round(time.Microsecond),
+			res.P95Latency.Round(time.Microsecond), res.P99Latency.Round(time.Microsecond),
+			res.FastAcks, res.Completed, res.Retries)
+	}
+	if res.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "sbft-client: %d arrivals shed — offered load exceeds the deployment's capacity at %d slots\n",
+			res.Dropped, slots)
+	}
+	return nil
+}

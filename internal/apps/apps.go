@@ -57,6 +57,10 @@ func (a *KVApp) SnapshotChunks() ([][]byte, bool, error) { return a.Store.Snapsh
 // read path.
 func (a *KVApp) ReadKey(op []byte) (string, error) { return kvstore.ReadKey(op) }
 
+// TxStats implements core.TwoPhaser, forwarding the store's cumulative
+// cross-shard 2PC counters.
+func (a *KVApp) TxStats() (prepares, commits, aborts uint64) { return a.Store.TxStats() }
+
 // Restore implements core.Application.
 func (a *KVApp) Restore(data []byte) error { return a.Store.Restore(data) }
 

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sbft/internal/cluster"
+	"sbft/internal/core"
+	"sbft/internal/kvstore"
+	"sbft/internal/shard"
+)
+
+// Sharding experiments (ROADMAP item 5): aggregate throughput of a
+// k-group deployment under disjoint-key load (the linear-scaling claim:
+// independent groups order independently) and under a cross-shard mix
+// (the 2PC tax: coordinator round-trips and certificate verification).
+
+// ShardingConfig sizes one sharded measurement.
+type ShardingConfig struct {
+	Shards int
+	F      int // per-group f (n = 3f+1 each, c = 0)
+	// Lanes is the client count per group.
+	Lanes int
+	// OpsPerLane is the closed-loop depth per client (disjoint) or the
+	// operation count per lane driver (cross).
+	OpsPerLane int
+	// CrossFrac is the fraction of cross-shard transactions in the mixed
+	// workload (ignored by the disjoint run).
+	CrossFrac float64
+	Seed      int64
+	Horizon   time.Duration
+}
+
+// DefaultSharding returns the CI-sized sharded measurement.
+func DefaultSharding(k int, seed int64) ShardingConfig {
+	return ShardingConfig{
+		Shards:     k,
+		F:          1,
+		Lanes:      4,
+		OpsPerLane: 25,
+		CrossFrac:  0.10,
+		Seed:       seed,
+		Horizon:    2 * time.Minute,
+	}
+}
+
+// ShardingPoint is one measured sharded configuration.
+type ShardingPoint struct {
+	Shards int
+	// Aggregate is the summed steady-state throughput across groups in
+	// operations per simulated second.
+	Aggregate float64
+	PerGroup  []float64
+}
+
+// disjointKey finds a key owned by group g (same salt search a routing
+// client performs).
+func disjointKey(g, k int, lane, i int, seed int64) string {
+	for salt := 0; ; salt++ {
+		key := fmt.Sprintf("bench/%d/%d/%d.%d", seed, lane, i, salt)
+		if shard.Route(key, k) == g {
+			return key
+		}
+	}
+}
+
+// RunShardingDisjoint measures aggregate throughput of a k-shard
+// deployment under PURELY disjoint-key load: every client writes only
+// keys its own group owns, so no cross-shard coordination happens and
+// the groups run as independent ordering pipelines. Aggregate throughput
+// is the sum of per-group steady-state rates — in a real deployment the
+// groups run concurrently on disjoint hardware.
+func RunShardingDisjoint(cfg ShardingConfig) (*ShardingPoint, error) {
+	sc, err := shard.New(shard.Options{
+		Shards:        cfg.Shards,
+		F:             cfg.F,
+		Lanes:         cfg.Lanes,
+		Seed:          cfg.Seed,
+		ClientTimeout: time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+
+	pt := &ShardingPoint{Shards: cfg.Shards}
+	for g, cl := range sc.Topo.Groups {
+		g := g
+		gen := func(lane, i int) []byte {
+			key := disjointKey(g, cfg.Shards, lane, i, cfg.Seed)
+			return kvstore.Put(key, []byte("v"))
+		}
+		res := cl.RunClosedLoop(cfg.OpsPerLane, cluster.OpGen(gen), cfg.Horizon)
+		want := uint64(cfg.Lanes * cfg.OpsPerLane)
+		if res.Completed != want {
+			return nil, fmt.Errorf("bench: group %d completed %d/%d ops", g, res.Completed, want)
+		}
+		// Partition honesty check: the load must have LANDED, not been
+		// refused by the ownership check (a refused Put still "completes"
+		// with an error value).
+		probe := disjointKey(g, cfg.Shards, 0, 0, cfg.Seed)
+		if _, ok := sc.FrontierStore(g).Value(probe); !ok {
+			return nil, fmt.Errorf("bench: group %d refused its own partition (key %q missing)", g, probe)
+		}
+		pt.PerGroup = append(pt.PerGroup, res.Throughput)
+		pt.Aggregate += res.Throughput
+	}
+	return pt, nil
+}
+
+// CrossResult summarizes a mixed single/cross-shard run.
+type CrossResult struct {
+	Shards    int
+	SingleOps int
+	Committed int
+	Aborted   int
+	Pending   int
+	Elapsed   time.Duration
+	// Throughput counts logical operations (a transaction is one) per
+	// simulated second of the SHARED lockstep clock.
+	Throughput float64
+}
+
+// RunShardingCross measures a k-shard deployment under a mixed workload:
+// each lane drives OpsPerLane logical operations, a CrossFrac fraction of
+// which are two-shard transactions through an honest proof-carrying
+// coordinator, the rest single-shard puts. Reported, not gated — the 2PC
+// tax (two consensus rounds plus certificate ferrying per transaction)
+// is the price of atomicity, and this run quantifies it.
+func RunShardingCross(cfg ShardingConfig) (*CrossResult, error) {
+	if cfg.Shards < 2 {
+		return nil, fmt.Errorf("bench: cross-shard mix needs ≥ 2 shards")
+	}
+	sc, err := shard.New(shard.Options{
+		Shards:        cfg.Shards,
+		F:             cfg.F,
+		Lanes:         cfg.Lanes,
+		Seed:          cfg.Seed,
+		ClientTimeout: time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+
+	out := &CrossResult{Shards: cfg.Shards}
+	type driver struct {
+		lane int
+		rng  *rand.Rand
+		i    int
+		done bool
+	}
+	drivers := make([]*driver, cfg.Lanes)
+	var step func(d *driver)
+	step = func(d *driver) {
+		if d.i >= cfg.OpsPerLane {
+			d.done = true
+			return
+		}
+		i := d.i
+		d.i++
+		if d.rng.Float64() < cfg.CrossFrac {
+			// Two-shard transaction between a random pair.
+			a := d.rng.Intn(cfg.Shards)
+			b := (a + 1 + d.rng.Intn(cfg.Shards-1)) % cfg.Shards
+			txid := fmt.Sprintf("xtx/%d/%d/%d", cfg.Seed, d.lane, i)
+			tx := shard.Tx{ID: txid, Writes: [][]byte{
+				kvstore.Put(disjointKey(a, cfg.Shards, d.lane, 1000+i, cfg.Seed), []byte(txid)),
+				kvstore.Put(disjointKey(b, cfg.Shards, d.lane, 2000+i, cfg.Seed), []byte(txid)),
+			}}
+			co := &shard.Coordinator{SC: sc, Lane: d.lane, Mode: shard.CoordHonest}
+			if err := co.Start(tx, func(o shard.TxOutcome) {
+				switch {
+				case o.Committed:
+					out.Committed++
+				case o.Aborted:
+					out.Aborted++
+				default:
+					out.Pending++
+				}
+				step(d)
+			}); err != nil {
+				d.done = true
+			}
+			return
+		}
+		g := d.rng.Intn(cfg.Shards)
+		op := kvstore.Put(disjointKey(g, cfg.Shards, d.lane, i, cfg.Seed), []byte("v"))
+		if err := sc.Submit(g, d.lane, op, func(core.Result) {
+			out.SingleOps++
+			step(d)
+		}); err != nil {
+			d.done = true
+		}
+	}
+	start := sc.Topo.Now()
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		drivers[lane] = &driver{lane: lane, rng: rand.New(rand.NewSource(cfg.Seed*131 + int64(lane)))}
+		step(drivers[lane])
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = 2 * time.Minute
+	}
+	allDone := func() bool {
+		for _, d := range drivers {
+			if !d.done {
+				return false
+			}
+		}
+		return true
+	}
+	if !sc.Topo.RunUntil(allDone, horizon) {
+		return nil, fmt.Errorf("bench: cross-shard mix did not drain within %v", horizon)
+	}
+	out.Elapsed = sc.Topo.Now() - start
+	total := out.SingleOps + out.Committed + out.Aborted
+	if out.Elapsed > 0 {
+		out.Throughput = float64(total) / out.Elapsed.Seconds()
+	}
+	return out, nil
+}

@@ -555,6 +555,10 @@ func (cl *Cluster) Metrics() core.Metrics {
 		m.ReadsBehind += rm.ReadsBehind
 		m.ReadsUnavailable += rm.ReadsUnavailable
 		m.ReadBatches += rm.ReadBatches
+		m.TxPrepares += rm.TxPrepares
+		m.TxCommits += rm.TxCommits
+		m.TxAborts += rm.TxAborts
+		m.TxCoordFailovers += rm.TxCoordFailovers
 	}
 	return m
 }

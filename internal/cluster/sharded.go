@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"sbft/internal/sim"
+)
+
+// Multi-group topology for sharded deployments (ROADMAP item 5): k
+// independent SBFT groups, each a full Cluster with its own scheduler,
+// network, threshold key set and replicated application, advanced in
+// LOCKSTEP over a shared virtual clock. The sharding semantics (key
+// routing, cross-shard 2PC wiring, coordinators) live one layer up in
+// internal/shard; this file only provides the deterministic k-group
+// substrate it drives.
+//
+// Each group gets a distinct Seed (distinct network randomness AND a
+// distinct insecure-suite key set — the suite is seeded from the cluster
+// seed, so one shard's certificates never verify under another's keys
+// unless the verifier explicitly selects that shard's suite).
+
+// ShardedOptions configures a k-group deployment.
+type ShardedOptions struct {
+	// Shards is the group count k (≥ 1).
+	Shards int
+	// Base is the per-group Options template. Base.Seed seeds the whole
+	// deployment; group g runs with Seed = Base.Seed*1000 + g + 1.
+	Base Options
+	// WAN gives every group the world-scale WAN model (the
+	// examples/georeplication topology) instead of the default
+	// continental profile.
+	WAN bool
+	// PerGroup, when set, adjusts group g's options after the template
+	// and seed are applied (e.g. installing per-group WrapApp hooks).
+	PerGroup func(g int, opts *Options)
+	// Quantum is the lockstep advance step (0 = 2ms of virtual time).
+	// Cross-group messages (a coordinator completing on shard A and
+	// submitting to shard B) land in the next quantum at the earliest, so
+	// the quantum bounds cross-shard reaction latency, not correctness.
+	Quantum time.Duration
+}
+
+// Sharded is a running k-group deployment.
+type Sharded struct {
+	// Groups holds the k independent clusters, indexed by shard id.
+	Groups []*Cluster
+	// Quantum is the effective lockstep step.
+	Quantum time.Duration
+
+	now time.Duration
+}
+
+// NewShardedCluster builds k independent groups from a common template.
+func NewShardedCluster(opts ShardedOptions) (*Sharded, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d < 1", opts.Shards)
+	}
+	q := opts.Quantum
+	if q <= 0 {
+		q = 2 * time.Millisecond
+	}
+	s := &Sharded{Quantum: q}
+	for g := 0; g < opts.Shards; g++ {
+		o := opts.Base
+		o.Seed = opts.Base.Seed*1000 + int64(g) + 1
+		if opts.WAN && o.NetCfg == nil {
+			cfg := sim.WorldProfile(o.Seed)
+			o.NetCfg = &cfg
+		}
+		if opts.PerGroup != nil {
+			opts.PerGroup(g, &o)
+		}
+		cl, err := New(o)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("cluster: building shard %d: %w", g, err)
+		}
+		s.Groups = append(s.Groups, cl)
+	}
+	return s, nil
+}
+
+// Now reports the shared virtual clock (the lockstep frontier every
+// group's scheduler has reached).
+func (s *Sharded) Now() time.Duration { return s.now }
+
+// step advances every group to the common target time. A scheduled no-op
+// at exactly the target forces an idle scheduler's clock forward — an
+// empty queue would otherwise leave its Now behind the frontier, and the
+// next cross-group submit would land in its past.
+func (s *Sharded) step(target time.Duration) {
+	for _, cl := range s.Groups {
+		if d := target - cl.Sched.Now(); d >= 0 {
+			cl.Sched.Schedule(d, func() {})
+		}
+		cl.Sched.Run(target, 0)
+	}
+	s.now = target
+}
+
+// Run advances all groups in lockstep for a span of shared virtual time.
+// Callbacks fired inside one group (e.g. a client completion driving a
+// cross-shard coordinator) may submit to other groups at any point; the
+// single-threaded quantum order keeps the whole deployment deterministic.
+func (s *Sharded) Run(span time.Duration) {
+	end := s.now + span
+	for s.now < end {
+		next := s.now + s.Quantum
+		if next > end {
+			next = end
+		}
+		s.step(next)
+	}
+}
+
+// RunUntil advances in lockstep until done() reports true or the budget
+// is exhausted, returning whether done was reached.
+func (s *Sharded) RunUntil(done func() bool, budget time.Duration) bool {
+	end := s.now + budget
+	for !done() {
+		if s.now >= end {
+			return false
+		}
+		next := s.now + s.Quantum
+		if next > end {
+			next = end
+		}
+		s.step(next)
+	}
+	return true
+}
+
+// Close releases every group's resources.
+func (s *Sharded) Close() error {
+	var first error
+	for _, cl := range s.Groups {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -24,6 +24,12 @@ type Result struct {
 	// Retried reports whether the client had to fall back to
 	// broadcasting the request (§V-A timeout path).
 	Retried bool
+	// Cert is the π-certified execute certificate backing a FastAck
+	// completion — the verified single-message acceptance evidence,
+	// retained as a standalone artifact (cross-shard coordinators embed
+	// it in commit/abort ops). Nil on the f+1 direct-reply path, which
+	// carries no certificate.
+	Cert *ExecuteCert
 }
 
 // Client is a sans-io SBFT client (§V-A): it sends each operation to the
@@ -217,7 +223,16 @@ func (c *Client) onExecuteAck(_ int, m ExecuteAckMsg) {
 			return
 		}
 	}
-	c.complete(p, m.Val, m.Seq, true, m.View)
+	cert := &ExecuteCert{
+		Seq:    m.Seq,
+		L:      m.L,
+		Op:     append([]byte(nil), p.op...),
+		Val:    append([]byte(nil), m.Val...),
+		Digest: append([]byte(nil), m.Digest...),
+		Pi:     m.Pi,
+		Proof:  append([]byte(nil), m.Proof...),
+	}
+	c.complete(p, m.Val, m.Seq, true, m.View, cert)
 }
 
 func (c *Client) onReply(from int, m ReplyMsg) {
@@ -257,7 +272,7 @@ func (c *Client) onReply(from int, m ReplyMsg) {
 				first = false
 			}
 		}
-		c.complete(p, p.vals[fp], p.seqs[fp], false, viewHint)
+		c.complete(p, p.vals[fp], p.seqs[fp], false, viewHint, nil)
 	}
 }
 
@@ -273,7 +288,7 @@ func (c *Client) onReply(from int, m ReplyMsg) {
 // poisoned maximum (upward adoption stays capped even then). Worst case,
 // ≤ f lying replicas degrade one client's latency; the retry broadcast
 // bounds the damage per operation.
-func (c *Client) complete(p *pendingOp, val []byte, seq uint64, fast bool, viewHint uint64) {
+func (c *Client) complete(p *pendingOp, val []byte, seq uint64, fast bool, viewHint uint64, cert *ExecuteCert) {
 	if p.cancelTo != nil {
 		p.cancelTo()
 	}
@@ -317,6 +332,7 @@ func (c *Client) complete(p *pendingOp, val []byte, seq uint64, fast bool, viewH
 			Latency:   c.env.Now() - p.started,
 			FastAck:   fast,
 			Retried:   p.retried,
+			Cert:      cert,
 		})
 	}
 }

@@ -367,3 +367,15 @@ type ChunkedSnapshotter interface {
 type KeyReader interface {
 	ReadKey(op []byte) (string, error)
 }
+
+// TwoPhaser is the optional cross-shard extension of Application
+// (ROADMAP item 5): applications that execute the two-phase
+// (prepare-lock / commit-or-abort) op envelope report their cumulative
+// 2PC counters so the replica surfaces them as Metrics. The counters
+// are observability only — never protocol state — and reset with the
+// process like every other metric. Wrappers forward the call
+// statically, like ChunkedSnapshotter; a wrapper over an app without
+// the envelope reports zeros.
+type TwoPhaser interface {
+	TxStats() (prepares, commits, aborts uint64)
+}

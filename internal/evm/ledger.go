@@ -162,6 +162,12 @@ type Ledger struct {
 	lastSeq  uint64
 	digest   []byte
 	executed map[uint64]*execRecord
+
+	// Account partitioning and locks (partition.go). shards==0 means
+	// partitioning is not enabled.
+	shardID        int
+	shards         int
+	lockedAccounts map[string]bool
 }
 
 type execRecord struct {
@@ -351,7 +357,17 @@ func errClass(err error) string {
 func (l *Ledger) ExecuteBlock(seq uint64, ops [][]byte) [][]byte {
 	results := make([][]byte, len(ops))
 	for i, raw := range ops {
+		mark := l.state.Snapshot()
 		rcpt := l.applyTx(seq, raw)
+		// Partition guard (partition.go): a transaction that touched a
+		// foreign or locked account rolls back ENTIRELY — its admitted
+		// writes are undone and an error receipt takes its slot, so sharded
+		// replicas never apply a partial cross-partition effect.
+		if verr := l.state.Violation(); verr != nil {
+			l.state.RevertTo(mark)
+			l.state.ClearViolation()
+			rcpt = Receipt{Err: verr.Error()}
+		}
 		l.state.DiscardJournal()
 		results[i] = rcpt.Encode()
 	}
@@ -463,6 +479,7 @@ func (l *Ledger) Restore(data []byte) error {
 		l.stateMap.Restore(snap.ToMap())
 		l.state = NewMapState(l.stateMap)
 		l.state.SetWriteHook(l.trackWrite)
+		l.reinstallGuard()
 		l.tracker.Restore(snap, len(chunks)-1, chunks)
 		l.lastSeq = snap.LastSeq
 		l.digest = snap.Digest
@@ -476,6 +493,7 @@ func (l *Ledger) Restore(data []byte) error {
 	l.stateMap.Restore(snap.ToMap())
 	l.state = NewMapState(l.stateMap)
 	l.state.SetWriteHook(l.trackWrite)
+	l.reinstallGuard()
 	l.tracker = snapcodec.NewTracker(l.tracker.Buckets())
 	for _, e := range snap.Entries {
 		l.tracker.Set(e.Key, e.Val)

@@ -1,0 +1,138 @@
+package evm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// addrOnShard finds an address routing to shard among k groups.
+func addrOnShard(t *testing.T, shard, shards int, salt byte) Address {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		var a Address
+		a[0] = salt
+		binary.BigEndian.PutUint32(a[16:], uint32(i))
+		if RouteAccount(a, shards) == shard {
+			return a
+		}
+	}
+	t.Fatalf("no address routes to shard %d/%d", shard, shards)
+	return Address{}
+}
+
+func execTx(l *Ledger, tx Tx) Receipt {
+	res := l.ExecuteBlock(l.LastExecuted()+1, [][]byte{tx.Encode()})
+	r, err := DecodeReceipt(res[0])
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestPartitionRefusesForeignWrites(t *testing.T) {
+	mine := addrOnShard(t, 0, 2, 1)
+	mine2 := addrOnShard(t, 0, 2, 2)
+	foreign := addrOnShard(t, 1, 2, 3)
+
+	l := NewLedger()
+	l.Mint(mine, 1000)
+	l.Partition(0, 2)
+
+	// Transfer inside the partition: fine.
+	r := execTx(l, Tx{Kind: TxCall, From: mine, To: mine2, Value: 100, GasLimit: 100000})
+	if !r.OK {
+		t.Fatalf("local transfer failed: %+v", r)
+	}
+	// Transfer crossing the partition: whole-transaction rollback with a
+	// deterministic receipt — including the sender debit.
+	before := l.Balance(mine).Uint64()
+	r = execTx(l, Tx{Kind: TxCall, From: mine, To: foreign, Value: 100, GasLimit: 100000})
+	if r.OK || r.Err != ErrClassWrongShard {
+		t.Fatalf("cross-partition transfer: %+v, want Err=%q", r, ErrClassWrongShard)
+	}
+	if got := l.Balance(mine).Uint64(); got != before {
+		t.Fatalf("sender debit not rolled back: %d, want %d", got, before)
+	}
+	if got := l.Balance(foreign).Uint64(); got != 0 {
+		t.Fatalf("foreign account credited: %d", got)
+	}
+}
+
+func TestLockedAccountParksWrites(t *testing.T) {
+	a := addrOnShard(t, 0, 1, 1)
+	b := addrOnShard(t, 0, 1, 2)
+	l := NewLedger()
+	l.Mint(a, 1000)
+	l.LockAccount(b)
+
+	r := execTx(l, Tx{Kind: TxCall, From: a, To: b, Value: 50, GasLimit: 100000})
+	if r.OK || r.Err != ErrClassLocked {
+		t.Fatalf("transfer to locked account: %+v, want Err=%q", r, ErrClassLocked)
+	}
+	if got := l.Balance(a).Uint64(); got != 1000 {
+		t.Fatalf("debit not rolled back: %d", got)
+	}
+	l.UnlockAccount(b)
+	if r := execTx(l, Tx{Kind: TxCall, From: a, To: b, Value: 50, GasLimit: 100000}); !r.OK {
+		t.Fatalf("transfer after unlock failed: %+v", r)
+	}
+	if got := l.Balance(b).Uint64(); got != 50 {
+		t.Fatalf("credit missing after unlock: %d", got)
+	}
+}
+
+func TestPartitionDeterministicDigests(t *testing.T) {
+	mine := addrOnShard(t, 0, 2, 1)
+	foreign := addrOnShard(t, 1, 2, 3)
+	run := func() *Ledger {
+		l := NewLedger()
+		l.Mint(mine, 1000)
+		l.Partition(0, 2)
+		execTx(l, Tx{Kind: TxCall, From: mine, To: foreign, Value: 10, GasLimit: 100000})
+		execTx(l, Tx{Kind: TxBalance, To: mine})
+		return l
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.Digest(), b.Digest()) {
+		t.Fatal("partitioned execution not deterministic")
+	}
+}
+
+func TestPartitionSurvivesRestore(t *testing.T) {
+	mine := addrOnShard(t, 0, 2, 1)
+	foreign := addrOnShard(t, 1, 2, 3)
+	l := NewLedger()
+	l.Mint(mine, 1000)
+	l.Partition(0, 2)
+
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewLedger()
+	r.Partition(0, 2)
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	rc := execTx(r, Tx{Kind: TxCall, From: mine, To: foreign, Value: 10, GasLimit: 100000})
+	if rc.OK || rc.Err != ErrClassWrongShard {
+		t.Fatalf("guard lost across restore: %+v", rc)
+	}
+}
+
+func TestAccountToken(t *testing.T) {
+	cases := map[string]string{
+		"b/abcd":         "abcd",
+		"n/abcd":         "abcd",
+		"c/abcd":         "abcd",
+		"s/abcd/0011":    "abcd",
+		"noslash":        "noslash",
+		"s/abcd/00/deep": "abcd",
+	}
+	for key, want := range cases {
+		if got := AccountToken(key); got != want {
+			t.Errorf("AccountToken(%q) = %q, want %q", key, got, want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"testing"
+
+	"sbft/internal/shard"
+)
+
+// TestShardChaosSweep is the cross-shard acceptance gate: 24 seeded
+// sharded scenarios mixing honest, crashing, equivocating and
+// certificate-dropping coordinators across two- and three-shard
+// topologies (with in-group backup crashes on half the seeds), each
+// audited for cross-shard atomicity AND per-group replica agreement.
+// CI re-runs the same sweep through `sbft-chaos -gen sharded`.
+func TestShardChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded chaos sweep skipped in -short mode")
+	}
+	cr := RunShardChaos(SeedRange(1, 24), ShardGen, func(seed int64, rep *ShardReport, err error) {
+		if err != nil {
+			t.Errorf("seed %d errored: %v", seed, err)
+			return
+		}
+		t.Logf("%s", rep.Summary())
+		if rep.Txs == 0 {
+			t.Errorf("seed %d drove no transactions", seed)
+		}
+	})
+	if !cr.OK() {
+		t.Fatalf("sharded chaos slice failed: %s", cr.Summary())
+	}
+}
+
+// TestShardGenDeterministic pins reproducibility: a seed is a complete
+// recipe for its scenario.
+func TestShardGenDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		a, b := ShardGen(seed), ShardGen(seed)
+		if a.Name != b.Name || a.Opts.Shards != b.Opts.Shards ||
+			a.Contend != b.Contend || a.GroupFaults != b.GroupFaults ||
+			len(a.Modes) != len(b.Modes) {
+			t.Fatalf("seed %d not deterministic: %+v vs %+v", seed, a, b)
+		}
+		for i := range a.Modes {
+			if a.Modes[i] != b.Modes[i] {
+				t.Fatalf("seed %d mode %d differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestShardGenCoversFaultyCoordinators pins that the generator exercises
+// Byzantine coordinators and the three-shard topology within a CI-sized
+// seed window.
+func TestShardGenCoversFaultyCoordinators(t *testing.T) {
+	modes := make(map[shard.CoordMode]bool)
+	shards := make(map[int]bool)
+	for seed := int64(1); seed <= 24; seed++ {
+		s := ShardGen(seed)
+		shards[s.Opts.Shards] = true
+		for _, m := range s.Modes {
+			modes[m] = true
+		}
+	}
+	for _, m := range []shard.CoordMode{shard.CoordHonest, shard.CoordCrash, shard.CoordEquivocate, shard.CoordDropCert} {
+		if !modes[m] {
+			t.Fatalf("24-seed window never generated coordinator mode %d", m)
+		}
+	}
+	if !shards[2] || !shards[3] {
+		t.Fatalf("24-seed window missed a topology: got %v", shards)
+	}
+}

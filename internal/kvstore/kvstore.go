@@ -72,7 +72,7 @@ func DecodeOp(data []byte) (Op, error) {
 		return Op{}, fmt.Errorf("%w: %d bytes", ErrBadOp, len(data))
 	}
 	kind := OpKind(data[0])
-	if kind < OpPut || kind > OpBundle {
+	if kind < OpPut || kind > OpTxAbort {
 		return Op{}, fmt.Errorf("%w: kind %d", ErrBadOp, kind)
 	}
 	data = data[1:]
@@ -181,6 +181,17 @@ type Store struct {
 	lastSeq  uint64
 	digest   []byte
 	executed map[uint64]*execRecord
+
+	// Sharding and cross-shard 2PC (tx.go). shards==0 means sharding is
+	// not enabled: every key is local and no partition check applies.
+	shardID    int
+	shards     int
+	certVerify CertVerifier
+
+	// Cumulative 2PC counters, surfaced through TxStats (core.TwoPhaser).
+	txPrepares uint64
+	txCommits  uint64
+	txAborts   uint64
 }
 
 // New returns an empty store at sequence 0.
@@ -230,16 +241,25 @@ func execLeaf(l int, op, val []byte) []byte {
 func (s *Store) apply(op Op) []byte {
 	switch op.Kind {
 	case OpPut:
+		if e := s.userKeyError(op.Key, true); e != nil {
+			return e
+		}
 		s.state.Set(op.Key, op.Value)
 		s.tracker.Set(op.Key, op.Value)
 		return []byte("OK")
 	case OpGet:
+		if e := s.userKeyError(op.Key, false); e != nil {
+			return e
+		}
 		v, ok := s.state.Get(op.Key)
 		if !ok {
 			return nil
 		}
 		return v
 	case OpDelete:
+		if e := s.userKeyError(op.Key, true); e != nil {
+			return e
+		}
 		s.state.Delete(op.Key)
 		s.tracker.Delete(op.Key)
 		return []byte("OK")
@@ -251,13 +271,19 @@ func (s *Store) apply(op Op) []byte {
 		applied := 0
 		for _, raw := range subs {
 			sub, err := DecodeOp(raw)
-			if err != nil || sub.Kind == OpBundle {
-				continue // skip malformed/nested deterministically
+			if err != nil || sub.Kind == OpBundle || sub.Kind >= OpTxPrepare {
+				continue // skip malformed/nested/tx deterministically
 			}
 			s.apply(sub)
 			applied++
 		}
 		return []byte(fmt.Sprintf("OK:%d", applied))
+	case OpTxPrepare:
+		return s.applyTxPrepare(op)
+	case OpTxCommit:
+		return s.applyTxCommit(op)
+	case OpTxAbort:
+		return s.applyTxAbort(op)
 	default:
 		return []byte("ERR")
 	}

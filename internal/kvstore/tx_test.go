@@ -1,0 +1,363 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// shardKey finds a key with the given prefix routing to shard among k.
+func shardKey(t *testing.T, prefix string, shard, shards int) string {
+	t.Helper()
+	for salt := 0; salt < 10000; salt++ {
+		k := fmt.Sprintf("%s-%d", prefix, salt)
+		if RouteKey(k, shards) == shard {
+			return k
+		}
+	}
+	t.Fatalf("no key with prefix %q routes to shard %d/%d", prefix, shard, shards)
+	return ""
+}
+
+// exec1 executes a single op at the store's next sequence and returns its
+// result.
+func exec1(s *Store, op []byte) []byte {
+	return s.ExecuteBlock(s.LastExecuted()+1, [][]byte{op})[0]
+}
+
+func TestTxSingleShardLifecycle(t *testing.T) {
+	s := New()
+	s.EnableSharding(0, 1, nil)
+	exec1(s, Put("a", []byte("old")))
+
+	res := exec1(s, TxPrepare("t1", []int{0}, Put("a", []byte("new")), Delete("b")))
+	if string(res) != TxPrepared {
+		t.Fatalf("prepare: got %q", res)
+	}
+	if got := s.TxState("t1"); got != "prepared" {
+		t.Fatalf("TxState = %q, want prepared", got)
+	}
+	// Staged writes are invisible; the key is locked for writers only.
+	if v, _ := s.Value("a"); string(v) != "old" {
+		t.Fatalf("staged write leaked: a=%q", v)
+	}
+	if res := exec1(s, Put("a", []byte("x"))); string(res) != "ERR:locked" {
+		t.Fatalf("put on locked key: got %q", res)
+	}
+	if res := exec1(s, Get("a")); string(res) != "old" {
+		t.Fatalf("get on locked key: got %q", res)
+	}
+	if got := s.LockedKeys(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("LockedKeys = %v", got)
+	}
+
+	// Single-participant commit needs no foreign certificates.
+	if res := exec1(s, TxCommit("t1", nil)); string(res) != TxCommitted {
+		t.Fatalf("commit: got %q", res)
+	}
+	if v, _ := s.Value("a"); string(v) != "new" {
+		t.Fatalf("committed write missing: a=%q", v)
+	}
+	if got := s.LockedKeys(); len(got) != 0 {
+		t.Fatalf("locks leaked past commit: %v", got)
+	}
+	if got := s.TxState("t1"); got != "committed" {
+		t.Fatalf("TxState = %q, want committed", got)
+	}
+	// Idempotent retries.
+	if res := exec1(s, TxCommit("t1", nil)); string(res) != TxCommitted {
+		t.Fatalf("commit retry: got %q", res)
+	}
+	if res := exec1(s, TxPrepare("t1", []int{0}, Put("a", nil))); string(res) != TxCommitted {
+		t.Fatalf("prepare after commit: got %q", res)
+	}
+	p, c, a := s.TxStats()
+	if p != 1 || c != 1 || a != 0 {
+		t.Fatalf("TxStats = %d,%d,%d", p, c, a)
+	}
+}
+
+func TestTxConflictRefusalIsSticky(t *testing.T) {
+	s := New()
+	s.EnableSharding(0, 1, nil)
+	if res := exec1(s, TxPrepare("t1", []int{0}, Put("k", []byte("1")))); string(res) != TxPrepared {
+		t.Fatalf("prepare t1: got %q", res)
+	}
+	// t2 wants the same key: refused, and the refusal is permanent.
+	if res := exec1(s, TxPrepare("t2", []int{0}, Put("k", []byte("2")))); string(res) != "CONFLICT:locked" {
+		t.Fatalf("prepare t2: got %q", res)
+	}
+	if got := s.TxState("t2"); got != "aborted" {
+		t.Fatalf("TxState(t2) = %q, want aborted (sticky refusal)", got)
+	}
+	// Even after t1 commits and the lock clears, t2 may never prepare:
+	// a CONFLICT certificate for t2 may already be circulating.
+	if res := exec1(s, TxCommit("t1", nil)); string(res) != TxCommitted {
+		t.Fatalf("commit t1: got %q", res)
+	}
+	if res := exec1(s, TxPrepare("t2", []int{0}, Put("k", []byte("2")))); string(res) != TxAborted {
+		t.Fatalf("re-prepare t2 after refusal: got %q, want %q", res, TxAborted)
+	}
+	if res := exec1(s, TxCommit("t2", nil)); string(res) != "ERR:aborted" {
+		t.Fatalf("commit t2 after refusal: got %q", res)
+	}
+}
+
+func TestTxIdempotentAndMismatchedReprepare(t *testing.T) {
+	s := New()
+	s.EnableSharding(0, 1, nil)
+	op := TxPrepare("t1", []int{0}, Put("k", []byte("v")))
+	if res := exec1(s, op); string(res) != TxPrepared {
+		t.Fatalf("prepare: got %q", res)
+	}
+	// Identical re-prepare (certificate refetch) succeeds.
+	if res := exec1(s, op); string(res) != TxPrepared {
+		t.Fatalf("re-prepare: got %q", res)
+	}
+	// A different payload under the same txid is neither accepted nor
+	// refused — refusing would mint abort evidence against a prepared tx.
+	res := exec1(s, TxPrepare("t1", []int{0}, Put("k", []byte("other"))))
+	if string(res) != "ERR:tx-mismatch" {
+		t.Fatalf("mismatched re-prepare: got %q", res)
+	}
+	if got := s.TxState("t1"); got != "prepared" {
+		t.Fatalf("TxState = %q, want prepared", got)
+	}
+}
+
+func TestTxCommitRequiresForeignCerts(t *testing.T) {
+	calls := 0
+	var failCert bool
+	verify := func(shard int, txid string, wantPrepared bool, cert []byte) error {
+		calls++
+		if shard != 1 || txid != "t1" || !wantPrepared {
+			return fmt.Errorf("unexpected query: shard=%d txid=%q want=%v", shard, txid, wantPrepared)
+		}
+		if failCert {
+			return fmt.Errorf("bad signature")
+		}
+		return nil
+	}
+	s := New()
+	s.EnableSharding(0, 2, verify)
+	key := shardKey(t, "k", 0, 2)
+
+	if res := exec1(s, TxPrepare("t1", []int{0, 1}, Put(key, []byte("v")))); string(res) != TxPrepared {
+		t.Fatalf("prepare: got %q", res)
+	}
+	// Missing certificate: no commit.
+	if res := exec1(s, TxCommit("t1", nil)); string(res) != "ERR:missing-cert" {
+		t.Fatalf("commit without cert: got %q", res)
+	}
+	// Invalid certificate: no commit, tx stays prepared.
+	failCert = true
+	if res := exec1(s, TxCommit("t1", map[int][]byte{1: []byte("forged")})); string(res) != "ERR:bad-cert" {
+		t.Fatalf("commit with bad cert: got %q", res)
+	}
+	if got := s.TxState("t1"); got != "prepared" {
+		t.Fatalf("TxState = %q, want prepared", got)
+	}
+	// Valid certificate: committed.
+	failCert = false
+	if res := exec1(s, TxCommit("t1", map[int][]byte{1: []byte("cert")})); string(res) != TxCommitted {
+		t.Fatalf("commit: got %q", res)
+	}
+	if v, _ := s.Value(key); string(v) != "v" {
+		t.Fatalf("committed write missing: %q", v)
+	}
+	if calls == 0 {
+		t.Fatal("verifier never consulted")
+	}
+}
+
+func TestTxAbortRequiresRefusalCert(t *testing.T) {
+	var ok bool
+	verify := func(shard int, txid string, wantPrepared bool, cert []byte) error {
+		if wantPrepared {
+			return fmt.Errorf("commit evidence requested during abort")
+		}
+		if !ok {
+			return fmt.Errorf("not a refusal")
+		}
+		return nil
+	}
+	s := New()
+	s.EnableSharding(0, 2, verify)
+	key := shardKey(t, "k", 0, 2)
+	if res := exec1(s, TxPrepare("t1", []int{0, 1}, Put(key, []byte("v")))); string(res) != TxPrepared {
+		t.Fatalf("prepare: got %q", res)
+	}
+	// An equivocating coordinator's bogus "refusal" is rejected.
+	if res := exec1(s, TxAbort("t1", 1, []byte("forged"))); string(res) != "ERR:bad-cert" {
+		t.Fatalf("abort with bad cert: got %q", res)
+	}
+	if got := s.TxState("t1"); got != "prepared" {
+		t.Fatalf("TxState = %q, want prepared", got)
+	}
+	ok = true
+	if res := exec1(s, TxAbort("t1", 1, []byte("refusal"))); string(res) != TxAborted {
+		t.Fatalf("abort: got %q", res)
+	}
+	if got := s.LockedKeys(); len(got) != 0 {
+		t.Fatalf("locks leaked past abort: %v", got)
+	}
+	if v, found := s.Value(key); found {
+		t.Fatalf("aborted write applied: %q", v)
+	}
+	// Abort is idempotent; commit after abort is refused.
+	if res := exec1(s, TxAbort("t1", 1, []byte("refusal"))); string(res) != TxAborted {
+		t.Fatalf("abort retry: got %q", res)
+	}
+	if res := exec1(s, TxCommit("t1", map[int][]byte{1: []byte("c")})); string(res) != "ERR:aborted" {
+		t.Fatalf("commit after abort: got %q", res)
+	}
+}
+
+func TestTxPrepareRefusals(t *testing.T) {
+	s := New()
+	s.EnableSharding(0, 2, nil)
+	local := shardKey(t, "l", 0, 2)
+	foreign := shardKey(t, "f", 1, 2)
+
+	cases := []struct {
+		name string
+		op   []byte
+		want string
+	}{
+		{"foreign write", TxPrepare("f1", []int{0, 1}, Put(foreign, []byte("v"))), "CONFLICT:wrong-shard"},
+		{"reserved write", TxPrepare("f2", []int{0, 1}, Put("\x00tx/d/x", []byte("c"))), "CONFLICT:reserved-key"},
+		{"not a participant", TxPrepare("f3", []int{1}, Put(local, []byte("v"))), "CONFLICT:not-participant"},
+		{"participant out of range", TxPrepare("f4", []int{0, 7}, Put(local, []byte("v"))), "CONFLICT:bad-participant"},
+		{"no participants", TxPrepare("f5", nil, Put(local, []byte("v"))), "CONFLICT:no-participants"},
+		{"get as write", TxPrepare("f6", []int{0, 1}, Get(local)), "CONFLICT:bad-write"},
+	}
+	for _, tc := range cases {
+		if res := exec1(s, tc.op); string(res) != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, res, tc.want)
+		}
+	}
+	// Every refusal is sticky.
+	for _, id := range []string{"f1", "f2", "f3", "f4", "f5", "f6"} {
+		if got := s.TxState(id); got != "aborted" {
+			t.Errorf("TxState(%s) = %q, want aborted", id, got)
+		}
+	}
+	// Duplicate participant naming collapses to one participation.
+	if res := exec1(s, TxPrepare("d1", []int{0, 0, 1, 1}, Put(local, []byte("v")))); string(res) != TxPrepared {
+		t.Fatalf("dup participants: got %q", res)
+	}
+}
+
+func TestTxPlainOpPartitionChecks(t *testing.T) {
+	s := New()
+	s.EnableSharding(1, 2, nil)
+	mine := shardKey(t, "m", 1, 2)
+	other := shardKey(t, "o", 0, 2)
+
+	if res := exec1(s, Put(mine, []byte("v"))); string(res) != "OK" {
+		t.Fatalf("owned put: got %q", res)
+	}
+	if res := exec1(s, Put(other, []byte("v"))); string(res) != "ERR:wrong-shard" {
+		t.Fatalf("foreign put: got %q", res)
+	}
+	if res := exec1(s, Delete(other)); string(res) != "ERR:wrong-shard" {
+		t.Fatalf("foreign delete: got %q", res)
+	}
+	if res := exec1(s, Get(other)); string(res) != "ERR:wrong-shard" {
+		t.Fatalf("foreign get: got %q", res)
+	}
+	if res := exec1(s, Put("\x00tx/l/x", []byte("v"))); string(res) != "ERR:reserved-key" {
+		t.Fatalf("reserved put: got %q", res)
+	}
+	if res := exec1(s, Get("\x00tx/l/x")); string(res) != "ERR:reserved-key" {
+		t.Fatalf("reserved get: got %q", res)
+	}
+}
+
+// TestTxStateSurvivesSnapshot pins the design point that 2PC state lives
+// in the authenticated map: a snapshot taken mid-transaction carries the
+// prepared record, the locks and decision markers, so state transfer and
+// restart resume the protocol exactly.
+func TestTxStateSurvivesSnapshot(t *testing.T) {
+	a := New()
+	a.EnableSharding(0, 1, nil)
+	exec1(a, TxPrepare("t1", []int{0}, Put("k", []byte("v"))))
+	exec1(a, TxPrepare("t2", []int{0}, Put("k", []byte("w")))) // refused → sticky abort
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New()
+	b.EnableSharding(0, 1, nil)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TxState("t1"); got != "prepared" {
+		t.Fatalf("restored TxState(t1) = %q, want prepared", got)
+	}
+	if got := b.TxState("t2"); got != "aborted" {
+		t.Fatalf("restored TxState(t2) = %q, want aborted", got)
+	}
+	if got := b.LockedKeys(); len(got) != 1 || got[0] != "k" {
+		t.Fatalf("restored LockedKeys = %v", got)
+	}
+	if got := b.PendingTxs(); len(got) != 1 || got[0] != "t1" {
+		t.Fatalf("restored PendingTxs = %v", got)
+	}
+	if !bytes.Equal(a.Digest(), b.Digest()) {
+		t.Fatal("digest diverged across snapshot/restore")
+	}
+	// The restored store continues the protocol.
+	if res := exec1(b, TxCommit("t1", nil)); string(res) != TxCommitted {
+		t.Fatalf("commit on restored store: got %q", res)
+	}
+}
+
+func TestTxDigestDeterminism(t *testing.T) {
+	run := func() *Store {
+		s := New()
+		s.EnableSharding(0, 1, nil)
+		exec1(s, Put("a", []byte("1")))
+		exec1(s, TxPrepare("t1", []int{0}, Put("b", []byte("2"))))
+		exec1(s, TxCommit("t1", nil))
+		exec1(s, TxPrepare("t2", []int{0}, Put("b", []byte("3"))))
+		return s
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.Digest(), b.Digest()) {
+		t.Fatal("2PC execution not deterministic: digests differ")
+	}
+}
+
+func TestTxOpsRejectedInsideBundles(t *testing.T) {
+	s := New()
+	s.EnableSharding(0, 1, nil)
+	res := exec1(s, Bundle(Put("a", []byte("1")), TxPrepare("t1", []int{0}, Put("b", nil))))
+	if string(res) != "OK:1" {
+		t.Fatalf("bundle with tx op: got %q, want OK:1 (tx skipped)", res)
+	}
+	if got := s.TxState("t1"); got != "none" {
+		t.Fatalf("tx op inside bundle executed: TxState = %q", got)
+	}
+}
+
+func TestRouteKeyEdges(t *testing.T) {
+	if got := RouteKey("anything", 1); got != 0 {
+		t.Fatalf("k=1 route = %d", got)
+	}
+	if got := RouteKey("anything", 0); got != 0 {
+		t.Fatalf("k=0 route = %d", got)
+	}
+	for _, k := range []string{"", "a", "key/with/slashes", "\x00odd"} {
+		for _, shards := range []int{2, 3, 4, 7} {
+			r := RouteKey(k, shards)
+			if r < 0 || r >= shards {
+				t.Fatalf("RouteKey(%q,%d) = %d out of range", k, shards, r)
+			}
+			if r2 := RouteKey(k, shards); r2 != r {
+				t.Fatalf("RouteKey(%q,%d) unstable: %d then %d", k, shards, r, r2)
+			}
+		}
+	}
+}

@@ -83,6 +83,108 @@ func (r Result) Workload(window time.Duration) cluster.WorkloadResult {
 	}
 }
 
+// Book is the open-loop slot/shed/latency ledger: a free list of client
+// slots, arrival accounting (offered / dropped / submitted) and
+// completion accounting (completed / fast-ack / latency percentiles).
+// It is shared by the simulated driver (Run, single-threaded on the
+// virtual scheduler) and the real-TCP open-loop client (sbft-client
+// -openloop), where completions arrive from shell goroutines — callers
+// in that regime must serialize access with their own mutex; the Book
+// itself stays lock-free so the simulator pays nothing.
+type Book struct {
+	slots     int
+	free      []int
+	counts    []int
+	measured  []bool
+	res       Result
+	latencies []time.Duration
+}
+
+// NewBook returns a ledger over the given number of client slots, all
+// idle.
+func NewBook(slots int) *Book {
+	b := &Book{
+		slots:    slots,
+		free:     make([]int, slots),
+		counts:   make([]int, slots),
+		measured: make([]bool, slots),
+	}
+	for i := range b.free {
+		b.free[i] = i
+	}
+	return b
+}
+
+// Arrive records one arrival: it claims an idle slot (returning it and
+// the slot's next op index) or sheds the arrival. Only inWindow arrivals
+// count toward Offered/Dropped and the latency statistics — warmup and
+// drain traffic flows unmeasured.
+func (b *Book) Arrive(inWindow bool) (slot, opIndex int, ok bool) {
+	if inWindow {
+		b.res.Offered++
+	}
+	if len(b.free) == 0 {
+		if inWindow {
+			b.res.Dropped++
+		}
+		return 0, 0, false
+	}
+	slot = b.free[len(b.free)-1]
+	b.free = b.free[:len(b.free)-1]
+	b.measured[slot] = inWindow
+	opIndex = b.counts[slot]
+	b.counts[slot]++
+	return slot, opIndex, true
+}
+
+// Submitted counts a claimed arrival successfully handed to its client.
+func (b *Book) Submitted() { b.res.Submitted++ }
+
+// Requeue returns a claimed slot whose submission failed.
+func (b *Book) Requeue(slot int) { b.free = append(b.free, slot) }
+
+// Complete frees the slot and records the completion (latency and
+// classification count only if the slot's arrival was measured).
+func (b *Book) Complete(slot int, latency time.Duration, fastAck, retried bool) {
+	b.res.CompletedAll++
+	if b.measured[slot] {
+		b.res.Completed++
+		b.latencies = append(b.latencies, latency)
+		if fastAck {
+			b.res.FastAcks++
+		}
+		if retried {
+			b.res.Retries++
+		}
+	}
+	b.free = append(b.free, slot)
+}
+
+// InFlight reports how many slots are currently claimed — the TCP
+// driver's drain loop waits for this to reach zero.
+func (b *Book) InFlight() int { return b.slots - len(b.free) }
+
+// Finalize computes throughput over the measurement window and the
+// latency percentiles, returning the finished ledger.
+func (b *Book) Finalize(window time.Duration) Result {
+	res := b.res
+	if window > 0 {
+		res.Throughput = float64(res.Completed) / window.Seconds()
+	}
+	if len(b.latencies) > 0 {
+		sort.Slice(b.latencies, func(i, j int) bool { return b.latencies[i] < b.latencies[j] })
+		var sum time.Duration
+		for _, l := range b.latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / time.Duration(len(b.latencies))
+		res.P50Latency = b.latencies[len(b.latencies)/2]
+		res.P95Latency = b.latencies[pct(len(b.latencies), 0.95)]
+		res.P99Latency = b.latencies[pct(len(b.latencies), 0.99)]
+	}
+	return res
+}
+
 // uniqueGen is the default audit-safe workload: every operation payload
 // is globally unique (client slot × per-slot counter).
 func uniqueGen(client, i int) []byte {
@@ -125,38 +227,16 @@ func Run(cl *cluster.Cluster, cfg Config) Result {
 	measureTo := measureFrom + cfg.Window
 	deadline := measureTo + cfg.Drain
 
-	var (
-		res       Result
-		latencies []time.Duration
-		busyBase  uint64
-	)
-
-	// Free list of idle client slots, plus per-slot bookkeeping.
-	free := make([]int, len(cl.Clients))
-	counts := make([]int, len(cl.Clients))
-	measured := make([]bool, len(cl.Clients))
-	for i := range free {
-		free[i] = i
-	}
+	var busyBase uint64
+	book := NewBook(len(cl.Clients))
 	for ci, c := range cl.Clients {
 		ci, c := ci, c
 		busyBase += c.Backpressure
 		c.SetOnResult(func(r core.Result) {
-			res.CompletedAll++
-			if measured[ci] {
-				res.Completed++
-				latencies = append(latencies, r.Latency)
-				if r.FastAck {
-					res.FastAcks++
-				}
-				if r.Retried {
-					res.Retries++
-				}
-			}
+			book.Complete(ci, r.Latency, r.FastAck, r.Retried)
 			if cl.OnResult != nil {
 				cl.OnResult(c.ID(), r)
 			}
-			free = append(free, ci)
 		})
 	}
 
@@ -170,25 +250,12 @@ func Run(cl *cluster.Cluster, cfg Config) Result {
 		sched.Schedule(gap, arrive)
 	}
 	arrive = func() {
-		now := sched.Now()
-		inWindow := now >= measureFrom
-		if inWindow {
-			res.Offered++
-		}
-		if len(free) == 0 {
-			if inWindow {
-				res.Dropped++
-			}
-		} else {
-			ci := free[len(free)-1]
-			free = free[:len(free)-1]
-			measured[ci] = inWindow
-			op := gen(ci, counts[ci])
-			counts[ci]++
-			if err := cl.Clients[ci].Submit(op); err != nil {
-				free = append(free, ci)
+		inWindow := sched.Now() >= measureFrom
+		if ci, i, ok := book.Arrive(inWindow); ok {
+			if err := cl.Clients[ci].Submit(gen(ci, i)); err != nil {
+				book.Requeue(ci)
 			} else {
-				res.Submitted++
+				book.Submitted()
 			}
 		}
 		scheduleNext()
@@ -203,25 +270,11 @@ func Run(cl *cluster.Cluster, cfg Config) Result {
 		}
 	}
 
+	res := book.Finalize(cfg.Window)
 	for _, c := range cl.Clients {
 		res.Backpressure += c.Backpressure
 	}
 	res.Backpressure -= busyBase
-
-	if cfg.Window > 0 {
-		res.Throughput = float64(res.Completed) / cfg.Window.Seconds()
-	}
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		var sum time.Duration
-		for _, l := range latencies {
-			sum += l
-		}
-		res.MeanLatency = sum / time.Duration(len(latencies))
-		res.P50Latency = latencies[len(latencies)/2]
-		res.P95Latency = latencies[pct(len(latencies), 0.95)]
-		res.P99Latency = latencies[pct(len(latencies), 0.99)]
-	}
 	return res
 }
 

@@ -1,0 +1,51 @@
+// Package shard implements sharded multi-group SBFT (ROADMAP item 5):
+// k independent SBFT groups partition the keyspace by deterministic key
+// routing, single-shard operations run entirely inside one group, and
+// cross-shard transactions commit atomically through proof-carrying
+// two-phase commit — an UNTRUSTED coordinator ferries π-certified
+// execute certificates between groups, and each group's replicated
+// commit rule verifies the other groups' certificates before applying
+// (kvstore/tx.go holds the per-shard state machine; this package holds
+// the routing, the certificate hub and the coordinator driving it).
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"sbft/internal/kvstore"
+)
+
+// Route returns the owning shard of a key among k groups — the same
+// FNV-1a bucketing the snapshot codec uses, shared verbatim by clients,
+// coordinators and every replica's partition check.
+func Route(key string, shards int) int { return kvstore.RouteKey(key, shards) }
+
+// SplitWrites partitions encoded writes (kvstore Put/Delete ops) by
+// owning shard. Order within each shard is preserved.
+func SplitWrites(writes [][]byte, shards int) (map[int][][]byte, error) {
+	out := make(map[int][][]byte)
+	for _, w := range writes {
+		op, err := kvstore.DecodeOp(w)
+		if err != nil {
+			return nil, fmt.Errorf("shard: bad write: %w", err)
+		}
+		if op.Kind != kvstore.OpPut && op.Kind != kvstore.OpDelete {
+			return nil, fmt.Errorf("shard: write kind %d is not Put/Delete", op.Kind)
+		}
+		g := Route(op.Key, shards)
+		out[g] = append(out[g], w)
+	}
+	return out, nil
+}
+
+// Participants lists a split's shards in canonical (sorted) order — the
+// participant set carried in every prepare.
+func Participants(split map[int][][]byte) []int {
+	parts := make([]int, 0, len(split))
+	for g := range split {
+		parts = append(parts, g)
+	}
+	sort.Ints(parts)
+	return parts
+}

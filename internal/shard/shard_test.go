@@ -1,0 +1,330 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sbft/internal/kvstore"
+)
+
+func newTestCluster(t *testing.T, shards, lanes int, seed int64) *Cluster {
+	t.Helper()
+	sc, err := New(Options{Shards: shards, F: 1, C: 0, Lanes: lanes, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc
+}
+
+// keyOn finds a key with the given prefix routing to shard g among k.
+func keyOn(t *testing.T, prefix string, g, k int) string {
+	t.Helper()
+	for salt := 0; salt < 10000; salt++ {
+		key := fmt.Sprintf("%s-%d", prefix, salt)
+		if Route(key, k) == g {
+			return key
+		}
+	}
+	t.Fatalf("no %q key routes to shard %d/%d", prefix, g, k)
+	return ""
+}
+
+// TestCrossShardCommit drives an honest two-shard transaction end to end
+// and asserts the TxPrepares/TxCommits metrics went nonzero (the PR 10
+// counter→test map entry for those counters).
+func TestCrossShardCommit(t *testing.T) {
+	sc := newTestCluster(t, 2, 1, 7)
+	k0 := keyOn(t, "a", 0, 2)
+	k1 := keyOn(t, "b", 1, 2)
+
+	co := &Coordinator{SC: sc, Lane: 0, Mode: CoordHonest}
+	out, err := co.RunTx(Tx{ID: "tx-commit-1", Writes: [][]byte{
+		kvstore.Put(k0, []byte("v0")),
+		kvstore.Put(k1, []byte("v1")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed {
+		t.Fatalf("outcome not committed: %+v", out)
+	}
+	// Let execution settle on all replicas, then check both shards.
+	sc.Topo.Run(2 * time.Second)
+	for g, key, want := 0, k0, "v0"; g < 2; g, key, want = g+1, k1, "v1" {
+		st := sc.FrontierStore(g)
+		if v, _ := st.Value(key); string(v) != want {
+			t.Fatalf("shard %d: %q=%q, want %q", g, key, v, want)
+		}
+		if locks := st.LockedKeys(); len(locks) != 0 {
+			t.Fatalf("shard %d: locks leaked: %v", g, locks)
+		}
+		if got := st.TxState("tx-commit-1"); got != "committed" {
+			t.Fatalf("shard %d: TxState=%q", g, got)
+		}
+	}
+	m := sc.Metrics()
+	if m.TxPrepares == 0 || m.TxCommits == 0 {
+		t.Fatalf("tx metrics flat: prepares=%d commits=%d", m.TxPrepares, m.TxCommits)
+	}
+}
+
+// TestCrossShardConflictAborts pins the abort path: a transaction that
+// loses a lock race aborts EVERYWHERE on the refusing shard's evidence,
+// and the TxAborts metric goes nonzero (counter→test map entry).
+func TestCrossShardConflictAborts(t *testing.T) {
+	sc := newTestCluster(t, 2, 2, 11)
+	k0 := keyOn(t, "c", 0, 2)
+	k1 := keyOn(t, "d", 1, 2)
+
+	// tx1 prepares on shard 0 and crashes, holding k0's lock.
+	crash := &Coordinator{SC: sc, Lane: 0, Mode: CoordCrash}
+	tx1 := Tx{ID: "tx-holder", Writes: [][]byte{kvstore.Put(k0, []byte("held"))}}
+	out1, err := crash.RunTx(tx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out1.Pending {
+		t.Fatalf("crash coordinator decided: %+v", out1)
+	}
+
+	// tx2 wants k0 too: shard 0 refuses, and the refusal certificate
+	// aborts tx2 on shard 1 as well.
+	honest := &Coordinator{SC: sc, Lane: 1, Mode: CoordHonest}
+	out2, err := honest.RunTx(Tx{ID: "tx-loser", Writes: [][]byte{
+		kvstore.Put(k0, []byte("x")),
+		kvstore.Put(k1, []byte("y")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Aborted {
+		t.Fatalf("conflicting tx not aborted: %+v", out2)
+	}
+	sc.Topo.Run(2 * time.Second)
+	if v, found := sc.FrontierStore(1).Value(k1); found {
+		t.Fatalf("aborted write applied on shard 1: %q", v)
+	}
+	if got := sc.FrontierStore(1).TxState("tx-loser"); got != "aborted" {
+		t.Fatalf("shard 1 TxState(tx-loser)=%q", got)
+	}
+	if m := sc.Metrics(); m.TxAborts == 0 {
+		t.Fatal("TxAborts metric flat after abort")
+	}
+
+	// Recovery finishes the abandoned holder transaction.
+	if out, err := crash.Recover(tx1); err != nil || !out.Committed {
+		t.Fatalf("recovery: out=%+v err=%v", out, err)
+	}
+	sc.Topo.Run(2 * time.Second)
+	if v, _ := sc.FrontierStore(0).Value(k0); string(v) != "held" {
+		t.Fatalf("recovered commit missing: %q", v)
+	}
+}
+
+// TestByzantineCoordinatorEquivocation is the PR 10 acceptance-criteria
+// test: a Byzantine coordinator sends commit to shard A and a forged
+// abort to shard B for the SAME transaction. B's commit rule rejects the
+// forged evidence (the "refusal" certificate actually certifies
+// PREPARED), B stays prepared rather than diverging, and a recovery
+// coordinator converges BOTH shards to committed.
+func TestByzantineCoordinatorEquivocation(t *testing.T) {
+	sc := newTestCluster(t, 2, 2, 13)
+	k0 := keyOn(t, "e", 0, 2)
+	k1 := keyOn(t, "f", 1, 2)
+
+	byz := &Coordinator{SC: sc, Lane: 0, Mode: CoordEquivocate}
+	tx := Tx{ID: "tx-equiv", Writes: [][]byte{
+		kvstore.Put(k0, []byte("p")),
+		kvstore.Put(k1, []byte("q")),
+	}}
+	out, err := byz.RunTx(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Committed || out.Aborted {
+		t.Fatalf("equivocator reached a clean decision: %+v", out)
+	}
+	first, second := out.Parts[0], out.Parts[1]
+	if out.Vals[first] != kvstore.TxCommitted {
+		t.Fatalf("shard %d (real commit): %q", first, out.Vals[first])
+	}
+	if out.Vals[second] != "ERR:bad-cert" {
+		t.Fatalf("shard %d accepted forged refusal: %q", second, out.Vals[second])
+	}
+	sc.Topo.Run(2 * time.Second)
+	if got := sc.FrontierStore(first).TxState("tx-equiv"); got != "committed" {
+		t.Fatalf("shard %d TxState=%q", first, got)
+	}
+	if got := sc.FrontierStore(second).TxState("tx-equiv"); got != "prepared" {
+		t.Fatalf("shard %d TxState=%q, want prepared (forged abort rejected)", second, got)
+	}
+
+	// Recovery converges both shards to COMMITTED — no all-or-nothing
+	// violation survives the attack.
+	rec := &Coordinator{SC: sc, Lane: 1, Mode: CoordHonest}
+	rout, err := rec.Recover(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rout.Committed {
+		t.Fatalf("recovery did not converge to commit: %+v", rout)
+	}
+	sc.Topo.Run(2 * time.Second)
+	for g, key, want := 0, k0, "p"; g < 2; g, key, want = g+1, k1, "q" {
+		st := sc.FrontierStore(g)
+		if got := st.TxState("tx-equiv"); got != "committed" {
+			t.Fatalf("shard %d TxState=%q after recovery", g, got)
+		}
+		if v, _ := st.Value(key); string(v) != want {
+			t.Fatalf("shard %d: %q=%q, want %q", g, key, v, want)
+		}
+		if locks := st.LockedKeys(); len(locks) != 0 {
+			t.Fatalf("shard %d locks leaked: %v", g, locks)
+		}
+	}
+}
+
+// TestCoordinatorCrashFailover pins the recovery metric: a crashed
+// coordinator leaves shards prepared; recovery commits and counts a
+// failover (counter→test map entry for TxCoordFailovers).
+func TestCoordinatorCrashFailover(t *testing.T) {
+	sc := newTestCluster(t, 2, 1, 17)
+	k0 := keyOn(t, "g", 0, 2)
+	k1 := keyOn(t, "h", 1, 2)
+	tx := Tx{ID: "tx-crash", Writes: [][]byte{
+		kvstore.Put(k0, []byte("1")),
+		kvstore.Put(k1, []byte("2")),
+	}}
+	co := &Coordinator{SC: sc, Lane: 0, Mode: CoordCrash}
+	out, err := co.RunTx(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pending {
+		t.Fatalf("crash mode decided: %+v", out)
+	}
+	sc.Topo.Run(time.Second)
+	if got := sc.FrontierStore(0).TxState("tx-crash"); got != "prepared" {
+		t.Fatalf("shard 0 TxState=%q, want prepared", got)
+	}
+	rout, err := co.Recover(tx)
+	if err != nil || !rout.Committed {
+		t.Fatalf("recovery: out=%+v err=%v", rout, err)
+	}
+	if m := sc.Metrics(); m.TxCoordFailovers == 0 {
+		t.Fatal("TxCoordFailovers metric flat after recovery")
+	}
+}
+
+// TestDropCertRefetch exercises the idempotent re-prepare refetch: the
+// coordinator loses a certificate and must re-earn it before committing.
+func TestDropCertRefetch(t *testing.T) {
+	sc := newTestCluster(t, 2, 1, 19)
+	k0 := keyOn(t, "i", 0, 2)
+	k1 := keyOn(t, "j", 1, 2)
+	co := &Coordinator{SC: sc, Lane: 0, Mode: CoordDropCert}
+	out, err := co.RunTx(Tx{ID: "tx-drop", Writes: [][]byte{
+		kvstore.Put(k0, []byte("1")),
+		kvstore.Put(k1, []byte("2")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed {
+		t.Fatalf("drop-cert tx not committed: %+v", out)
+	}
+}
+
+// TestSingleShardOpsRespectPartition drives plain operations through the
+// sharded deployment: owned keys succeed, foreign keys are refused by
+// the replicas themselves.
+func TestSingleShardOpsRespectPartition(t *testing.T) {
+	sc := newTestCluster(t, 2, 1, 23)
+	k0 := keyOn(t, "s", 0, 2)
+
+	res, err := sc.Do(0, 0, kvstore.Put(k0, []byte("v")), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Val) != "OK" {
+		t.Fatalf("owned put: %q", res.Val)
+	}
+	res, err = sc.Do(1, 0, kvstore.Put(k0, []byte("v")), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Val) != "ERR:wrong-shard" {
+		t.Fatalf("foreign put: %q", res.Val)
+	}
+}
+
+// TestRouterEdgeCases covers the routing pathologies: a k→k+1 boundary
+// re-routes keys deterministically, a transaction whose writes all land
+// on one shard has a single participant (the other shard is empty), and
+// naming the same shard through multiple writes collapses to one
+// participation.
+func TestRouterEdgeCases(t *testing.T) {
+	// k→k+1 boundary: routes stay in range and are pure functions.
+	moved := 0
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("bnd-%d", i)
+		r2, r3 := Route(key, 2), Route(key, 3)
+		if r2 < 0 || r2 > 1 || r3 < 0 || r3 > 2 {
+			t.Fatalf("route out of range: %q → %d/%d", key, r2, r3)
+		}
+		if r2 != Route(key, 2) || r3 != Route(key, 3) {
+			t.Fatalf("routing unstable for %q", key)
+		}
+		if r2 != r3 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("k=2→k=3 moved no keys at all (suspicious bucketing)")
+	}
+
+	// All writes on one shard: the split leaves the other shard empty
+	// and the participant list is a singleton.
+	a := keyOn(t, "one", 0, 2)
+	b := keyOn(t, "two", 0, 2)
+	split, err := SplitWrites([][]byte{kvstore.Put(a, nil), kvstore.Put(b, nil), kvstore.Delete(a)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 1 || len(split[0]) != 3 {
+		t.Fatalf("single-shard split: %v", split)
+	}
+	if parts := Participants(split); len(parts) != 1 || parts[0] != 0 {
+		t.Fatalf("participants: %v", parts)
+	}
+
+	// Non-write ops are rejected at split time.
+	if _, err := SplitWrites([][]byte{kvstore.Get(a)}, 2); err == nil {
+		t.Fatal("SplitWrites accepted a read")
+	}
+	if _, err := SplitWrites([][]byte{{0xff}}, 2); err == nil {
+		t.Fatal("SplitWrites accepted garbage")
+	}
+}
+
+// TestSingleParticipantTx commits a cross-shard-capable transaction that
+// happens to touch one shard — the degenerate 2PC with no foreign
+// certificates.
+func TestSingleParticipantTx(t *testing.T) {
+	sc := newTestCluster(t, 2, 1, 29)
+	a := keyOn(t, "solo", 1, 2)
+	co := &Coordinator{SC: sc, Lane: 0, Mode: CoordHonest}
+	out, err := co.RunTx(Tx{ID: "tx-solo", Writes: [][]byte{kvstore.Put(a, []byte("v"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed || len(out.Parts) != 1 || out.Parts[0] != 1 {
+		t.Fatalf("single-participant outcome: %+v", out)
+	}
+	sc.Topo.Run(2 * time.Second)
+	if v, _ := sc.FrontierStore(1).Value(a); string(v) != "v" {
+		t.Fatalf("write missing: %q", v)
+	}
+}

@@ -1,0 +1,59 @@
+// Sharding benchmarks: BenchmarkSharding measures aggregate disjoint-key
+// throughput at k=1/2/4 groups (matched per-group n) and the 10%
+// cross-shard mix at k=2. The regression gate is the linear-scaling
+// claim: two shards must deliver at least 1.7× the single-group
+// aggregate on disjoint keys — routing or partition-check overhead
+// eating into that headroom fails the build. The cross-shard mix is
+// reported, never gated: the 2PC tax is the price of atomicity.
+// It emits the BENCH_sharding.json points: set SBFT_BENCH_JSON to a
+// directory to write them there.
+package sbft_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sbft/internal/bench"
+	"sbft/internal/benchjson"
+)
+
+var shardingJSON = benchjson.New("sharding", "ops-per-simulated-second")
+
+func BenchmarkSharding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agg := map[int]float64{}
+		for _, k := range []int{1, 2, 4} {
+			pt, err := bench.RunShardingDisjoint(bench.DefaultSharding(k, 7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg[k] = pt.Aggregate
+			if i == 0 {
+				point := fmt.Sprintf("disjoint/k=%d", k)
+				if err := shardingJSON.Record(point, pt.Aggregate); err != nil {
+					b.Fatalf("recording %s: %v", point, err)
+				}
+				b.Logf("disjoint k=%d: %.0f op/s aggregate (per group %v)", k, pt.Aggregate, pt.PerGroup)
+			}
+		}
+		if agg[2] < 1.7*agg[1] {
+			b.Fatalf("sharding does not scale: k=2 aggregate %.0f op/s < 1.7× k=1 %.0f op/s",
+				agg[2], agg[1])
+		}
+
+		cross, err := bench.RunShardingCross(bench.DefaultSharding(2, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cross.Pending > 0 {
+			b.Fatalf("cross-shard mix left %d transactions undecided under an honest coordinator", cross.Pending)
+		}
+		if i == 0 {
+			if err := shardingJSON.Record("cross10/k=2", cross.Throughput); err != nil {
+				b.Fatalf("recording cross10: %v", err)
+			}
+			b.Logf("cross 10%% k=2: %.0f op/s (%d singles, %d committed, %d aborted)",
+				cross.Throughput, cross.SingleOps, cross.Committed, cross.Aborted)
+		}
+	}
+}
